@@ -1,0 +1,123 @@
+//! A fast, non-cryptographic hasher for hot paths.
+//!
+//! View maintenance touches `NodeId`-keyed hash maps on every AST mutation;
+//! the standard library's SipHash is needlessly slow for 4-byte integer
+//! keys. This is the well-known Fx multiply-rotate hash (as used by rustc
+//! and Firefox), implemented locally so the workspace needs no extra
+//! dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("hello"), hash_of("hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of("a"), hash_of("b"));
+    }
+
+    #[test]
+    fn handles_unaligned_byte_tails() {
+        // 9 bytes exercises the remainder path.
+        assert_ne!(hash_of([1u8; 9]), hash_of([2u8; 9]));
+        assert_eq!(hash_of([7u8; 9]), hash_of([7u8; 9]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

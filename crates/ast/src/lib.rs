@@ -1,0 +1,32 @@
+//! Arena-based mutable abstract syntax trees.
+//!
+//! This crate implements the paper's Definition 1: an AST node is a 3-tuple
+//! `(label, attributes, children)` where labels come from a schema that
+//! fixes, per label, the attribute set and an upper bound on child count.
+//!
+//! Nodes live in a [`Ast`] arena and are addressed by compact [`NodeId`]s.
+//! This gives the *mutable* tree model of §5.1 its literal meaning: a
+//! rewrite is a single pointer swap in the parent's child slot
+//! ([`Ast::replace`]), and every incremental-view-maintenance engine
+//! navigates the very same tree the compiler owns — no shadow copies.
+//!
+//! The crate also provides:
+//! - [`multiset::GenMultiset`] — Blizard generalized multisets (§5) with
+//!   signed multiplicities and ⊕ / ⊖ operators,
+//! - [`fxhash`] — a fast FxHash-style hasher for the hot `NodeId`-keyed
+//!   maps (per the performance guide; avoids SipHash in inner loops),
+//! - [`sexpr`] — an s-expression printer/parser used by tests, examples,
+//!   and debugging output.
+
+pub mod arena;
+pub mod fxhash;
+pub mod multiset;
+pub mod schema;
+pub mod sexpr;
+pub mod value;
+
+pub use arena::{Ast, Node, NodeId, NodeRow};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use multiset::GenMultiset;
+pub use schema::{AttrName, Label, Schema, SchemaBuilder};
+pub use value::{IntSet, Record, Value};

@@ -1,0 +1,204 @@
+//! Generalized multisets (Blizard).
+//!
+//! §5 of the paper maintains views as *generalized multisets* — maps from
+//! elements to signed integer multiplicities, with finite support. Union
+//! (⊕) sums multiplicities; difference (⊖) subtracts. Update deltas make
+//! essential use of negative multiplicities (removed nodes appear with
+//! multiplicity −1).
+
+use crate::arena::NodeId;
+use crate::fxhash::FxHashMap;
+
+/// A generalized multiset over [`NodeId`]s with signed multiplicities.
+///
+/// Invariant: the backing map stores only non-zero multiplicities, so
+/// iteration and `support_len` reflect the support exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenMultiset {
+    counts: FxHashMap<NodeId, i64>,
+}
+
+impl GenMultiset {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifts a set of nodes to the multiset mapping each to +1.
+    pub fn from_set(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut m = Self::new();
+        for n in nodes {
+            m.add(n, 1);
+        }
+        m
+    }
+
+    /// The multiplicity of `node` (0 when outside the support).
+    #[inline]
+    pub fn count(&self, node: NodeId) -> i64 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// True iff `node` has non-zero multiplicity (the paper's `x ∈ M`).
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.count(node) != 0
+    }
+
+    /// Adds `delta` to `node`'s multiplicity, keeping the support minimal.
+    pub fn add(&mut self, node: NodeId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let entry = self.counts.entry(node).or_insert(0);
+        *entry += delta;
+        if *entry == 0 {
+            self.counts.remove(&node);
+        }
+    }
+
+    /// Size of the support (elements with non-zero multiplicity).
+    pub fn support_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if every multiplicity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(node, multiplicity)` pairs over the support.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        self.counts.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// ⊕ — pointwise sum of multiplicities.
+    pub fn union(&self, other: &GenMultiset) -> GenMultiset {
+        let mut out = self.clone();
+        for (n, c) in other.iter() {
+            out.add(n, c);
+        }
+        out
+    }
+
+    /// ⊖ — pointwise difference of multiplicities.
+    pub fn difference(&self, other: &GenMultiset) -> GenMultiset {
+        let mut out = self.clone();
+        for (n, c) in other.iter() {
+            out.add(n, -c);
+        }
+        out
+    }
+
+    /// In-place ⊕.
+    pub fn union_assign(&mut self, other: &GenMultiset) {
+        for (n, c) in other.iter() {
+            self.add(n, c);
+        }
+    }
+
+    /// In-place ⊖.
+    pub fn difference_assign(&mut self, other: &GenMultiset) {
+        for (n, c) in other.iter() {
+            self.add(n, -c);
+        }
+    }
+
+    /// Approximate heap bytes (for memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>())
+    }
+}
+
+impl FromIterator<(NodeId, i64)> for GenMultiset {
+    fn from_iter<I: IntoIterator<Item = (NodeId, i64)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (n, c) in iter {
+            m.add(n, c);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn empty_has_zero_counts() {
+        let m = GenMultiset::new();
+        assert_eq!(m.count(n(0)), 0);
+        assert!(!m.contains(n(0)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let mut m = GenMultiset::new();
+        m.add(n(1), 1);
+        m.add(n(1), 1);
+        assert_eq!(m.count(n(1)), 2);
+        m.add(n(1), -2);
+        assert_eq!(m.count(n(1)), 0);
+        assert!(m.is_empty(), "support stays minimal");
+    }
+
+    #[test]
+    fn negative_multiplicities_allowed() {
+        let mut m = GenMultiset::new();
+        m.add(n(3), -1);
+        assert_eq!(m.count(n(3)), -1);
+        assert!(m.contains(n(3)), "x ∈ M iff M(x) ≠ 0");
+    }
+
+    #[test]
+    fn union_sums_and_difference_subtracts() {
+        let a = GenMultiset::from_set([n(1), n(2)]);
+        let mut b = GenMultiset::new();
+        b.add(n(2), 1);
+        b.add(n(3), -1);
+        let u = a.union(&b);
+        assert_eq!(u.count(n(1)), 1);
+        assert_eq!(u.count(n(2)), 2);
+        assert_eq!(u.count(n(3)), -1);
+        let d = a.difference(&b);
+        assert_eq!(d.count(n(1)), 1);
+        assert_eq!(d.count(n(2)), 0);
+        assert_eq!(d.count(n(3)), 1);
+    }
+
+    #[test]
+    fn example_5_1_delta() {
+        // Example 5.1's delta: Const(0) and Arith(+) gain +1, while
+        // Const(2), Var(y), Arith(×) get -1. Model with distinct ids.
+        let new_desc = GenMultiset::from_set([n(10), n(11)]);
+        let old_desc = GenMultiset::from_set([n(20), n(21), n(22)]);
+        let delta = new_desc.difference(&old_desc);
+        assert_eq!(delta.count(n(10)), 1);
+        assert_eq!(delta.count(n(22)), -1);
+        assert_eq!(delta.support_len(), 5);
+    }
+
+    #[test]
+    fn union_then_difference_roundtrips() {
+        let a: GenMultiset = [(n(1), 3), (n(2), -2)].into_iter().collect();
+        let b: GenMultiset = [(n(1), 1), (n(3), 5)].into_iter().collect();
+        assert_eq!(a.union(&b).difference(&b), a);
+    }
+
+    #[test]
+    fn in_place_variants_match() {
+        let a: GenMultiset = [(n(1), 2)].into_iter().collect();
+        let b: GenMultiset = [(n(1), 1), (n(2), 1)].into_iter().collect();
+        let mut c = a.clone();
+        c.union_assign(&b);
+        assert_eq!(c, a.union(&b));
+        let mut d = a.clone();
+        d.difference_assign(&b);
+        assert_eq!(d, a.difference(&b));
+    }
+}

@@ -1,0 +1,228 @@
+//! Node schemas.
+//!
+//! Per the paper's Definition 1, nodes follow a schema
+//! `S : L → 2^Σ_M × ℕ`: each label fixes the attribute set present on all
+//! nodes with that label, and an upper bound on the number of children.
+//!
+//! Labels and attribute names are interned to dense `u16` ids so that the
+//! hot paths (pattern label tests, attribute lookups) are integer compares
+//! and array indexing rather than string hashing.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned node label (`ℓ ∈ L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u16);
+
+/// An interned attribute name (`x ∈ Σ_M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrName(pub u16);
+
+/// Definition of a single label: its name, ordered attribute list, and
+/// child-count bound.
+#[derive(Debug, Clone)]
+pub struct LabelDef {
+    /// Human-readable label name.
+    pub name: String,
+    /// Attributes present on every node with this label, in storage order.
+    pub attrs: Vec<AttrName>,
+    /// Upper bound on the number of children (`c ∈ ℕ`).
+    pub max_children: usize,
+}
+
+/// An immutable schema shared by an [`crate::Ast`] and every engine
+/// operating on it.
+#[derive(Debug, Default)]
+pub struct Schema {
+    labels: Vec<LabelDef>,
+    label_by_name: FxHashMap<String, Label>,
+    attr_names: Vec<String>,
+    attr_by_name: FxHashMap<String, AttrName>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { schema: Schema::default() }
+    }
+
+    /// Number of declared labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Looks up a label by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.label_by_name.get(name).copied()
+    }
+
+    /// Looks up a label by name, panicking with context if absent.
+    pub fn expect_label(&self, name: &str) -> Label {
+        self.label(name).unwrap_or_else(|| panic!("label {name:?} not in schema"))
+    }
+
+    /// Looks up an attribute name.
+    pub fn attr(&self, name: &str) -> Option<AttrName> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Looks up an attribute name, panicking with context if absent.
+    pub fn expect_attr(&self, name: &str) -> AttrName {
+        self.attr(name).unwrap_or_else(|| panic!("attribute {name:?} not in schema"))
+    }
+
+    /// The definition for `label`.
+    #[inline]
+    pub fn def(&self, label: Label) -> &LabelDef {
+        &self.labels[label.0 as usize]
+    }
+
+    /// Label's display name.
+    #[inline]
+    pub fn label_name(&self, label: Label) -> &str {
+        &self.def(label).name
+    }
+
+    /// Attribute's display name.
+    #[inline]
+    pub fn attr_name(&self, attr: AttrName) -> &str {
+        &self.attr_names[attr.0 as usize]
+    }
+
+    /// Position of `attr` within `label`'s attribute storage, if declared.
+    #[inline]
+    pub fn attr_index(&self, label: Label, attr: AttrName) -> Option<usize> {
+        self.def(label).attrs.iter().position(|a| *a == attr)
+    }
+
+    /// Iterates all labels.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.labels.len()).map(|i| Label(i as u16))
+    }
+
+    fn intern_attr(&mut self, name: &str) -> AttrName {
+        if let Some(&a) = self.attr_by_name.get(name) {
+            return a;
+        }
+        let id = AttrName(u16::try_from(self.attr_names.len()).expect("too many attributes"));
+        self.attr_names.push(name.to_string());
+        self.attr_by_name.insert(name.to_string(), id);
+        id
+    }
+}
+
+/// Builder for [`Schema`].
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Declares a label with its attribute names and maximum child count.
+    /// Panics if the label was already declared.
+    pub fn label(mut self, name: &str, attrs: &[&str], max_children: usize) -> Self {
+        assert!(
+            !self.schema.label_by_name.contains_key(name),
+            "label {name:?} declared twice"
+        );
+        let attr_ids: Vec<AttrName> = attrs.iter().map(|a| self.schema.intern_attr(a)).collect();
+        {
+            // Duplicate attribute names within one label would make the
+            // positional storage ambiguous.
+            let mut sorted = attr_ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), attr_ids.len(), "label {name:?} repeats an attribute");
+        }
+        let id = Label(u16::try_from(self.schema.labels.len()).expect("too many labels"));
+        self.schema.labels.push(LabelDef {
+            name: name.to_string(),
+            attrs: attr_ids,
+            max_children,
+        });
+        self.schema.label_by_name.insert(name.to_string(), id);
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn finish(self) -> Arc<Schema> {
+        Arc::new(self.schema)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for def in &self.labels {
+            let attrs: Vec<&str> =
+                def.attrs.iter().map(|a| self.attr_name(*a)).collect();
+            writeln!(f, "{}({}) / {} children", def.name, attrs.join(", "), def.max_children)?;
+        }
+        Ok(())
+    }
+}
+
+/// The arithmetic-expression schema from the paper's running example
+/// (Figure 3): `Arith{op}/2`, `Const{val}/0`, `Var{name}/0`.
+pub fn arith_schema() -> Arc<Schema> {
+    Schema::builder()
+        .label("Arith", &["op"], 2)
+        .label("Const", &["val"], 0)
+        .label("Var", &["name"], 0)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = arith_schema();
+        let arith = s.expect_label("Arith");
+        assert_eq!(s.label_name(arith), "Arith");
+        assert_eq!(s.def(arith).max_children, 2);
+        let op = s.expect_attr("op");
+        assert_eq!(s.attr_index(arith, op), Some(0));
+        let val = s.expect_attr("val");
+        assert_eq!(s.attr_index(arith, val), None, "val not declared on Arith");
+        assert!(s.label("Missing").is_none());
+    }
+
+    #[test]
+    fn attrs_are_shared_across_labels() {
+        let s = Schema::builder()
+            .label("A", &["x", "y"], 0)
+            .label("B", &["y", "z"], 1)
+            .finish();
+        let y = s.expect_attr("y");
+        assert_eq!(s.attr_index(s.expect_label("A"), y), Some(1));
+        assert_eq!(s.attr_index(s.expect_label("B"), y), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_label_rejected() {
+        let _ = Schema::builder().label("A", &[], 0).label("A", &[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats an attribute")]
+    fn duplicate_attr_in_label_rejected() {
+        let _ = Schema::builder().label("A", &["x", "x"], 0);
+    }
+
+    #[test]
+    fn display_lists_labels() {
+        let s = arith_schema();
+        let text = s.to_string();
+        assert!(text.contains("Arith(op) / 2 children"));
+        assert!(text.contains("Const(val) / 0 children"));
+    }
+
+    #[test]
+    fn labels_iterator_visits_all() {
+        let s = arith_schema();
+        assert_eq!(s.labels().count(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! S-expression serialization for ASTs.
+//!
+//! Format: `(Label attr=value … child child …)`, e.g. the paper's Figure 3
+//! tree prints as:
+//!
+//! ```text
+//! (Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))
+//! ```
+//!
+//! Values: integers (`2`), booleans (`true`), quoted strings (`"+"`),
+//! records (`1:10`), record lists (`[1:10,2:20]`), int sets (`{1,2}`),
+//! unit (`()`). The parser is the inverse of the printer and is used by
+//! tests and examples to state trees legibly.
+
+use crate::arena::{Ast, NodeId};
+use crate::value::{Record, Value};
+use std::fmt::Write as _;
+
+/// Renders the subtree at `id` as a single-line s-expression.
+pub fn to_sexpr(ast: &Ast, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(ast, id, &mut out);
+    out
+}
+
+fn write_node(ast: &Ast, id: NodeId, out: &mut String) {
+    let schema = ast.schema();
+    let node = ast.node(id);
+    let def = schema.def(node.label());
+    let _ = write!(out, "({}", def.name);
+    for (attr, value) in def.attrs.iter().zip(node.attrs()) {
+        let _ = write!(out, " {}={}", schema.attr_name(*attr), value);
+    }
+    for &child in node.children() {
+        out.push(' ');
+        write_node(ast, child, out);
+    }
+    out.push(')');
+}
+
+/// Parses an s-expression into `ast`, returning the (detached) subtree root.
+///
+/// Attribute order in the text may differ from schema order; missing
+/// attributes default to `Unit`. Errors carry byte offsets.
+pub fn parse_sexpr(ast: &mut Ast, text: &str) -> Result<NodeId, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let id = p.node(ast)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(id)
+}
+
+/// Parse failure with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { at: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii ident"))
+    }
+
+    fn node(&mut self, ast: &mut Ast) -> Result<NodeId, ParseError> {
+        self.skip_ws();
+        self.expect(b'(')?;
+        let label_name = self.ident()?;
+        let label = ast
+            .schema()
+            .label(label_name)
+            .ok_or_else(|| self.err(&format!("unknown label {label_name:?}")))?;
+        let def_attrs = ast.schema().def(label).attrs.clone();
+        let mut attrs: Vec<Value> = vec![Value::Unit; def_attrs.len()];
+        let mut children = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'(') => {
+                    children.push(self.node(ast)?);
+                }
+                Some(_) => {
+                    // attribute: name=value
+                    let name = self.ident()?;
+                    self.expect(b'=')?;
+                    let value = self.value()?;
+                    let attr = ast
+                        .schema()
+                        .attr(name)
+                        .ok_or_else(|| self.err(&format!("unknown attribute {name:?}")))?;
+                    let idx = def_attrs
+                        .iter()
+                        .position(|a| *a == attr)
+                        .ok_or_else(|| self.err(&format!("{label_name} has no attr {name}")))?;
+                    attrs[idx] = value;
+                }
+                None => return Err(self.err("unexpected end of input")),
+            }
+        }
+        Ok(ast.alloc(label, attrs, children))
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'"' {
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf8 in string"))?;
+                        self.pos += 1;
+                        return Ok(Value::str(s));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err("unterminated string"))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut records = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::recs(records));
+                }
+                loop {
+                    records.push(self.record()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::recs(records));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::set(items));
+                }
+                loop {
+                    let i = self.int()?;
+                    items.push(u32::try_from(i).map_err(|_| self.err("set item out of range"))?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::set(items));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                self.expect(b')')?;
+                Ok(Value::Unit)
+            }
+            Some(b't') | Some(b'f') => {
+                let word = self.ident()?;
+                match word {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => Err(self.err("expected true/false")),
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let first = self.int()?;
+                if self.peek() == Some(b':') {
+                    self.pos += 1;
+                    let second = self.int()?;
+                    Ok(Value::Rec(Record::new(first, second)))
+                } else {
+                    Ok(Value::Int(first))
+                }
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn record(&mut self) -> Result<Record, ParseError> {
+        self.skip_ws();
+        let key = self.int()?;
+        self.expect(b':')?;
+        let value = self.int()?;
+        Ok(Record::new(key, value))
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(self.err("expected integer"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits")
+            .parse()
+            .map_err(|_| self.err("integer out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{arith_schema, Schema};
+
+    #[test]
+    fn roundtrip_fig3() {
+        let text = r#"(Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))"#;
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        assert_eq!(to_sexpr(&ast, id), text);
+        ast.validate().unwrap();
+        assert_eq!(ast.live_count(), 5);
+    }
+
+    #[test]
+    fn parse_all_value_kinds() {
+        let schema = Schema::builder()
+            .label("N", &["i", "b", "s", "r", "rs", "st", "u"], 0)
+            .finish();
+        let mut ast = Ast::new(schema.clone());
+        let text = r#"(N i=-7 b=true s="hi" r=1:2 rs=[1:2,3:4] st={5,6} u=())"#;
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        assert_eq!(ast.attr(id, schema.expect_attr("i")).as_int(), -7);
+        assert!(ast.attr(id, schema.expect_attr("b")).as_bool());
+        assert_eq!(ast.attr(id, schema.expect_attr("s")).as_str(), "hi");
+        assert_eq!(ast.attr(id, schema.expect_attr("r")).as_rec(), Record::new(1, 2));
+        assert_eq!(ast.attr(id, schema.expect_attr("rs")).as_recs().len(), 2);
+        assert!(ast.attr(id, schema.expect_attr("st")).as_set().contains(6));
+        assert_eq!(*ast.attr(id, schema.expect_attr("u")), Value::Unit);
+        // Round trip.
+        assert_eq!(to_sexpr(&ast, id), text);
+    }
+
+    #[test]
+    fn missing_attrs_default_to_unit() {
+        let schema = Schema::builder().label("N", &["a", "b"], 0).finish();
+        let mut ast = Ast::new(schema.clone());
+        let id = parse_sexpr(&mut ast, "(N b=1)").unwrap();
+        assert_eq!(*ast.attr(id, schema.expect_attr("a")), Value::Unit);
+        assert_eq!(ast.attr(id, schema.expect_attr("b")).as_int(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_label() {
+        let mut ast = Ast::new(arith_schema());
+        let err = parse_sexpr(&mut ast, "(Nope)").unwrap_err();
+        assert!(err.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn error_on_trailing_input() {
+        let mut ast = Ast::new(arith_schema());
+        let err = parse_sexpr(&mut ast, "(Const val=1) junk").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let mut ast = Ast::new(arith_schema());
+        let err = parse_sexpr(&mut ast, "(Const val=)").unwrap_err();
+        assert_eq!(err.at, 11);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let schema = Schema::builder().label("N", &["rs", "st"], 0).finish();
+        let mut ast = Ast::new(schema.clone());
+        let id = parse_sexpr(&mut ast, "(N rs=[] st={})").unwrap();
+        assert!(ast.attr(id, schema.expect_attr("rs")).as_recs().is_empty());
+        assert!(ast.attr(id, schema.expect_attr("st")).as_set().is_empty());
+    }
+}

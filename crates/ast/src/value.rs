@@ -1,0 +1,365 @@
+//! Attribute values.
+//!
+//! The paper leaves the attribute domain `D` abstract. The two host systems
+//! we reproduce need: integers, booleans, strings (arithmetic example and
+//! query-plan attributes), single key/value records and record sequences
+//! (JustInTimeData `Singleton` / `Array` payloads), and small integer sets
+//! (Spark-style `output` / `references` attribute sets).
+//!
+//! `Records` and `IntSet` payloads are `Arc`-shared: a JITD crack step can
+//! hand partitioned views of an array to new nodes without copying the
+//! parent's data, and generator `Reuse` semantics get cheap attribute reuse.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A key/value record, the unit of data stored in the JITD index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Record {
+    /// Lookup key.
+    pub key: i64,
+    /// Payload (an opaque integer standing in for YCSB's field blob).
+    pub value: i64,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub const fn new(key: i64, value: i64) -> Self {
+        Self { key, value }
+    }
+}
+
+/// A sorted set of small integers with set-algebra helpers.
+///
+/// Used for Spark-like `output` / `references` attribute sets in the
+/// query-optimizer substrate; the paper's Appendix D patterns constrain
+/// these with subset tests (e.g. `o2 ⊆ r1`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntSet(Vec<u32>);
+
+impl IntSet {
+    /// Builds a set from any iterator (deduplicates and sorts).
+    pub fn from_iter(items: impl IntoIterator<Item = u32>) -> Self {
+        let mut v: Vec<u32> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Self(v)
+    }
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, x: u32) -> bool {
+        self.0.binary_search(&x).is_ok()
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn subset_of(&self, other: &IntSet) -> bool {
+        // Merge-walk; both sides are sorted.
+        let mut it = other.0.iter();
+        'outer: for x in &self.0 {
+            for y in it.by_ref() {
+                match y.cmp(x) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => continue 'outer,
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntSet) -> IntSet {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        v.sort_unstable();
+        v.dedup();
+        IntSet(v)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntSet) -> IntSet {
+        IntSet(self.0.iter().copied().filter(|x| other.contains(*x)).collect())
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// Absent / irrelevant value.
+    #[default]
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// Interned string.
+    Str(Arc<str>),
+    /// One key/value record (JITD `Singleton` payload).
+    Rec(Record),
+    /// A shared, sorted run of records (JITD `Array` payload).
+    Recs(Arc<Vec<Record>>),
+    /// A shared sorted integer set (query-plan attribute sets).
+    Set(Arc<IntSet>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Builds a record-sequence value.
+    pub fn recs(records: Vec<Record>) -> Value {
+        Value::Recs(Arc::new(records))
+    }
+
+    /// Builds an integer-set value.
+    pub fn set(items: impl IntoIterator<Item = u32>) -> Value {
+        Value::Set(Arc::new(IntSet::from_iter(items)))
+    }
+
+    /// Integer accessor; panics with the attribute context if mismatched.
+    #[inline]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int value, found {other:?}"),
+        }
+    }
+
+    /// Boolean accessor.
+    #[inline]
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool value, found {other:?}"),
+        }
+    }
+
+    /// String accessor.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected Str value, found {other:?}"),
+        }
+    }
+
+    /// Record accessor.
+    #[inline]
+    pub fn as_rec(&self) -> Record {
+        match self {
+            Value::Rec(r) => *r,
+            other => panic!("expected Rec value, found {other:?}"),
+        }
+    }
+
+    /// Record-sequence accessor.
+    #[inline]
+    pub fn as_recs(&self) -> &Arc<Vec<Record>> {
+        match self {
+            Value::Recs(r) => r,
+            other => panic!("expected Recs value, found {other:?}"),
+        }
+    }
+
+    /// Integer-set accessor.
+    #[inline]
+    pub fn as_set(&self) -> &Arc<IntSet> {
+        match self {
+            Value::Set(s) => s,
+            other => panic!("expected Set value, found {other:?}"),
+        }
+    }
+
+    /// Heap bytes attributable to this value (for memory accounting).
+    /// `Arc` payloads are charged in full to each holder: the bolt-on
+    /// engines copy data out of the AST, while TreeToaster shares it, and
+    /// that difference is precisely what the paper's memory axis measures.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Rec(_) => 0,
+            Value::Str(s) => s.len(),
+            Value::Recs(r) => r.len() * std::mem::size_of::<Record>(),
+            Value::Set(s) => s.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Rec(a), Rec(b)) => a == b,
+            (Recs(a), Recs(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Set(a), Set(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Rec(r) => r.hash(state),
+            Value::Recs(r) => r.hash(state),
+            Value::Set(s) => s.hash(state),
+        }
+    }
+}
+
+impl Value {
+    /// Ordering used by the constraint grammar's `<` atom. Same-kind
+    /// scalars compare naturally; `Set` values compare by the **subset
+    /// partial order** (so `a ≤ b` in a constraint means `a ⊆ b`, the
+    /// `o₂ ⊆ r₁` side conditions of the paper's Appendix D). Anything
+    /// else returns `None`, making the comparison false.
+    pub fn partial_cmp_scalar(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Set(a), Set(b)) => {
+                let ab = a.subset_of(b);
+                let ba = b.subset_of(a);
+                match (ab, ba) {
+                    (true, true) => Some(Ordering::Equal),
+                    (true, false) => Some(Ordering::Less),
+                    (false, true) => Some(Ordering::Greater),
+                    (false, false) => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Rec(r) => write!(f, "{}:{}", r.key, r.value),
+            Value::Recs(rs) => {
+                write!(f, "[")?;
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{}", r.key, r.value)?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intset_dedup_and_order() {
+        let s = IntSet::from_iter([3, 1, 2, 3, 1]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn intset_subset() {
+        let a = IntSet::from_iter([1, 3]);
+        let b = IntSet::from_iter([1, 2, 3]);
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+        assert!(IntSet::empty().subset_of(&a));
+        assert!(a.subset_of(&a));
+    }
+
+    #[test]
+    fn intset_union_intersect() {
+        let a = IntSet::from_iter([1, 2]);
+        let b = IntSet::from_iter([2, 3]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn value_scalar_comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).partial_cmp_scalar(&Value::Int(2)), Some(Less));
+        assert_eq!(Value::str("a").partial_cmp_scalar(&Value::str("a")), Some(Equal));
+        assert_eq!(Value::Int(1).partial_cmp_scalar(&Value::Bool(true)), None);
+        assert_eq!(Value::Unit.partial_cmp_scalar(&Value::Unit), None);
+    }
+
+    #[test]
+    fn value_equality_across_arcs() {
+        let a = Value::recs(vec![Record::new(1, 10)]);
+        let b = Value::recs(vec![Record::new(1, 10)]);
+        assert_eq!(a, b);
+        assert_ne!(a, Value::recs(vec![Record::new(2, 10)]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Rec(Record::new(1, 2)).to_string(), "1:2");
+        assert_eq!(Value::recs(vec![Record::new(1, 2), Record::new(3, 4)]).to_string(), "[1:2,3:4]");
+        assert_eq!(Value::set([2, 1]).to_string(), "{1,2}");
+    }
+
+    #[test]
+    fn heap_bytes_accounting() {
+        assert_eq!(Value::Int(1).heap_bytes(), 0);
+        assert_eq!(Value::recs(vec![Record::new(0, 0); 4]).heap_bytes(), 4 * 16);
+        assert_eq!(Value::str("abcd").heap_bytes(), 4);
+    }
+}

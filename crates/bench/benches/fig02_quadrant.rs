@@ -1,0 +1,67 @@
+//! Figure 2: the latency/memory quadrant — measured, not conceptual.
+//! One representative workload (A) summarized per strategy, normalized
+//! against Naive (latency) and DBT (memory), showing TreeToaster in the
+//! fast & small corner.
+
+use tt_bench::{run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 2 — latency vs. memory quadrant (workload A)");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={})\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let runs: Vec<_> = StrategyKind::all()
+        .into_iter()
+        .map(|s| run_jitd('A', s, cfg))
+        .collect();
+    let naive_latency = runs[0].mean_search_ns().max(1.0);
+    let dbt_memory = runs
+        .iter()
+        .find(|r| r.strategy == StrategyKind::Dbt)
+        .map(|r| r.memory_pages.max(1))
+        .unwrap_or(1);
+
+    let mut table = Table::new([
+        "strategy",
+        "search_ns",
+        "rel_latency",
+        "memory_pages",
+        "rel_memory",
+        "quadrant",
+    ]);
+    let mut csv = Csv::new(["strategy", "search_ns", "memory_pages"]);
+    for r in &runs {
+        let latency = r.mean_search_ns();
+        let rel_l = latency / naive_latency;
+        let rel_m = r.memory_pages as f64 / dbt_memory as f64;
+        let quadrant = match (rel_l < 0.5, rel_m < 0.5) {
+            (true, true) => "fast & small   <- the TreeToaster corner",
+            (true, false) => "fast & large   <- the bolt-on corner",
+            (false, true) => "slow & small   <- the iterative-search corner",
+            (false, false) => "slow & large",
+        };
+        table.row([
+            r.strategy.label().to_string(),
+            format!("{latency:.0}"),
+            format!("{rel_l:.3}"),
+            r.memory_pages.to_string(),
+            format!("{rel_m:.3}"),
+            quadrant.to_string(),
+        ]);
+        csv.row([
+            r.strategy.label().to_string(),
+            format!("{latency:.0}"),
+            r.memory_pages.to_string(),
+        ]);
+    }
+    table.print();
+    match csv.write_to_figures_dir("fig02_quadrant") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 9: relative average search latency, by rewrite rule and
+//! strategy, on YCSB workloads A, B, C, D, F.
+//!
+//! The paper's claim: Naive is worst everywhere, the label index beats it
+//! but re-checks constraints per candidate, and the three IVM approaches
+//! answer in near-constant time — with TreeToaster matching or beating
+//! the bolt-ons.
+
+use tt_bench::{ns, paper_workloads, run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 9 — average search latency per rule (ns)");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={})\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let mut csv = Csv::new(["workload", "rule", "strategy", "mean_ns", "p95_ns", "n"]);
+    for wl in paper_workloads() {
+        println!("== Workload {wl} ==");
+        let runs: Vec<_> = StrategyKind::all()
+            .into_iter()
+            .map(|s| run_jitd(wl, s, cfg))
+            .collect();
+        let rule_names = [
+            "CrackArray",
+            "PushDownSingletonBtreeLeft",
+            "PushDownSingletonBtreeRight",
+            "PushDownDontDeleteSingletonBtreeLeft",
+            "PushDownDontDeleteSingletonBtreeRight",
+        ];
+        let mut table = Table::new(["rule", "Naive", "Index", "Classic", "DBT", "TT"]);
+        for (rid, rule) in rule_names.iter().enumerate() {
+            let mut cells = vec![rule.to_string()];
+            for run in &runs {
+                let cell = match &run.search[rid] {
+                    Some(s) => {
+                        csv.row([
+                            wl.to_string(),
+                            rule.to_string(),
+                            run.strategy.label().to_string(),
+                            format!("{:.0}", s.mean),
+                            format!("{:.0}", s.p95),
+                            s.n.to_string(),
+                        ]);
+                        ns(s.mean)
+                    }
+                    None => "-".to_string(),
+                };
+                cells.push(cell);
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+    match csv.write_to_figures_dir("fig09_search_latency") {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

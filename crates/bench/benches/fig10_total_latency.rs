@@ -1,0 +1,61 @@
+//! Figure 10: relative total (search + maintenance) cost per
+//! reorganization step, by rewrite rule, for the four maintained
+//! strategies (Naive has no maintained state and is omitted, as in the
+//! paper).
+
+use tt_bench::{ns, paper_workloads, run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 10 — total search + maintenance latency per reorganization step (ns)");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={})\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let mut csv = Csv::new(["workload", "rule", "strategy", "mean_ns", "p95_ns", "n"]);
+    for wl in paper_workloads() {
+        println!("== Workload {wl} ==");
+        let runs: Vec<_> = StrategyKind::ivm_set()
+            .into_iter()
+            .map(|s| run_jitd(wl, s, cfg))
+            .collect();
+        let rule_names = [
+            "CrackArray",
+            "PushDownSingletonBtreeLeft",
+            "PushDownSingletonBtreeRight",
+            "PushDownDontDeleteSingletonBtreeLeft",
+            "PushDownDontDeleteSingletonBtreeRight",
+        ];
+        let mut table = Table::new(["rule", "Index", "Classic", "DBT", "TT"]);
+        for (rid, rule) in rule_names.iter().enumerate() {
+            let mut cells = vec![rule.to_string()];
+            for run in &runs {
+                let cell = match &run.total[rid] {
+                    Some(s) => {
+                        csv.row([
+                            wl.to_string(),
+                            rule.to_string(),
+                            run.strategy.label().to_string(),
+                            format!("{:.0}", s.mean),
+                            format!("{:.0}", s.p95),
+                            s.n.to_string(),
+                        ]);
+                        ns(s.mean)
+                    }
+                    None => "-".to_string(),
+                };
+                cells.push(cell);
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+    match csv.write_to_figures_dir("fig10_total_latency") {
+        Ok(path) => println!("CSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

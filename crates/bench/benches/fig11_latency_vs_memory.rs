@@ -1,0 +1,53 @@
+//! Figure 11: total latency (search + maintenance per optimizer
+//! iteration) vs. memory pages allocated, per strategy and workload —
+//! the scatter behind the paper's Figure 2 quadrant. TreeToaster should
+//! sit in the fast/low-memory corner: bolt-on latency at near-naive
+//! memory.
+
+use tt_bench::{paper_workloads, run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 11 — average total latency vs. memory pages, by strategy and workload");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={}; pages are 4KiB of strategy state)\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let mut table = Table::new([
+        "workload", "strategy", "total_latency_ns", "memory_pages", "ast_pages", "statm_pages",
+    ]);
+    let mut csv = Csv::new([
+        "workload", "strategy", "total_latency_ns", "memory_pages", "ast_pages", "statm_pages",
+    ]);
+    for wl in paper_workloads() {
+        for strategy in StrategyKind::all() {
+            let r = run_jitd(wl, strategy, cfg);
+            let latency = r.mean_total_ns();
+            let statm = r.statm_pages.map_or("-".to_string(), |p| p.to_string());
+            table.row([
+                wl.to_string(),
+                strategy.label().to_string(),
+                format!("{:.0}", latency),
+                r.memory_pages.to_string(),
+                r.ast_pages.to_string(),
+                statm.clone(),
+            ]);
+            csv.row([
+                wl.to_string(),
+                strategy.label().to_string(),
+                format!("{:.0}", latency),
+                r.memory_pages.to_string(),
+                r.ast_pages.to_string(),
+                statm,
+            ]);
+        }
+    }
+    table.print();
+    match csv.write_to_figures_dir("fig11_latency_vs_memory") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

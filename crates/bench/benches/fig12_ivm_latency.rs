@@ -1,0 +1,47 @@
+//! Figure 12: average IVM maintenance-operation latency per workload and
+//! maintained strategy (rewrite-driven plus operation-driven maintenance
+//! pooled). The paper shows TreeToaster's maintenance at or below the
+//! bolt-ons on every workload, with the complex/update-heavy loads (A, F)
+//! showing about half the bolt-on latency.
+
+use tt_bench::{paper_workloads, run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 12 — average IVM operational latency (ns)");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={})\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let mut table = Table::new(["workload", "Index", "Classic", "DBT", "TT"]);
+    let mut csv = Csv::new(["workload", "strategy", "mean_ns", "median_ns", "p95_ns", "n"]);
+    for wl in paper_workloads() {
+        let mut cells = vec![wl.to_string()];
+        for strategy in StrategyKind::ivm_set() {
+            let r = run_jitd(wl, strategy, cfg);
+            match &r.ivm {
+                Some(s) => {
+                    cells.push(format!("{:.0}", s.mean));
+                    csv.row([
+                        wl.to_string(),
+                        strategy.label().to_string(),
+                        format!("{:.0}", s.mean),
+                        format!("{:.0}", s.median),
+                        format!("{:.0}", s.p95),
+                        s.n.to_string(),
+                    ]);
+                }
+                None => cells.push("-".to_string()),
+            }
+        }
+        table.row(cells);
+    }
+    table.print();
+    match csv.write_to_figures_dir("fig12_ivm_latency") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

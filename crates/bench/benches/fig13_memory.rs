@@ -1,0 +1,44 @@
+//! Figure 13: average memory pages allocated per workload and maintained
+//! strategy. The paper's claim: Classic and DBT carry significantly more
+//! memory (shadow copies + materialized intermediates; §3.2 reports a
+//! 2.5× process blow-up for DBT), while TreeToaster's views cost little
+//! more than the label index.
+
+use tt_bench::{paper_workloads, run_jitd, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::{Csv, Table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("Figure 13 — strategy memory (4KiB pages of maintained state)");
+    println!(
+        "(records={}, ops={}, threshold={}, seed={})\n",
+        cfg.records, cfg.ops, cfg.crack_threshold, cfg.seed
+    );
+
+    let mut table = Table::new(["workload", "Index", "Classic", "DBT", "TT", "AST(base)"]);
+    let mut csv = Csv::new(["workload", "strategy", "memory_pages", "ast_pages", "statm_pages"]);
+    for wl in paper_workloads() {
+        let mut cells = vec![wl.to_string()];
+        let mut ast_pages = 0usize;
+        for strategy in StrategyKind::ivm_set() {
+            let r = run_jitd(wl, strategy, cfg);
+            ast_pages = r.ast_pages;
+            cells.push(r.memory_pages.to_string());
+            csv.row([
+                wl.to_string(),
+                strategy.label().to_string(),
+                r.memory_pages.to_string(),
+                r.ast_pages.to_string(),
+                r.statm_pages.map_or("-".to_string(), |p| p.to_string()),
+            ]);
+        }
+        cells.push(ast_pages.to_string());
+        table.row(cells);
+    }
+    table.print();
+    match csv.write_to_figures_dir("fig13_memory") {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared experiment drivers for the per-figure benchmark harnesses.
+//!
+//! Every figure of the paper's evaluation has a bench target (see
+//! `benches/`); they share the JITD/YCSB experiment loop defined here.
+//! Scale knobs come from the environment so `cargo bench` stays quick by
+//! default while EXPERIMENTS.md documents the larger runs:
+//!
+//! | variable            | default | meaning                             |
+//! |---------------------|---------|-------------------------------------|
+//! | `TT_RECORDS`        | 20000   | preloaded keys per run              |
+//! | `TT_OPS`            | 1000    | YCSB operations per run             |
+//! | `TT_CRACK_THRESHOLD`| 64      | CrackArray eligibility bound        |
+//! | `TT_SEED`           | 42      | master RNG seed                     |
+//! | `TT_ANTIPATTERN_MAX`| 6       | deepest UNION-doubling level (fig14)|
+//! | `TT_ORCA_MAX`       | 5       | deepest level for fig15             |
+//! | `TT_FIG1_REPS`      | 3       | repetitions averaged per query      |
+//! | `TT_SCALING_REPS`   | 3       | best-of-N reps for fig14/fig15      |
+
+use tt_ast::Record;
+use tt_jitd::{Jitd, JitdStats, RuleConfig, StrategyKind};
+use tt_metrics::{bytes_to_pages, statm_resident_pages, Summary, SummaryBuilder};
+use tt_ycsb::{Workload, WorkloadSpec};
+
+/// Scale configuration, environment-overridable.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Preloaded record count.
+    pub records: u64,
+    /// YCSB operations per run.
+    pub ops: usize,
+    /// CrackArray threshold.
+    pub crack_threshold: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> ExperimentConfig {
+        ExperimentConfig {
+            records: env_u64("TT_RECORDS", 20_000),
+            ops: env_u64("TT_OPS", 1_000) as usize,
+            crack_threshold: env_u64("TT_CRACK_THRESHOLD", 64) as usize,
+            seed: env_u64("TT_SEED", 42),
+        }
+    }
+}
+
+/// Reads an integer environment knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The result of one (workload, strategy) run.
+pub struct RunResult {
+    /// Workload mnemonic.
+    pub workload: char,
+    /// The strategy measured.
+    pub strategy: StrategyKind,
+    /// Raw runtime samples.
+    pub stats: JitdStats,
+    /// Per-rule search-latency summaries (Figure 9).
+    pub search: Vec<Option<Summary>>,
+    /// Per-rule total (search + rewrite + maintenance) summaries (Fig 10).
+    pub total: Vec<Option<Summary>>,
+    /// Pooled maintenance-operation latency (Figure 12).
+    pub ivm: Option<Summary>,
+    /// Strategy structure memory, in 4 KiB pages (Figures 11, 13).
+    pub memory_pages: usize,
+    /// The AST's own memory, pages (the baseline all strategies share).
+    pub ast_pages: usize,
+    /// Whole-process resident pages (`/proc` cross-check).
+    pub statm_pages: Option<u64>,
+    /// Rewrites applied during the run.
+    pub rewrites: u64,
+}
+
+impl RunResult {
+    /// Mean of per-rule mean search latencies (ns).
+    pub fn mean_search_ns(&self) -> f64 {
+        mean_of(&self.search)
+    }
+
+    /// Mean of per-rule mean total latencies (ns).
+    pub fn mean_total_ns(&self) -> f64 {
+        mean_of(&self.total)
+    }
+}
+
+fn mean_of(summaries: &[Option<Summary>]) -> f64 {
+    let means: Vec<f64> = summaries.iter().flatten().map(|s| s.mean).collect();
+    if means.is_empty() {
+        0.0
+    } else {
+        means.iter().sum::<f64>() / means.len() as f64
+    }
+}
+
+/// Runs one YCSB workload against one strategy: preload, then interleave
+/// each operation with one reorganization round (the paper's background
+/// reorganizer, serialized for apples-to-apples measurement — Figure 8's
+/// evaluation module).
+pub fn run_jitd(workload: char, strategy: StrategyKind, cfg: ExperimentConfig) -> RunResult {
+    let records: Vec<Record> = (0..cfg.records as i64)
+        .map(|k| Record::new(k, k.wrapping_mul(7)))
+        .collect();
+    let mut jitd = Jitd::new(
+        strategy,
+        RuleConfig { crack_threshold: cfg.crack_threshold },
+        records,
+    );
+    let mut driver = Workload::new(WorkloadSpec::standard(workload), cfg.records, cfg.seed);
+    // Initial organization burst: crack the loaded array (every strategy
+    // pays its own search costs here, as in the paper's load phase).
+    jitd.reorganize_until_quiet(u64::MAX);
+    for _ in 0..cfg.ops {
+        let op = driver.next_op();
+        jitd.execute(&op);
+        jitd.reorganize_round();
+    }
+
+    let rules = jitd.rules().clone();
+    let search: Vec<Option<Summary>> =
+        jitd.stats.search_ns.iter().map(|b| b.finish()).collect();
+    let total: Vec<Option<Summary>> = (0..rules.len())
+        .map(|rid| {
+            // Per applied step: search + rewrite + maintenance. Rewrite
+            // and maintenance sample streams are aligned (one per applied
+            // step); search has extra samples for empty finds, summarized
+            // by its own mean.
+            let rewrites = &jitd.stats.rewrite_ns[rid];
+            let maintains = &jitd.stats.maintain_ns[rid];
+            let search_mean = jitd.stats.search_ns[rid].finish().map_or(0.0, |s| s.mean);
+            let mut b = SummaryBuilder::with_capacity(rewrites.len());
+            for (r, m) in rewrites.samples().iter().zip(maintains.samples()) {
+                b.push(search_mean + r + m);
+            }
+            b.finish()
+        })
+        .collect();
+    let ivm = jitd.stats.all_maintenance_samples().finish();
+    let memory_pages = bytes_to_pages(jitd.strategy_memory_bytes());
+    let ast_pages = bytes_to_pages(jitd.ast_memory_bytes());
+    let rewrites = jitd.stats.steps;
+    RunResult {
+        workload,
+        strategy,
+        stats: jitd.stats,
+        search,
+        total,
+        ivm,
+        memory_pages,
+        ast_pages,
+        statm_pages: statm_resident_pages(),
+        rewrites,
+    }
+}
+
+/// The five workloads the paper's figures report.
+pub fn paper_workloads() -> Vec<char> {
+    WorkloadSpec::paper_set().iter().map(|s| s.name).collect()
+}
+
+/// Formats a nanosecond mean for tables.
+pub fn ns(x: f64) -> String {
+    tt_metrics::table::fmt_f64(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { records: 256, ops: 30, crack_threshold: 32, seed: 7 }
+    }
+
+    #[test]
+    fn run_jitd_produces_measurements_for_all_strategies() {
+        for strategy in StrategyKind::all() {
+            let r = run_jitd('A', strategy, tiny());
+            assert_eq!(r.workload, 'A');
+            assert!(r.rewrites > 0, "{} applied no rewrites", strategy.label());
+            assert!(r.search.iter().any(|s| s.is_some()));
+            assert!(r.mean_search_ns() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn env_knobs_parse() {
+        assert_eq!(env_u64("TT_DEFINITELY_UNSET_KNOB", 5), 5);
+        let cfg = ExperimentConfig::from_env();
+        assert!(cfg.records > 0);
+    }
+
+    #[test]
+    fn paper_workload_list() {
+        assert_eq!(paper_workloads(), vec!['A', 'B', 'C', 'D', 'F']);
+    }
+}

@@ -1,0 +1,469 @@
+//! The TreeToaster view-maintenance engine (paper §5–6).
+//!
+//! One [`MatchView`] per rewrite rule. On `replace(R, R′)` the engine
+//! applies Algorithm 2 to the **maximal search set** of Definition 6:
+//!
+//! ```text
+//! ⌈R,R′⌉_q = Desc(R) ⊕ {Ancestor_i(R)}_{i∈[D(q)]}
+//!          ⊖ Desc(R′) ⊖ {Ancestor_i(R′)}_{i∈[D(q)]}
+//! ```
+//!
+//! realized as two phases around the pointer swap: pre-state matches in
+//! `Desc(R)` and the `D(q)` nearest ancestors are subtracted, post-state
+//! matches in `Desc(R′)` and the same ancestors are added. For
+//! declarative rules that pass the Definition-7 safety check, the engine
+//! instead uses the Algorithm-3 inlined plan: only label-aligned
+//! generated positions, destroyed positions, and ancestor heights are
+//! touched — reused subtrees are skipped entirely.
+
+use crate::inline::InlineMatrix;
+use crate::rules::RuleSet;
+use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
+use crate::view::MatchView;
+use std::sync::Arc;
+use tt_ast::{Ast, NodeId};
+use tt_pattern::{matches, Bindings};
+
+/// Maintenance-path selection (the §6.1 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Use inlined plans for safe rules, maximal search set otherwise.
+    #[default]
+    Inlined,
+    /// Always use the maximal search set (Definition 6 only).
+    Generic,
+}
+
+/// The TreeToaster engine: per-rule views over the live AST.
+pub struct TreeToasterEngine {
+    rules: Arc<RuleSet>,
+    views: Vec<MatchView>,
+    matrix: InlineMatrix,
+    /// Per rule: does it have inlined plans (Definition-7 safe)?
+    inlineable: Vec<bool>,
+    mode: MaintenanceMode,
+}
+
+impl TreeToasterEngine {
+    /// Builds an engine (views empty until [`MatchSource::rebuild`]).
+    pub fn new(rules: Arc<RuleSet>) -> Self {
+        Self::with_mode(rules, MaintenanceMode::Inlined)
+    }
+
+    /// Builds an engine with an explicit maintenance mode.
+    pub fn with_mode(rules: Arc<RuleSet>, mode: MaintenanceMode) -> Self {
+        let matrix = InlineMatrix::build(&rules);
+        let views = (0..rules.len()).map(|_| MatchView::new()).collect();
+        let inlineable = rules.iter().map(|(_, r)| r.safe_for_inline()).collect();
+        Self { rules, views, matrix, inlineable, mode }
+    }
+
+    /// The view maintained for `rule`.
+    pub fn view(&self, rule: RuleId) -> &MatchView {
+        &self.views[rule]
+    }
+
+    /// The active maintenance mode.
+    pub fn mode(&self) -> MaintenanceMode {
+        self.mode
+    }
+
+    /// Test oracle: every view must equal a from-scratch scan
+    /// (Definition 4 view correctness / Lemmas 5.2 and 5.4).
+    pub fn check_views_correct(&self, ast: &Ast) -> Result<(), String> {
+        for (id, rule) in self.rules.iter() {
+            self.views[id].check_consistent()?;
+            let expected = tt_pattern::match_set(ast, ast.root(), &rule.pattern);
+            if expected.len() != self.views[id].len() {
+                return Err(format!(
+                    "view {} ({}) has {} members, expected {}",
+                    id,
+                    rule.name,
+                    self.views[id].len(),
+                    expected.len()
+                ));
+            }
+            for n in expected {
+                if !self.views[id].contains(n) {
+                    return Err(format!("view {} ({}) missing {n:?}", id, rule.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generic phase helper: walk `Desc(root)` and the `D(q)` nearest
+    /// ancestors, applying `sign` for every current match.
+    fn generic_phase(&mut self, ast: &Ast, root: NodeId, sign: i64) {
+        for (id, rule) in self.rules.clone().iter() {
+            let pattern = &rule.pattern;
+            for n in ast.descendants(root) {
+                if matches(ast, n, pattern) {
+                    self.views[id].add(n, sign);
+                }
+            }
+            for h in 1..=pattern.depth() {
+                let a = ast.ancestor_at(root, h);
+                if !a.is_null() && matches(ast, a, pattern) {
+                    self.views[id].add(a, sign);
+                }
+            }
+        }
+    }
+
+    /// Inlined pre-phase: check only destroyed candidate positions and
+    /// planned ancestor heights.
+    fn inlined_pre(&mut self, ast: &Ast, old_root: NodeId, fired: RuleId, bindings: &Bindings) {
+        for (id, rule) in self.rules.clone().iter() {
+            let plan = self.matrix.plan(id, fired).expect("caller checked plan exists");
+            let pattern = &rule.pattern;
+            for &var in &plan.removed_candidates {
+                let n = bindings.get(var);
+                if matches(ast, n, pattern) {
+                    self.views[id].add(n, -1);
+                }
+            }
+            for &h in &plan.ancestor_heights {
+                let a = ast.ancestor_at(old_root, h);
+                if !a.is_null() && matches(ast, a, pattern) {
+                    self.views[id].add(a, -1);
+                }
+            }
+        }
+    }
+
+    /// Inlined post-phase: check only aligned generated positions and the
+    /// same ancestor heights.
+    fn inlined_post(&mut self, ast: &Ast, new_root: NodeId, fired: RuleId, gen_nodes: &[NodeId]) {
+        for (id, rule) in self.rules.clone().iter() {
+            let plan = self.matrix.plan(id, fired).expect("caller checked plan exists");
+            let pattern = &rule.pattern;
+            for &gi in &plan.gen_candidates {
+                let n = gen_nodes[gi];
+                if matches(ast, n, pattern) {
+                    self.views[id].add(n, 1);
+                }
+            }
+            for &h in &plan.ancestor_heights {
+                let a = ast.ancestor_at(new_root, h);
+                if !a.is_null() && matches(ast, a, pattern) {
+                    self.views[id].add(a, 1);
+                }
+            }
+        }
+    }
+
+    fn can_inline(&self, rule: RuleId) -> bool {
+        self.mode == MaintenanceMode::Inlined && self.inlineable[rule]
+    }
+}
+
+impl MatchSource for TreeToasterEngine {
+    fn name(&self) -> &'static str {
+        "TT"
+    }
+
+    fn rebuild(&mut self, ast: &Ast) {
+        for v in &mut self.views {
+            v.clear();
+        }
+        let root = ast.root();
+        if root.is_null() {
+            return;
+        }
+        // One traversal; every pattern tested per node (the paper's
+        // initial materialization).
+        for n in ast.descendants(root) {
+            for (id, rule) in self.rules.clone().iter() {
+                if matches(ast, n, &rule.pattern) {
+                    self.views[id].add(n, 1);
+                }
+            }
+        }
+    }
+
+    fn find_one(&mut self, _ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        self.views[rule].any()
+    }
+
+    fn before_replace(
+        &mut self,
+        ast: &Ast,
+        old_root: NodeId,
+        rule: Option<(RuleId, &Bindings)>,
+    ) {
+        match rule {
+            Some((fired, bindings)) if self.can_inline(fired) => {
+                self.inlined_pre(ast, old_root, fired, bindings)
+            }
+            _ => self.generic_phase(ast, old_root, -1),
+        }
+    }
+
+    fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        match &ctx.rule {
+            Some(fired) if self.can_inline(fired.rule) => {
+                self.inlined_post(ast, ctx.new_root, fired.rule, &fired.applied.gen_nodes);
+            }
+            _ => self.generic_phase(ast, ctx.new_root, 1),
+        }
+        #[cfg(debug_assertions)]
+        for v in &self.views {
+            debug_assert!(v.check_consistent().is_ok(), "view corrupted after replace");
+        }
+    }
+
+    fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        for (id, rule) in self.rules.clone().iter() {
+            for &n in created {
+                if matches(ast, n, &rule.pattern) {
+                    self.views[id].add(n, 1);
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.views.iter().map(MatchView::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::reuse;
+    use crate::rules::RewriteRule;
+    use crate::strategy::RuleFired;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_ast::{Schema, Value};
+    use tt_pattern::dsl as p;
+    use tt_pattern::{match_node, Pattern};
+
+    fn schema() -> Arc<Schema> {
+        arith_schema()
+    }
+
+    fn add_zero_rule(s: &Arc<Schema>) -> RewriteRule {
+        let pattern = Pattern::compile(
+            s,
+            p::node(
+                "Arith",
+                "A",
+                [
+                    p::node("Const", "B", [], p::eq(p::attr("B", "val"), p::int(0))),
+                    p::node("Var", "C", [], p::tru()),
+                ],
+                p::eq(p::attr("A", "op"), p::str_("+")),
+            ),
+        );
+        RewriteRule::new("AddZero", s, pattern, reuse("C"))
+    }
+
+    /// Mul-by-one elimination: Arith(*, Const(1), Var) → Var. A second
+    /// rule so cross-view maintenance is exercised.
+    fn mul_one_rule(s: &Arc<Schema>) -> RewriteRule {
+        let pattern = Pattern::compile(
+            s,
+            p::node(
+                "Arith",
+                "M",
+                [
+                    p::node("Const", "K", [], p::eq(p::attr("K", "val"), p::int(1))),
+                    p::node("Var", "V", [], p::tru()),
+                ],
+                p::eq(p::attr("M", "op"), p::str_("*")),
+            ),
+        );
+        RewriteRule::new("MulOne", s, pattern, reuse("V"))
+    }
+
+    fn rules() -> Arc<RuleSet> {
+        let s = schema();
+        Arc::new(RuleSet::from_rules(vec![add_zero_rule(&s), mul_one_rule(&s)]))
+    }
+
+    fn tree(text: &str) -> Ast {
+        let mut ast = Ast::new(schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        ast
+    }
+
+    /// Applies rule `rid` at `site` with full engine notification.
+    fn fire(engine: &mut TreeToasterEngine, ast: &mut Ast, rid: usize, site: NodeId) {
+        let rules = engine.rules.clone();
+        let rule = rules.get(rid);
+        let bindings = match_node(ast, site, &rule.pattern).expect("site must match");
+        engine.before_replace(ast, site, Some((rid, &bindings)));
+        let applied = rule.apply(ast, site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+        };
+        engine.after_replace(ast, &ctx);
+    }
+
+    #[test]
+    fn rebuild_materializes_views() {
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        assert_eq!(engine.view(0).len(), 1, "one AddZero site");
+        assert_eq!(engine.view(1).len(), 0, "no MulOne site (left child is Arith)");
+        engine.check_views_correct(&ast).unwrap();
+        let _ = &mut ast;
+    }
+
+    #[test]
+    fn fire_updates_own_and_other_views_inlined() {
+        // After AddZero fires, the root becomes Arith(*, Var(b), Var(x)) —
+        // still no MulOne match (needs Const(1) child), and the AddZero
+        // view must drain.
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        assert!(engine.view(0).is_empty());
+        engine.check_views_correct(&ast).unwrap();
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn cascading_rewrites_create_new_matches() {
+        // MulOne at the inner node exposes an AddZero at the root:
+        // (+ (* (Const 1) (Var v)) ...) — wait: build a tree where firing
+        // rule 1 creates a match for rule 0:
+        //   (Arith + (Const 0) (Var y))  after rewriting the inner
+        // Start: (Arith + (Const 0) (Arith * (Const 1) (Var y)))
+        // Root doesn't match AddZero yet (right child is Arith, not Var).
+        // Firing MulOne turns the right child into Var(y) → root matches.
+        let mut ast = tree(
+            r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        assert!(engine.view(0).is_empty(), "root not yet eligible");
+        let site = engine.find_one(&ast, 1).expect("MulOne site exists");
+        fire(&mut engine, &mut ast, 1, site);
+        engine.check_views_correct(&ast).unwrap();
+        assert_eq!(engine.view(0).len(), 1, "ancestor became an AddZero match");
+        // Drain it too.
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        engine.check_views_correct(&ast).unwrap();
+        assert!(engine.view(0).is_empty());
+        assert!(engine.view(1).is_empty());
+        assert_eq!(tt_ast::sexpr::to_sexpr(&ast, ast.root()), r#"(Var name="y")"#);
+    }
+
+    #[test]
+    fn generic_mode_agrees_with_inlined() {
+        let build = |mode| {
+            let mut ast = tree(
+                r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
+            );
+            let mut engine = TreeToasterEngine::with_mode(rules(), mode);
+            engine.rebuild(&ast);
+            let site = engine.find_one(&ast, 1).unwrap();
+            fire(&mut engine, &mut ast, 1, site);
+            engine.check_views_correct(&ast).unwrap();
+            (engine.view(0).len(), engine.view(1).len())
+        };
+        assert_eq!(build(MaintenanceMode::Inlined), build(MaintenanceMode::Generic));
+    }
+
+    #[test]
+    fn manual_replace_uses_generic_path() {
+        // A mutation outside any rule (rule = None) must still keep views
+        // exact: replace Var(x) with Const(0) by hand.
+        let mut ast = tree(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        assert_eq!(engine.view(0).len(), 1);
+        let root = ast.root();
+        let x = ast.children(root)[1];
+        let s = ast.schema().clone();
+        let zero = ast.alloc(s.expect_label("Const"), vec![Value::Int(0)], vec![]);
+        engine.before_replace(&ast, x, None);
+        ast.replace(x, zero);
+        let removed = vec![(s.expect_label("Var"), tt_ast::NodeRow::of(&ast, x))];
+        ast.free_subtree(x);
+        let ctx = ReplaceCtx {
+            old_root: x,
+            new_root: zero,
+            removed: &removed,
+            inserted: &[zero],
+            parent_update: None,
+            rule: None,
+        };
+        engine.after_replace(&ast, &ctx);
+        engine.check_views_correct(&ast).unwrap();
+        assert!(engine.view(0).is_empty(), "root no longer matches (Var became Const)");
+    }
+
+    #[test]
+    fn graft_adds_new_matches_only() {
+        // Wrap the root in a new Arith(+) whose right child is a Var:
+        // the wrapper itself becomes an AddZero match.
+        let mut ast = tree(r#"(Const val=0)"#);
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        let s = ast.schema().clone();
+        let old_root = ast.root();
+        ast.detach(old_root);
+        let v = ast.alloc(s.expect_label("Var"), vec![Value::str("z")], vec![]);
+        let wrap = ast.alloc(
+            s.expect_label("Arith"),
+            vec![Value::str("+")],
+            vec![old_root, v],
+        );
+        ast.set_root(wrap);
+        engine.on_graft(&ast, &[v, wrap]);
+        engine.check_views_correct(&ast).unwrap();
+        assert_eq!(engine.view(0).len(), 1);
+        assert_eq!(engine.find_one(&ast, 0), Some(wrap));
+    }
+
+    #[test]
+    fn find_one_is_constant_time_view_pop() {
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        assert_eq!(engine.view(0).len(), 2);
+        // Draining both sites leaves the tree AddZero-free.
+        while let Some(site) = engine.find_one(&ast, 0) {
+            fire(&mut engine, &mut ast, 0, site);
+        }
+        engine.check_views_correct(&ast).unwrap();
+        assert_eq!(
+            tt_ast::sexpr::to_sexpr(&ast, ast.root()),
+            r#"(Arith op="*" (Var name="a") (Var name="b"))"#
+        );
+    }
+
+    #[test]
+    fn memory_is_views_only() {
+        let ast = tree(
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        let bytes = engine.memory_bytes();
+        assert!(bytes > 0);
+        // Far smaller than the AST's own footprint would be for a shadow
+        // copy: a view holds a few words per match, and we have 1 match.
+        assert!(bytes < 4096, "view memory should be tiny: {bytes}");
+    }
+}

@@ -1,0 +1,301 @@
+//! The search-strategy abstraction shared by the paper's five approaches.
+//!
+//! §7 compares: (i) **Naive** iteration, (ii) **Index**ing labels,
+//! (iii) **Classic** incremental view maintenance, (iv) **DBT**oaster's
+//! recursive IVM, and (v) **TreeToaster**. All five implement
+//! [`MatchSource`]: the host compiler asks for one eligible node per rule
+//! (`find_one`), and notifies the strategy around every rewrite
+//! (`before_replace` / `after_replace`).
+//!
+//! The asymmetric notification interface *is* part of the paper's point:
+//! bolt-on engines can only consume node-granularity insert/delete events
+//! (`ReplaceCtx::removed` / `inserted` / `parent_update`), while
+//! TreeToaster exploits the structural replace and — for declarative
+//! rules — the compile-time inlined plan (`RuleFired`).
+
+use crate::rules::{AppliedRewrite, RuleSet};
+use std::sync::Arc;
+use tt_ast::{Ast, Label, NodeId, NodeRow};
+use tt_labelindex::LabelIndex;
+use tt_pattern::{find_first, Bindings};
+
+/// Index of a rewrite rule within the shared [`RuleSet`].
+pub type RuleId = usize;
+
+/// Everything a strategy may need to know about one applied rewrite.
+pub struct ReplaceCtx<'a> {
+    /// The (now freed) id of the replaced subtree root `R`.
+    pub old_root: NodeId,
+    /// The replacement subtree root `R′` (live, attached).
+    pub new_root: NodeId,
+    /// Snapshots of freed nodes — the compiler's `remove()` events.
+    pub removed: &'a [(Label, NodeRow)],
+    /// Newly allocated nodes — the compiler's `insert()` events.
+    pub inserted: &'a [NodeId],
+    /// The parent's child-pointer update (label, old image, new image),
+    /// if the site was not the root.
+    pub parent_update: Option<&'a (Label, NodeRow, NodeRow)>,
+    /// Present when the mutation came from a declarative rule — enables
+    /// the inlined maintenance path.
+    pub rule: Option<RuleFired<'a>>,
+}
+
+/// Rule-application details for the inlined path.
+#[derive(Clone, Copy)]
+pub struct RuleFired<'a> {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// The match bindings at application time.
+    pub bindings: &'a Bindings,
+    /// The application record (generated node ids by `Gen` index).
+    pub applied: &'a AppliedRewrite,
+}
+
+/// A source of pattern matches over an evolving AST.
+///
+/// `Send` so a runtime can hand its strategy to a background
+/// reorganization thread (the paper's asynchronous deployment).
+pub trait MatchSource: Send {
+    /// Strategy name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// (Re)builds all state from the current tree (initial load).
+    fn rebuild(&mut self, ast: &Ast);
+
+    /// One arbitrary node currently matching `rule`'s pattern — the §4
+    /// goal. Bindings are re-derived by the caller via
+    /// [`tt_pattern::match_node`] so all strategies are charged equally.
+    fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId>;
+
+    /// Notification *before* the pointer swap: the subtree at `old_root`
+    /// is still attached and pattern-evaluable. `rule` carries the firing
+    /// rule and its bindings when the mutation is a declarative rewrite.
+    fn before_replace(&mut self, ast: &Ast, old_root: NodeId, rule: Option<(RuleId, &Bindings)>);
+
+    /// Notification *after* the swap and the freeing of the old subtree.
+    fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>);
+
+    /// Notification that `created` nodes were grafted **above** the old
+    /// tree root (the JITD compiler wraps the root in
+    /// `Concat(root, Singleton)` on insert and `DeleteSingleton` on
+    /// delete). No node was removed and no pre-existing node's subtree
+    /// changed, so only the created nodes can change match status.
+    fn on_graft(&mut self, ast: &Ast, created: &[NodeId]);
+
+    /// Live bytes of all supplemental structures this strategy maintains
+    /// (views, indexes, shadow copies) — the Figure 11/13 memory axis.
+    fn memory_bytes(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Naive
+// ---------------------------------------------------------------------------
+
+/// The paper's **Naive** baseline: a depth-first scan of the entire AST
+/// per search, no state, no maintenance cost, no memory.
+pub struct NaiveStrategy {
+    rules: Arc<RuleSet>,
+}
+
+impl NaiveStrategy {
+    /// Creates the strategy over a rule set.
+    pub fn new(rules: Arc<RuleSet>) -> Self {
+        Self { rules }
+    }
+}
+
+impl MatchSource for NaiveStrategy {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn rebuild(&mut self, _ast: &Ast) {}
+
+    fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        find_first(ast, ast.root(), &self.rules.get(rule).pattern).map(|(n, _)| n)
+    }
+
+    fn before_replace(&mut self, _: &Ast, _: NodeId, _: Option<(RuleId, &Bindings)>) {}
+
+    fn after_replace(&mut self, _: &Ast, _: &ReplaceCtx<'_>) {}
+
+    fn on_graft(&mut self, _: &Ast, _: &[NodeId]) {}
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Label index
+// ---------------------------------------------------------------------------
+
+/// The §4.1 **Index** baseline: one posting list per label, maintained by
+/// per-node insert/remove; searches scan only the root label's list but
+/// still re-check sub-patterns and constraints per candidate.
+pub struct IndexStrategy {
+    rules: Arc<RuleSet>,
+    index: LabelIndex,
+}
+
+impl IndexStrategy {
+    /// Creates the strategy over a rule set (index initially empty; call
+    /// [`MatchSource::rebuild`] after loading the tree).
+    pub fn new(rules: Arc<RuleSet>, ast: &Ast) -> Self {
+        Self { rules, index: LabelIndex::new(ast.schema()) }
+    }
+}
+
+impl MatchSource for IndexStrategy {
+    fn name(&self) -> &'static str {
+        "Index"
+    }
+
+    fn rebuild(&mut self, ast: &Ast) {
+        self.index = LabelIndex::build_from(ast, ast.root());
+    }
+
+    fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        self.index
+            .index_lookup(ast, &self.rules.get(rule).pattern)
+            .map(|(n, _)| n)
+    }
+
+    fn before_replace(&mut self, _: &Ast, _: NodeId, _: Option<(RuleId, &Bindings)>) {
+        // All bookkeeping happens on the post-state notification, where
+        // the freed nodes' labels arrive as snapshots.
+    }
+
+    fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        for (label, row) in ctx.removed {
+            self.index.remove(*label, row.id);
+        }
+        for &n in ctx.inserted {
+            self.index.insert(ast.label(n), n);
+        }
+        // The parent's label did not change; no index update needed for
+        // `parent_update`.
+    }
+
+    fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        for &n in created {
+            self.index.insert(ast.label(n), n);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::reuse;
+    use crate::rules::RewriteRule;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_pattern::dsl as p;
+    use tt_pattern::{match_node, Pattern};
+
+    fn add_zero_rules() -> Arc<RuleSet> {
+        let s = arith_schema();
+        let pattern = Pattern::compile(
+            &s,
+            p::node(
+                "Arith",
+                "A",
+                [
+                    p::node("Const", "B", [], p::eq(p::attr("B", "val"), p::int(0))),
+                    p::node("Var", "C", [], p::tru()),
+                ],
+                p::eq(p::attr("A", "op"), p::str_("+")),
+            ),
+        );
+        Arc::new(RuleSet::from_rules(vec![RewriteRule::new(
+            "AddZero",
+            &s,
+            pattern,
+            reuse("C"),
+        )]))
+    }
+
+    fn tree(text: &str) -> (Ast, NodeId) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        (ast, id)
+    }
+
+    /// Drives one full rewrite through any strategy, checking the
+    /// notification protocol; returns the strategy's post-state find.
+    fn drive_one(strategy: &mut dyn MatchSource) -> Option<NodeId> {
+        let rules = add_zero_rules();
+        let (mut ast, root) = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
+        );
+        strategy.rebuild(&ast);
+        let site = strategy.find_one(&ast, 0).expect("should find the inner Arith");
+        assert_eq!(site, ast.children(root)[0]);
+        let rule = rules.get(0);
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        strategy.before_replace(&ast, site, Some((0, &bindings)));
+        let applied = rule.apply(&mut ast, site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: Some(RuleFired { rule: 0, bindings: &bindings, applied: &applied }),
+        };
+        strategy.after_replace(&ast, &ctx);
+        strategy.find_one(&ast, 0)
+    }
+
+    #[test]
+    fn naive_full_protocol() {
+        let mut s = NaiveStrategy::new(add_zero_rules());
+        assert_eq!(s.name(), "Naive");
+        assert_eq!(s.memory_bytes(), 0);
+        assert!(drive_one(&mut s).is_none(), "no match remains after rewriting");
+    }
+
+    #[test]
+    fn index_full_protocol() {
+        let rules = add_zero_rules();
+        let (ast, _) = tree(r#"(Const val=1)"#);
+        let mut s = IndexStrategy::new(rules, &ast);
+        assert_eq!(s.name(), "Index");
+        assert!(drive_one(&mut s).is_none());
+        assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn index_tracks_membership_across_rewrites() {
+        let rules = add_zero_rules();
+        let (mut ast, root) = tree(
+            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
+        );
+        let mut s = IndexStrategy::new(rules.clone(), &ast);
+        s.rebuild(&ast);
+        let site = s.find_one(&ast, 0).unwrap();
+        assert_eq!(site, root);
+        let rule = rules.get(0);
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        s.before_replace(&ast, site, Some((0, &bindings)));
+        let applied = rule.apply(&mut ast, site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: None,
+        };
+        s.after_replace(&ast, &ctx);
+        // Tree is now a bare Var; the index must agree.
+        assert!(s.find_one(&ast, 0).is_none());
+        ast.validate().unwrap();
+    }
+}

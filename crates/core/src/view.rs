@@ -1,0 +1,338 @@
+//! The per-pattern materialized view.
+//!
+//! §4 states the goal: "given some q_k, obtain a single, arbitrary element
+//! of the set q_k(N) as quickly as possible". A view is a generalized
+//! multiset (Definition 4 maps matches to multiplicity 1) — here stored as
+//! a multiplicity map plus a dense member vector, so:
+//!
+//! - `any()` (one arbitrary eligible node) is O(1),
+//! - membership updates are O(1) (`swap_remove` on the member list),
+//! - memory is a few machine words per *match*, not per AST node —
+//!   the paper's "negligible memory overhead" quadrant in Figure 2.
+//!
+//! Multiplicities other than 0/1 can occur transiently while a delta is
+//! being applied; the member list tracks the positive support.
+
+use tt_ast::{FxHashMap, NodeId};
+
+/// A maintained view over one pattern: the multiset of matching nodes.
+#[derive(Debug, Default)]
+pub struct MatchView {
+    /// Non-zero multiplicities (usually exactly 1 per member).
+    counts: FxHashMap<NodeId, i64>,
+    /// Dense list of nodes with positive multiplicity.
+    members: Vec<NodeId>,
+    /// Position of each member in `members`.
+    pos: FxHashMap<NodeId, u32>,
+}
+
+impl MatchView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current multiplicity of `node`.
+    #[inline]
+    pub fn count(&self, node: NodeId) -> i64 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// True if `node` is currently in the view (positive multiplicity).
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.count(node) > 0
+    }
+
+    /// Number of members (positive-multiplicity nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if no node currently matches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// One arbitrary eligible node — the §4 fast path. O(1).
+    #[inline]
+    pub fn any(&self) -> Option<NodeId> {
+        self.members.last().copied()
+    }
+
+    /// Iterates current members (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Adds `delta` to `node`'s multiplicity (Algorithm 2's
+    /// `View ⊕ {| N → Δ(N) |}`), keeping the member list in sync as the
+    /// multiplicity crosses zero.
+    pub fn add(&mut self, node: NodeId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let old = self.count(node);
+        let new = old + delta;
+        if new == 0 {
+            self.counts.remove(&node);
+        } else {
+            self.counts.insert(node, new);
+        }
+        match (old > 0, new > 0) {
+            (false, true) => {
+                self.pos.insert(node, self.members.len() as u32);
+                self.members.push(node);
+            }
+            (true, false) => {
+                let at = self.pos.remove(&node).expect("member without position") as usize;
+                self.members.swap_remove(at);
+                if let Some(&moved) = self.members.get(at) {
+                    self.pos.insert(moved, at as u32);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.members.clear();
+        self.pos.clear();
+    }
+
+    /// Debug invariant: every multiplicity is exactly 1 and agrees with
+    /// the member list (Definition 4's view correctness implies 0/1
+    /// multiplicities between maintenance operations).
+    pub fn check_consistent(&self) -> Result<(), String> {
+        if self.counts.len() != self.members.len() {
+            return Err(format!(
+                "count map has {} entries, member list {}",
+                self.counts.len(),
+                self.members.len()
+            ));
+        }
+        for (&n, &c) in &self.counts {
+            if c != 1 {
+                return Err(format!("{n:?} has multiplicity {c}, expected 1"));
+            }
+            let Some(&at) = self.pos.get(&n) else {
+                return Err(format!("{n:?} missing from position map"));
+            };
+            if self.members.get(at as usize) != Some(&n) {
+                return Err(format!("{n:?} position map out of sync"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap bytes — the entire memory cost TreeToaster adds
+    /// on top of the compiler's own AST.
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>())
+            + self.members.capacity() * std::mem::size_of::<NodeId>()
+            + self.pos.capacity() * (1 + std::mem::size_of::<(NodeId, u32)>())
+    }
+}
+
+/// An ordered alternative to [`MatchView`] backed by a `BTreeSet`,
+/// for the view-structure ablation (DESIGN.md §8): `any()` returns the
+/// *smallest* matching node id deterministically, at O(log n) update and
+/// pop cost instead of O(1). The paper's §4 goal only asks for "a single,
+/// arbitrary element ... as quickly as possible", which the swap-remove
+/// view satisfies; this variant quantifies what ordering would cost.
+#[derive(Debug, Default)]
+pub struct OrderedMatchView {
+    counts: FxHashMap<NodeId, i64>,
+    members: std::collections::BTreeSet<NodeId>,
+}
+
+impl OrderedMatchView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current multiplicity.
+    pub fn count(&self, node: NodeId) -> i64 {
+        self.counts.get(&node).copied().unwrap_or(0)
+    }
+
+    /// True if in the view.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.count(node) > 0
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The smallest matching node (deterministic, O(log n)).
+    pub fn any(&self) -> Option<NodeId> {
+        self.members.first().copied()
+    }
+
+    /// Adds `delta` to the multiplicity.
+    pub fn add(&mut self, node: NodeId, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let old = self.count(node);
+        let new = old + delta;
+        if new == 0 {
+            self.counts.remove(&node);
+        } else {
+            self.counts.insert(node, new);
+        }
+        match (old > 0, new > 0) {
+            (false, true) => {
+                self.members.insert(node);
+            }
+            (true, false) => {
+                self.members.remove(&node);
+            }
+            _ => {}
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>())
+            // BTreeSet nodes: ~B·(key + pointers) amortized; charge 3 words
+            // per member as a conservative stand-in.
+            + self.members.len() * 3 * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn ordered_view_pops_smallest() {
+        let mut v = OrderedMatchView::new();
+        v.add(n(5), 1);
+        v.add(n(2), 1);
+        v.add(n(9), 1);
+        assert_eq!(v.any(), Some(n(2)));
+        v.add(n(2), -1);
+        assert_eq!(v.any(), Some(n(5)));
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(n(9)));
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn ordered_view_handles_transient_negatives() {
+        let mut v = OrderedMatchView::new();
+        v.add(n(3), -1);
+        assert_eq!(v.any(), None);
+        v.add(n(3), 2);
+        assert_eq!(v.any(), Some(n(3)));
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = MatchView::new();
+        assert!(v.is_empty());
+        assert_eq!(v.any(), None);
+        assert_eq!(v.count(n(1)), 0);
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn add_and_remove_members() {
+        let mut v = MatchView::new();
+        v.add(n(1), 1);
+        v.add(n(2), 1);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(n(1)));
+        assert!(v.any().is_some());
+        v.add(n(1), -1);
+        assert!(!v.contains(n(1)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.any(), Some(n(2)));
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn transient_negative_then_recover() {
+        // A maintenance pass may subtract before it adds.
+        let mut v = MatchView::new();
+        v.add(n(5), -1);
+        assert_eq!(v.count(n(5)), -1);
+        assert!(!v.contains(n(5)), "negative multiplicity is not membership");
+        assert_eq!(v.len(), 0);
+        v.add(n(5), 2);
+        assert_eq!(v.count(n(5)), 1);
+        assert!(v.contains(n(5)));
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn swap_remove_order_stability() {
+        let mut v = MatchView::new();
+        for i in 0..100 {
+            v.add(n(i), 1);
+        }
+        // Remove every third element; membership of the rest must hold.
+        for i in (0..100).step_by(3) {
+            v.add(n(i), -1);
+        }
+        for i in 0..100 {
+            assert_eq!(v.contains(n(i)), i % 3 != 0);
+        }
+        assert_eq!(v.len(), 66);
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn any_returns_live_member() {
+        let mut v = MatchView::new();
+        v.add(n(1), 1);
+        v.add(n(2), 1);
+        v.add(n(3), 1);
+        let got = v.any().unwrap();
+        assert!(v.contains(got));
+        v.add(got, -1);
+        let got2 = v.any().unwrap();
+        assert_ne!(got, got2);
+        assert!(v.contains(got2));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v = MatchView::new();
+        v.add(n(1), 1);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.count(n(1)), 0);
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut v = MatchView::new();
+        v.add(n(1), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn consistency_detects_double_count() {
+        let mut v = MatchView::new();
+        v.add(n(1), 2);
+        assert!(v.check_consistent().is_err());
+    }
+}

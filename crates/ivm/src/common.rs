@@ -1,0 +1,211 @@
+//! Shared plumbing for the bolt-on engines.
+
+use treetoaster_core::{MatchView, ReplaceCtx};
+use tt_ast::{Ast, NodeId, NodeRow};
+use tt_pattern::{AttrSource, Constraint, SqlQuery, VarId};
+use tt_relational::{Database, NodeDelta, RowAttrs};
+
+/// Translates a structural replace notification into the flat
+/// node-granularity event stream a bolt-on engine understands: all
+/// removals first (including the parent's old image — a child-pointer
+/// update is a delete + insert at this granularity), then all insertions.
+pub fn deltas_of_ctx(ast: &Ast, ctx: &ReplaceCtx<'_>) -> Vec<NodeDelta> {
+    let mut out = Vec::with_capacity(ctx.removed.len() + ctx.inserted.len() + 2);
+    for (label, row) in ctx.removed {
+        out.push(NodeDelta::Remove(*label, row.clone()));
+    }
+    if let Some((label, old_row, _)) = ctx.parent_update {
+        out.push(NodeDelta::Remove(*label, old_row.clone()));
+    }
+    for &n in ctx.inserted {
+        out.push(NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n)));
+    }
+    if let Some((label, _, new_row)) = ctx.parent_update {
+        out.push(NodeDelta::Insert(*label, new_row.clone()));
+    }
+    out
+}
+
+/// The materialized top view of one pattern: full join rows with
+/// multiplicities, plus a [`MatchView`] over match roots for the O(1)
+/// `find_one` the host compiler calls.
+#[derive(Debug, Default)]
+pub struct ViewCore {
+    /// Join rows (full variable space, wildcards NULL) → multiplicity.
+    rows: tt_ast::FxHashMap<Box<[NodeId]>, i64>,
+    /// Root atoms of positive rows.
+    roots: MatchView,
+    root_var: usize,
+}
+
+impl ViewCore {
+    /// Creates an empty view for a query rooted at `root_var`.
+    pub fn new(root_var: VarId) -> ViewCore {
+        ViewCore { root_var: root_var.0 as usize, ..Default::default() }
+    }
+
+    /// Applies one row delta.
+    pub fn add(&mut self, row: &[NodeId], delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let entry = self.rows.entry(row.into()).or_insert(0);
+        let old_positive = *entry > 0;
+        *entry += delta;
+        let new_positive = *entry > 0;
+        if *entry == 0 {
+            self.rows.remove(row);
+        }
+        match (old_positive, new_positive) {
+            (false, true) => self.roots.add(row[self.root_var], 1),
+            (true, false) => self.roots.add(row[self.root_var], -1),
+            _ => {}
+        }
+    }
+
+    /// An arbitrary current match root.
+    pub fn any_root(&self) -> Option<NodeId> {
+        self.roots.any()
+    }
+
+    /// Number of materialized rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(row, multiplicity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Box<[NodeId]>, i64)> {
+        self.rows.iter().map(|(r, &c)| (r, c))
+    }
+
+    /// Clears all state.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.roots.clear();
+    }
+
+    /// Approximate heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let row_width = std::mem::size_of::<NodeId>()
+            * self.rows.keys().next().map_or(0, |k| k.len());
+        self.rows.capacity() * (1 + std::mem::size_of::<(Box<[NodeId]>, i64)>() + row_width)
+            + self.roots.memory_bytes()
+    }
+}
+
+/// Filter scheduling: the earliest point at which each `θ` fragment can be
+/// evaluated. `vars` are the filter's referenced variables; host-predicate
+/// fragments report "needs everything".
+pub fn filter_vars(constraint: &Constraint, all_atoms: &[VarId]) -> Vec<VarId> {
+    if constraint.has_host_pred() {
+        return all_atoms.to_vec();
+    }
+    let mut vars = Vec::new();
+    constraint.vars(&mut vars);
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+/// Evaluates the filters listed by `indices` on a (partial) row.
+pub fn eval_filters(
+    db: &Database,
+    query: &SqlQuery,
+    row: &[NodeId],
+    indices: &[usize],
+) -> bool {
+    let src = RowAttrs { db, query, row };
+    indices.iter().all(|&i| query.filters[i].1.eval(&src))
+}
+
+/// Evaluates a single-row arity test for `atom_index`.
+pub fn arity_ok(query: &SqlQuery, atom_index: usize, row: &NodeRow) -> bool {
+    row.children.len() == query.atoms[atom_index].arity
+}
+
+/// Evaluates one filter constraint directly against a standalone tuple
+/// (used for single-atom checks before the tuple is in any map). The
+/// `AttrSource` resolves every variable to this row.
+pub struct SingleRowAttrs<'a> {
+    /// The query (for attribute index lookup).
+    pub query: &'a SqlQuery,
+    /// The database schema holder.
+    pub db: &'a Database,
+    /// The variable this tuple is bound to.
+    pub var: VarId,
+    /// The tuple.
+    pub row: &'a NodeRow,
+}
+
+impl AttrSource for SingleRowAttrs<'_> {
+    fn attr_of(&self, var: VarId, attr: tt_ast::AttrName) -> tt_ast::Value {
+        assert_eq!(var, self.var, "single-row filter referenced another variable");
+        let label = self.query.atom(var).label;
+        let idx = self
+            .db
+            .schema()
+            .attr_index(label, attr)
+            .expect("filter attribute not on label");
+        self.row.attrs[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn viewcore_add_remove_roundtrip() {
+        let mut v = ViewCore::new(VarId(0));
+        let row: Vec<NodeId> = vec![nid(1), nid(2)];
+        v.add(&row, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.any_root(), Some(nid(1)));
+        v.add(&row, -1);
+        assert!(v.is_empty());
+        assert_eq!(v.any_root(), None);
+    }
+
+    #[test]
+    fn viewcore_multiplicity_transients() {
+        let mut v = ViewCore::new(VarId(0));
+        let row: Vec<NodeId> = vec![nid(1)];
+        v.add(&row, -1);
+        assert_eq!(v.any_root(), None, "negative rows are not visible");
+        v.add(&row, 2);
+        assert_eq!(v.any_root(), Some(nid(1)));
+        v.add(&row, -1);
+        assert_eq!(v.any_root(), None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn viewcore_root_var_respected() {
+        let mut v = ViewCore::new(VarId(1));
+        let row: Vec<NodeId> = vec![nid(9), nid(7)];
+        v.add(&row, 1);
+        assert_eq!(v.any_root(), Some(nid(7)));
+    }
+
+    #[test]
+    fn distinct_rows_same_root_counted() {
+        // Two different rows with the same root (possible transiently):
+        // the root stays visible until both are gone.
+        let mut v = ViewCore::new(VarId(0));
+        v.add(&[nid(1), nid(2)], 1);
+        v.add(&[nid(1), nid(3)], 1);
+        v.add(&[nid(1), nid(2)], -1);
+        assert_eq!(v.any_root(), Some(nid(1)));
+        v.add(&[nid(1), nid(3)], -1);
+        assert_eq!(v.any_root(), None);
+    }
+}

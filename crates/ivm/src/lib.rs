@@ -1,0 +1,27 @@
+//! Bolt-on incremental view maintenance engines (paper §3).
+//!
+//! Both engines operate on the relational encoding of the AST and consume
+//! node-granularity insert/delete events — "DBToaster-generated view
+//! structures register updates at the granularity of individual node
+//! insertions/deletions" (§3.2) — which forces them to keep a **shadow
+//! copy** of the pattern-relevant AST. That shadow copy, plus their
+//! materialized intermediate state, is the memory overhead the paper's
+//! Figures 11/13 charge them with.
+//!
+//! - [`classic::ClassicIvm`] — Ross et al.'s cascading IVM: one left-deep
+//!   join plan per pattern with every prefix join materialized
+//!   (DBToaster's `--depth=1` analogue in the evaluation).
+//! - [`dbtoaster::DbtIvm`] — DBToaster-style higher-order delta
+//!   processing: a materialized map for *every connected sub-join* of the
+//!   pattern (all possible plans), so each single-tuple delta is answered
+//!   by joining the tuple against precomputed complements.
+//!
+//! Shared plumbing lives in [`common`].
+
+pub mod classic;
+pub mod common;
+pub mod dbtoaster;
+
+pub use classic::ClassicIvm;
+pub use common::{deltas_of_ctx, ViewCore};
+pub use dbtoaster::DbtIvm;

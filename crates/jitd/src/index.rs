@@ -1,0 +1,369 @@
+//! The JITD key/value index over the AST.
+//!
+//! Reads resolve *last-writer-wins* shadowing: an insert wraps the root in
+//! `Concat(old, Singleton)` (the right child is newer), a delete wraps it
+//! in `DeleteSingleton(key, old)`. `get` therefore searches Concat right
+//! children first, treats a matching `DeleteSingleton` as a tombstone, and
+//! routes through `BinTree` separators (`key < sep` → left).
+
+use crate::schema::jitd_schema;
+use std::collections::BTreeMap;
+use tt_ast::{Ast, AttrName, Label, NodeId, Record, Value};
+
+/// Interned labels/attributes of the JITD schema, for hot-path access.
+#[derive(Debug, Clone, Copy)]
+pub struct JitdLabels {
+    /// `Array` label.
+    pub array: Label,
+    /// `Singleton` label.
+    pub singleton: Label,
+    /// `DeleteSingleton` label.
+    pub delete_singleton: Label,
+    /// `Concat` label.
+    pub concat: Label,
+    /// `BinTree` label.
+    pub bintree: Label,
+    /// `Array.data`.
+    pub data: AttrName,
+    /// `Array.size`.
+    pub size: AttrName,
+    /// `Singleton.key` / `DeleteSingleton.key`.
+    pub key: AttrName,
+    /// `Singleton.value`.
+    pub value: AttrName,
+    /// `BinTree.sep`.
+    pub sep: AttrName,
+}
+
+impl JitdLabels {
+    /// Interns from the JITD schema.
+    pub fn of(schema: &tt_ast::Schema) -> JitdLabels {
+        JitdLabels {
+            array: schema.expect_label("Array"),
+            singleton: schema.expect_label("Singleton"),
+            delete_singleton: schema.expect_label("DeleteSingleton"),
+            concat: schema.expect_label("Concat"),
+            bintree: schema.expect_label("BinTree"),
+            data: schema.expect_attr("data"),
+            size: schema.expect_attr("size"),
+            key: schema.expect_attr("key"),
+            value: schema.expect_attr("value"),
+            sep: schema.expect_attr("sep"),
+        }
+    }
+}
+
+/// Probe result during shadow-aware search.
+enum Probe {
+    Found(i64),
+    Tombstone,
+    Missing,
+}
+
+/// The index: an [`Ast`] plus the interned schema handles.
+pub struct JitdIndex {
+    ast: Ast,
+    labels: JitdLabels,
+}
+
+impl JitdIndex {
+    /// An empty index (root is an empty Array).
+    pub fn new() -> JitdIndex {
+        let schema = jitd_schema();
+        let labels = JitdLabels::of(&schema);
+        let mut ast = Ast::new(schema);
+        let root = ast.alloc(labels.array, vec![Value::recs(vec![]), Value::Int(0)], vec![]);
+        ast.set_root(root);
+        JitdIndex { ast, labels }
+    }
+
+    /// Loads `records` (sorted by key; duplicate keys last-wins) as one
+    /// big root Array — the paper's initial state for cracking.
+    pub fn load(records: Vec<Record>) -> JitdIndex {
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.key);
+        sorted.dedup_by_key(|r| r.key);
+        let schema = jitd_schema();
+        let labels = JitdLabels::of(&schema);
+        let mut ast = Ast::new(schema);
+        let size = sorted.len() as i64;
+        let root = ast.alloc(
+            labels.array,
+            vec![Value::recs(sorted), Value::Int(size)],
+            vec![],
+        );
+        ast.set_root(root);
+        JitdIndex { ast, labels }
+    }
+
+    /// The underlying AST.
+    pub fn ast(&self) -> &Ast {
+        &self.ast
+    }
+
+    /// Mutable AST access (for the reorganizer).
+    pub fn ast_mut(&mut self) -> &mut Ast {
+        &mut self.ast
+    }
+
+    /// The interned handles.
+    pub fn labels(&self) -> &JitdLabels {
+        &self.labels
+    }
+
+    /// Point lookup with shadowing semantics.
+    pub fn get(&self, key: i64) -> Option<i64> {
+        match self.probe(self.ast.root(), key) {
+            Probe::Found(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn probe(&self, node: NodeId, key: i64) -> Probe {
+        let l = &self.labels;
+        let label = self.ast.label(node);
+        if label == l.concat {
+            let ch = self.ast.children(node);
+            // Right child is newer.
+            match self.probe(ch[1], key) {
+                Probe::Missing => self.probe(ch[0], key),
+                hit => hit,
+            }
+        } else if label == l.bintree {
+            let sep = self.ast.attr(node, l.sep).as_int();
+            let ch = self.ast.children(node);
+            if key < sep {
+                self.probe(ch[0], key)
+            } else {
+                self.probe(ch[1], key)
+            }
+        } else if label == l.singleton {
+            if self.ast.attr(node, l.key).as_int() == key {
+                Probe::Found(self.ast.attr(node, l.value).as_int())
+            } else {
+                Probe::Missing
+            }
+        } else if label == l.delete_singleton {
+            if self.ast.attr(node, l.key).as_int() == key {
+                Probe::Tombstone
+            } else {
+                self.probe(self.ast.children(node)[0], key)
+            }
+        } else {
+            debug_assert_eq!(label, l.array);
+            let data = self.ast.attr(node, l.data).as_recs();
+            match data.binary_search_by_key(&key, |r| r.key) {
+                Ok(at) => Probe::Found(data[at].value),
+                Err(_) => Probe::Missing,
+            }
+        }
+    }
+
+    /// Range scan: up to `n` live records with `key ≥ low`, ascending.
+    pub fn scan(&self, low: i64, n: usize) -> Vec<Record> {
+        let mut acc: BTreeMap<i64, ScanEntry> = BTreeMap::new();
+        // First writer wins, so traverse newest-first.
+        self.collect(self.ast.root(), low, &mut acc);
+        acc.into_iter()
+            .filter_map(|(k, e)| match e {
+                ScanEntry::Val(v) => Some(Record::new(k, v)),
+                ScanEntry::Tomb => None,
+            })
+            .take(n)
+            .collect()
+    }
+
+    fn collect(&self, node: NodeId, low: i64, acc: &mut BTreeMap<i64, ScanEntry>) {
+        let l = &self.labels;
+        let label = self.ast.label(node);
+        if label == l.concat {
+            let ch = self.ast.children(node);
+            self.collect(ch[1], low, acc); // newer first
+            self.collect(ch[0], low, acc);
+        } else if label == l.bintree {
+            let sep = self.ast.attr(node, l.sep).as_int();
+            let ch = self.ast.children(node);
+            if low < sep {
+                self.collect(ch[0], low, acc);
+            }
+            self.collect(ch[1], low, acc);
+        } else if label == l.singleton {
+            let key = self.ast.attr(node, l.key).as_int();
+            if key >= low {
+                acc.entry(key)
+                    .or_insert(ScanEntry::Val(self.ast.attr(node, l.value).as_int()));
+            }
+        } else if label == l.delete_singleton {
+            let key = self.ast.attr(node, l.key).as_int();
+            if key >= low {
+                acc.entry(key).or_insert(ScanEntry::Tomb);
+            }
+            self.collect(self.ast.children(node)[0], low, acc);
+        } else {
+            let data = self.ast.attr(node, l.data).as_recs();
+            let start = data.partition_point(|r| r.key < low);
+            for r in &data[start..] {
+                acc.entry(r.key).or_insert(ScanEntry::Val(r.value));
+            }
+        }
+    }
+
+    /// Wraps the root for an insert: `root := Concat(root, Singleton)`.
+    /// Returns the created nodes (for strategy `on_graft` notification).
+    pub fn wrap_insert(&mut self, key: i64, value: i64) -> Vec<NodeId> {
+        let l = self.labels;
+        let old_root = self.ast.root();
+        self.ast.detach(old_root);
+        let singleton =
+            self.ast.alloc(l.singleton, vec![Value::Int(key), Value::Int(value)], vec![]);
+        let concat = self.ast.alloc(l.concat, vec![], vec![old_root, singleton]);
+        self.ast.set_root(concat);
+        vec![singleton, concat]
+    }
+
+    /// Wraps the root for a delete: `root := DeleteSingleton(key, root)`.
+    pub fn wrap_delete(&mut self, key: i64) -> Vec<NodeId> {
+        let l = self.labels;
+        let old_root = self.ast.root();
+        self.ast.detach(old_root);
+        let ds = self.ast.alloc(l.delete_singleton, vec![Value::Int(key)], vec![old_root]);
+        self.ast.set_root(ds);
+        vec![ds]
+    }
+
+    /// Structural sanity: BinTree separators partition their subtrees'
+    /// key ranges and Array `size` attributes match their data.
+    pub fn check_structure(&self) -> Result<(), String> {
+        self.ast.validate()?;
+        self.check_range(self.ast.root(), i64::MIN, i64::MAX)
+    }
+
+    fn check_range(&self, node: NodeId, lo: i64, hi: i64) -> Result<(), String> {
+        let l = &self.labels;
+        let label = self.ast.label(node);
+        let in_range = |k: i64| lo <= k && k < hi;
+        if label == l.bintree {
+            let sep = self.ast.attr(node, l.sep).as_int();
+            if !in_range(sep) {
+                return Err(format!("separator {sep} outside [{lo},{hi}) at {node:?}"));
+            }
+            let ch = self.ast.children(node);
+            self.check_range(ch[0], lo, sep)?;
+            self.check_range(ch[1], sep, hi)
+        } else if label == l.concat {
+            let ch = self.ast.children(node);
+            self.check_range(ch[0], lo, hi)?;
+            self.check_range(ch[1], lo, hi)
+        } else if label == l.delete_singleton {
+            let k = self.ast.attr(node, l.key).as_int();
+            if !in_range(k) {
+                return Err(format!("tombstone key {k} outside [{lo},{hi})"));
+            }
+            self.check_range(self.ast.children(node)[0], lo, hi)
+        } else if label == l.singleton {
+            let k = self.ast.attr(node, l.key).as_int();
+            if !in_range(k) {
+                return Err(format!("singleton key {k} outside [{lo},{hi})"));
+            }
+            Ok(())
+        } else {
+            let data = self.ast.attr(node, l.data).as_recs();
+            let size = self.ast.attr(node, l.size).as_int();
+            if size as usize != data.len() {
+                return Err(format!("array size attr {size} != data len {}", data.len()));
+            }
+            if !data.windows(2).all(|w| w[0].key < w[1].key) {
+                return Err("array not strictly sorted".into());
+            }
+            if let (Some(first), Some(last)) = (data.first(), data.last()) {
+                if !in_range(first.key) || !in_range(last.key) {
+                    return Err(format!(
+                        "array range [{},{}] outside [{lo},{hi})",
+                        first.key, last.key
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Scan entries, bridged through `From` so `collect` can stay generic.
+#[derive(Clone, Copy)]
+enum ScanEntry {
+    Val(i64),
+    Tomb,
+}
+
+impl Default for JitdIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(pairs: &[(i64, i64)]) -> Vec<Record> {
+        pairs.iter().map(|&(k, v)| Record::new(k, v)).collect()
+    }
+
+    #[test]
+    fn load_and_get() {
+        let idx = JitdIndex::load(recs(&[(1, 10), (5, 50), (9, 90)]));
+        assert_eq!(idx.get(1), Some(10));
+        assert_eq!(idx.get(5), Some(50));
+        assert_eq!(idx.get(9), Some(90));
+        assert_eq!(idx.get(4), None);
+        idx.check_structure().unwrap();
+    }
+
+    #[test]
+    fn insert_shadows_older_values() {
+        let mut idx = JitdIndex::load(recs(&[(1, 10), (2, 20)]));
+        idx.wrap_insert(1, 111);
+        assert_eq!(idx.get(1), Some(111), "newer singleton wins");
+        assert_eq!(idx.get(2), Some(20));
+        idx.check_structure().unwrap();
+    }
+
+    #[test]
+    fn delete_creates_tombstone_and_insert_resurrects() {
+        let mut idx = JitdIndex::load(recs(&[(1, 10), (2, 20)]));
+        idx.wrap_delete(1);
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.get(2), Some(20));
+        idx.wrap_insert(1, 12);
+        assert_eq!(idx.get(1), Some(12), "later insert shadows tombstone");
+        idx.check_structure().unwrap();
+    }
+
+    #[test]
+    fn scan_merges_and_honors_tombstones() {
+        let mut idx = JitdIndex::load(recs(&[(1, 10), (3, 30), (5, 50), (7, 70)]));
+        idx.wrap_delete(3);
+        idx.wrap_insert(5, 55);
+        idx.wrap_insert(2, 22);
+        let out = idx.scan(2, 10);
+        assert_eq!(out, recs(&[(2, 22), (5, 55), (7, 70)]));
+        let limited = idx.scan(2, 2);
+        assert_eq!(limited, recs(&[(2, 22), (5, 55)]));
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = JitdIndex::new();
+        assert_eq!(idx.get(1), None);
+        assert!(idx.scan(0, 5).is_empty());
+        idx.check_structure().unwrap();
+    }
+
+    #[test]
+    fn load_dedupes_by_key() {
+        let idx = JitdIndex::load(recs(&[(1, 10), (1, 11), (2, 20)]));
+        // Strictly sorted after dedup; structure check enforces it.
+        idx.check_structure().unwrap();
+        assert_eq!(idx.scan(0, 10).len(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! The JustInTimeData node schema (paper §7.1).
+
+use std::sync::Arc;
+use tt_ast::{Schema, SchemaBuilder};
+
+/// Builds the five-label JITD schema.
+///
+/// `Array` carries its record run plus an explicit `size` attribute so
+/// the CrackArray eligibility test is a plain constraint (`size > τ`) —
+/// which keeps every pattern within the paper's `Θ` grammar and lets the
+/// bolt-on engines project the (large) `data` payload out of their shadow
+/// copies (§3.2).
+pub fn jitd_schema() -> Arc<Schema> {
+    builder().finish()
+}
+
+fn builder() -> SchemaBuilder {
+    Schema::builder()
+        .label("Array", &["data", "size"], 0)
+        .label("Singleton", &["key", "value"], 0)
+        .label("DeleteSingleton", &["key"], 1)
+        .label("Concat", &[], 2)
+        .label("BinTree", &["sep"], 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_labels_present() {
+        let s = jitd_schema();
+        for name in ["Array", "Singleton", "DeleteSingleton", "Concat", "BinTree"] {
+            assert!(s.label(name).is_some(), "{name} missing");
+        }
+        assert_eq!(s.label_count(), 5);
+    }
+
+    #[test]
+    fn child_bounds_match_paper() {
+        let s = jitd_schema();
+        assert_eq!(s.def(s.expect_label("Array")).max_children, 0);
+        assert_eq!(s.def(s.expect_label("Singleton")).max_children, 0);
+        assert_eq!(s.def(s.expect_label("DeleteSingleton")).max_children, 1);
+        assert_eq!(s.def(s.expect_label("Concat")).max_children, 2);
+        assert_eq!(s.def(s.expect_label("BinTree")).max_children, 2);
+    }
+
+    #[test]
+    fn attribute_sets() {
+        let s = jitd_schema();
+        let array = s.expect_label("Array");
+        assert!(s.attr_index(array, s.expect_attr("data")).is_some());
+        assert!(s.attr_index(array, s.expect_attr("size")).is_some());
+        let singleton = s.expect_label("Singleton");
+        assert!(s.attr_index(singleton, s.expect_attr("key")).is_some());
+        assert!(s.attr_index(singleton, s.expect_attr("value")).is_some());
+        let bintree = s.expect_label("BinTree");
+        assert!(s.attr_index(bintree, s.expect_attr("sep")).is_some());
+    }
+}

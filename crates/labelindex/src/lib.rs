@@ -1,0 +1,281 @@
+//! Secondary index on AST node labels (paper §4.1).
+//!
+//! "For each node label, the index maintains pointers to all nodes with
+//! that label. Updates to the AST are propagated into the index. Pattern
+//! match queries can use this index to scan a subset of the AST that
+//! includes only nodes with the appropriate label" — Algorithm 1.
+//!
+//! This is the **Index** baseline of the evaluation: maintenance is one
+//! hash insert/remove per changed node (cheap, small), but a search still
+//! re-checks recursive sub-patterns and constraints on every candidate,
+//! which is why it scales poorly on update-heavy workloads (Figure 10's
+//! workloads A and F).
+
+use tt_ast::{Ast, FxHashMap, Label, NodeId, Schema};
+use tt_pattern::{match_node, Bindings, Pattern, PatternNode};
+
+/// One label's posting list: a dense vector for cheap iteration plus a
+/// position map for O(1) removal (`swap_remove`).
+#[derive(Debug, Default)]
+struct Bucket {
+    items: Vec<NodeId>,
+    pos: FxHashMap<NodeId, u32>,
+}
+
+impl Bucket {
+    fn insert(&mut self, id: NodeId) {
+        debug_assert!(!self.pos.contains_key(&id), "{id:?} indexed twice");
+        self.pos.insert(id, self.items.len() as u32);
+        self.items.push(id);
+    }
+
+    fn remove(&mut self, id: NodeId) {
+        let Some(at) = self.pos.remove(&id) else {
+            panic!("removing unindexed node {id:?}");
+        };
+        let at = at as usize;
+        self.items.swap_remove(at);
+        if let Some(&moved) = self.items.get(at) {
+            self.pos.insert(moved, at as u32);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<NodeId>()
+            + self.pos.capacity() * (1 + std::mem::size_of::<(NodeId, u32)>())
+    }
+}
+
+/// The label index: `ℓ → { nodes with label ℓ }`.
+#[derive(Debug)]
+pub struct LabelIndex {
+    buckets: Vec<Bucket>,
+}
+
+impl LabelIndex {
+    /// An empty index over `schema`'s labels.
+    pub fn new(schema: &Schema) -> LabelIndex {
+        LabelIndex {
+            buckets: (0..schema.label_count()).map(|_| Bucket::default()).collect(),
+        }
+    }
+
+    /// Builds the index for every node reachable from `root`.
+    pub fn build_from(ast: &Ast, root: NodeId) -> LabelIndex {
+        let mut idx = LabelIndex::new(ast.schema());
+        if !root.is_null() {
+            for n in ast.descendants(root) {
+                idx.insert(ast.label(n), n);
+            }
+        }
+        idx
+    }
+
+    /// Registers a new node.
+    #[inline]
+    pub fn insert(&mut self, label: Label, id: NodeId) {
+        self.buckets[label.0 as usize].insert(id);
+    }
+
+    /// Unregisters a removed node.
+    #[inline]
+    pub fn remove(&mut self, label: Label, id: NodeId) {
+        self.buckets[label.0 as usize].remove(id);
+    }
+
+    /// All nodes currently carrying `label` (arbitrary order).
+    #[inline]
+    pub fn nodes(&self, label: Label) -> &[NodeId] {
+        &self.buckets[label.0 as usize].items
+    }
+
+    /// Number of nodes with `label`.
+    pub fn len(&self, label: Label) -> usize {
+        self.buckets[label.0 as usize].items.len()
+    }
+
+    /// Total indexed nodes.
+    pub fn total_len(&self) -> usize {
+        self.buckets.iter().map(|b| b.items.len()).sum()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Algorithm 1: scan the posting list for the pattern's root label,
+    /// re-checking the full pattern (recursive matches and constraints)
+    /// on each candidate. For an `AnyNode` root the whole tree matches,
+    /// so the AST root is returned (line 2 of the algorithm).
+    pub fn index_lookup(
+        &self,
+        ast: &Ast,
+        pattern: &Pattern,
+    ) -> Option<(NodeId, Bindings)> {
+        match pattern.root() {
+            PatternNode::Any { .. } => {
+                let root = ast.root();
+                if root.is_null() {
+                    None
+                } else {
+                    match_node(ast, root, pattern).map(|b| (root, b))
+                }
+            }
+            PatternNode::Match { label, .. } => self
+                .nodes(*label)
+                .iter()
+                .find_map(|&n| match_node(ast, n, pattern).map(|b| (n, b))),
+        }
+    }
+
+    /// All matches found through the index (for tests/oracles).
+    pub fn index_lookup_all(&self, ast: &Ast, pattern: &Pattern) -> Vec<NodeId> {
+        match pattern.root() {
+            PatternNode::Any { .. } => tt_pattern::match_set(ast, ast.root(), pattern),
+            PatternNode::Match { label, .. } => self
+                .nodes(*label)
+                .iter()
+                .copied()
+                .filter(|&n| tt_pattern::matches(ast, n, pattern))
+                .collect(),
+        }
+    }
+
+    /// Approximate heap bytes (the paper reports ~28 bytes per node for a
+    /// C++ `unordered_set`; our bucket layout is in the same regime).
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.iter().map(Bucket::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_pattern::dsl::*;
+
+    fn tree(text: &str) -> (Ast, NodeId) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        (ast, id)
+    }
+
+    fn add_zero(ast: &Ast) -> Pattern {
+        Pattern::compile(
+            ast.schema(),
+            node(
+                "Arith",
+                "A",
+                [
+                    node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                    node("Var", "C", [], tru()),
+                ],
+                eq(attr("A", "op"), str_("+")),
+            ),
+        )
+    }
+
+    #[test]
+    fn build_counts_labels() {
+        let (ast, root) = tree(
+            r#"(Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))"#,
+        );
+        let idx = LabelIndex::build_from(&ast, root);
+        let schema = ast.schema();
+        assert_eq!(idx.len(schema.expect_label("Arith")), 2);
+        assert_eq!(idx.len(schema.expect_label("Const")), 1);
+        assert_eq!(idx.len(schema.expect_label("Var")), 2);
+        assert_eq!(idx.total_len(), 5);
+    }
+
+    #[test]
+    fn example_4_1_lookup() {
+        // "retrieve a list of all Arith nodes from the index and
+        //  iteratively check each for a pattern match."
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
+        let idx = LabelIndex::build_from(&ast, root);
+        let q = add_zero(&ast);
+        let (found, bindings) = idx.index_lookup(&ast, &q).unwrap();
+        assert_eq!(found, root);
+        assert_eq!(bindings.get(q.var("A").unwrap()), root);
+    }
+
+    #[test]
+    fn lookup_misses_when_constraint_fails() {
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=3) (Var name="b"))"#);
+        let idx = LabelIndex::build_from(&ast, root);
+        assert!(idx.index_lookup(&ast, &add_zero(&ast)).is_none());
+    }
+
+    #[test]
+    fn maintenance_tracks_insert_remove() {
+        let (mut ast, root) = tree(r#"(Arith op="*" (Const val=2) (Var name="y"))"#);
+        let mut idx = LabelIndex::build_from(&ast, root);
+        let schema = ast.schema().clone();
+        let constant = schema.expect_label("Const");
+        // Replace Var(y) with Const(0): one remove + one insert.
+        let y = ast.children(root)[1];
+        let zero = ast.alloc(constant, vec![tt_ast::Value::Int(0)], vec![]);
+        idx.insert(constant, zero);
+        ast.replace(y, zero);
+        idx.remove(schema.expect_label("Var"), y);
+        ast.free_subtree(y);
+        assert_eq!(idx.len(constant), 2);
+        assert_eq!(idx.len(schema.expect_label("Var")), 0);
+        assert_eq!(idx.total_len(), 3);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let schema = arith_schema();
+        let mut idx = LabelIndex::new(&schema);
+        let constant = schema.expect_label("Const");
+        let ids: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
+        for &id in &ids {
+            idx.insert(constant, id);
+        }
+        // Remove from the middle, then the ends.
+        idx.remove(constant, ids[4]);
+        idx.remove(constant, ids[0]);
+        idx.remove(constant, ids[9]);
+        assert_eq!(idx.len(constant), 7);
+        for &id in &[ids[1], ids[5], ids[8]] {
+            assert!(idx.nodes(constant).contains(&id));
+        }
+        for &id in &[ids[0], ids[4], ids[9]] {
+            assert!(!idx.nodes(constant).contains(&id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unindexed")]
+    fn remove_of_missing_node_panics() {
+        let schema = arith_schema();
+        let mut idx = LabelIndex::new(&schema);
+        idx.remove(schema.expect_label("Const"), NodeId::from_index(1));
+    }
+
+    #[test]
+    fn lookup_all_agrees_with_naive_matcher() {
+        let (ast, root) = tree(
+            r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
+        );
+        let idx = LabelIndex::build_from(&ast, root);
+        let q = add_zero(&ast);
+        let mut via_index = idx.index_lookup_all(&ast, &q);
+        let mut naive = tt_pattern::match_set(&ast, root, &q);
+        via_index.sort();
+        naive.sort();
+        assert_eq!(via_index, naive);
+    }
+
+    #[test]
+    fn memory_accounting_nonzero_after_build() {
+        let (ast, root) = tree(r#"(Arith op="*" (Const val=2) (Var name="y"))"#);
+        let idx = LabelIndex::build_from(&ast, root);
+        assert!(idx.memory_bytes() > 0);
+    }
+}

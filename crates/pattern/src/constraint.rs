@@ -1,0 +1,409 @@
+//! The constraint grammar `Θ` (paper Figure 4) and its evaluation.
+//!
+//! ```text
+//! Θ    : atom = atom | atom < atom | Θ ∧ Θ | Θ ∨ Θ | ¬Θ | T | F
+//! atom : const | Σ_I.Σ_M | atom [+,−,×,÷] atom
+//! ```
+//!
+//! The grammar "is expressive enough to capture the full range of
+//! comparisons", so we provide all six comparison operators directly.
+//! Appendix-D patterns additionally carry native side conditions
+//! (`o2 ⊆ r1`, `canPushThrough(j)`); those are modeled as named
+//! [`HostPred`]s over the bound attribute values.
+//!
+//! Evaluation is generic over [`AttrSource`] — the tree engines resolve
+//! `i.x` against the live AST, while the bolt-on relational engines
+//! resolve it against their own tuple copies. That genericity is what lets
+//! one constraint definition serve every strategy in the evaluation.
+
+use crate::query::VarId;
+use std::fmt;
+use std::sync::Arc;
+use tt_ast::{AttrName, Value};
+
+/// Resolves `var.attr` atoms during constraint evaluation.
+pub trait AttrSource {
+    /// The value of attribute `attr` on the node bound to `var`.
+    fn attr_of(&self, var: VarId, attr: AttrName) -> Value;
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to an `Ordering`.
+    #[inline]
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Arithmetic operators on integer atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `−`
+    Sub,
+    /// `×`
+    Mul,
+    /// `÷` (integer division; division by zero evaluates the atom to None)
+    Div,
+}
+
+/// An atom: constant, attribute reference, or integer arithmetic.
+#[derive(Debug, Clone)]
+pub enum Atom {
+    /// Literal value.
+    Const(Value),
+    /// `i.x` — attribute `x` of the node bound to variable `i`.
+    Attr(VarId, AttrName),
+    /// Integer arithmetic over two atoms.
+    Arith(ArithOp, Box<Atom>, Box<Atom>),
+}
+
+impl Atom {
+    /// Evaluates the atom. Returns `None` on type mismatches (arithmetic
+    /// over non-integers, division by zero) — a failed atom makes the
+    /// enclosing comparison false, matching the paper's "otherwise (F, ∅)"
+    /// clause.
+    pub fn eval(&self, src: &dyn AttrSource) -> Option<Value> {
+        match self {
+            Atom::Const(v) => Some(v.clone()),
+            Atom::Attr(var, attr) => Some(src.attr_of(*var, *attr)),
+            Atom::Arith(op, a, b) => {
+                let (Value::Int(a), Value::Int(b)) = (a.eval(src)?, b.eval(src)?) else {
+                    return None;
+                };
+                let out = match op {
+                    ArithOp::Add => a.checked_add(b)?,
+                    ArithOp::Sub => a.checked_sub(b)?,
+                    ArithOp::Mul => a.checked_mul(b)?,
+                    ArithOp::Div => a.checked_div(b)?,
+                };
+                Some(Value::Int(out))
+            }
+        }
+    }
+}
+
+/// A named native predicate over the bound attribute values.
+///
+/// The function sees only attribute values through [`AttrSource`], so the
+/// same predicate evaluates identically against the live AST and against a
+/// bolt-on engine's shadow tuples.
+#[derive(Clone)]
+pub struct HostPred {
+    /// Display name (e.g. `"arrayLen>threshold"`).
+    pub name: &'static str,
+    /// The predicate.
+    pub test: Arc<dyn Fn(&dyn AttrSource) -> bool + Send + Sync>,
+}
+
+impl HostPred {
+    /// Creates a named host predicate.
+    pub fn new(
+        name: &'static str,
+        test: impl Fn(&dyn AttrSource) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self { name, test: Arc::new(test) }
+    }
+}
+
+impl fmt::Debug for HostPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host:{}", self.name)
+    }
+}
+
+/// The constraint grammar `Θ`.
+#[derive(Debug, Clone, Default)]
+pub enum Constraint {
+    /// `T`
+    #[default]
+    True,
+    /// `F`
+    False,
+    /// `atom ⋈ atom`
+    Cmp(CmpOp, Atom, Atom),
+    /// `Θ ∧ Θ`
+    And(Box<Constraint>, Box<Constraint>),
+    /// `Θ ∨ Θ`
+    Or(Box<Constraint>, Box<Constraint>),
+    /// `¬Θ`
+    Not(Box<Constraint>),
+    /// Named native predicate (Appendix-D style side condition).
+    Host(HostPred),
+}
+
+impl Constraint {
+    /// Evaluates the constraint against bound attribute values.
+    pub fn eval(&self, src: &dyn AttrSource) -> bool {
+        match self {
+            Constraint::True => true,
+            Constraint::False => false,
+            Constraint::Cmp(op, a, b) => {
+                let (Some(a), Some(b)) = (a.eval(src), b.eval(src)) else {
+                    return false;
+                };
+                match op {
+                    // Equality is defined for every value kind.
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                    // Ordering comparisons only for same-kind scalars.
+                    _ => a.partial_cmp_scalar(&b).is_some_and(|ord| op.test(ord)),
+                }
+            }
+            Constraint::And(a, b) => a.eval(src) && b.eval(src),
+            Constraint::Or(a, b) => a.eval(src) || b.eval(src),
+            Constraint::Not(c) => !c.eval(src),
+            Constraint::Host(h) => (h.test)(src),
+        }
+    }
+
+    /// `Θ ∧ Θ`, short-circuiting trivial operands.
+    pub fn and(self, other: Constraint) -> Constraint {
+        match (self, other) {
+            (Constraint::True, c) | (c, Constraint::True) => c,
+            (Constraint::False, _) | (_, Constraint::False) => Constraint::False,
+            (a, b) => Constraint::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Collects the variables the constraint references (for the SQL
+    /// reduction's filter placement).
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Constraint::True | Constraint::False => {}
+            Constraint::Cmp(_, a, b) => {
+                atom_vars(a, out);
+                atom_vars(b, out);
+            }
+            Constraint::And(a, b) | Constraint::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Constraint::Not(c) => c.vars(out),
+            // Host predicates may touch any bound variable; callers treat
+            // them as referencing everything (conservative).
+            Constraint::Host(_) => {}
+        }
+    }
+
+    /// Collects the `(variable, attribute)` pairs the constraint reads —
+    /// used by the bolt-on engines to project un-referenced attributes
+    /// out of their shadow copies (§3.2). Host predicates are opaque;
+    /// callers must disable projection when [`Self::has_host_pred`].
+    pub fn attr_refs(&self, out: &mut Vec<(VarId, AttrName)>) {
+        fn atom_refs(atom: &Atom, out: &mut Vec<(VarId, AttrName)>) {
+            match atom {
+                Atom::Const(_) => {}
+                Atom::Attr(v, a) => out.push((*v, *a)),
+                Atom::Arith(_, a, b) => {
+                    atom_refs(a, out);
+                    atom_refs(b, out);
+                }
+            }
+        }
+        match self {
+            Constraint::True | Constraint::False | Constraint::Host(_) => {}
+            Constraint::Cmp(_, a, b) => {
+                atom_refs(a, out);
+                atom_refs(b, out);
+            }
+            Constraint::And(a, b) | Constraint::Or(a, b) => {
+                a.attr_refs(out);
+                b.attr_refs(out);
+            }
+            Constraint::Not(c) => c.attr_refs(out),
+        }
+    }
+
+    /// True if the constraint contains a host predicate (which the SQL
+    /// reduction must treat as referencing every variable).
+    pub fn has_host_pred(&self) -> bool {
+        match self {
+            Constraint::True | Constraint::False | Constraint::Cmp(..) => false,
+            Constraint::And(a, b) | Constraint::Or(a, b) => a.has_host_pred() || b.has_host_pred(),
+            Constraint::Not(c) => c.has_host_pred(),
+            Constraint::Host(_) => true,
+        }
+    }
+}
+
+fn atom_vars(atom: &Atom, out: &mut Vec<VarId>) {
+    match atom {
+        Atom::Const(_) => {}
+        Atom::Attr(v, _) => out.push(*v),
+        Atom::Arith(_, a, b) => {
+            atom_vars(a, out);
+            atom_vars(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_ast::FxHashMap;
+
+    /// Test attribute source: a flat (var, attr) → value map.
+    struct MapSource(FxHashMap<(u16, u16), Value>);
+
+    impl MapSource {
+        fn new(entries: &[((u16, u16), Value)]) -> Self {
+            Self(entries.iter().cloned().collect())
+        }
+    }
+
+    impl AttrSource for MapSource {
+        fn attr_of(&self, var: VarId, attr: AttrName) -> Value {
+            self.0.get(&(var.0, attr.0)).cloned().unwrap_or(Value::Unit)
+        }
+    }
+
+    fn v(i: u16) -> VarId {
+        VarId(i)
+    }
+    fn a(i: u16) -> AttrName {
+        AttrName(i)
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let src = MapSource::new(&[((0, 0), Value::Int(5))]);
+        let attr = Atom::Attr(v(0), a(0));
+        let five = Atom::Const(Value::Int(5));
+        let six = Atom::Const(Value::Int(6));
+        assert!(Constraint::Cmp(CmpOp::Eq, attr.clone(), five.clone()).eval(&src));
+        assert!(Constraint::Cmp(CmpOp::Ne, attr.clone(), six.clone()).eval(&src));
+        assert!(Constraint::Cmp(CmpOp::Lt, attr.clone(), six.clone()).eval(&src));
+        assert!(Constraint::Cmp(CmpOp::Le, attr.clone(), five.clone()).eval(&src));
+        assert!(!Constraint::Cmp(CmpOp::Gt, attr.clone(), five.clone()).eval(&src));
+        assert!(Constraint::Cmp(CmpOp::Ge, attr, five).eval(&src));
+    }
+
+    #[test]
+    fn arithmetic_atoms() {
+        let src = MapSource::new(&[((0, 0), Value::Int(10))]);
+        // (x + 2) * 3 = 36
+        let expr = Atom::Arith(
+            ArithOp::Mul,
+            Box::new(Atom::Arith(
+                ArithOp::Add,
+                Box::new(Atom::Attr(v(0), a(0))),
+                Box::new(Atom::Const(Value::Int(2))),
+            )),
+            Box::new(Atom::Const(Value::Int(3))),
+        );
+        assert_eq!(expr.eval(&src), Some(Value::Int(36)));
+        let div0 = Atom::Arith(
+            ArithOp::Div,
+            Box::new(Atom::Const(Value::Int(1))),
+            Box::new(Atom::Const(Value::Int(0))),
+        );
+        assert_eq!(div0.eval(&src), None);
+        // A failed atom makes the comparison false rather than panicking.
+        assert!(!Constraint::Cmp(CmpOp::Eq, div0, Atom::Const(Value::Int(0))).eval(&src));
+    }
+
+    #[test]
+    fn arithmetic_on_non_ints_fails_closed() {
+        let src = MapSource::new(&[((0, 0), Value::str("s"))]);
+        let bad = Atom::Arith(
+            ArithOp::Add,
+            Box::new(Atom::Attr(v(0), a(0))),
+            Box::new(Atom::Const(Value::Int(1))),
+        );
+        assert_eq!(bad.eval(&src), None);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let src = MapSource::new(&[]);
+        let t = Constraint::True;
+        let f = Constraint::False;
+        assert!(t.clone().and(t.clone()).eval(&src));
+        assert!(!t.clone().and(f.clone()).eval(&src));
+        assert!(Constraint::Or(Box::new(f.clone()), Box::new(t.clone())).eval(&src));
+        assert!(Constraint::Not(Box::new(f)).eval(&src));
+    }
+
+    #[test]
+    fn and_simplifies_trivial_operands() {
+        let c = Constraint::True.and(Constraint::Cmp(
+            CmpOp::Eq,
+            Atom::Const(Value::Int(1)),
+            Atom::Const(Value::Int(1)),
+        ));
+        assert!(matches!(c, Constraint::Cmp(..)), "T ∧ c simplifies to c");
+        assert!(matches!(Constraint::False.and(Constraint::True), Constraint::False));
+    }
+
+    #[test]
+    fn host_predicate() {
+        let src = MapSource::new(&[((0, 0), Value::recs(vec![tt_ast::Record::new(1, 1); 5]))]);
+        let pred = Constraint::Host(HostPred::new("len>3", |s: &dyn AttrSource| {
+            s.attr_of(v(0), a(0)).as_recs().len() > 3
+        }));
+        assert!(pred.eval(&src));
+        assert!(pred.has_host_pred());
+        assert!(!Constraint::True.has_host_pred());
+    }
+
+    #[test]
+    fn equality_on_strings_and_mismatched_kinds() {
+        let src = MapSource::new(&[((0, 0), Value::str("+"))]);
+        let eq = Constraint::Cmp(
+            CmpOp::Eq,
+            Atom::Attr(v(0), a(0)),
+            Atom::Const(Value::str("+")),
+        );
+        assert!(eq.eval(&src));
+        // Int < Str is undefined → false, not a panic.
+        let cross = Constraint::Cmp(
+            CmpOp::Lt,
+            Atom::Const(Value::Int(1)),
+            Atom::Const(Value::str("a")),
+        );
+        assert!(!cross.eval(&src));
+    }
+
+    #[test]
+    fn vars_collection() {
+        let c = Constraint::Cmp(
+            CmpOp::Lt,
+            Atom::Attr(v(1), a(0)),
+            Atom::Arith(
+                ArithOp::Add,
+                Box::new(Atom::Attr(v(2), a(1))),
+                Box::new(Atom::Const(Value::Int(1))),
+            ),
+        );
+        let mut vars = Vec::new();
+        c.vars(&mut vars);
+        assert_eq!(vars, vec![v(1), v(2)]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Declarative pattern-authoring DSL.
+//!
+//! Patterns are written as plain spec values with string labels/variables
+//! and compiled by [`Pattern::compile`](crate::Pattern::compile). The
+//! running example (paper Example 2.3) reads almost like the paper:
+//!
+//! ```
+//! use tt_pattern::dsl::*;
+//! use tt_pattern::Pattern;
+//! let schema = tt_ast::schema::arith_schema();
+//! let q = Pattern::compile(&schema, node(
+//!     "Arith", "A",
+//!     [node("Const", "B", [], eq(attr("B", "val"), int(0))),
+//!      node("Var",   "C", [], tru())],
+//!     eq(attr("A", "op"), str_("+")),
+//! ));
+//! assert_eq!(q.depth(), 1);
+//! ```
+
+use crate::constraint::{ArithOp, CmpOp, HostPred};
+use tt_ast::Value;
+
+/// Un-compiled pattern spec (string labels and variables).
+#[derive(Debug, Clone)]
+pub enum PatSpec {
+    /// `AnyNode`, optionally binding the matched subtree to a name so a
+    /// rewrite generator can `Reuse` it.
+    Any {
+        /// Optional wildcard binder.
+        var: Option<String>,
+    },
+    /// `Match(label, var, children, constraint)`.
+    Match {
+        /// Label name (resolved against the schema at compile time).
+        label: String,
+        /// Variable name.
+        var: String,
+        /// Child pattern specs.
+        children: Vec<PatSpec>,
+        /// Constraint spec.
+        constraint: CSpec,
+    },
+}
+
+/// Un-compiled constraint spec.
+#[derive(Debug, Clone)]
+pub enum CSpec {
+    /// `T`
+    True,
+    /// `F`
+    False,
+    /// Comparison of two atoms.
+    Cmp(CmpOp, ASpec, ASpec),
+    /// Conjunction.
+    And(Box<CSpec>, Box<CSpec>),
+    /// Disjunction.
+    Or(Box<CSpec>, Box<CSpec>),
+    /// Negation.
+    Not(Box<CSpec>),
+    /// Named host predicate (compiled through unchanged).
+    Host(HostPred),
+}
+
+/// Un-compiled atom spec.
+#[derive(Debug, Clone)]
+pub enum ASpec {
+    /// Literal.
+    Const(Value),
+    /// `var.attr` reference.
+    Attr(String, String),
+    /// Arithmetic.
+    Arith(ArithOp, Box<ASpec>, Box<ASpec>),
+}
+
+/// `Match(label, var, children, constraint)`.
+pub fn node(
+    label: &str,
+    var: &str,
+    children: impl IntoIterator<Item = PatSpec>,
+    constraint: CSpec,
+) -> PatSpec {
+    PatSpec::Match {
+        label: label.to_string(),
+        var: var.to_string(),
+        children: children.into_iter().collect(),
+        constraint,
+    }
+}
+
+/// `AnyNode`.
+pub fn any() -> PatSpec {
+    PatSpec::Any { var: None }
+}
+
+/// `AnyNode` binding the matched subtree to `var` (so generators can
+/// `Reuse` it — the paper writes these as `q₁`, `q₂` in its JITD rules).
+pub fn any_as(var: &str) -> PatSpec {
+    PatSpec::Any { var: Some(var.to_string()) }
+}
+
+/// Constraint `T`.
+pub fn tru() -> CSpec {
+    CSpec::True
+}
+
+/// Constraint `F`.
+pub fn fls() -> CSpec {
+    CSpec::False
+}
+
+/// `a = b`.
+pub fn eq(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Eq, a, b)
+}
+
+/// `a ≠ b`.
+pub fn ne(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Ne, a, b)
+}
+
+/// `a < b`.
+pub fn lt(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Lt, a, b)
+}
+
+/// `a ≤ b`.
+pub fn le(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Le, a, b)
+}
+
+/// `a > b`.
+pub fn gt(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Gt, a, b)
+}
+
+/// `a ≥ b`.
+pub fn ge(a: ASpec, b: ASpec) -> CSpec {
+    CSpec::Cmp(CmpOp::Ge, a, b)
+}
+
+/// `Θ ∧ Θ`.
+pub fn and(a: CSpec, b: CSpec) -> CSpec {
+    CSpec::And(Box::new(a), Box::new(b))
+}
+
+/// `Θ ∨ Θ`.
+pub fn or(a: CSpec, b: CSpec) -> CSpec {
+    CSpec::Or(Box::new(a), Box::new(b))
+}
+
+/// `¬Θ`.
+pub fn not(c: CSpec) -> CSpec {
+    CSpec::Not(Box::new(c))
+}
+
+/// Named host predicate.
+pub fn host(h: HostPred) -> CSpec {
+    CSpec::Host(h)
+}
+
+/// `var.attr` atom.
+pub fn attr(var: &str, attr_name: &str) -> ASpec {
+    ASpec::Attr(var.to_string(), attr_name.to_string())
+}
+
+/// Integer literal atom.
+pub fn int(v: i64) -> ASpec {
+    ASpec::Const(Value::Int(v))
+}
+
+/// String literal atom.
+pub fn str_(v: &str) -> ASpec {
+    ASpec::Const(Value::str(v))
+}
+
+/// Boolean literal atom.
+pub fn boolean(v: bool) -> ASpec {
+    ASpec::Const(Value::Bool(v))
+}
+
+/// Arbitrary value literal atom.
+pub fn val(v: Value) -> ASpec {
+    ASpec::Const(v)
+}
+
+/// `a + b`.
+pub fn add(a: ASpec, b: ASpec) -> ASpec {
+    ASpec::Arith(ArithOp::Add, Box::new(a), Box::new(b))
+}
+
+/// `a − b`.
+pub fn sub(a: ASpec, b: ASpec) -> ASpec {
+    ASpec::Arith(ArithOp::Sub, Box::new(a), Box::new(b))
+}
+
+/// `a × b`.
+pub fn mul(a: ASpec, b: ASpec) -> ASpec {
+    ASpec::Arith(ArithOp::Mul, Box::new(a), Box::new(b))
+}
+
+/// `a ÷ b`.
+pub fn div(a: ASpec, b: ASpec) -> ASpec {
+    ASpec::Arith(ArithOp::Div, Box::new(a), Box::new(b))
+}

@@ -1,0 +1,303 @@
+//! Pattern-match semantics (paper Figure 5) and the naive matcher.
+//!
+//! `⟦q(N)⟧` evaluates to `(T, Γ)` — success with bindings — or `(F, ∅)`.
+//! [`match_set`] computes the Definition-3 match result `q(N) ⊆ Desc(N)`,
+//! and [`find_first`] is the **Naive** strategy of the evaluation: a
+//! depth-first scan of the whole tree per search, exactly what the paper's
+//! host compiler did before IVM.
+
+use crate::constraint::AttrSource;
+use crate::query::{Pattern, PatternNode, VarId};
+use tt_ast::{Ast, AttrName, NodeId, Value};
+
+/// The binding environment `Γ : Σ_I → nodes`, stored densely by `VarId`.
+///
+/// A pattern's variables are dense (0..var_count), so bindings are a small
+/// vector rather than a map; unbound slots are `NodeId::NULL` (only
+/// possible mid-evaluation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bindings {
+    slots: Vec<NodeId>,
+}
+
+impl Bindings {
+    /// Empty environment for a pattern with `var_count` variables.
+    pub fn new(var_count: usize) -> Self {
+        Self { slots: vec![NodeId::NULL; var_count] }
+    }
+
+    /// The node bound to `var`; panics if unbound (an evaluation bug).
+    #[inline]
+    pub fn get(&self, var: VarId) -> NodeId {
+        let id = self.slots[var.0 as usize];
+        debug_assert!(!id.is_null(), "variable v{} unbound", var.0);
+        id
+    }
+
+    /// Binds `var` to `node`.
+    #[inline]
+    pub fn bind(&mut self, var: VarId, node: NodeId) {
+        self.slots[var.0 as usize] = node;
+    }
+
+    /// Iterates `(var, node)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, NodeId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (VarId(i as u16), n))
+    }
+
+    /// Number of variable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if there are no variable slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// [`AttrSource`] over a live AST plus bindings — the tree-side resolution
+/// of `i.x` atoms.
+pub struct TreeAttrs<'a> {
+    /// The AST holding the bound nodes.
+    pub ast: &'a Ast,
+    /// The binding environment.
+    pub bindings: &'a Bindings,
+}
+
+impl AttrSource for TreeAttrs<'_> {
+    fn attr_of(&self, var: VarId, attr: AttrName) -> Value {
+        self.ast.attr(self.bindings.get(var), attr).clone()
+    }
+}
+
+/// Evaluates `⟦q(node)⟧`, returning the bindings on success.
+pub fn match_node(ast: &Ast, node: NodeId, pattern: &Pattern) -> Option<Bindings> {
+    let mut bindings = Bindings::new(pattern.var_count());
+    if match_rec(ast, node, pattern.root(), &mut bindings)
+        && check_constraints(ast, pattern.root(), &bindings)
+    {
+        Some(bindings)
+    } else {
+        None
+    }
+}
+
+/// Boolean fast path of [`match_node`].
+pub fn matches(ast: &Ast, node: NodeId, pattern: &Pattern) -> bool {
+    match_node(ast, node, pattern).is_some()
+}
+
+/// Structural phase: labels, arities, bindings. Constraints are checked in
+/// a second phase once every variable is bound (Figure 5 evaluates `θ(Γ)`
+/// with the full child environment).
+fn match_rec(ast: &Ast, node: NodeId, pat: &PatternNode, bindings: &mut Bindings) -> bool {
+    match pat {
+        PatternNode::Any { var } => {
+            if let Some(v) = var {
+                bindings.bind(*v, node);
+            }
+            true
+        }
+        PatternNode::Match { label, var, children, .. } => {
+            let n = ast.node(node);
+            if n.label() != *label || n.children().len() != children.len() {
+                return false;
+            }
+            bindings.bind(*var, node);
+            n.children()
+                .iter()
+                .zip(children)
+                .all(|(&child, cpat)| match_rec(ast, child, cpat, bindings))
+        }
+    }
+}
+
+fn check_constraints(ast: &Ast, pat: &PatternNode, bindings: &Bindings) -> bool {
+    match pat {
+        PatternNode::Any { .. } => true,
+        PatternNode::Match { children, constraint, .. } => {
+            let src = TreeAttrs { ast, bindings };
+            constraint.eval(&src)
+                && children.iter().all(|c| check_constraints(ast, c, bindings))
+        }
+    }
+}
+
+/// Depth-first scan for the first match at or below `root` — the Naive
+/// baseline's per-query cost.
+pub fn find_first(ast: &Ast, root: NodeId, pattern: &Pattern) -> Option<(NodeId, Bindings)> {
+    if root.is_null() {
+        return None;
+    }
+    ast.descendants(root)
+        .find_map(|n| match_node(ast, n, pattern).map(|b| (n, b)))
+}
+
+/// All matches at or below `root`, with bindings, in preorder.
+pub fn find_all(ast: &Ast, root: NodeId, pattern: &Pattern) -> Vec<(NodeId, Bindings)> {
+    if root.is_null() {
+        return Vec::new();
+    }
+    ast.descendants(root)
+        .filter_map(|n| match_node(ast, n, pattern).map(|b| (n, b)))
+        .collect()
+}
+
+/// Definition 3's match result `q(N)`: the set of descendants of `root`
+/// on which the pattern evaluates to true.
+pub fn match_set(ast: &Ast, root: NodeId, pattern: &Pattern) -> Vec<NodeId> {
+    if root.is_null() {
+        return Vec::new();
+    }
+    ast.descendants(root)
+        .filter(|&n| matches(ast, n, pattern))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::Pattern;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+
+    fn add_zero() -> Pattern {
+        let schema = arith_schema();
+        Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [
+                    node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                    node("Var", "C", [], tru()),
+                ],
+                eq(attr("A", "op"), str_("+")),
+            ),
+        )
+    }
+
+    fn tree(text: &str) -> (Ast, NodeId) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        (ast, id)
+    }
+
+    #[test]
+    fn example_2_2_matches() {
+        // (Arith + (Const 0) (Var b)) is eligible for the rule.
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
+        let q = add_zero();
+        let bindings = match_node(&ast, root, &q).expect("should match");
+        assert_eq!(bindings.get(q.var("A").unwrap()), root);
+        assert_eq!(bindings.get(q.var("B").unwrap()), ast.children(root)[0]);
+        assert_eq!(bindings.get(q.var("C").unwrap()), ast.children(root)[1]);
+    }
+
+    #[test]
+    fn constraint_rejects_nonzero_const() {
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=1) (Var name="b"))"#);
+        assert!(!matches(&ast, root, &add_zero()));
+    }
+
+    #[test]
+    fn label_mismatch_rejects() {
+        let (ast, root) = tree(r#"(Arith op="+" (Var name="a") (Var name="b"))"#);
+        assert!(!matches(&ast, root, &add_zero()));
+    }
+
+    #[test]
+    fn op_constraint_rejects_mul() {
+        let (ast, root) = tree(r#"(Arith op="*" (Const val=0) (Var name="b"))"#);
+        assert!(!matches(&ast, root, &add_zero()));
+    }
+
+    #[test]
+    fn arity_must_match_exactly() {
+        // A childless Arith (unusual but schema-legal) can't match a
+        // two-child pattern.
+        let (ast, root) = tree(r#"(Arith op="+")"#);
+        assert!(!matches(&ast, root, &add_zero()));
+    }
+
+    #[test]
+    fn anynode_matches_everything() {
+        let (ast, root) = tree(r#"(Arith op="*" (Const val=2) (Var name="y"))"#);
+        let schema = ast.schema().clone();
+        let q = Pattern::compile(&schema, any());
+        for n in ast.descendants(root) {
+            assert!(matches(&ast, n, &q));
+        }
+    }
+
+    #[test]
+    fn find_first_scans_preorder() {
+        // Two eligible subtrees; the scan finds the outermost first.
+        let (ast, root) = tree(
+            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
+        );
+        let q = add_zero();
+        let (found, _) = find_first(&ast, root, &q).unwrap();
+        assert_eq!(found, root);
+    }
+
+    #[test]
+    fn match_set_of_nested_tree() {
+        // Root: + over (inner: + over Const0, Var) and Var — wait, root's
+        // left child is an Arith, so only the inner node matches.
+        let (ast, root) = tree(
+            r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
+        );
+        let q = add_zero();
+        let found = match_set(&ast, root, &q);
+        assert_eq!(found, vec![ast.children(root)[0]]);
+        assert_eq!(find_all(&ast, root, &q).len(), 1);
+    }
+
+    #[test]
+    fn null_root_yields_nothing() {
+        let ast = Ast::new(arith_schema());
+        let q = add_zero();
+        assert!(find_first(&ast, NodeId::NULL, &q).is_none());
+        assert!(match_set(&ast, NodeId::NULL, &q).is_empty());
+    }
+
+    #[test]
+    fn deep_constraint_spanning_nodes() {
+        // Constraint relating parent and child attributes:
+        // Arith(op=o) over Const(v) with v = 2 regardless of op.
+        let schema = arith_schema();
+        let q = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], tru()), any()],
+                eq(attr("B", "val"), int(2)),
+            ),
+        );
+        let (ast, root) = tree(r#"(Arith op="*" (Const val=2) (Var name="y"))"#);
+        assert!(matches(&ast, root, &q));
+        let (ast2, root2) = tree(r#"(Arith op="*" (Const val=3) (Var name="y"))"#);
+        assert!(!matches(&ast2, root2, &q));
+    }
+
+    #[test]
+    fn wildcard_positions_do_not_bind() {
+        let schema = arith_schema();
+        let q = Pattern::compile(
+            &schema,
+            node("Arith", "A", [any(), any()], tru()),
+        );
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=1) (Var name="x"))"#);
+        let b = match_node(&ast, root, &q).unwrap();
+        assert_eq!(b.len(), 1, "only A binds");
+        assert_eq!(b.get(q.var("A").unwrap()), root);
+    }
+}

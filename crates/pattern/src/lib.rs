@@ -1,0 +1,27 @@
+//! The AST pattern-matching query language.
+//!
+//! Implements the paper's §2.1:
+//!
+//! - [`query::Pattern`] — the grammar `Q : AnyNode | Match(ℓ, i, [q…], θ)`
+//!   (Definition 2), compiled from the declarative [`dsl`] spec.
+//! - [`constraint::Constraint`] — the constraint grammar `Θ` (Figure 4):
+//!   comparisons and arithmetic over `var.attr` atoms, boolean connectives,
+//!   plus named *host predicates* standing in for the native side
+//!   conditions the paper's Appendix D patterns carry (e.g.
+//!   `canPushThrough(...)`, `o2 ⊆ r1`).
+//! - [`eval`] — the Figure 5 semantics: `⟦q(N)⟧ = (T, Γ) | (F, ∅)`, the
+//!   match set `q(N)` over `Desc(N)` (Definition 3), and the naive
+//!   full-tree scan that is the paper's **Naive** baseline.
+//! - [`sql`] — the Figure 6 reduction of a pattern to an SPJ query over
+//!   the relational encoding, consumed by the bolt-on IVM engines.
+
+pub mod constraint;
+pub mod dsl;
+pub mod eval;
+pub mod query;
+pub mod sql;
+
+pub use constraint::{ArithOp, Atom, AttrSource, CmpOp, Constraint, HostPred};
+pub use eval::{find_all, find_first, match_node, match_set, matches, Bindings, TreeAttrs};
+pub use query::{Pattern, PatternNode, VarId};
+pub use sql::{ChildJoin, SqlAtom, SqlQuery};

@@ -1,0 +1,483 @@
+//! The pattern grammar `Q` (Definition 2) and compiled [`Pattern`]s.
+
+use crate::constraint::Constraint;
+use crate::dsl::{CSpec, PatSpec};
+use std::fmt;
+use std::sync::Arc;
+use tt_ast::{FxHashMap, Label, Schema};
+
+/// A node variable (`i ∈ Σ_I`), dense per pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u16);
+
+/// One node of a compiled pattern:
+/// `AnyNode` or `Match(label, var, children, constraint)`.
+#[derive(Debug, Clone)]
+pub enum PatternNode {
+    /// Matches any node. An optional binder names the matched subtree so
+    /// rewrite generators can `Reuse` it (the paper's rules reference
+    /// wildcard positions by name, e.g. `Reuse(q₁)` in
+    /// PushDownSingletonBtreeLeft).
+    Any {
+        /// Optional binder for the wildcard-matched subtree.
+        var: Option<VarId>,
+    },
+    /// Structural match (label, binder, child patterns, constraint).
+    Match {
+        /// Required node label `ℓ_q`.
+        label: Label,
+        /// The node variable `i` bound to the matched node.
+        var: VarId,
+        /// Child patterns `[q_1 … q_n]`; the node must have exactly `n`
+        /// children (Figure 5 aligns them pairwise).
+        children: Vec<PatternNode>,
+        /// Constraint `θ` over this node's and descendants' attributes.
+        constraint: Constraint,
+    },
+}
+
+impl PatternNode {
+    /// Pattern depth `D(q)` (Definition 5): edges on the longest downward
+    /// path. `AnyNode` and childless `Match` have depth 0.
+    pub fn depth(&self) -> usize {
+        match self {
+            PatternNode::Any { .. } => 0,
+            PatternNode::Match { children, .. } => children
+                .iter()
+                .map(|c| 1 + c.depth())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// A compiled pattern query: the tree plus its variable table.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    schema: Arc<Schema>,
+    root: PatternNode,
+    /// Variable display names, indexed by `VarId`.
+    var_names: Vec<String>,
+    depth: usize,
+}
+
+impl Pattern {
+    /// Compiles a [`dsl`](crate::dsl) spec against `schema`. Interns
+    /// labels, attribute names, and node variables; panics on unknown
+    /// labels/attributes or duplicate variable names (authoring errors).
+    pub fn compile(schema: &Arc<Schema>, spec: PatSpec) -> Pattern {
+        let mut vars: Vec<String> = Vec::new();
+        let mut by_name: FxHashMap<String, VarId> = FxHashMap::default();
+        let root = compile_node(schema, spec, &mut vars, &mut by_name);
+        let depth = root.depth();
+        Pattern { schema: schema.clone(), root, var_names: vars, depth }
+    }
+
+    /// The pattern tree.
+    #[inline]
+    pub fn root(&self) -> &PatternNode {
+        &self.root
+    }
+
+    /// `D(q)`.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The schema the pattern was compiled against.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of node variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// A variable's display name.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.var_names[var.0 as usize]
+    }
+
+    /// Looks up a variable by name.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.var_names.iter().position(|n| n == name).map(|i| VarId(i as u16))
+    }
+
+    /// The root label, if the root is a `Match` (None for `AnyNode`).
+    pub fn root_label(&self) -> Option<Label> {
+        match &self.root {
+            PatternNode::Any { .. } => None,
+            PatternNode::Match { label, .. } => Some(*label),
+        }
+    }
+
+    /// The root binder variable, if any.
+    pub fn root_var(&self) -> Option<VarId> {
+        match &self.root {
+            PatternNode::Any { var } => *var,
+            PatternNode::Match { var, .. } => Some(*var),
+        }
+    }
+
+    /// The pattern node bound by `var`, if any (searching the tree).
+    pub fn node_of_var(&self, var: VarId) -> Option<&PatternNode> {
+        fn go<'a>(node: &'a PatternNode, var: VarId) -> Option<&'a PatternNode> {
+            match node {
+                PatternNode::Any { var: v } => (*v == Some(var)).then_some(node),
+                PatternNode::Match { var: v, children, .. } => {
+                    if *v == var {
+                        Some(node)
+                    } else {
+                        children.iter().find_map(|c| go(c, var))
+                    }
+                }
+            }
+        }
+        go(&self.root, var)
+    }
+
+    /// All labels mentioned by `Match` nodes (with repetition).
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        collect_labels(&self.root, &mut out);
+        out
+    }
+
+    /// Compiles an additional constraint spec against this pattern's
+    /// variable table (used for the "precise" side conditions an
+    /// optimizer evaluates inside a rule body, separately from the
+    /// structural guard).
+    pub fn compile_extra_constraint(&self, spec: CSpec) -> Constraint {
+        let by_name: FxHashMap<String, VarId> = self
+            .var_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), VarId(i as u16)))
+            .collect();
+        compile_constraint(&self.schema, spec, &by_name)
+    }
+}
+
+fn compile_node(
+    schema: &Arc<Schema>,
+    spec: PatSpec,
+    vars: &mut Vec<String>,
+    by_name: &mut FxHashMap<String, VarId>,
+) -> PatternNode {
+    fn intern_var(
+        vars: &mut Vec<String>,
+        by_name: &mut FxHashMap<String, VarId>,
+        var: String,
+    ) -> VarId {
+        assert!(!by_name.contains_key(&var), "pattern variable {var:?} bound twice");
+        let var_id = VarId(u16::try_from(vars.len()).expect("too many pattern vars"));
+        vars.push(var.clone());
+        by_name.insert(var, var_id);
+        var_id
+    }
+    match spec {
+        PatSpec::Any { var } => PatternNode::Any {
+            var: var.map(|v| intern_var(vars, by_name, v)),
+        },
+        PatSpec::Match { label, var, children, constraint } => {
+            let label_id = schema.expect_label(&label);
+            let var_id = intern_var(vars, by_name, var);
+            let children: Vec<PatternNode> = children
+                .into_iter()
+                .map(|c| compile_node(schema, c, vars, by_name))
+                .collect();
+            assert!(
+                children.len() <= schema.def(label_id).max_children,
+                "pattern on {} lists more children than the schema allows",
+                schema.label_name(label_id)
+            );
+            let constraint = compile_constraint(schema, constraint, by_name);
+            PatternNode::Match { label: label_id, var: var_id, children, constraint }
+        }
+    }
+}
+
+fn compile_constraint(
+    schema: &Arc<Schema>,
+    spec: CSpec,
+    by_name: &FxHashMap<String, VarId>,
+) -> Constraint {
+    use crate::constraint::{Atom, Constraint as C};
+    fn atom(
+        schema: &Arc<Schema>,
+        spec: crate::dsl::ASpec,
+        by_name: &FxHashMap<String, VarId>,
+    ) -> Atom {
+        use crate::dsl::ASpec;
+        match spec {
+            ASpec::Const(v) => Atom::Const(v),
+            ASpec::Attr(var, attr) => {
+                let var_id = *by_name
+                    .get(&var)
+                    .unwrap_or_else(|| panic!("constraint references unbound variable {var:?}"));
+                Atom::Attr(var_id, schema.expect_attr(&attr))
+            }
+            ASpec::Arith(op, a, b) => Atom::Arith(
+                op,
+                Box::new(atom(schema, *a, by_name)),
+                Box::new(atom(schema, *b, by_name)),
+            ),
+        }
+    }
+    match spec {
+        CSpec::True => C::True,
+        CSpec::False => C::False,
+        CSpec::Cmp(op, a, b) => C::Cmp(op, atom(schema, a, by_name), atom(schema, b, by_name)),
+        CSpec::And(a, b) => compile_constraint(schema, *a, by_name)
+            .and(compile_constraint(schema, *b, by_name)),
+        CSpec::Or(a, b) => C::Or(
+            Box::new(compile_constraint(schema, *a, by_name)),
+            Box::new(compile_constraint(schema, *b, by_name)),
+        ),
+        CSpec::Not(c) => C::Not(Box::new(compile_constraint(schema, *c, by_name))),
+        CSpec::Host(h) => C::Host(h),
+    }
+}
+
+fn collect_labels(node: &PatternNode, out: &mut Vec<Label>) {
+    if let PatternNode::Match { label, children, .. } = node {
+        out.push(*label);
+        for c in children {
+            collect_labels(c, out);
+        }
+    }
+}
+
+impl Pattern {
+    /// All pattern variables that name `Match` positions (as opposed to
+    /// named wildcards), in preorder. These are the positions whose nodes
+    /// a rewrite removes unless it reuses them.
+    pub fn match_vars(&self) -> Vec<VarId> {
+        fn go(node: &PatternNode, out: &mut Vec<VarId>) {
+            if let PatternNode::Match { var, children, .. } = node {
+                out.push(*var);
+                for c in children {
+                    go(c, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(&self.root, &mut out);
+        out
+    }
+
+    /// All named-wildcard variables, in preorder.
+    pub fn wildcard_vars(&self) -> Vec<VarId> {
+        fn go(node: &PatternNode, out: &mut Vec<VarId>) {
+            match node {
+                PatternNode::Any { var: Some(v) } => out.push(*v),
+                PatternNode::Any { var: None } => {}
+                PatternNode::Match { children, .. } => {
+                    for c in children {
+                        go(c, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(&self.root, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            p: &Pattern,
+            node: &PatternNode,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            match node {
+                PatternNode::Any { var: None } => write!(f, "_"),
+                PatternNode::Any { var: Some(v) } => write!(f, "{}@_", p.var_name(*v)),
+                PatternNode::Match { label, var, children, constraint } => {
+                    write!(f, "{}@{}", p.var_name(*var), p.schema.label_name(*label))?;
+                    if !children.is_empty() {
+                        write!(f, "(")?;
+                        for (i, c) in children.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            go(p, c, f)?;
+                        }
+                        write!(f, ")")?;
+                    }
+                    if !matches!(constraint, Constraint::True) {
+                        write!(f, "{{…}}")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, &self.root, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use tt_ast::schema::arith_schema;
+
+    /// Example 2.3's pattern: Arith(+) over Const(0) and Var.
+    pub(crate) fn add_zero_pattern() -> Pattern {
+        let schema = arith_schema();
+        Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [
+                    node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                    node("Var", "C", [], tru()),
+                ],
+                eq(attr("A", "op"), str_("+")),
+            ),
+        )
+    }
+
+    #[test]
+    fn compile_example_2_3() {
+        let p = add_zero_pattern();
+        assert_eq!(p.var_count(), 3);
+        assert_eq!(p.var_name(VarId(0)), "A");
+        assert_eq!(p.var("C"), Some(VarId(2)));
+        assert_eq!(p.depth(), 1, "Example 5.5: the running example has depth 1");
+        assert_eq!(p.root_label(), Some(p.schema().expect_label("Arith")));
+        assert_eq!(p.root_var(), Some(VarId(0)));
+        assert_eq!(p.labels().len(), 3);
+    }
+
+    #[test]
+    fn depth_of_deeper_patterns() {
+        let schema = arith_schema();
+        // Arith over (Arith over Const, Any), Any — depth 2.
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [
+                    node("Arith", "B", [node("Const", "C", [], tru()), any()], tru()),
+                    any(),
+                ],
+                tru(),
+            ),
+        );
+        assert_eq!(p.depth(), 2);
+        // A childless match and a bare wildcard are depth 0.
+        assert_eq!(Pattern::compile(&schema, node("Const", "X", [], tru())).depth(), 0);
+        assert_eq!(Pattern::compile(&schema, any()).depth(), 0);
+    }
+
+    #[test]
+    fn anynode_root_has_no_label_or_var() {
+        let schema = arith_schema();
+        let p = Pattern::compile(&schema, any());
+        assert_eq!(p.root_label(), None);
+        assert_eq!(p.root_var(), None);
+        assert_eq!(p.var_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn duplicate_variable_rejected() {
+        let schema = arith_schema();
+        let _ = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "A", [], tru()), any()],
+                tru(),
+            ),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn constraint_on_unbound_var_rejected() {
+        let schema = arith_schema();
+        let _ = Pattern::compile(
+            &schema,
+            node("Const", "B", [], eq(attr("Z", "val"), int(0))),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more children than the schema allows")]
+    fn overlong_child_list_rejected() {
+        let schema = arith_schema();
+        let _ = Pattern::compile(&schema, node("Const", "B", [any()], tru()));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = add_zero_pattern();
+        let s = p.to_string();
+        assert!(s.contains("A@Arith"));
+        assert!(s.contains("B@Const"));
+    }
+
+    #[test]
+    fn match_and_wildcard_var_partition() {
+        let schema = arith_schema();
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], tru()), any_as("q")],
+                tru(),
+            ),
+        );
+        let names = |vars: Vec<VarId>| -> Vec<String> {
+            vars.iter().map(|&v| p.var_name(v).to_string()).collect()
+        };
+        assert_eq!(names(p.match_vars()), vec!["A", "B"]);
+        assert_eq!(names(p.wildcard_vars()), vec!["q"]);
+        // Unnamed wildcards are invisible to both.
+        let p2 = Pattern::compile(&schema, node("Arith", "A", [any(), any()], tru()));
+        assert_eq!(p2.match_vars().len(), 1);
+        assert!(p2.wildcard_vars().is_empty());
+    }
+
+    #[test]
+    fn node_of_var_finds_positions() {
+        let schema = arith_schema();
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], tru()), any_as("q")],
+                tru(),
+            ),
+        );
+        let b = p.var("B").unwrap();
+        assert!(matches!(
+            p.node_of_var(b),
+            Some(PatternNode::Match { .. })
+        ));
+        let q = p.var("q").unwrap();
+        assert!(matches!(p.node_of_var(q), Some(PatternNode::Any { .. })));
+        assert!(p.node_of_var(VarId(99)).is_none());
+    }
+
+    #[test]
+    fn compile_extra_constraint_resolves_same_vars() {
+        let p = add_zero_pattern();
+        let extra = p.compile_extra_constraint(eq(attr("B", "val"), int(0)));
+        let mut vars = Vec::new();
+        extra.vars(&mut vars);
+        assert_eq!(vars, vec![p.var("B").unwrap()]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Reduction of patterns to SPJ queries (paper Figure 6).
+//!
+//! A pattern with `k` `Match` nodes becomes a `k`-ary join over the
+//! relations `R_ℓ` for each `Match` label; join constraints come from
+//! parent/child slots (`parent.child_x = child.id`), and pattern
+//! constraints transfer to the `WHERE` clause. `AnyNode` contributes
+//! nothing (`join(a, AnyNode) = T`).
+//!
+//! One addition beyond the paper's sketch: each `Match` node requires its
+//! node to have *exactly* the pattern's arity (Figure 5 aligns children
+//! pairwise), so the reduction records an arity requirement per atom; the
+//! relational encoding stores the child count alongside the child columns.
+
+use crate::constraint::Constraint;
+use crate::query::{Pattern, PatternNode, VarId};
+use tt_ast::Label;
+
+/// `(R_ℓ AS i)` — one relation atom of the join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlAtom {
+    /// The relation's label.
+    pub label: Label,
+    /// The pattern variable aliasing it.
+    pub var: VarId,
+    /// Required child count of matching nodes.
+    pub arity: usize,
+}
+
+/// `parent.child_index = child.id` — a parent/child equi-join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildJoin {
+    /// The parent-side variable.
+    pub parent: VarId,
+    /// Which child slot (0-based; the paper's `child_x` is 1-based).
+    pub child_index: usize,
+    /// The child-side variable.
+    pub child: VarId,
+}
+
+/// The reduced query: `SELECT * FROM atoms WHERE joins ∧ filters`.
+#[derive(Debug, Clone)]
+pub struct SqlQuery {
+    /// Join atoms in pattern preorder (root first).
+    pub atoms: Vec<SqlAtom>,
+    /// Parent/child equi-joins.
+    pub joins: Vec<ChildJoin>,
+    /// Per-`Match` constraints (`θ` fragments), paired with the variable
+    /// of the `Match` node that carried them.
+    pub filters: Vec<(VarId, Constraint)>,
+    /// Size of the pattern's variable space (join rows are indexed by
+    /// `VarId`; named-wildcard slots stay unbound in relational rows).
+    pub var_space: usize,
+}
+
+impl SqlQuery {
+    /// Reduces `pattern` per Figure 6. Panics if the pattern root is
+    /// `AnyNode` (such a "query" matches everything; the paper's reduction
+    /// yields the empty join, which no bolt-on engine materializes), or if
+    /// a constraint references a named wildcard (whose label — hence
+    /// relation — is unknown, so no relational image can evaluate it).
+    pub fn from_pattern(pattern: &Pattern) -> SqlQuery {
+        assert!(
+            !matches!(pattern.root(), PatternNode::Any { .. }),
+            "cannot reduce a bare AnyNode pattern to SQL"
+        );
+        let mut q = SqlQuery {
+            atoms: Vec::new(),
+            joins: Vec::new(),
+            filters: Vec::new(),
+            var_space: pattern.var_count(),
+        };
+        reduce(pattern.root(), &mut q);
+        let atom_vars: Vec<VarId> = q.atoms.iter().map(|a| a.var).collect();
+        for (_, c) in &q.filters {
+            let mut used = Vec::new();
+            c.vars(&mut used);
+            for v in used {
+                assert!(
+                    atom_vars.contains(&v),
+                    "constraint references wildcard variable {:?}, which has no relation",
+                    pattern.var_name(v)
+                );
+            }
+        }
+        q
+    }
+
+    /// The variable of the atom whose tuple *is* the match root.
+    pub fn root_var(&self) -> VarId {
+        self.atoms[0].var
+    }
+
+    /// Number of join atoms (the paper's join width `k`).
+    pub fn width(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The atom aliased by `var`.
+    pub fn atom(&self, var: VarId) -> &SqlAtom {
+        self.atoms
+            .iter()
+            .find(|a| a.var == var)
+            .expect("variable not in query")
+    }
+}
+
+fn reduce(node: &PatternNode, q: &mut SqlQuery) {
+    let PatternNode::Match { label, var, children, constraint } = node else {
+        return; // AnyNode (named or not): R_q = ∅, θ_q = T
+    };
+    q.atoms.push(SqlAtom { label: *label, var: *var, arity: children.len() });
+    if !matches!(constraint, Constraint::True) {
+        q.filters.push((*var, constraint.clone()));
+    }
+    for (idx, child) in children.iter().enumerate() {
+        if let PatternNode::Match { var: child_var, .. } = child {
+            q.joins.push(ChildJoin { parent: *var, child_index: idx, child: *child_var });
+        }
+        reduce(child, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::Pattern;
+    use tt_ast::schema::arith_schema;
+
+    #[test]
+    fn example_3_1_reduction() {
+        // SELECT * FROM Arith a, Const b, Var c
+        // WHERE a.child1 = b.id AND a.child2 = c.id
+        //   AND a.op = '+' AND b.val = 0
+        let schema = arith_schema();
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "a",
+                [
+                    node("Const", "b", [], eq(attr("b", "val"), int(0))),
+                    node("Var", "c", [], tru()),
+                ],
+                eq(attr("a", "op"), str_("+")),
+            ),
+        );
+        let q = SqlQuery::from_pattern(&p);
+        assert_eq!(q.width(), 3);
+        let labels: Vec<&str> =
+            q.atoms.iter().map(|a| schema.label_name(a.label)).collect();
+        assert_eq!(labels, vec!["Arith", "Const", "Var"]);
+        let a = p.var("a").unwrap();
+        let b = p.var("b").unwrap();
+        let c = p.var("c").unwrap();
+        assert_eq!(q.root_var(), a);
+        assert_eq!(
+            q.joins,
+            vec![
+                ChildJoin { parent: a, child_index: 0, child: b },
+                ChildJoin { parent: a, child_index: 1, child: c },
+            ]
+        );
+        // Two θ fragments: a.op='+' and b.val=0. Var's T is dropped.
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.atom(a).arity, 2);
+        assert_eq!(q.atom(b).arity, 0);
+    }
+
+    #[test]
+    fn anynode_children_contribute_no_joins() {
+        let schema = arith_schema();
+        let p = Pattern::compile(&schema, node("Arith", "a", [any(), any()], tru()));
+        let q = SqlQuery::from_pattern(&p);
+        assert_eq!(q.width(), 1);
+        assert!(q.joins.is_empty());
+        assert!(q.filters.is_empty());
+        assert_eq!(q.atom(p.var("a").unwrap()).arity, 2, "arity still counts wildcards");
+    }
+
+    #[test]
+    fn nested_patterns_produce_chained_joins() {
+        let schema = arith_schema();
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "a",
+                [
+                    node("Arith", "b", [node("Const", "c", [], tru()), any()], tru()),
+                    any(),
+                ],
+                tru(),
+            ),
+        );
+        let q = SqlQuery::from_pattern(&p);
+        assert_eq!(q.width(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].parent, p.var("a").unwrap());
+        assert_eq!(q.joins[1].parent, p.var("b").unwrap());
+        assert_eq!(q.joins[1].child, p.var("c").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "bare AnyNode")]
+    fn bare_any_rejected() {
+        let schema = arith_schema();
+        let p = Pattern::compile(&schema, any());
+        let _ = SqlQuery::from_pattern(&p);
+    }
+}

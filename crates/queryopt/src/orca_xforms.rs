@@ -1,0 +1,381 @@
+//! Orca's transforms encoded in the paper's pattern grammar
+//! (paper Appendix C + E).
+//!
+//! Appendix C gives schemas for Orca's `CExpression` nodes
+//! (`CLogicalGet`, `CLogicalSelect`, `CLogicalInnerJoin`,
+//! `CLogicalUnionAll`, …); Appendix E encodes its xforms — pattern plus
+//! the `Exfp` promise as a constraint — in the `Q` grammar, e.g.:
+//!
+//! ```text
+//! Get2TableScan:      Match(CLogicalGet, [exprhdl, t, pt, …], ∅, pt.isPartitioned)
+//! Select2Filter:      Match(CLogicalSelect, […], q₁, exprhdl.hasSubQuery)
+//! InnerJoin2NLJoin:   Match(CLogicalInnerJoin, […], q₁, q₂, …)
+//! JoinCommutativity:  Match(CLogicalInnerJoin, […], q₁, q₂, exprhdl.id)
+//! ```
+//!
+//! We reproduce that encoding as complete `⟨q, g⟩` rules: the promise
+//! becomes a `Θ` constraint (negated where the C++ returns `ExfpNone`),
+//! and the implementation xforms generate the corresponding physical
+//! operators, reusing their relational children. Orca's n-ary join takes
+//! its children through `CPatternMultiLeaf`; like the paper ("this is a
+//! limitation we impose largely for simplicity of presentation") we fix
+//! the arity — joins carry left, right, and a scalar predicate child.
+
+use std::sync::Arc;
+use treetoaster_core::generator::{acopy, gen, reuse, GenSpec};
+use treetoaster_core::{RewriteRule, RuleSet};
+use tt_ast::{Schema, SchemaBuilder};
+use tt_pattern::dsl as p;
+use tt_pattern::Pattern;
+
+/// Builds the Orca `CExpression` schema (Appendix C, simplified to the
+/// attributes the xform promises read).
+pub fn orca_schema() -> Arc<Schema> {
+    builder().finish()
+}
+
+fn builder() -> SchemaBuilder {
+    Schema::builder()
+        // Logical operators.
+        .label("CLogicalGet", &["relname", "isPartitioned"], 0)
+        .label("CLogicalSelect", &["hasSubquery"], 2) // relational child, predicate
+        .label("CLogicalInnerJoin", &["joinId"], 3) // left, right, predicate
+        .label("CLogicalUnionAll", &["arity"], 2)
+        // Scalars (predicate subtrees are opaque leaves here).
+        .label("CScalarCmp", &["condId"], 0)
+        // Physical operators the implementation xforms produce.
+        .label("CPhysicalTableScan", &["relname"], 0)
+        .label("CPhysicalFilter", &[], 2)
+        .label("CPhysicalNLJoin", &["joinId"], 3)
+        .label("CPhysicalHashJoin", &["joinId"], 3)
+        .label("CPhysicalUnionAll", &["arity"], 2)
+}
+
+fn rule(
+    name: &str,
+    schema: &Arc<Schema>,
+    pattern: tt_pattern::dsl::PatSpec,
+    generator: GenSpec,
+) -> RewriteRule {
+    RewriteRule::new(name, schema, Pattern::compile(schema, pattern), generator)
+}
+
+/// E.5 Get2TableScan — promise `ExfpNone` when the table is partitioned.
+fn get_to_table_scan(schema: &Arc<Schema>) -> RewriteRule {
+    rule(
+        "Get2TableScan",
+        schema,
+        p::node(
+            "CLogicalGet",
+            "G",
+            [],
+            p::eq(p::attr("G", "isPartitioned"), p::boolean(false)),
+        ),
+        gen("CPhysicalTableScan", [("relname", acopy("G", "relname"))], []),
+    )
+}
+
+/// E.6 Select2Filter — promise `ExfpNone` when the predicate carries a
+/// subquery (they "must be unnested before applying xform").
+fn select_to_filter(schema: &Arc<Schema>) -> RewriteRule {
+    rule(
+        "Select2Filter",
+        schema,
+        p::node(
+            "CLogicalSelect",
+            "S",
+            [p::any_as("rel"), p::any_as("pred")],
+            p::eq(p::attr("S", "hasSubquery"), p::boolean(false)),
+        ),
+        gen("CPhysicalFilter", [], [reuse("rel"), reuse("pred")]),
+    )
+}
+
+/// E.7/E.8 InnerJoin2{NL,Hash}Join — both share the three-leaf pattern;
+/// the paper encodes the promise as `ExfpLogicalJoin2PhysicalJoin`. We
+/// route odd join ids to nested loops and even ones to hash joins so the
+/// two xforms partition the work deterministically.
+fn inner_join_impl(schema: &Arc<Schema>, hash: bool) -> RewriteRule {
+    let parity = |var: &str| {
+        // joinId mod 2: 0 → hash-joinable (equi-join), 1 → NL.
+        p::eq(
+            p::sub(
+                p::attr(var, "joinId"),
+                p::mul(p::div(p::attr(var, "joinId"), p::int(2)), p::int(2)),
+            ),
+            p::int(if hash { 0 } else { 1 }),
+        )
+    };
+    rule(
+        if hash { "InnerJoin2HashJoin" } else { "InnerJoin2NLJoin" },
+        schema,
+        p::node(
+            "CLogicalInnerJoin",
+            "J",
+            [p::any_as("left"), p::any_as("right"), p::any_as("pred")],
+            parity("J"),
+        ),
+        gen(
+            if hash { "CPhysicalHashJoin" } else { "CPhysicalNLJoin" },
+            [("joinId", acopy("J", "joinId"))],
+            [reuse("left"), reuse("right"), reuse("pred")],
+        ),
+    )
+}
+
+/// E.9 JoinCommutativity — an exploration xform: swap the join inputs.
+/// Its `FCompatible` guard stops it from firing on its own output; we
+/// encode that with a parity flip on `joinId` so a single application
+/// marks the expression as already-commuted.
+fn join_commutativity(schema: &Arc<Schema>) -> RewriteRule {
+    let pattern = Pattern::compile(
+        schema,
+        p::node(
+            "CLogicalInnerJoin",
+            "J",
+            [p::any_as("left"), p::any_as("right"), p::any_as("pred")],
+            p::lt(p::attr("J", "joinId"), p::int(0)),
+        ),
+    );
+    let joinid = pattern.var("J").expect("binds J");
+    let flipped = treetoaster_core::generator::acompute("negateJoinId", move |ctx| {
+        let attr = ctx.ast.schema().expect_attr("joinId");
+        tt_ast::Value::Int(-ctx.ast.attr(ctx.bindings.get(joinid), attr).as_int())
+    });
+    RewriteRule::new(
+        "JoinCommutativity",
+        schema,
+        pattern,
+        gen(
+            "CLogicalInnerJoin",
+            [("joinId", flipped)],
+            [reuse("right"), reuse("left"), reuse("pred")],
+        ),
+    )
+}
+
+/// E.10 ImplementUnionAll.
+fn implement_union_all(schema: &Arc<Schema>) -> RewriteRule {
+    rule(
+        "ImplementUnionAll",
+        schema,
+        p::node(
+            "CLogicalUnionAll",
+            "U",
+            [p::any_as("a"), p::any_as("b")],
+            p::tru(),
+        ),
+        gen(
+            "CPhysicalUnionAll",
+            [("arity", acopy("U", "arity"))],
+            [reuse("a"), reuse("b")],
+        ),
+    )
+}
+
+/// The Appendix-E xform set: exploration (JoinCommutativity) first, then
+/// the implementation xforms.
+pub fn orca_xforms(schema: &Arc<Schema>) -> RuleSet {
+    RuleSet::from_rules(vec![
+        join_commutativity(schema),
+        get_to_table_scan(schema),
+        select_to_filter(schema),
+        inner_join_impl(schema, false),
+        inner_join_impl(schema, true),
+        implement_union_all(schema),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treetoaster_core::{MatchSource, NaiveStrategy, TreeToasterEngine};
+    use tt_ast::{Ast, NodeId, Value};
+    use tt_pattern::match_node;
+
+    /// Builds `SELECT ... FROM (a ⋈ b) WHERE p` as a logical CExpression.
+    fn logical_plan(ast: &mut Ast, join_id: i64, partitioned: bool) -> NodeId {
+        let s = ast.schema().clone();
+        let get = |ast: &mut Ast, name: &str, part: bool| {
+            ast.alloc(
+                s.expect_label("CLogicalGet"),
+                vec![Value::str(name), Value::Bool(part)],
+                vec![],
+            )
+        };
+        let a = get(ast, "lineitem", partitioned);
+        let b = get(ast, "orders", false);
+        let join_pred = ast.alloc(s.expect_label("CScalarCmp"), vec![Value::Int(1)], vec![]);
+        let join = ast.alloc(
+            s.expect_label("CLogicalInnerJoin"),
+            vec![Value::Int(join_id)],
+            vec![a, b, join_pred],
+        );
+        let sel_pred = ast.alloc(s.expect_label("CScalarCmp"), vec![Value::Int(2)], vec![]);
+        ast.alloc(
+            s.expect_label("CLogicalSelect"),
+            vec![Value::Bool(false)],
+            vec![join, sel_pred],
+        )
+    }
+
+    fn drive_to_fixpoint(ast: &mut Ast, rules: &Arc<RuleSet>) -> usize {
+        let mut naive = NaiveStrategy::new(rules.clone());
+        let mut applied = 0;
+        let mut tick = 0;
+        loop {
+            let mut fired = false;
+            for (rid, rule) in rules.iter() {
+                while let Some(site) = naive.find_one(ast, rid) {
+                    let b = match_node(ast, site, &rule.pattern).unwrap();
+                    rule.apply(ast, site, &b, tick);
+                    tick += 1;
+                    applied += 1;
+                    fired = true;
+                    assert!(applied < 1000, "xforms must terminate");
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+        applied
+    }
+
+    #[test]
+    fn logical_plan_lowers_to_physical() {
+        let schema = orca_schema();
+        let rules = Arc::new(orca_xforms(&schema));
+        let mut ast = Ast::new(schema.clone());
+        // Even join id → hash join path.
+        let root = logical_plan(&mut ast, 42, false);
+        ast.set_root(root);
+        let applied = drive_to_fixpoint(&mut ast, &rules);
+        assert!(applied >= 4, "get×2 + join + select lowered");
+        // Every remaining operator is physical or scalar.
+        for n in ast.descendants(ast.root()) {
+            let name = schema.label_name(ast.label(n));
+            assert!(
+                name.starts_with("CPhysical") || name.starts_with("CScalar"),
+                "unlowered operator {name}"
+            );
+        }
+        // The join became a hash join (even id).
+        let filter = ast.root();
+        assert_eq!(schema.label_name(ast.label(filter)), "CPhysicalFilter");
+        let join = ast.children(filter)[0];
+        assert_eq!(schema.label_name(ast.label(join)), "CPhysicalHashJoin");
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn odd_join_ids_take_the_nl_path() {
+        let schema = orca_schema();
+        let rules = Arc::new(orca_xforms(&schema));
+        let mut ast = Ast::new(schema.clone());
+        let root = logical_plan(&mut ast, 7, false);
+        ast.set_root(root);
+        drive_to_fixpoint(&mut ast, &rules);
+        let join = ast.children(ast.root())[0];
+        assert_eq!(schema.label_name(ast.label(join)), "CPhysicalNLJoin");
+    }
+
+    #[test]
+    fn partitioned_get_blocks_table_scan_promise() {
+        // E.5: promise returns ExfpNone for partitioned tables, so the
+        // Get never lowers and the fixpoint leaves it logical.
+        let schema = orca_schema();
+        let rules = Arc::new(orca_xforms(&schema));
+        let mut ast = Ast::new(schema.clone());
+        let root = logical_plan(&mut ast, 4, true);
+        ast.set_root(root);
+        drive_to_fixpoint(&mut ast, &rules);
+        let logical_gets = ast
+            .descendants(ast.root())
+            .filter(|&n| schema.label_name(ast.label(n)) == "CLogicalGet")
+            .count();
+        assert_eq!(logical_gets, 1, "the partitioned get survives");
+    }
+
+    #[test]
+    fn join_commutativity_fires_once_and_swaps() {
+        let schema = orca_schema();
+        let rules = Arc::new(orca_xforms(&schema));
+        let mut ast = Ast::new(schema.clone());
+        let s = schema.clone();
+        let a = ast.alloc(
+            s.expect_label("CLogicalGet"),
+            vec![Value::str("a"), Value::Bool(true)], // partitioned: stays logical
+            vec![],
+        );
+        let b = ast.alloc(
+            s.expect_label("CLogicalGet"),
+            vec![Value::str("b"), Value::Bool(true)],
+            vec![],
+        );
+        let pred = ast.alloc(s.expect_label("CScalarCmp"), vec![Value::Int(1)], vec![]);
+        // Negative join id marks "not yet commuted".
+        let join = ast.alloc(
+            s.expect_label("CLogicalInnerJoin"),
+            vec![Value::Int(-9)],
+            vec![a, b, pred],
+        );
+        ast.set_root(join);
+        drive_to_fixpoint(&mut ast, &rules);
+        // After commuting (id 9 → odd → NL join), children are swapped.
+        let root = ast.root();
+        assert_eq!(schema.label_name(ast.label(root)), "CPhysicalNLJoin");
+        let relname = s.expect_attr("relname");
+        assert_eq!(ast.attr(ast.children(root)[0], relname).as_str(), "b");
+        assert_eq!(ast.attr(ast.children(root)[1], relname).as_str(), "a");
+    }
+
+    #[test]
+    fn xforms_maintainable_by_treetoaster_views() {
+        // The whole point of encoding Appendix E in the Q grammar: the
+        // xform set drops into TreeToaster unchanged.
+        let schema = orca_schema();
+        let rules = Arc::new(orca_xforms(&schema));
+        let mut ast = Ast::new(schema.clone());
+        let root = logical_plan(&mut ast, 10, false);
+        ast.set_root(root);
+        let mut engine = TreeToasterEngine::new(rules.clone());
+        engine.rebuild(&ast);
+        engine.check_views_correct(&ast).unwrap();
+        let mut tick = 0;
+        loop {
+            let mut fired = false;
+            for (rid, rule) in rules.iter() {
+                while let Some(site) = engine.find_one(&ast, rid) {
+                    let b = match_node(&ast, site, &rule.pattern).unwrap();
+                    engine.before_replace(&ast, site, Some((rid, &b)));
+                    let applied = rule.apply(&mut ast, site, &b, tick);
+                    tick += 1;
+                    let ctx = treetoaster_core::ReplaceCtx {
+                        old_root: applied.old_root,
+                        new_root: applied.new_root,
+                        removed: &applied.removed,
+                        inserted: applied.inserted(),
+                        parent_update: applied.parent_update.as_ref(),
+                        rule: Some(treetoaster_core::RuleFired {
+                            rule: rid,
+                            bindings: &b,
+                            applied: &applied,
+                        }),
+                    };
+                    engine.after_replace(&ast, &ctx);
+                    fired = true;
+                }
+            }
+            engine.check_views_correct(&ast).unwrap();
+            if !fired {
+                break;
+            }
+        }
+        assert!(
+            ast.descendants(ast.root())
+                .all(|n| !schema.label_name(ast.label(n)).starts_with("CLogical")),
+            "fully lowered under view-driven search"
+        );
+    }
+}

@@ -1,0 +1,691 @@
+//! Optimizer rules modeled on the paper's Appendix D transforms.
+//!
+//! Each rule carries the *weak* structural guard (what Catalyst's `case`
+//! clause pattern-matches on) and, where the real transform does further
+//! semantic analysis inside its body, a *precise* check. A structural
+//! match whose precise check fails is an **ineffective rewrite**: the
+//! optimizer has already spent the time matching (and in Catalyst,
+//! constructing a replacement it then discards) — exactly the
+//! "Ineffective" band of the paper's Figure 1.
+//!
+//! In [`catalyst_rules`]' *folded* mode the precise checks are merged
+//! into the pattern constraints: every view element is then genuinely
+//! applicable, which is what an IVM-backed optimizer needs (and is the
+//! form the paper's §6 declarative rules take).
+
+use std::sync::Arc;
+use treetoaster_core::generator::{acompute, aconst, acopy, gen, reuse, AttrSpec, GenCtx, GenSpec};
+use treetoaster_core::{RewriteRule, RuleSet};
+use tt_ast::{Schema, Value};
+use tt_pattern::dsl::{self as p, CSpec, PatSpec};
+use tt_pattern::{Constraint, Pattern, VarId};
+
+/// One optimizer rule: the core rewrite plus the optional precise check
+/// (compiled against the same pattern variables).
+pub struct OptRule {
+    /// The rewrite (pattern = weak guard in unfolded mode, weak ∧ precise
+    /// in folded mode).
+    pub rule: RewriteRule,
+    /// The rule body's semantic check; `None` in folded mode or for
+    /// always-effective transforms.
+    pub precise: Option<Constraint>,
+}
+
+struct RuleSpec {
+    name: &'static str,
+    weak: fn() -> PatSpec,
+    precise: Option<fn() -> CSpec>,
+    generator: fn(&Pattern) -> GenSpec,
+}
+
+/// Builds the rule set. With `fold_precise`, precise checks are merged
+/// into the pattern constraints (the IVM-ready declarative form); without
+/// it, they are returned separately and their failures surface as
+/// ineffective rewrites.
+pub fn catalyst_rules(schema: &Arc<Schema>, fold_precise: bool) -> Vec<OptRule> {
+    specs()
+        .into_iter()
+        .map(|spec| {
+            let weak = (spec.weak)();
+            let pattern_spec = if fold_precise {
+                match spec.precise {
+                    Some(precise) => with_constraint(weak, precise()),
+                    None => weak,
+                }
+            } else {
+                weak
+            };
+            let pattern = Pattern::compile(schema, pattern_spec);
+            let genspec = (spec.generator)(&pattern);
+            let rule = RewriteRule::new(spec.name, schema, pattern, genspec);
+            let precise = if fold_precise {
+                None
+            } else {
+                spec.precise.map(|f| rule.pattern.compile_extra_constraint(f()))
+            };
+            OptRule { rule, precise }
+        })
+        .collect()
+}
+
+/// The folded rules as a [`RuleSet`] (for TreeToaster view maintenance).
+pub fn catalyst_ruleset(schema: &Arc<Schema>) -> Arc<RuleSet> {
+    Arc::new(RuleSet::from_rules(
+        catalyst_rules(schema, true).into_iter().map(|r| r.rule).collect(),
+    ))
+}
+
+fn with_constraint(spec: PatSpec, extra: CSpec) -> PatSpec {
+    match spec {
+        PatSpec::Match { label, var, children, constraint } => PatSpec::Match {
+            label,
+            var,
+            children,
+            constraint: CSpec::And(Box::new(constraint), Box::new(extra)),
+        },
+        PatSpec::Any { .. } => panic!("cannot constrain a wildcard root"),
+    }
+}
+
+/// Computed attribute: copy the `output` set of the node bound to `name`.
+fn copy_output(pattern: &Pattern, name: &str) -> AttrSpec {
+    let var = expect_var(pattern, name);
+    acompute("copyOutput", move |ctx: &GenCtx| {
+        let output = ctx.ast.schema().expect_attr("output");
+        ctx.ast.attr(ctx.bindings.get(var), output).clone()
+    })
+}
+
+/// Computed attribute: `references(a) ∪ references(b)`.
+fn refs_union(pattern: &Pattern, a: &str, b: &str) -> AttrSpec {
+    let (va, vb) = (expect_var(pattern, a), expect_var(pattern, b));
+    acompute("refsUnion", move |ctx: &GenCtx| {
+        let refs = ctx.ast.schema().expect_attr("references");
+        let sa = ctx.ast.attr(ctx.bindings.get(va), refs).as_set().clone();
+        let sb = ctx.ast.attr(ctx.bindings.get(vb), refs).as_set();
+        Value::Set(Arc::new(sa.union(sb)))
+    })
+}
+
+/// Computed attribute: synthetic conjunction of two condition ids.
+fn combined_cond(pattern: &Pattern, a: &str, b: &str) -> AttrSpec {
+    let (va, vb) = (expect_var(pattern, a), expect_var(pattern, b));
+    acompute("combineCond", move |ctx: &GenCtx| {
+        let cond = ctx.ast.schema().expect_attr("cond");
+        let ca = ctx.ast.attr(ctx.bindings.get(va), cond).as_int();
+        let cb = ctx.ast.attr(ctx.bindings.get(vb), cond).as_int();
+        Value::Int(ca.wrapping_mul(31).wrapping_add(cb))
+    })
+}
+
+fn expect_var(pattern: &Pattern, name: &str) -> VarId {
+    pattern
+        .var(name)
+        .unwrap_or_else(|| panic!("pattern lacks variable {name:?}"))
+}
+
+/// Computed attribute: `min(limit(a), limit(b))`.
+fn min_limit(pattern: &Pattern, a: &str, b: &str) -> AttrSpec {
+    let (va, vb) = (expect_var(pattern, a), expect_var(pattern, b));
+    acompute("minLimit", move |ctx: &GenCtx| {
+        let limit = ctx.ast.schema().expect_attr("limit");
+        let la = ctx.ast.attr(ctx.bindings.get(va), limit).as_int();
+        let lb = ctx.ast.attr(ctx.bindings.get(vb), limit).as_int();
+        Value::Int(la.min(lb))
+    })
+}
+
+fn specs() -> Vec<RuleSpec> {
+    vec![
+        // D.1 RemoveNoopOperators — Project(_, child) if child.sameOutput(p).
+        RuleSpec {
+            name: "RemoveNoopProject",
+            weak: || p::node("Project", "P", [p::any_as("X")], p::tru()),
+            precise: Some(|| p::eq(p::attr("P", "output"), p::attr("X", "output"))),
+            generator: |_| reuse("X"),
+        },
+        // D.1 RemoveNoopOperators — Window if windowExpressions.isEmpty.
+        RuleSpec {
+            name: "RemoveNoopWindow",
+            weak: || {
+                p::node(
+                    "Window",
+                    "W",
+                    [p::any_as("X")],
+                    p::eq(p::attr("W", "windowEmpty"), p::boolean(true)),
+                )
+            },
+            precise: None,
+            generator: |_| reuse("X"),
+        },
+        // D.2 CombineFilters — both filters deterministic.
+        RuleSpec {
+            name: "CombineFilters",
+            weak: || {
+                p::node(
+                    "Filter",
+                    "F1",
+                    [p::node("Filter", "F2", [p::any_as("X")], p::tru())],
+                    p::and(
+                        p::eq(p::attr("F1", "deterministic"), p::boolean(true)),
+                        p::eq(p::attr("F2", "deterministic"), p::boolean(true)),
+                    ),
+                )
+            },
+            precise: None,
+            generator: |pat| {
+                gen(
+                    "Filter",
+                    [
+                        ("output", acopy("F2", "output")),
+                        ("references", refs_union(pat, "F1", "F2")),
+                        ("cond", combined_cond(pat, "F1", "F2")),
+                        ("deterministic", aconst(Value::Bool(true))),
+                    ],
+                    [reuse("X")],
+                )
+            },
+        },
+        // D.3 PushPredicateThroughNonJoin — Filter over Project; the body
+        // checks canPushThroughCondition (modeled: F.references ⊆ X.output).
+        RuleSpec {
+            name: "PushFilterThroughProject",
+            weak: || {
+                p::node(
+                    "Filter",
+                    "F",
+                    [p::node(
+                        "Project",
+                        "P",
+                        [p::any_as("X")],
+                        p::eq(p::attr("P", "deterministic"), p::boolean(true)),
+                    )],
+                    p::tru(),
+                )
+            },
+            precise: Some(|| p::le(p::attr("F", "references"), p::attr("X", "output"))),
+            generator: |pat| {
+                gen(
+                    "Project",
+                    [
+                        ("output", acopy("P", "output")),
+                        ("references", acopy("P", "references")),
+                        ("deterministic", acopy("P", "deterministic")),
+                    ],
+                    [gen(
+                        "Filter",
+                        [
+                            ("output", copy_output(pat, "X")),
+                            ("references", acopy("F", "references")),
+                            ("cond", acopy("F", "cond")),
+                            ("deterministic", acopy("F", "deterministic")),
+                        ],
+                        [reuse("X")],
+                    )],
+                )
+            },
+        },
+        // D.4 PushPredicateThroughJoin — push into the left input when the
+        // predicate only references it; joinType guard folded (Inner).
+        RuleSpec {
+            name: "PushFilterThroughJoin",
+            weak: || {
+                p::node(
+                    "Filter",
+                    "F",
+                    [p::node(
+                        "Join",
+                        "J",
+                        [p::any_as("A"), p::any_as("B")],
+                        p::eq(p::attr("J", "joinType"), p::str_("Inner")),
+                    )],
+                    p::tru(),
+                )
+            },
+            precise: Some(|| p::le(p::attr("F", "references"), p::attr("A", "output"))),
+            generator: |pat| {
+                gen(
+                    "Join",
+                    [
+                        ("output", acopy("J", "output")),
+                        ("references", acopy("J", "references")),
+                        ("joinType", acopy("J", "joinType")),
+                        ("cond", acopy("J", "cond")),
+                    ],
+                    [
+                        gen(
+                            "Filter",
+                            [
+                                ("output", copy_output(pat, "A")),
+                                ("references", acopy("F", "references")),
+                                ("cond", acopy("F", "cond")),
+                                ("deterministic", acopy("F", "deterministic")),
+                            ],
+                            [reuse("A")],
+                        ),
+                        reuse("B"),
+                    ],
+                )
+            },
+        },
+        // D.4 PushPredicateThroughJoin, right-input variant.
+        RuleSpec {
+            name: "PushFilterThroughJoinRight",
+            weak: || {
+                p::node(
+                    "Filter",
+                    "F",
+                    [p::node(
+                        "Join",
+                        "J",
+                        [p::any_as("A"), p::any_as("B")],
+                        p::eq(p::attr("J", "joinType"), p::str_("Inner")),
+                    )],
+                    p::tru(),
+                )
+            },
+            precise: Some(|| p::le(p::attr("F", "references"), p::attr("B", "output"))),
+            generator: |pat| {
+                gen(
+                    "Join",
+                    [
+                        ("output", acopy("J", "output")),
+                        ("references", acopy("J", "references")),
+                        ("joinType", acopy("J", "joinType")),
+                        ("cond", acopy("J", "cond")),
+                    ],
+                    [
+                        reuse("A"),
+                        gen(
+                            "Filter",
+                            [
+                                ("output", copy_output(pat, "B")),
+                                ("references", acopy("F", "references")),
+                                ("cond", acopy("F", "cond")),
+                                ("deterministic", acopy("F", "deterministic")),
+                            ],
+                            [reuse("B")],
+                        ),
+                    ],
+                )
+            },
+        },
+        // CombineLimits — stacked LIMIT pairs collapse to the minimum.
+        // A four-Match pattern: the paper notes its CollapseProject
+        // example's "4-way join which is an exception; most others look
+        // at a 3-level deep subtree".
+        RuleSpec {
+            name: "CombineLimits",
+            weak: || {
+                p::node(
+                    "GlobalLimit",
+                    "G1",
+                    [p::node(
+                        "LocalLimit",
+                        "L1",
+                        [p::node(
+                            "GlobalLimit",
+                            "G2",
+                            [p::node("LocalLimit", "L2", [p::any_as("X")], p::tru())],
+                            p::tru(),
+                        )],
+                        p::tru(),
+                    )],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |pat| {
+                gen(
+                    "GlobalLimit",
+                    [
+                        ("output", acopy("G2", "output")),
+                        ("references", acopy("G1", "references")),
+                        ("limit", min_limit(pat, "G1", "G2")),
+                    ],
+                    [gen(
+                        "LocalLimit",
+                        [
+                            ("output", acopy("L2", "output")),
+                            ("references", acopy("L1", "references")),
+                            ("limit", min_limit(pat, "L1", "L2")),
+                        ],
+                        [reuse("X")],
+                    )],
+                )
+            },
+        },
+        // D.10 CollapseProject — body checks isRenaming, modeled as
+        // P1.output ⊆ P2.output.
+        RuleSpec {
+            name: "CollapseProject",
+            weak: || {
+                p::node(
+                    "Project",
+                    "P1",
+                    [p::node("Project", "P2", [p::any_as("X")], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: Some(|| p::le(p::attr("P1", "output"), p::attr("P2", "output"))),
+            generator: |_| {
+                gen(
+                    "Project",
+                    [
+                        ("output", acopy("P1", "output")),
+                        ("references", acopy("P2", "references")),
+                        ("deterministic", acopy("P2", "deterministic")),
+                    ],
+                    [reuse("X")],
+                )
+            },
+        },
+        // D.5 ColumnPruning's union case — push a Project below UNION ALL.
+        RuleSpec {
+            name: "PushProjectThroughUnion",
+            weak: || {
+                p::node(
+                    "Project",
+                    "P",
+                    [p::node("UnionAll", "U", [p::any_as("A"), p::any_as("B")], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |_| {
+                let side = |branch: &str| {
+                    gen(
+                        "Project",
+                        [
+                            ("output", acopy("P", "output")),
+                            ("references", acopy("P", "references")),
+                            ("deterministic", acopy("P", "deterministic")),
+                        ],
+                        [reuse(branch)],
+                    )
+                };
+                gen(
+                    "UnionAll",
+                    [("output", acopy("P", "output")), ("references", acopy("U", "references"))],
+                    [side("A"), side("B")],
+                )
+            },
+        },
+        // D.9 ConvertToLocalRelation — Project over LocalRelation.
+        RuleSpec {
+            name: "ConvertProjectToLocalRelation",
+            weak: || {
+                p::node(
+                    "Project",
+                    "P",
+                    [p::node("LocalRelation", "L", [], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |_| {
+                gen(
+                    "LocalRelation",
+                    [("output", acopy("P", "output")), ("references", aconst(Value::set([])))],
+                    [],
+                )
+            },
+        },
+        // D.9 ConvertToLocalRelation — Filter over LocalRelation.
+        RuleSpec {
+            name: "ConvertFilterToLocalRelation",
+            weak: || {
+                p::node(
+                    "Filter",
+                    "F",
+                    [p::node("LocalRelation", "L", [], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |_| {
+                gen(
+                    "LocalRelation",
+                    [("output", acopy("L", "output")), ("references", aconst(Value::set([])))],
+                    [],
+                )
+            },
+        },
+        // Distinct of an Aggregate is redundant — RemoveNoopOperators kin.
+        RuleSpec {
+            name: "EliminateDistinctOnAggregate",
+            weak: || {
+                p::node(
+                    "Distinct",
+                    "D",
+                    [p::node("Aggregate", "G", [p::any()], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |_| reuse("G"),
+        },
+        // Sort over Sort: the outer ordering wins.
+        RuleSpec {
+            name: "RemoveRedundantSort",
+            weak: || {
+                p::node(
+                    "Sort",
+                    "S1",
+                    [p::node("Sort", "S2", [p::any_as("X")], p::tru())],
+                    p::tru(),
+                )
+            },
+            precise: None,
+            generator: |_| {
+                gen(
+                    "Sort",
+                    [("output", acopy("S1", "output")), ("references", acopy("S1", "references"))],
+                    [reuse("X")],
+                )
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{plan_schema, PlanBuilder};
+    use treetoaster_core::{MatchSource, NaiveStrategy};
+    use tt_ast::Ast;
+    use tt_pattern::{match_node, TreeAttrs};
+
+    #[test]
+    fn all_rules_compile_in_both_modes() {
+        let s = plan_schema();
+        let unfolded = catalyst_rules(&s, false);
+        let folded = catalyst_rules(&s, true);
+        assert_eq!(unfolded.len(), 13);
+        assert_eq!(folded.len(), 13);
+        assert!(folded.iter().all(|r| r.precise.is_none()));
+        let with_precise = unfolded.iter().filter(|r| r.precise.is_some()).count();
+        assert_eq!(with_precise, 5, "five rules carry precise checks");
+    }
+
+    #[test]
+    fn combine_limits_collapses_stacked_pairs() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("CombineLimits").unwrap();
+        assert_eq!(rule.pattern.depth(), 4, "the 4-deep exception the paper notes");
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let t = b.table(1, [1]);
+        let inner = b.limit(100, t);
+        let outer = b.limit(50, inner);
+        let l = b.l;
+        ast.set_root(outer);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).unwrap();
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        let root = ast.root();
+        assert_eq!(ast.label(root), l.global_limit);
+        assert_eq!(ast.attr(root, l.limit).as_int(), 50);
+        let local = ast.children(root)[0];
+        assert_eq!(ast.label(local), l.local_limit);
+        assert_eq!(ast.attr(local, l.limit).as_int(), 50);
+        assert_eq!(ast.subtree_size(root), 3, "4 limit nodes collapsed to 2");
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn right_side_filter_push() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("PushFilterThroughJoinRight").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let left = b.table(1, [1, 2]);
+        let right = b.table(2, [3, 4]);
+        let j = b.join(7, left, right);
+        let f = b.filter(11, [4], j); // references ⊆ right.output
+        let l = b.l;
+        ast.set_root(f);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).unwrap();
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        let root = ast.root();
+        assert_eq!(ast.label(root), l.join);
+        assert_eq!(ast.children(root)[0], left, "left untouched");
+        let new_right = ast.children(root)[1];
+        assert_eq!(ast.label(new_right), l.filter);
+        assert_eq!(ast.children(new_right)[0], right);
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn noop_project_removal_folded() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("RemoveNoopProject").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let t = b.table(1, [1, 2]);
+        let np = b.noop_project(t);
+        ast.set_root(np);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).expect("noop project matches");
+        assert_eq!(site, np);
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        assert_eq!(ast.root(), t, "plan reduced to the bare table scan");
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn noop_project_weak_guard_matches_but_precise_fails_on_narrowing() {
+        let s = plan_schema();
+        let rules = catalyst_rules(&s, false);
+        let opt = rules.iter().find(|r| r.rule.name == "RemoveNoopProject").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let t = b.table(1, [1, 2]);
+        let narrowing = b.project([1], t); // output ≠ child output
+        ast.set_root(narrowing);
+        let bindings = match_node(&ast, narrowing, &opt.rule.pattern)
+            .expect("weak guard matches any Project");
+        let precise = opt.precise.as_ref().unwrap();
+        let src = TreeAttrs { ast: &ast, bindings: &bindings };
+        assert!(!precise.eval(&src), "precise check rejects");
+    }
+
+    #[test]
+    fn combine_filters_merges_conditions() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("CombineFilters").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let t = b.table(1, [1, 2]);
+        let f2 = b.filter(5, [1], t);
+        let f1 = b.filter(9, [2], f2);
+        let l = b.l;
+        ast.set_root(f1);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).unwrap();
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        let root = ast.root();
+        assert_eq!(ast.label(root), l.filter);
+        assert_eq!(ast.attr(root, l.cond).as_int(), 9 * 31 + 5);
+        // References merged.
+        let refs = ast.attr(root, l.references).as_set();
+        assert!(refs.contains(1) && refs.contains(2));
+        assert_eq!(ast.subtree_size(root), 2);
+    }
+
+    #[test]
+    fn push_filter_through_join_left_side() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("PushFilterThroughJoin").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let left = b.table(1, [1, 2]);
+        let right = b.table(2, [3, 4]);
+        let j = b.join(7, left, right);
+        let f = b.filter(11, [1], j); // references ⊆ left.output
+        let l = b.l;
+        ast.set_root(f);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).unwrap();
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        let root = ast.root();
+        assert_eq!(ast.label(root), l.join);
+        let new_left = ast.children(root)[0];
+        assert_eq!(ast.label(new_left), l.filter, "filter now below the join");
+        assert_eq!(ast.children(new_left)[0], left);
+        assert_eq!(ast.children(root)[1], right);
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn push_filter_through_join_blocked_when_refs_span_both_sides() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, _) = ruleset.by_name("PushFilterThroughJoin").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let left = b.table(1, [1, 2]);
+        let right = b.table(2, [3, 4]);
+        let j = b.join(7, left, right);
+        let f = b.filter(11, [1, 3], j); // spans both inputs
+        ast.set_root(f);
+        let mut naive = NaiveStrategy::new(ruleset);
+        assert!(naive.find_one(&ast, rid).is_none(), "folded guard rejects");
+    }
+
+    #[test]
+    fn push_project_through_union_duplicates_project() {
+        let s = plan_schema();
+        let ruleset = catalyst_ruleset(&s);
+        let (rid, rule) = ruleset.by_name("PushProjectThroughUnion").unwrap();
+        let mut ast = Ast::new(s);
+        let mut b = PlanBuilder::new(&mut ast);
+        let t1 = b.table(1, [1, 2]);
+        let t2 = b.table(1, [1, 2]);
+        let u = b.union_all(t1, t2);
+        let pr = b.project([1], u);
+        let l = b.l;
+        ast.set_root(pr);
+        let mut naive = NaiveStrategy::new(ruleset.clone());
+        let site = naive.find_one(&ast, rid).unwrap();
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        rule.apply(&mut ast, site, &bindings, 0);
+        let root = ast.root();
+        assert_eq!(ast.label(root), l.union_all);
+        for &c in ast.children(root) {
+            assert_eq!(ast.label(c), l.project);
+        }
+        ast.validate().unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! TPC-H-shaped logical plans (the Figure 1 workload).
+//!
+//! Twenty-two plans with the operator mix of the corresponding TPC-H
+//! queries: the same base tables, join widths, aggregation/sort/limit
+//! structure — plus a seeded sprinkling of the rewrite opportunities the
+//! optimizer rules look for (stacked filters, no-op projects, pushable
+//! and non-pushable predicates). Absolute costs differ from Spark's, but
+//! the search-vs-rewrite time structure these plans elicit is the
+//! quantity Figure 1 reports.
+
+use crate::schema::{plan_schema, PlanBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_ast::{Ast, NodeId};
+
+/// The TPC-H base tables: `(relid, first column, column count)`.
+const TABLES: [(i64, u32, u32); 8] = [
+    (1, 1, 16),  // lineitem
+    (2, 17, 9),  // orders
+    (3, 26, 8),  // customer
+    (4, 34, 9),  // part
+    (5, 43, 7),  // supplier
+    (6, 50, 5),  // partsupp
+    (7, 55, 4),  // nation
+    (8, 59, 3),  // region
+];
+
+/// Tables joined by each query (indices into [`TABLES`]), mirroring each
+/// TPC-H query's join width.
+fn query_tables(q: usize) -> Vec<usize> {
+    match q {
+        1 => vec![0],
+        2 => vec![3, 4, 5, 6, 7],
+        3 => vec![2, 1, 0],
+        4 => vec![1, 0],
+        5 => vec![2, 1, 0, 4, 6, 7],
+        6 => vec![0],
+        7 => vec![4, 0, 1, 2, 6, 6],
+        8 => vec![3, 4, 0, 1, 2, 6, 6, 7],
+        9 => vec![3, 4, 0, 5, 1, 6],
+        10 => vec![2, 1, 0, 6],
+        11 => vec![5, 4, 6],
+        12 => vec![1, 0],
+        13 => vec![2, 1],
+        14 => vec![0, 3],
+        15 => vec![4, 0],
+        16 => vec![5, 3, 4],
+        17 => vec![0, 3],
+        18 => vec![2, 1, 0],
+        19 => vec![0, 3],
+        20 => vec![4, 6, 5, 3],
+        21 => vec![4, 0, 1, 6],
+        22 => vec![2, 1],
+        _ => panic!("TPC-H queries are 1..=22, got {q}"),
+    }
+}
+
+fn has_aggregate(q: usize) -> bool {
+    !matches!(q, 2 | 6 | 14 | 15 | 19 | 20)
+}
+
+fn has_sort(q: usize) -> bool {
+    !matches!(q, 6 | 14 | 17 | 19)
+}
+
+fn has_limit(q: usize) -> bool {
+    matches!(q, 2 | 3 | 10 | 18 | 21)
+}
+
+/// Builds the plan for TPC-H query `q` (1..=22) into a fresh AST.
+/// `seed` controls bait placement only; the operator skeleton is fixed.
+pub fn build_query(q: usize, seed: u64) -> Ast {
+    let mut ast = Ast::new(plan_schema());
+    let mut rng = StdRng::seed_from_u64(seed ^ (q as u64) << 32);
+    let root = {
+        let mut b = PlanBuilder::new(&mut ast);
+        let tables = query_tables(q);
+        let mut cond = (q * 100) as i64;
+        let mut next_cond = || {
+            cond += 1;
+            cond
+        };
+
+        // Per-table access path: scan → filter (→ bait).
+        let mut inputs: Vec<NodeId> = Vec::new();
+        for &ti in &tables {
+            let (relid, first, count) = TABLES[ti];
+            let cols: Vec<u32> = (first..first + count).collect();
+            let mut node = b.table(relid, cols.iter().copied());
+            node = b.filter(next_cond(), [first], node);
+            if rng.gen_bool(0.5) {
+                node = b.noop_project(node); // RemoveNoopProject bait
+            }
+            if rng.gen_bool(0.3) {
+                // Stacked filter → CombineFilters bait.
+                node = b.filter(next_cond(), [first + 1], node);
+            }
+            inputs.push(node);
+        }
+
+        // Left-deep join chain.
+        let mut plan = inputs[0];
+        for &input in &inputs[1..] {
+            plan = b.join(next_cond(), plan, input);
+        }
+
+        // A predicate above the joins; half the time it references only
+        // the leftmost table (pushable), otherwise it spans inputs
+        // (PushFilterThroughJoin's weak guard matches, precise rejects —
+        // an ineffective rewrite every pass).
+        if tables.len() > 1 {
+            let (_, left_first, _) = TABLES[tables[0]];
+            let (_, right_first, _) = TABLES[*tables.last().unwrap()];
+            if rng.gen_bool(0.5) {
+                plan = b.filter(next_cond(), [left_first], plan);
+            } else {
+                plan = b.filter(next_cond(), [left_first, right_first], plan);
+            }
+        }
+
+        if has_aggregate(q) {
+            let out_cols: Vec<u32> = (1000..1000 + 4 + (q as u32 % 3)).collect();
+            plan = b.aggregate(out_cols.iter().copied(), plan);
+            if rng.gen_bool(0.4) {
+                plan = b.distinct(plan); // EliminateDistinctOnAggregate bait
+            }
+        }
+        if rng.gen_bool(0.5) {
+            plan = b.noop_window(plan); // RemoveNoopWindow bait
+        }
+        if has_sort(q) {
+            plan = b.sort(plan);
+            if rng.gen_bool(0.3) {
+                plan = b.sort(plan); // RemoveRedundantSort bait
+            }
+        }
+        if has_limit(q) {
+            plan = b.limit(100, plan);
+            if rng.gen_bool(0.3) {
+                plan = b.limit(50, plan); // stacked LIMITs → CombineLimits bait
+            }
+        }
+        plan
+    };
+    ast.set_root(root);
+    ast
+}
+
+/// Builds all 22 plans.
+pub fn all_queries(seed: u64) -> Vec<(usize, Ast)> {
+    (1..=22).map(|q| (q, build_query(q, seed))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalyst::{optimize, SearchMode};
+
+    #[test]
+    fn all_queries_build_and_validate() {
+        for (q, ast) in all_queries(42) {
+            ast.validate().unwrap_or_else(|e| panic!("Q{q}: {e}"));
+            let size = ast.subtree_size(ast.root());
+            assert!(size >= 3, "Q{q} too small: {size}");
+        }
+    }
+
+    #[test]
+    fn join_widths_match_tpch() {
+        // Spot-check the famous ones: Q1/Q6 no joins, Q8 is the 8-way.
+        let l = crate::schema::PlanLabels::of(&plan_schema());
+        let count_joins = |ast: &Ast| {
+            ast.descendants(ast.root())
+                .filter(|&n| ast.label(n) == l.join)
+                .count()
+        };
+        assert_eq!(count_joins(&build_query(1, 42)), 0);
+        assert_eq!(count_joins(&build_query(6, 42)), 0);
+        assert_eq!(count_joins(&build_query(8, 42)), 7);
+        assert_eq!(count_joins(&build_query(5, 42)), 5);
+    }
+
+    #[test]
+    fn every_query_optimizes_to_fixpoint() {
+        for (q, mut ast) in all_queries(7) {
+            let before = ast.subtree_size(ast.root());
+            let bd = optimize(&mut ast, SearchMode::NaiveScan, 50);
+            assert!(bd.iterations < 50, "Q{q} failed to converge");
+            assert!(bd.final_size <= before, "Q{q} grew without bound");
+            ast.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build_query(3, 99);
+        let b = build_query(3, 99);
+        assert_eq!(a.subtree_size(a.root()), b.subtree_size(b.root()));
+        let c = build_query(3, 100);
+        // Different seeds usually differ in bait placement; sizes may
+        // coincide, so compare over all queries.
+        let total_a: usize = all_queries(99).iter().map(|(_, t)| t.subtree_size(t.root())).sum();
+        let total_c: usize = all_queries(100).iter().map(|(_, t)| t.subtree_size(t.root())).sum();
+        let _ = c;
+        assert_ne!(total_a, total_c);
+    }
+}

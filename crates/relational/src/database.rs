@@ -1,0 +1,385 @@
+//! The full relational image of an AST.
+
+use crate::table::{NodeRow, Table};
+use std::sync::Arc;
+use tt_ast::{Ast, Label, NodeId, Schema};
+
+/// A node-granularity change, as produced by the instrumented compiler
+/// (§7.2: allocations become `insert()`, garbage collection `remove()`).
+#[derive(Debug, Clone)]
+pub enum NodeDelta {
+    /// A node was created with this image.
+    Insert(Label, NodeRow),
+    /// A node with this image was destroyed. Carries the full row because
+    /// the consumer (a bolt-on view structure) may no longer be able to
+    /// read the node from the AST.
+    Remove(Label, NodeRow),
+}
+
+impl NodeDelta {
+    /// The delta's multiplicity: +1 for insert, −1 for remove.
+    pub fn sign(&self) -> i64 {
+        match self {
+            NodeDelta::Insert(..) => 1,
+            NodeDelta::Remove(..) => -1,
+        }
+    }
+
+    /// The affected label.
+    pub fn label(&self) -> Label {
+        match self {
+            NodeDelta::Insert(l, _) | NodeDelta::Remove(l, _) => *l,
+        }
+    }
+
+    /// The affected row.
+    pub fn row(&self) -> &NodeRow {
+        match self {
+            NodeDelta::Insert(_, r) | NodeDelta::Remove(_, r) => r,
+        }
+    }
+}
+
+/// Per-label attribute projection for the shadow copy: §3.2's
+/// "unnecessary fields are projected away". Attributes not referenced by
+/// any registered query's constraints are blanked to `Unit` on insert,
+/// so the shadow copy's memory reflects only what view maintenance needs.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// `keep[label][attr_index]`.
+    keep: Vec<Vec<bool>>,
+}
+
+impl Projection {
+    /// Keep everything (used when any query carries an opaque host
+    /// predicate, whose attribute needs cannot be inspected).
+    pub fn keep_all(schema: &Schema) -> Projection {
+        Projection {
+            keep: schema
+                .labels()
+                .map(|l| vec![true; schema.def(l).attrs.len()])
+                .collect(),
+        }
+    }
+
+    /// Keep exactly the attributes referenced by the queries' filters.
+    /// Falls back to [`Projection::keep_all`] if any filter contains a
+    /// host predicate.
+    pub fn for_queries(schema: &Schema, queries: &[&tt_pattern::SqlQuery]) -> Projection {
+        let mut keep: Vec<Vec<bool>> = schema
+            .labels()
+            .map(|l| vec![false; schema.def(l).attrs.len()])
+            .collect();
+        for q in queries {
+            for (_, constraint) in &q.filters {
+                if constraint.has_host_pred() {
+                    return Projection::keep_all(schema);
+                }
+                let mut refs = Vec::new();
+                constraint.attr_refs(&mut refs);
+                for (var, attr) in refs {
+                    let label = q.atom(var).label;
+                    if let Some(idx) = schema.attr_index(label, attr) {
+                        keep[label.0 as usize][idx] = true;
+                    }
+                }
+            }
+        }
+        Projection { keep }
+    }
+
+    /// Blanks projected-away attributes in place.
+    pub fn apply(&self, label: Label, row: &mut NodeRow) {
+        for (idx, keep) in self.keep[label.0 as usize].iter().enumerate() {
+            if !keep {
+                row.attrs[idx] = tt_ast::Value::Unit;
+            }
+        }
+    }
+}
+
+/// One [`Table`] per schema label — the bolt-on engines' shadow copy.
+#[derive(Debug)]
+pub struct Database {
+    schema: Arc<Schema>,
+    tables: Vec<Table>,
+    projection: Option<Projection>,
+}
+
+impl Database {
+    /// An empty database over `schema` (no projection: full copies).
+    pub fn new(schema: Arc<Schema>) -> Database {
+        let tables = schema
+            .labels()
+            .map(|l| Table::new(l, schema.def(l).max_children))
+            .collect();
+        Database { schema, tables, projection: None }
+    }
+
+    /// An empty database that projects every inserted row.
+    pub fn with_projection(schema: Arc<Schema>, projection: Projection) -> Database {
+        let mut db = Database::new(schema);
+        db.projection = Some(projection);
+        db
+    }
+
+    /// The projection in force, if any.
+    pub fn projection(&self) -> Option<&Projection> {
+        self.projection.as_ref()
+    }
+
+    /// Loads the relational image of every node reachable from `root`.
+    pub fn from_ast(ast: &Ast, root: NodeId) -> Database {
+        let mut db = Database::new(ast.schema().clone());
+        if !root.is_null() {
+            for n in ast.descendants(root) {
+                db.insert(ast.label(n), NodeRow::of(ast, n));
+            }
+        }
+        db
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The relation for `label`.
+    #[inline]
+    pub fn table(&self, label: Label) -> &Table {
+        &self.tables[label.0 as usize]
+    }
+
+    /// Inserts a node image (applying the projection, if any).
+    pub fn insert(&mut self, label: Label, mut row: NodeRow) {
+        if let Some(p) = &self.projection {
+            p.apply(label, &mut row);
+        }
+        self.tables[label.0 as usize].insert(row);
+    }
+
+    /// Removes a node image, returning it if present.
+    pub fn remove(&mut self, label: Label, id: NodeId) -> Option<NodeRow> {
+        self.tables[label.0 as usize].remove(id)
+    }
+
+    /// Applies one delta.
+    pub fn apply(&mut self, delta: &NodeDelta) {
+        match delta {
+            NodeDelta::Insert(label, row) => self.insert(*label, row.clone()),
+            NodeDelta::Remove(label, row) => {
+                let removed = self.remove(*label, row.id);
+                debug_assert!(removed.is_some(), "removing unknown node {:?}", row.id);
+            }
+        }
+    }
+
+    /// Total rows across all relations.
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// True if every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a row by id across all relations (`O(labels)`).
+    pub fn find_row(&self, id: NodeId) -> Option<(Label, &NodeRow)> {
+        self.tables
+            .iter()
+            .find_map(|t| t.get(id).map(|r| (t.label(), r)))
+    }
+
+    /// Approximate heap bytes across relations and their indexes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(Table::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_ast::Value;
+
+    fn fig3() -> (Ast, NodeId) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(
+            &mut ast,
+            r#"(Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))"#,
+        )
+        .unwrap();
+        ast.set_root(id);
+        (ast, id)
+    }
+
+    #[test]
+    fn from_ast_loads_every_node() {
+        let (ast, root) = fig3();
+        let db = Database::from_ast(&ast, root);
+        let schema = ast.schema();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.table(schema.expect_label("Arith")).len(), 2);
+        assert_eq!(db.table(schema.expect_label("Const")).len(), 1);
+        assert_eq!(db.table(schema.expect_label("Var")).len(), 2);
+    }
+
+    #[test]
+    fn apply_roundtrip() {
+        let (ast, root) = fig3();
+        let mut db = Database::from_ast(&ast, root);
+        let schema = ast.schema().clone();
+        let constant = schema.expect_label("Const");
+        let row = NodeRow {
+            id: NodeId::from_index(100),
+            attrs: vec![Value::Int(0)],
+            children: vec![],
+        };
+        db.apply(&NodeDelta::Insert(constant, row.clone()));
+        assert_eq!(db.table(constant).len(), 2);
+        db.apply(&NodeDelta::Remove(constant, row));
+        assert_eq!(db.table(constant).len(), 1);
+    }
+
+    #[test]
+    fn find_row_scans_labels() {
+        let (ast, root) = fig3();
+        let db = Database::from_ast(&ast, root);
+        let (label, row) = db.find_row(root).unwrap();
+        assert_eq!(label, ast.schema().expect_label("Arith"));
+        assert_eq!(row.children.len(), 2);
+        assert!(db.find_row(NodeId::from_index(999)).is_none());
+    }
+
+    #[test]
+    fn delta_accessors() {
+        let schema = arith_schema();
+        let constant = schema.expect_label("Const");
+        let row = NodeRow { id: NodeId::from_index(5), attrs: vec![Value::Int(1)], children: vec![] };
+        let ins = NodeDelta::Insert(constant, row.clone());
+        let rem = NodeDelta::Remove(constant, row);
+        assert_eq!(ins.sign(), 1);
+        assert_eq!(rem.sign(), -1);
+        assert_eq!(ins.label(), constant);
+        assert_eq!(ins.row().id, NodeId::from_index(5));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::new(arith_schema());
+        assert!(db.is_empty());
+        let db2 = Database::from_ast(&Ast::new(arith_schema()), NodeId::NULL);
+        assert!(db2.is_empty());
+    }
+
+    #[test]
+    fn projection_blanks_unreferenced_attrs() {
+        use tt_pattern::dsl as p;
+        use tt_pattern::{Pattern, SqlQuery};
+        let schema = arith_schema();
+        // A query referencing only Const.val: Arith.op and Var.name are
+        // projected away; Const.val is kept.
+        let pattern = Pattern::compile(
+            &schema,
+            p::node(
+                "Arith",
+                "a",
+                [
+                    p::node("Const", "b", [], p::eq(p::attr("b", "val"), p::int(0))),
+                    p::node("Var", "c", [], p::tru()),
+                ],
+                p::tru(),
+            ),
+        );
+        let query = SqlQuery::from_pattern(&pattern);
+        let projection = Projection::for_queries(&schema, &[&query]);
+        let mut db = Database::with_projection(schema.clone(), projection);
+        db.insert(
+            schema.expect_label("Arith"),
+            NodeRow {
+                id: NodeId::from_index(1),
+                attrs: vec![Value::str("+")],
+                children: vec![NodeId::from_index(2), NodeId::from_index(3)],
+            },
+        );
+        db.insert(
+            schema.expect_label("Const"),
+            NodeRow { id: NodeId::from_index(2), attrs: vec![Value::Int(0)], children: vec![] },
+        );
+        db.insert(
+            schema.expect_label("Var"),
+            NodeRow { id: NodeId::from_index(3), attrs: vec![Value::str("x")], children: vec![] },
+        );
+        let arith_row = db.table(schema.expect_label("Arith")).get(NodeId::from_index(1)).unwrap();
+        assert_eq!(arith_row.attrs[0], Value::Unit, "op projected away");
+        let const_row = db.table(schema.expect_label("Const")).get(NodeId::from_index(2)).unwrap();
+        assert_eq!(const_row.attrs[0], Value::Int(0), "val kept for the filter");
+        let var_row = db.table(schema.expect_label("Var")).get(NodeId::from_index(3)).unwrap();
+        assert_eq!(var_row.attrs[0], Value::Unit, "name projected away");
+        // Children always survive (they are the join columns).
+        assert_eq!(arith_row.children.len(), 2);
+    }
+
+    #[test]
+    fn projection_keep_all_on_host_predicates() {
+        use tt_pattern::dsl as p;
+        use tt_pattern::{HostPred, Pattern, SqlQuery};
+        let schema = arith_schema();
+        let pattern = Pattern::compile(
+            &schema,
+            p::node("Const", "b", [], p::host(HostPred::new("opaque", |_| true))),
+        );
+        let query = SqlQuery::from_pattern(&pattern);
+        let projection = Projection::for_queries(&schema, &[&query]);
+        // Opaque predicate → every attribute everywhere is kept.
+        let mut row = NodeRow {
+            id: NodeId::from_index(9),
+            attrs: vec![Value::str("+")],
+            children: vec![],
+        };
+        projection.apply(schema.expect_label("Arith"), &mut row);
+        assert_eq!(row.attrs[0], Value::str("+"));
+    }
+
+    #[test]
+    fn projected_evaluation_still_matches() {
+        // Filters only read kept attributes, so evaluation over the
+        // projected image equals evaluation over the full image.
+        use tt_ast::sexpr::parse_sexpr;
+        use tt_pattern::dsl as p;
+        use tt_pattern::{Pattern, SqlQuery};
+        let schema = arith_schema();
+        let mut ast = Ast::new(schema.clone());
+        let root = parse_sexpr(
+            &mut ast,
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+        )
+        .unwrap();
+        ast.set_root(root);
+        let pattern = Pattern::compile(
+            &schema,
+            p::node(
+                "Arith",
+                "a",
+                [
+                    p::node("Const", "b", [], p::eq(p::attr("b", "val"), p::int(0))),
+                    p::node("Var", "c", [], p::tru()),
+                ],
+                p::eq(p::attr("a", "op"), p::str_("+")),
+            ),
+        );
+        let query = SqlQuery::from_pattern(&pattern);
+        let projection = Projection::for_queries(&schema, &[&query]);
+        let mut projected = Database::with_projection(schema.clone(), projection);
+        for n in ast.descendants(root) {
+            projected.insert(ast.label(n), NodeRow::of(&ast, n));
+        }
+        let full = Database::from_ast(&ast, root);
+        assert_eq!(
+            crate::eval::evaluate(&projected, &query),
+            crate::eval::evaluate(&full, &query)
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! From-scratch evaluation of reduced pattern queries.
+//!
+//! Because pattern joins are tree-shaped — every non-root atom joins to an
+//! earlier atom through a parent/child edge (the pattern is reduced in
+//! preorder) — evaluation is a scan of the root atom's relation followed
+//! by O(1) id lookups per child atom. This function initializes
+//! materialized views and serves as the correctness oracle in tests; the
+//! incremental engines in `tt-ivm` keep the same result up to date.
+
+use crate::database::Database;
+use tt_ast::{AttrName, NodeId, Value};
+use tt_pattern::{AttrSource, SqlQuery, VarId};
+
+/// One join result: the node bound to each variable, indexed by `VarId`.
+pub type JoinRow = Box<[NodeId]>;
+
+/// [`AttrSource`] resolving `i.x` against the database's shadow tuples —
+/// the relational-side counterpart of `tt_pattern::eval::TreeAttrs`.
+pub struct RowAttrs<'a> {
+    /// The shadow database.
+    pub db: &'a Database,
+    /// The query whose atoms type the row.
+    pub query: &'a SqlQuery,
+    /// Variable bindings (dense by `VarId`).
+    pub row: &'a [NodeId],
+}
+
+impl AttrSource for RowAttrs<'_> {
+    fn attr_of(&self, var: VarId, attr: AttrName) -> Value {
+        let atom = self.query.atom(var);
+        let id = self.row[var.0 as usize];
+        let node_row = self
+            .db
+            .table(atom.label)
+            .get(id)
+            .unwrap_or_else(|| panic!("dangling row {id:?} bound to v{}", var.0));
+        let idx = self
+            .db
+            .schema()
+            .attr_index(atom.label, attr)
+            .unwrap_or_else(|| panic!("label has no attribute for filter"));
+        node_row.attrs[idx].clone()
+    }
+}
+
+/// Evaluates `query` against `db`, returning all join rows that satisfy
+/// the joins, arity requirements, and filters. Rows are indexed by
+/// `VarId` over the pattern's full variable space; named-wildcard slots
+/// stay `NULL` (no relation backs them).
+pub fn evaluate(db: &Database, query: &SqlQuery) -> Vec<JoinRow> {
+    let root_atom = &query.atoms[0];
+    let root_var = root_atom.var.0 as usize;
+    let mut out = Vec::new();
+    for root_row in db.table(root_atom.label).iter() {
+        if root_row.children.len() != root_atom.arity {
+            continue;
+        }
+        let mut row: Vec<NodeId> = vec![NodeId::NULL; query.var_space];
+        row[root_var] = root_row.id;
+        if extend(db, query, 1, &mut row) && filters_pass(db, query, &row) {
+            out.push(row.clone().into_boxed_slice());
+        }
+    }
+    out
+}
+
+/// Binds atoms `idx..` by following the (unique) join edge from an
+/// already-bound parent atom. Returns false if any lookup fails.
+fn extend(db: &Database, query: &SqlQuery, idx: usize, row: &mut [NodeId]) -> bool {
+    if idx == query.width() {
+        return true;
+    }
+    let atom = &query.atoms[idx];
+    let join = query
+        .joins
+        .iter()
+        .find(|j| j.child == atom.var)
+        .expect("non-root atom must have a parent join");
+    let parent_id = row[join.parent.0 as usize];
+    debug_assert!(!parent_id.is_null(), "parent bound before child in preorder");
+    let parent_label = query.atom(join.parent).label;
+    let Some(parent_row) = db.table(parent_label).get(parent_id) else {
+        return false;
+    };
+    let Some(&child_id) = parent_row.children.get(join.child_index) else {
+        return false;
+    };
+    let Some(child_row) = db.table(atom.label).get(child_id) else {
+        return false; // child exists but has a different label
+    };
+    if child_row.children.len() != atom.arity {
+        return false;
+    }
+    row[atom.var.0 as usize] = child_id;
+    extend(db, query, idx + 1, row)
+}
+
+/// Evaluates every filter fragment against the bound row.
+pub fn filters_pass(db: &Database, query: &SqlQuery, row: &[NodeId]) -> bool {
+    let src = RowAttrs { db, query, row };
+    query.filters.iter().all(|(_, c)| c.eval(&src))
+}
+
+/// Looks up a single candidate row rooted at `root_id` (used by engines to
+/// re-check a specific node instead of scanning). Returns the full binding
+/// if the subtree rooted there matches.
+pub fn probe_root(db: &Database, query: &SqlQuery, root_id: NodeId) -> Option<JoinRow> {
+    let root_atom = &query.atoms[0];
+    let root_row = db.table(root_atom.label).get(root_id)?;
+    if root_row.children.len() != root_atom.arity {
+        return None;
+    }
+    let mut row: Vec<NodeId> = vec![NodeId::NULL; query.var_space];
+    row[root_atom.var.0 as usize] = root_id;
+    if extend(db, query, 1, &mut row) && filters_pass(db, query, &row) {
+        Some(row.into_boxed_slice())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_ast::Ast;
+    use tt_pattern::dsl::*;
+    use tt_pattern::Pattern;
+
+    fn add_zero_query() -> (Pattern, SqlQuery) {
+        let schema = arith_schema();
+        let p = Pattern::compile(
+            &schema,
+            node(
+                "Arith",
+                "a",
+                [
+                    node("Const", "b", [], eq(attr("b", "val"), int(0))),
+                    node("Var", "c", [], tru()),
+                ],
+                eq(attr("a", "op"), str_("+")),
+            ),
+        );
+        let q = SqlQuery::from_pattern(&p);
+        (p, q)
+    }
+
+    fn load(text: &str) -> (Ast, NodeId, Database) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        let db = Database::from_ast(&ast, id);
+        (ast, id, db)
+    }
+
+    #[test]
+    fn matches_tree_semantics_on_fig3_variant() {
+        let (ast, root, db) = load(
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+        );
+        let (p, q) = add_zero_query();
+        let rows = evaluate(&db, &q);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], root);
+        // Agreement with the tree matcher.
+        let tree_matches = tt_pattern::match_set(&ast, root, &p);
+        assert_eq!(tree_matches, vec![root]);
+    }
+
+    #[test]
+    fn filter_rejects_nonzero() {
+        let (_, _, db) = load(r#"(Arith op="+" (Const val=5) (Var name="x"))"#);
+        let (_, q) = add_zero_query();
+        assert!(evaluate(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn nested_matches_found_anywhere() {
+        let (ast, root, db) = load(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
+        );
+        let (p, q) = add_zero_query();
+        let rows = evaluate(&db, &q);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], ast.children(root)[0]);
+        assert_eq!(
+            tt_pattern::match_set(&ast, root, &p),
+            vec![ast.children(root)[0]]
+        );
+    }
+
+    #[test]
+    fn probe_root_agrees_with_evaluate() {
+        let (ast, root, db) = load(
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+        );
+        let (_, q) = add_zero_query();
+        assert!(probe_root(&db, &q, root).is_some());
+        assert!(probe_root(&db, &q, ast.children(root)[0]).is_none());
+    }
+
+    #[test]
+    fn wrong_child_label_rejected() {
+        let (_, _, db) = load(
+            r#"(Arith op="+" (Var name="z") (Var name="x"))"#,
+        );
+        let (_, q) = add_zero_query();
+        assert!(evaluate(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn single_atom_query_scans_label() {
+        let schema = arith_schema();
+        let p = Pattern::compile(&schema, node("Var", "v", [], tru()));
+        let q = SqlQuery::from_pattern(&p);
+        let (_, _, db) = load(
+            r#"(Arith op="+" (Var name="a") (Var name="b"))"#,
+        );
+        assert_eq!(evaluate(&db, &q).len(), 2);
+    }
+
+    #[test]
+    fn row_attrs_resolves_against_shadow_tuples() {
+        let (_, root, db) = load(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
+        let (p, q) = add_zero_query();
+        let rows = evaluate(&db, &q);
+        let src = RowAttrs { db: &db, query: &q, row: &rows[0] };
+        let op = db.schema().expect_attr("op");
+        assert_eq!(src.attr_of(p.var("a").unwrap(), op).as_str(), "+");
+        let _ = root;
+    }
+}

@@ -1,0 +1,26 @@
+//! Relational encoding of ASTs and an SPJ query substrate.
+//!
+//! §3 of the paper maps the AST onto relations: for each label/schema pair
+//! `ℓ → ⟨{x₁…x_k}, c⟩` a relation `R_ℓ(id, x₁…x_k, child₁…child_c)`, with
+//! one row per AST node. The bolt-on IVM engines (classic cascading IVM
+//! and the DBToaster-style engine in `tt-ivm`) operate entirely on this
+//! image — which is precisely why they carry a **shadow copy** of the AST
+//! and the memory overhead the paper measures.
+//!
+//! Contents:
+//! - [`table`] — one relation: rows keyed by node id plus reverse indexes
+//!   on every child column (`child value → parent row`).
+//! - [`database`] — the full relational image of an AST, updated by
+//!   node-granularity insert/remove deltas (the instrumented compiler's
+//!   `insert()` / `remove()` events of §7.2).
+//! - [`eval`] — from-scratch evaluation of a reduced
+//!   [`SqlQuery`](tt_pattern::SqlQuery), used to initialize materialized
+//!   views and as the ground truth in tests.
+
+pub mod database;
+pub mod eval;
+pub mod table;
+
+pub use database::{Database, NodeDelta, Projection};
+pub use eval::{evaluate, JoinRow, RowAttrs};
+pub use table::{NodeRow, Table};

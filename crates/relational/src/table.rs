@@ -1,0 +1,172 @@
+//! A single relation `R_ℓ(id, x₁…x_k, child₁…child_c)`.
+
+use tt_ast::{FxHashMap, Label, NodeId};
+
+/// One row: the relational image of one AST node (re-exported from
+/// `tt-ast`, where it doubles as the removed-node snapshot type).
+pub use tt_ast::NodeRow;
+
+/// A relation: rows keyed by node id, with a reverse index per child
+/// column mapping `child id → parent row id`. Because every AST node has
+/// exactly one parent, each reverse-index key maps to at most one row —
+/// the "implicit foreign key" the paper notes in §3.2.
+#[derive(Debug)]
+pub struct Table {
+    label: Label,
+    rows: FxHashMap<NodeId, NodeRow>,
+    /// `child_index[k][child_id] = parent_row_id`.
+    child_index: Vec<FxHashMap<NodeId, NodeId>>,
+}
+
+impl Table {
+    /// An empty relation for `label` with `max_children` child columns.
+    pub fn new(label: Label, max_children: usize) -> Table {
+        Table {
+            label,
+            rows: FxHashMap::default(),
+            child_index: (0..max_children).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// The relation's label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Point lookup by node id.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&NodeRow> {
+        self.rows.get(&id)
+    }
+
+    /// Reverse lookup: the row whose `child_k` column equals `child`.
+    #[inline]
+    pub fn parent_of(&self, column: usize, child: NodeId) -> Option<&NodeRow> {
+        let parent = self.child_index.get(column)?.get(&child)?;
+        self.rows.get(parent)
+    }
+
+    /// Inserts a row (panics on duplicate id — node ids are unique).
+    pub fn insert(&mut self, row: NodeRow) {
+        for (k, &c) in row.children.iter().enumerate() {
+            let prev = self.child_index[k].insert(c, row.id);
+            debug_assert!(prev.is_none(), "child {c:?} indexed twice in column {k}");
+        }
+        let prev = self.rows.insert(row.id, row);
+        assert!(prev.is_none(), "duplicate row id");
+    }
+
+    /// Removes and returns the row for `id`.
+    pub fn remove(&mut self, id: NodeId) -> Option<NodeRow> {
+        let row = self.rows.remove(&id)?;
+        for (k, &c) in row.children.iter().enumerate() {
+            self.child_index[k].remove(&c);
+        }
+        Some(row)
+    }
+
+    /// Iterates all rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &NodeRow> {
+        self.rows.values()
+    }
+
+    /// Approximate heap bytes (rows, payloads, reverse indexes).
+    pub fn memory_bytes(&self) -> usize {
+        let row_slots = self.rows.capacity()
+            * (1 + std::mem::size_of::<(NodeId, NodeRow)>());
+        let payloads: usize = self.rows.values().map(NodeRow::heap_bytes).sum();
+        let indexes: usize = self
+            .child_index
+            .iter()
+            .map(|m| m.capacity() * (1 + std::mem::size_of::<(NodeId, NodeId)>()))
+            .sum();
+        row_slots + payloads + indexes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_ast::schema::arith_schema;
+    use tt_ast::{Ast, Value};
+
+    fn row(id: u32, children: &[u32]) -> NodeRow {
+        NodeRow {
+            id: NodeId::from_index(id),
+            attrs: vec![Value::Int(id as i64)],
+            children: children.iter().map(|&c| NodeId::from_index(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let schema = arith_schema();
+        let arith = schema.expect_label("Arith");
+        let mut t = Table::new(arith, 2);
+        t.insert(row(1, &[2, 3]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(NodeId::from_index(1)).unwrap().attrs[0], Value::Int(1));
+        assert!(t.get(NodeId::from_index(9)).is_none());
+        let removed = t.remove(NodeId::from_index(1)).unwrap();
+        assert_eq!(removed.children.len(), 2);
+        assert!(t.is_empty());
+        assert!(t.remove(NodeId::from_index(1)).is_none());
+    }
+
+    #[test]
+    fn reverse_index_finds_parent() {
+        let schema = arith_schema();
+        let arith = schema.expect_label("Arith");
+        let mut t = Table::new(arith, 2);
+        t.insert(row(1, &[2, 3]));
+        t.insert(row(4, &[5, 6]));
+        let p = t.parent_of(0, NodeId::from_index(5)).unwrap();
+        assert_eq!(p.id, NodeId::from_index(4));
+        assert!(t.parent_of(1, NodeId::from_index(5)).is_none(), "wrong column");
+        t.remove(NodeId::from_index(4));
+        assert!(t.parent_of(0, NodeId::from_index(5)).is_none(), "index cleaned up");
+    }
+
+    #[test]
+    fn snapshot_from_ast() {
+        let schema = arith_schema();
+        let mut ast = Ast::new(schema.clone());
+        let c = ast.alloc(schema.expect_label("Const"), vec![Value::Int(7)], vec![]);
+        let v = ast.alloc(schema.expect_label("Var"), vec![Value::str("x")], vec![]);
+        let a = ast.alloc(schema.expect_label("Arith"), vec![Value::str("+")], vec![c, v]);
+        let r = NodeRow::of(&ast, a);
+        assert_eq!(r.id, a);
+        assert_eq!(r.children, vec![c, v]);
+        assert_eq!(r.attrs, vec![Value::str("+")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate row id")]
+    fn duplicate_id_rejected() {
+        let schema = arith_schema();
+        let mut t = Table::new(schema.expect_label("Const"), 0);
+        t.insert(row(1, &[]));
+        t.insert(row(1, &[]));
+    }
+
+    #[test]
+    fn memory_grows_with_rows() {
+        let schema = arith_schema();
+        let mut t = Table::new(schema.expect_label("Arith"), 2);
+        let before = t.memory_bytes();
+        for i in 0..100 {
+            t.insert(row(i, &[1000 + i, 2000 + i]));
+        }
+        assert!(t.memory_bytes() > before);
+    }
+}

@@ -1,0 +1,295 @@
+//! YCSB request distributions.
+//!
+//! The zipfian generator follows Gray et al.'s "Quickly generating
+//! billion-record synthetic databases" (the same construction the YCSB
+//! reference implementation uses), with the zeta constant precomputed for
+//! the item count. `ScrambledZipfian` spreads the popular head across the
+//! keyspace with an FNV-style hash; `Latest` favors recently inserted
+//! items.
+
+use rand::Rng;
+
+/// The standard YCSB zipfian skew constant.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Draws item indices from `0..n` according to some popularity law.
+pub trait RequestDistribution {
+    /// Next item index in `[0, item_count)`.
+    fn next_index(&mut self, rng: &mut impl Rng) -> u64;
+    /// Informs the distribution that the item space grew to `n` items
+    /// (used by insert-heavy workloads / `Latest`).
+    fn grow_to(&mut self, n: u64);
+    /// Current item-space size.
+    fn item_count(&self) -> u64;
+}
+
+/// Uniform over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: u64,
+}
+
+impl Uniform {
+    /// Uniform over `0..n` (n ≥ 1).
+    pub fn new(n: u64) -> Uniform {
+        assert!(n >= 1);
+        Uniform { n }
+    }
+}
+
+impl RequestDistribution for Uniform {
+    fn next_index(&mut self, rng: &mut impl Rng) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+
+    fn grow_to(&mut self, n: u64) {
+        self.n = self.n.max(n);
+    }
+
+    fn item_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Gray et al.'s zipfian generator over `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Zipfian over `0..n` with the standard constant 0.99.
+    pub fn new(n: u64) -> Zipfian {
+        Self::with_theta(n, ZIPFIAN_CONSTANT)
+    }
+
+    /// Zipfian with an explicit skew `theta ∈ (0, 1)`.
+    pub fn with_theta(n: u64, theta: f64) -> Zipfian {
+        assert!(n >= 1);
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let mut z = Zipfian { items: n, theta, zeta_n, zeta2, alpha: 0.0, eta: 0.0 };
+        z.refresh();
+        z
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // O(n) precompute; benches use n ≤ a few million, done once.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Incremental zeta extension when the item space grows.
+    fn extend_zeta(&mut self, new_n: u64) {
+        for i in (self.items + 1)..=new_n {
+            self.zeta_n += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.items = new_n;
+        self.refresh();
+    }
+
+    fn refresh(&mut self) {
+        self.alpha = 1.0 / (1.0 - self.theta);
+        self.eta = (1.0 - (2.0 / self.items as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zeta_n);
+    }
+}
+
+impl RequestDistribution for Zipfian {
+    fn next_index(&mut self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.items - 1)
+    }
+
+    fn grow_to(&mut self, n: u64) {
+        if n > self.items {
+            self.extend_zeta(n);
+        }
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+}
+
+/// Zipfian popularity scattered over the keyspace by an FNV-1a hash
+/// (YCSB's `ScrambledZipfianGenerator`), so "hot" items are not
+/// contiguous.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Scrambled zipfian over `0..n`.
+    pub fn new(n: u64) -> ScrambledZipfian {
+        ScrambledZipfian { inner: Zipfian::new(n) }
+    }
+}
+
+fn fnv1a(mut x: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = OFFSET;
+    for _ in 0..8 {
+        hash ^= x & 0xff;
+        hash = hash.wrapping_mul(PRIME);
+        x >>= 8;
+    }
+    hash
+}
+
+impl RequestDistribution for ScrambledZipfian {
+    fn next_index(&mut self, rng: &mut impl Rng) -> u64 {
+        let rank = self.inner.next_index(rng);
+        fnv1a(rank) % self.inner.item_count()
+    }
+
+    fn grow_to(&mut self, n: u64) {
+        self.inner.grow_to(n);
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+}
+
+/// YCSB's "latest" distribution: zipfian over recency — index `n−1` (the
+/// newest item) is the most popular. Used by workload D.
+#[derive(Debug, Clone)]
+pub struct Latest {
+    inner: Zipfian,
+}
+
+impl Latest {
+    /// Latest-skewed over `0..n`.
+    pub fn new(n: u64) -> Latest {
+        Latest { inner: Zipfian::new(n) }
+    }
+}
+
+impl RequestDistribution for Latest {
+    fn next_index(&mut self, rng: &mut impl Rng) -> u64 {
+        let n = self.inner.item_count();
+        let rank = self.inner.next_index(rng);
+        n - 1 - rank
+    }
+
+    fn grow_to(&mut self, n: u64) {
+        self.inner.grow_to(n);
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draw(dist: &mut impl RequestDistribution, n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| dist.next_index(&mut rng)).collect()
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers() {
+        let mut d = Uniform::new(10);
+        let samples = draw(&mut d, 2000);
+        assert!(samples.iter().all(|&x| x < 10));
+        for v in 0..10 {
+            assert!(samples.contains(&v), "value {v} never drawn");
+        }
+    }
+
+    #[test]
+    fn zipfian_head_is_heavy() {
+        let mut d = Zipfian::new(1000);
+        let samples = draw(&mut d, 20_000);
+        assert!(samples.iter().all(|&x| x < 1000));
+        let head = samples.iter().filter(|&&x| x == 0).count() as f64;
+        let mid = samples.iter().filter(|&&x| x == 500).count() as f64;
+        assert!(
+            head > 20.0 * (mid + 1.0),
+            "rank 0 ({head}) must dominate rank 500 ({mid})"
+        );
+    }
+
+    #[test]
+    fn zipfian_frequency_ratio_approximates_law() {
+        // P(0)/P(1) ≈ 2^θ ≈ 1.99 for θ=0.99.
+        let mut d = Zipfian::new(100);
+        let samples = draw(&mut d, 200_000);
+        let c0 = samples.iter().filter(|&&x| x == 0).count() as f64;
+        let c1 = samples.iter().filter(|&&x| x == 1).count() as f64;
+        let ratio = c0 / c1;
+        assert!((1.5..2.6).contains(&ratio), "ratio {ratio} out of range");
+    }
+
+    #[test]
+    fn zipfian_grow_extends_support() {
+        let mut d = Zipfian::new(100);
+        d.grow_to(200);
+        assert_eq!(d.item_count(), 200);
+        let samples = draw(&mut d, 50_000);
+        assert!(samples.iter().all(|&x| x < 200));
+        assert!(samples.iter().any(|&x| x >= 100), "new range reachable");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_head() {
+        let mut d = ScrambledZipfian::new(1000);
+        let samples = draw(&mut d, 10_000);
+        assert!(samples.iter().all(|&x| x < 1000));
+        // The most frequent item is almost surely not index 0 once
+        // scrambled; at minimum, frequencies concentrate on few values.
+        let mut counts = std::collections::HashMap::new();
+        for &s in &samples {
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > samples.len() / 100, "still skewed after scrambling");
+    }
+
+    #[test]
+    fn latest_prefers_newest() {
+        let mut d = Latest::new(1000);
+        let samples = draw(&mut d, 20_000);
+        let newest = samples.iter().filter(|&&x| x == 999).count();
+        let oldest = samples.iter().filter(|&&x| x == 0).count();
+        assert!(newest > 10 * (oldest + 1));
+        d.grow_to(2000);
+        let samples = draw(&mut d, 20_000);
+        let newest = samples.iter().filter(|&&x| x == 1999).count();
+        assert!(newest > 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d1 = Zipfian::new(500);
+        let mut d2 = Zipfian::new(500);
+        assert_eq!(draw(&mut d1, 100), draw(&mut d2, 100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_items_rejected() {
+        let _ = Uniform::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! YCSB core-workload generator (Cooper et al. \[14\]).
+//!
+//! §7.2 of the paper: "To vary the distribution of optimization
+//! opportunities we used the six baseline YCSB benchmark workloads as
+//! input to JustInTimeData. Each workload exercises a different set of
+//! node operations, resulting in ASTs composed of different node
+//! structures, patterns, and the applicability of different rewrite
+//! rules."
+//!
+//! The six core workloads:
+//!
+//! | workload | mix                               | request distribution |
+//! |----------|-----------------------------------|----------------------|
+//! | A        | 50% read / 50% update             | zipfian              |
+//! | B        | 95% read / 5% update              | zipfian              |
+//! | C        | 100% read                         | zipfian              |
+//! | D        | 95% read / 5% insert (read latest)| latest               |
+//! | E        | 95% scan / 5% insert              | zipfian (+uniform len)|
+//! | F        | 50% read / 50% read-modify-write  | zipfian              |
+//!
+//! All randomness flows from a seeded [`rand::rngs::StdRng`] so runs are
+//! reproducible; benches print their seeds.
+
+pub mod dist;
+pub mod workload;
+
+pub use dist::{Latest, RequestDistribution, ScrambledZipfian, Uniform, Zipfian};
+pub use workload::{Op, Workload, WorkloadSpec};

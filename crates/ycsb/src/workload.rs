@@ -1,0 +1,349 @@
+//! The six YCSB core workloads as operation streams.
+
+use crate::dist::{Latest, RequestDistribution, ScrambledZipfian, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One key/value operation issued by the workload driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of `key`.
+    Read { key: i64 },
+    /// Overwrite `key` with `value`.
+    Update { key: i64, value: i64 },
+    /// Insert a fresh key.
+    Insert { key: i64, value: i64 },
+    /// Range scan of `len` records starting at `key`.
+    Scan { key: i64, len: usize },
+    /// Read `key` then write back a modified value.
+    ReadModifyWrite { key: i64, value: i64 },
+}
+
+impl Op {
+    /// Short mnemonic for logs/tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Read { .. } => "read",
+            Op::Update { .. } => "update",
+            Op::Insert { .. } => "insert",
+            Op::Scan { .. } => "scan",
+            Op::ReadModifyWrite { .. } => "rmw",
+        }
+    }
+}
+
+/// Operation-mix proportions (must sum to 1.0) plus the request
+/// distribution choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload mnemonic (`'A'`–`'F'`).
+    pub name: char,
+    /// Read proportion.
+    pub read: f64,
+    /// Update proportion.
+    pub update: f64,
+    /// Insert proportion.
+    pub insert: f64,
+    /// Scan proportion.
+    pub scan: f64,
+    /// Read-modify-write proportion.
+    pub rmw: f64,
+    /// Request distribution for existing keys.
+    pub request: RequestKind,
+}
+
+/// Which popularity law drives key selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Scrambled zipfian (workloads A, B, C, E, F).
+    Zipfian,
+    /// Recency-skewed (workload D).
+    Latest,
+    /// Uniform (for ablations).
+    Uniform,
+}
+
+impl WorkloadSpec {
+    /// The standard YCSB core workload definitions.
+    pub fn standard(name: char) -> WorkloadSpec {
+        match name {
+            'A' => WorkloadSpec {
+                name,
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                request: RequestKind::Zipfian,
+            },
+            'B' => WorkloadSpec {
+                name,
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                request: RequestKind::Zipfian,
+            },
+            'C' => WorkloadSpec {
+                name,
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                request: RequestKind::Zipfian,
+            },
+            'D' => WorkloadSpec {
+                name,
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.0,
+                rmw: 0.0,
+                request: RequestKind::Latest,
+            },
+            'E' => WorkloadSpec {
+                name,
+                read: 0.0,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.95,
+                rmw: 0.0,
+                request: RequestKind::Zipfian,
+            },
+            'F' => WorkloadSpec {
+                name,
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.5,
+                request: RequestKind::Zipfian,
+            },
+            _ => panic!("unknown YCSB workload {name:?}; expected A-F"),
+        }
+    }
+
+    /// All six core workloads.
+    pub fn all() -> Vec<WorkloadSpec> {
+        "ABCDEF".chars().map(WorkloadSpec::standard).collect()
+    }
+
+    /// The five workloads the paper's figures report (E is omitted there;
+    /// our benches follow the figures and keep E available separately).
+    pub fn paper_set() -> Vec<WorkloadSpec> {
+        "ABCDF".chars().map(WorkloadSpec::standard).collect()
+    }
+}
+
+enum Dist {
+    Zipfian(ScrambledZipfian),
+    Latest(Latest),
+    Uniform(Uniform),
+}
+
+impl Dist {
+    fn next_index(&mut self, rng: &mut StdRng) -> u64 {
+        match self {
+            Dist::Zipfian(d) => d.next_index(rng),
+            Dist::Latest(d) => d.next_index(rng),
+            Dist::Uniform(d) => d.next_index(rng),
+        }
+    }
+
+    fn grow_to(&mut self, n: u64) {
+        match self {
+            Dist::Zipfian(d) => d.grow_to(n),
+            Dist::Latest(d) => d.grow_to(n),
+            Dist::Uniform(d) => d.grow_to(n),
+        }
+    }
+}
+
+/// A seeded, stateful workload: yields [`Op`]s and tracks the growing key
+/// space (inserts extend it, and `Latest` re-skews toward new keys).
+pub struct Workload {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    dist: Dist,
+    scan_len: Uniform,
+    key_count: u64,
+}
+
+impl Workload {
+    /// Creates a workload over `record_count` preloaded keys.
+    pub fn new(spec: WorkloadSpec, record_count: u64, seed: u64) -> Workload {
+        assert!(record_count >= 1);
+        let total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw;
+        assert!((total - 1.0).abs() < 1e-9, "op mix must sum to 1.0, got {total}");
+        let dist = match spec.request {
+            RequestKind::Zipfian => Dist::Zipfian(ScrambledZipfian::new(record_count)),
+            RequestKind::Latest => Dist::Latest(Latest::new(record_count)),
+            RequestKind::Uniform => Dist::Uniform(Uniform::new(record_count)),
+        };
+        Workload {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            dist,
+            scan_len: Uniform::new(100),
+            key_count: record_count,
+        }
+    }
+
+    /// The spec driving this workload.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Keys inserted so far (preload + dynamic inserts).
+    pub fn key_count(&self) -> u64 {
+        self.key_count
+    }
+
+    /// The keys to preload before running (0..record_count, as ordinal
+    /// keys; the JITD driver maps them to records).
+    pub fn preload_keys(&self) -> impl Iterator<Item = i64> {
+        0..self.key_count as i64
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let x: f64 = self.rng.gen();
+        let spec = self.spec;
+        let value = self.rng.gen_range(0..1_000_000);
+        if x < spec.read {
+            Op::Read { key: self.pick_key() }
+        } else if x < spec.read + spec.update {
+            Op::Update { key: self.pick_key(), value }
+        } else if x < spec.read + spec.update + spec.insert {
+            let key = self.key_count as i64;
+            self.key_count += 1;
+            self.dist.grow_to(self.key_count);
+            Op::Insert { key, value }
+        } else if x < spec.read + spec.update + spec.insert + spec.scan {
+            let len = self.scan_len.next_index(&mut self.rng) as usize + 1;
+            Op::Scan { key: self.pick_key(), len }
+        } else {
+            Op::ReadModifyWrite { key: self.pick_key(), value }
+        }
+    }
+
+    /// Draws `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    fn pick_key(&mut self) -> i64 {
+        self.dist.next_index(&mut self.rng) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_of(ops: &[Op]) -> std::collections::HashMap<&'static str, usize> {
+        let mut m = std::collections::HashMap::new();
+        for op in ops {
+            *m.entry(op.kind()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn workload_a_mix() {
+        let mut w = Workload::new(WorkloadSpec::standard('A'), 1000, 42);
+        let mix = mix_of(&w.take_ops(10_000));
+        let reads = mix["read"] as f64;
+        let updates = mix["update"] as f64;
+        assert!((reads / 10_000.0 - 0.5).abs() < 0.03);
+        assert!((updates / 10_000.0 - 0.5).abs() < 0.03);
+        assert!(!mix.contains_key("insert"));
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut w = Workload::new(WorkloadSpec::standard('C'), 1000, 42);
+        let mix = mix_of(&w.take_ops(5000));
+        assert_eq!(mix.len(), 1);
+        assert_eq!(mix["read"], 5000);
+    }
+
+    #[test]
+    fn workload_d_inserts_extend_keyspace() {
+        let mut w = Workload::new(WorkloadSpec::standard('D'), 1000, 42);
+        let ops = w.take_ops(10_000);
+        let inserts: Vec<i64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Insert { key, .. } => Some(*key),
+                _ => None,
+            })
+            .collect();
+        assert!(!inserts.is_empty());
+        // Inserted keys are fresh and sequential from the preload count.
+        assert_eq!(inserts[0], 1000);
+        assert!(inserts.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(w.key_count(), 1000 + inserts.len() as u64);
+    }
+
+    #[test]
+    fn workload_e_scans_dominate() {
+        let mut w = Workload::new(WorkloadSpec::standard('E'), 1000, 42);
+        let ops = w.take_ops(5000);
+        let mix = mix_of(&ops);
+        assert!(mix["scan"] > 4500);
+        // Scan lengths in 1..=100.
+        for op in &ops {
+            if let Op::Scan { len, .. } = op {
+                assert!((1..=100).contains(len));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_f_has_rmw() {
+        let mut w = Workload::new(WorkloadSpec::standard('F'), 1000, 42);
+        let mix = mix_of(&w.take_ops(5000));
+        assert!(mix["rmw"] > 2000);
+        assert!(mix["read"] > 2000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Workload::new(WorkloadSpec::standard('A'), 1000, 7);
+        let mut b = Workload::new(WorkloadSpec::standard('A'), 1000, 7);
+        assert_eq!(a.take_ops(100), b.take_ops(100));
+        let mut c = Workload::new(WorkloadSpec::standard('A'), 1000, 8);
+        assert_ne!(a.take_ops(100), c.take_ops(100));
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut w = Workload::new(WorkloadSpec::standard('B'), 500, 42);
+        for op in w.take_ops(5000) {
+            let key = match op {
+                Op::Read { key }
+                | Op::Update { key, .. }
+                | Op::Insert { key, .. }
+                | Op::Scan { key, .. }
+                | Op::ReadModifyWrite { key, .. } => key,
+            };
+            assert!((0..500 + 5000).contains(&key));
+        }
+    }
+
+    #[test]
+    fn paper_set_excludes_e() {
+        let names: Vec<char> = WorkloadSpec::paper_set().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!['A', 'B', 'C', 'D', 'F']);
+        assert_eq!(WorkloadSpec::all().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown YCSB workload")]
+    fn unknown_workload_rejected() {
+        let _ = WorkloadSpec::standard('Z');
+    }
+}

@@ -1,0 +1,212 @@
+//! A small arithmetic-expression optimizer with four rewrite rules,
+//! comparing naive search against TreeToaster views on randomly
+//! generated expressions.
+//!
+//! Rules: `0 + b → b`, `1 * b → b`, `0 * b → 0`, and constant folding
+//! `Const ⊕ Const → Const`. The example generates a large random
+//! expression, optimizes it to a fixpoint twice (naive scan vs.
+//! TreeToaster), verifies both produce the same normal form, and prints
+//! the timing split.
+//!
+//! Run with: `cargo run --release --example arithmetic_optimizer`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use treetoaster::ast::Value;
+use treetoaster::core::generator::{acompute, gen, reuse, GenCtx};
+use treetoaster::core::{MatchSource, NaiveStrategy, ReplaceCtx, RuleFired};
+use treetoaster::metrics::now_ns;
+use treetoaster::pattern::dsl::*;
+use treetoaster::prelude::*;
+
+fn rules(schema: &Arc<Schema>) -> Arc<RuleSet> {
+    // 0 + b → b  (commutative twin omitted for brevity).
+    let add_zero = RewriteRule::new(
+        "AddZero",
+        schema,
+        Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], eq(attr("B", "val"), int(0))), any_as("q")],
+                eq(attr("A", "op"), str_("+")),
+            ),
+        ),
+        reuse("q"),
+    );
+    // 1 * b → b.
+    let mul_one = RewriteRule::new(
+        "MulOne",
+        schema,
+        Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], eq(attr("B", "val"), int(1))), any_as("q")],
+                eq(attr("A", "op"), str_("*")),
+            ),
+        ),
+        reuse("q"),
+    );
+    // 0 * b → 0 (drops the wildcard — not Definition-7 safe, so the
+    // engine automatically uses the maximal-search-set path for it).
+    let mul_zero = RewriteRule::new(
+        "MulZero",
+        schema,
+        Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], eq(attr("B", "val"), int(0))), any()],
+                eq(attr("A", "op"), str_("*")),
+            ),
+        ),
+        gen("Const", [("val", treetoaster::core::generator::aconst(Value::Int(0)))], []),
+    );
+    // Const ⊕ Const → Const (constant folding).
+    let fold = {
+        let pattern = Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "A",
+                [node("Const", "B", [], tru()), node("Const", "C", [], tru())],
+                tru(),
+            ),
+        );
+        let a = pattern.var("A").unwrap();
+        let b = pattern.var("B").unwrap();
+        let c = pattern.var("C").unwrap();
+        RewriteRule::new(
+            "ConstFold",
+            schema,
+            pattern,
+            gen(
+                "Const",
+                [(
+                    "val",
+                    acompute("fold", move |ctx: &GenCtx| {
+                        let val = ctx.ast.schema().expect_attr("val");
+                        let op = ctx.ast.schema().expect_attr("op");
+                        let x = ctx.ast.attr(ctx.bindings.get(b), val).as_int();
+                        let y = ctx.ast.attr(ctx.bindings.get(c), val).as_int();
+                        Value::Int(match ctx.ast.attr(ctx.bindings.get(a), op).as_str() {
+                            "+" => x.wrapping_add(y),
+                            "*" => x.wrapping_mul(y),
+                            other => panic!("unknown op {other}"),
+                        })
+                    }),
+                )],
+                [],
+            ),
+        )
+    };
+    Arc::new(RuleSet::from_rules(vec![add_zero, mul_one, mul_zero, fold]))
+}
+
+/// A random expression over +, *, small constants, and variables.
+fn random_expr(ast: &mut Ast, rng: &mut StdRng, depth: usize) -> NodeId {
+    let schema = ast.schema().clone();
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.6) {
+            let val = *[0i64, 0, 1, 2, 3].get(rng.gen_range(0..5)).unwrap();
+            ast.alloc(schema.expect_label("Const"), vec![Value::Int(val)], vec![])
+        } else {
+            let name = format!("v{}", rng.gen_range(0..8));
+            ast.alloc(schema.expect_label("Var"), vec![Value::str(&name)], vec![])
+        }
+    } else {
+        let left = random_expr(ast, rng, depth - 1);
+        let right = random_expr(ast, rng, depth - 1);
+        let op = if rng.gen_bool(0.5) { "+" } else { "*" };
+        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![left, right])
+    }
+}
+
+/// Optimizes to a fixpoint with any strategy; returns (rewrites, search
+/// ns, maintenance ns).
+fn optimize(ast: &mut Ast, rules: &Arc<RuleSet>, strategy: &mut dyn MatchSource) -> (u64, u64, u64) {
+    strategy.rebuild(ast);
+    let (mut rewrites, mut search_ns, mut maintain_ns) = (0u64, 0u64, 0u64);
+    let mut tick = 0;
+    loop {
+        let mut fired = false;
+        for (rid, rule) in rules.iter() {
+            loop {
+                let s0 = now_ns();
+                let site = strategy.find_one(ast, rid);
+                search_ns += now_ns() - s0;
+                let Some(site) = site else { break };
+                let bindings = match_node(ast, site, &rule.pattern).expect("exact");
+                let m0 = now_ns();
+                strategy.before_replace(ast, site, Some((rid, &bindings)));
+                maintain_ns += now_ns() - m0;
+                let applied = rule.apply(ast, site, &bindings, tick);
+                tick += 1;
+                let ctx = ReplaceCtx {
+                    old_root: applied.old_root,
+                    new_root: applied.new_root,
+                    removed: &applied.removed,
+                    inserted: applied.inserted(),
+                    parent_update: applied.parent_update.as_ref(),
+                    rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+                };
+                let m1 = now_ns();
+                strategy.after_replace(ast, &ctx);
+                maintain_ns += now_ns() - m1;
+                rewrites += 1;
+                fired = true;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+    (rewrites, search_ns, maintain_ns)
+}
+
+fn main() {
+    let seed = 2024;
+    let schema = treetoaster::ast::schema::arith_schema();
+    let rules = rules(&schema);
+
+    for depth in [8, 12, 14] {
+        // Same expression for both strategies.
+        let mut naive_ast = Ast::new(schema.clone());
+        let root = random_expr(&mut naive_ast, &mut StdRng::seed_from_u64(seed), depth);
+        naive_ast.set_root(root);
+        let mut tt_ast = Ast::new(schema.clone());
+        let root = random_expr(&mut tt_ast, &mut StdRng::seed_from_u64(seed), depth);
+        tt_ast.set_root(root);
+        let size = naive_ast.subtree_size(naive_ast.root());
+
+        let mut naive = NaiveStrategy::new(rules.clone());
+        let (n_rw, n_search, _) = optimize(&mut naive_ast, &rules, &mut naive);
+        let mut tt = TreeToasterEngine::new(rules.clone());
+        let (t_rw, t_search, t_maintain) = optimize(&mut tt_ast, &rules, &mut tt);
+
+        // Rewrite *counts* differ legitimately (site order matters when
+        // MulZero discards whole subtrees), but the rules are confluent:
+        // both strategies must reach the same normal form.
+        assert_eq!(
+            treetoaster::ast::sexpr::to_sexpr(&naive_ast, naive_ast.root()),
+            treetoaster::ast::sexpr::to_sexpr(&tt_ast, tt_ast.root()),
+            "same normal form"
+        );
+        println!(
+            "expr size {size:>6}: {n_rw:>4}/{t_rw:<4} rewrites (naive/TT) | \
+             naive search {:>9.2} ms | TT search {:>7.3} ms + maintenance {:>7.3} ms  \
+             (search speedup {:>6.1}x)",
+            n_search as f64 / 1e6,
+            t_search as f64 / 1e6,
+            t_maintain as f64 / 1e6,
+            n_search as f64 / t_search.max(1) as f64,
+        );
+    }
+    println!("\nBoth strategies reach identical normal forms; TreeToaster trades a small");
+    println!("maintenance cost for near-elimination of search, as in the paper's Figure 10.");
+}

@@ -1,0 +1,71 @@
+//! A Spark-Catalyst-style SQL optimizer, instrumented like the paper's
+//! Figure 1 — and what TreeToaster does to its time breakdown.
+//!
+//! Optimizes TPC-H-shaped logical plans and the Appendix-A UNION-doubling
+//! antipattern with (a) Scala-`transform`-style naive scanning, and
+//! (b) TreeToaster views, printing the search / ineffective / effective /
+//! fixpoint split for both.
+//!
+//! Run with: `cargo run --release --example spark_like_optimizer`
+
+use treetoaster::queryopt::antipattern::union_doubling;
+use treetoaster::queryopt::catalyst::{optimize, Breakdown, SearchMode};
+use treetoaster::queryopt::tpch;
+
+fn show(label: &str, bd: &Breakdown) {
+    let ms = |x: u64| x as f64 / 1e6;
+    println!(
+        "  {label:<12} total {:>8.2} ms = search {:>8.2} ({:>4.1}%) + ineffective {:>6.2} + \
+         effective {:>6.2} + fixpoint {:>6.2} + maintain {:>6.2}   [{} rewrites, {} aborted]",
+        ms(bd.total_ns()),
+        ms(bd.search_ns),
+        100.0 * bd.search_fraction(),
+        ms(bd.ineffective_ns),
+        ms(bd.effective_ns),
+        ms(bd.fixpoint_ns),
+        ms(bd.maintain_ns),
+        bd.effective_count,
+        bd.ineffective_count,
+    );
+}
+
+fn main() {
+    println!("TPC-H-shaped queries (aggregated over the 22-query mix):\n");
+    let mut total_naive = Breakdown::default();
+    let mut total_tt = Breakdown::default();
+    for q in 1..=22 {
+        let mut ast = tpch::build_query(q, 42);
+        let bd = optimize(&mut ast, SearchMode::NaiveScan, 100);
+        accumulate(&mut total_naive, &bd);
+        let mut ast = tpch::build_query(q, 42);
+        let bd = optimize(&mut ast, SearchMode::TreeToasterViews, 100);
+        accumulate(&mut total_tt, &bd);
+    }
+    show("naive scan", &total_naive);
+    show("treetoaster", &total_tt);
+
+    println!("\nUNION-ALL-doubling antipattern (Appendix A), level 4 (~{} nodes):\n",
+        treetoaster::queryopt::antipattern::expected_size(4));
+    let mut ast = union_doubling(4);
+    let bd = optimize(&mut ast, SearchMode::NaiveScan, 60);
+    show("naive scan", &bd);
+    let mut ast = union_doubling(4);
+    let bd = optimize(&mut ast, SearchMode::TreeToasterViews, 60);
+    show("treetoaster", &bd);
+
+    println!("\nThe naive optimizer burns its time matching patterns against every node on");
+    println!("every pass (paper: 33-45% of Catalyst's time); with materialized views both");
+    println!("the search and the outer fixpoint comparison collapse, leaving rewrite");
+    println!("construction plus a small maintenance cost.");
+}
+
+fn accumulate(into: &mut Breakdown, from: &Breakdown) {
+    into.search_ns += from.search_ns;
+    into.ineffective_ns += from.ineffective_ns;
+    into.effective_ns += from.effective_ns;
+    into.fixpoint_ns += from.fixpoint_ns;
+    into.maintain_ns += from.maintain_ns;
+    into.effective_count += from.effective_count;
+    into.ineffective_count += from.ineffective_count;
+    into.iterations += from.iterations;
+}

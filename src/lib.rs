@@ -1,0 +1,84 @@
+//! # TreeToaster
+//!
+//! A from-scratch Rust reproduction of *TreeToaster: Towards an
+//! IVM-Optimized Compiler* (Balakrishnan, Nuessle, Kennedy, Ziarek;
+//! SIGMOD 2021): incremental view maintenance specialized for compiler
+//! abstract syntax trees.
+//!
+//! A compiler's optimizer repeatedly scans its AST for subtrees matching
+//! rewrite rules. TreeToaster materializes, per rule, a view of all
+//! currently eligible nodes and maintains it incrementally as the tree is
+//! rewritten — making "find me a rewrite opportunity" an O(1) pop instead
+//! of a tree walk, with memory measured in words per match rather than a
+//! shadow copy of the AST.
+//!
+//! ## Crate map
+//!
+//! - [`ast`] — arena-based mutable ASTs, schemas, generalized multisets.
+//! - [`pattern`] — the pattern/constraint query grammars, their
+//!   semantics, the naive matcher, and the SQL reduction.
+//! - [`relational`] — the relational encoding bolt-on engines run on.
+//! - [`labelindex`] — the §4.1 label-index baseline.
+//! - [`ivm`] — bolt-on baselines: classic cascading IVM and a
+//!   DBToaster-style higher-order engine.
+//! - [`core`] — TreeToaster itself: views, maximal-search-set
+//!   maintenance, declarative rewrite rules, Algorithm-3 inlining, and
+//!   the five-strategy `MatchSource` abstraction.
+//! - [`jitd`] — the JustInTimeData host compiler (§7's evaluation bed).
+//! - [`ycsb`] — the YCSB workload generator driving it.
+//! - [`queryopt`] — Catalyst/Orca-style optimizer simulators for the
+//!   motivation and appendix experiments.
+//! - [`metrics`] — timing/memory/statistics plumbing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use treetoaster::prelude::*;
+//! use treetoaster::pattern::dsl;
+//! use treetoaster::core::generator;
+//!
+//! // The paper's running example: eliminate additions of zero.
+//! let schema = treetoaster::ast::schema::arith_schema();
+//! let pattern = Pattern::compile(&schema, dsl::node(
+//!     "Arith", "A",
+//!     [dsl::node("Const", "B", [], dsl::eq(dsl::attr("B", "val"), dsl::int(0))),
+//!      dsl::node("Var", "C", [], dsl::tru())],
+//!     dsl::eq(dsl::attr("A", "op"), dsl::str_("+")),
+//! ));
+//! let rule = RewriteRule::new("AddZero", &schema, pattern, generator::reuse("C"));
+//! let rules = Arc::new(RuleSet::from_rules(vec![rule]));
+//!
+//! // Build 0 + x, materialize the view, pop the match.
+//! let mut ast = Ast::new(schema);
+//! let root = treetoaster::ast::sexpr::parse_sexpr(&mut ast,
+//!     r#"(Arith op="+" (Const val=0) (Var name="x"))"#).unwrap();
+//! ast.set_root(root);
+//! let mut engine = TreeToasterEngine::new(rules.clone());
+//! engine.rebuild(&ast);
+//! assert_eq!(engine.find_one(&ast, 0), Some(root));
+//! ```
+
+pub use treetoaster_core as core;
+pub use tt_ast as ast;
+pub use tt_ivm as ivm;
+pub use tt_jitd as jitd;
+pub use tt_labelindex as labelindex;
+pub use tt_metrics as metrics;
+pub use tt_pattern as pattern;
+pub use tt_queryopt as queryopt;
+pub use tt_relational as relational;
+pub use tt_ycsb as ycsb;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use treetoaster_core::{
+        MatchSource, MatchView, ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine,
+    };
+    pub use tt_ast::{Ast, GenMultiset, NodeId, Record, Schema, Value};
+    pub use tt_ivm::{ClassicIvm, DbtIvm};
+    pub use tt_jitd::{Jitd, JitdIndex, RuleConfig, StrategyKind};
+    pub use tt_labelindex::LabelIndex;
+    pub use tt_pattern::{match_node, match_set, Bindings, Pattern};
+    pub use tt_ycsb::{Op, Workload, WorkloadSpec};
+}

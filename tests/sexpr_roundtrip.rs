@@ -1,0 +1,120 @@
+//! Property test: the s-expression printer and parser are mutual
+//! inverses over randomly generated trees in both host schemas.
+
+use proptest::prelude::*;
+use treetoaster::ast::sexpr::{parse_sexpr, to_sexpr};
+use treetoaster::ast::{Ast, NodeId, Record, Value};
+
+/// Random arithmetic tree.
+fn arith_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> NodeId {
+    let schema = ast.schema().clone();
+    let byte = recipe.get(*idx).copied().unwrap_or(0);
+    *idx += 1;
+    if depth == 0 || byte % 3 == 0 {
+        if byte % 2 == 0 {
+            ast.alloc(
+                schema.expect_label("Const"),
+                vec![Value::Int((byte as i64) - 128)],
+                vec![],
+            )
+        } else {
+            ast.alloc(
+                schema.expect_label("Var"),
+                vec![Value::str(&format!("v{}", byte % 7))],
+                vec![],
+            )
+        }
+    } else {
+        let l = arith_tree(ast, recipe, idx, depth - 1);
+        let r = arith_tree(ast, recipe, idx, depth - 1);
+        let op = if byte % 2 == 0 { "+" } else { "*" };
+        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![l, r])
+    }
+}
+
+/// Random JITD tree (covers Recs and Rec payload syntax).
+fn jitd_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> NodeId {
+    let schema = ast.schema().clone();
+    let byte = recipe.get(*idx).copied().unwrap_or(0);
+    *idx += 1;
+    let array = schema.expect_label("Array");
+    if depth == 0 || byte % 4 == 0 {
+        match byte % 3 {
+            0 => {
+                let recs: Vec<Record> =
+                    (0..(byte % 5) as i64).map(|k| Record::new(k, k * 2)).collect();
+                let n = recs.len() as i64;
+                ast.alloc(array, vec![Value::recs(recs), Value::Int(n)], vec![])
+            }
+            1 => ast.alloc(
+                schema.expect_label("Singleton"),
+                vec![Value::Int(byte as i64), Value::Int(1)],
+                vec![],
+            ),
+            _ => {
+                let child = ast.alloc(array, vec![Value::recs(vec![]), Value::Int(0)], vec![]);
+                ast.alloc(
+                    schema.expect_label("DeleteSingleton"),
+                    vec![Value::Int(byte as i64)],
+                    vec![child],
+                )
+            }
+        }
+    } else {
+        let l = jitd_tree(ast, recipe, idx, depth - 1);
+        let r = jitd_tree(ast, recipe, idx, depth - 1);
+        if byte % 2 == 0 {
+            ast.alloc(schema.expect_label("Concat"), vec![], vec![l, r])
+        } else {
+            ast.alloc(
+                schema.expect_label("BinTree"),
+                vec![Value::Int(byte as i64)],
+                vec![l, r],
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arith_print_parse_roundtrip(recipe in proptest::collection::vec(any::<u8>(), 5..100)) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let mut ast = Ast::new(schema.clone());
+        let mut idx = 0;
+        let original = arith_tree(&mut ast, &recipe, &mut idx, 5);
+        let text = to_sexpr(&ast, original);
+        let reparsed = parse_sexpr(&mut ast, &text).expect("printer output parses");
+        prop_assert!(ast.deep_eq(original, reparsed), "roundtrip changed the tree: {text}");
+        prop_assert_eq!(to_sexpr(&ast, reparsed), text, "second print is stable");
+    }
+
+    #[test]
+    fn jitd_print_parse_roundtrip(recipe in proptest::collection::vec(any::<u8>(), 5..80)) {
+        let schema = treetoaster::jitd::jitd_schema();
+        let mut ast = Ast::new(schema);
+        let mut idx = 0;
+        let original = jitd_tree(&mut ast, &recipe, &mut idx, 4);
+        let text = to_sexpr(&ast, original);
+        let reparsed = parse_sexpr(&mut ast, &text).expect("printer output parses");
+        prop_assert!(ast.deep_eq(original, reparsed), "roundtrip changed the tree: {text}");
+    }
+
+    #[test]
+    fn arena_clone_subtree_is_deep_equal(recipe in proptest::collection::vec(any::<u8>(), 5..80)) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let mut ast = Ast::new(schema);
+        let mut idx = 0;
+        let original = arith_tree(&mut ast, &recipe, &mut idx, 5);
+        let size_before = ast.subtree_size(original);
+        let copy = ast.clone_subtree(original);
+        prop_assert!(ast.deep_eq(original, copy));
+        prop_assert_eq!(ast.subtree_size(copy), size_before);
+        // Clones are structurally disjoint: freeing one leaves the other.
+        let freed = ast.free_subtree(copy);
+        prop_assert_eq!(freed.len(), size_before);
+        prop_assert_eq!(ast.subtree_size(original), size_before);
+        ast.validate().map_err(TestCaseError::fail)?;
+    }
+}

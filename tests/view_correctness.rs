@@ -1,0 +1,215 @@
+//! Property-based verification of Lemma 5.2/5.4 (view correctness) for
+//! every maintained strategy, over randomized trees and rewrite orders.
+//!
+//! Strategy: generate a random arithmetic AST, materialize views for a
+//! two-rule set, then repeatedly apply randomly chosen rule instances.
+//! After every application each engine's view must equal a from-scratch
+//! match-set computation.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use treetoaster::ast::{sexpr::to_sexpr, Ast, NodeId, Value};
+use treetoaster::core::engine::MaintenanceMode;
+use treetoaster::core::generator::reuse;
+use treetoaster::core::{MatchSource, ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine};
+use treetoaster::ivm::{ClassicIvm, DbtIvm};
+use treetoaster::pattern::dsl::{any_as, attr, eq, int, node, str_};
+use treetoaster::pattern::{match_node, match_set, Pattern};
+use treetoaster::prelude::Schema;
+
+fn arith_rules(schema: &Arc<Schema>) -> Arc<RuleSet> {
+    let add_zero = RewriteRule::new(
+        "AddZero",
+        schema,
+        Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "A",
+                [
+                    node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                    any_as("q"),
+                ],
+                eq(attr("A", "op"), str_("+")),
+            ),
+        ),
+        reuse("q"),
+    );
+    let mul_one = RewriteRule::new(
+        "MulOne",
+        schema,
+        Pattern::compile(
+            schema,
+            node(
+                "Arith",
+                "M",
+                [
+                    node("Const", "K", [], eq(attr("K", "val"), int(1))),
+                    any_as("r"),
+                ],
+                eq(attr("M", "op"), str_("*")),
+            ),
+        ),
+        reuse("r"),
+    );
+    Arc::new(RuleSet::from_rules(vec![add_zero, mul_one]))
+}
+
+/// Random expression tree described by a seed recipe (proptest shrinks
+/// the recipe, which deterministically rebuilds the tree).
+fn build_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> NodeId {
+    let schema = ast.schema().clone();
+    let byte = recipe.get(*idx).copied().unwrap_or(0);
+    *idx += 1;
+    if depth == 0 || byte % 4 == 0 {
+        // Leaf: Const of 0/1/2 or Var.
+        match byte % 8 {
+            0 | 4 => ast.alloc(schema.expect_label("Const"), vec![Value::Int(0)], vec![]),
+            1 | 5 => ast.alloc(schema.expect_label("Const"), vec![Value::Int(1)], vec![]),
+            2 | 6 => ast.alloc(schema.expect_label("Const"), vec![Value::Int(2)], vec![]),
+            _ => ast.alloc(schema.expect_label("Var"), vec![Value::str("x")], vec![]),
+        }
+    } else {
+        let left = build_tree(ast, recipe, idx, depth - 1);
+        let right = build_tree(ast, recipe, idx, depth - 1);
+        let op = if byte % 2 == 0 { "+" } else { "*" };
+        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![left, right])
+    }
+}
+
+/// Drives a random rewrite sequence through one strategy, checking
+/// view-vs-scan agreement after every step. Returns the rewrite count.
+fn drive(
+    strategy: &mut dyn MatchSource,
+    ast: &mut Ast,
+    rules: &Arc<RuleSet>,
+    choices: &[u8],
+    oracle: &dyn Fn(&mut dyn MatchSource, &Ast) -> Result<(), String>,
+) -> usize {
+    strategy.rebuild(ast);
+    oracle(strategy, ast).expect("initial views exact");
+    let mut applied = 0;
+    for (tick, &choice) in choices.iter().enumerate() {
+        let rid = (choice as usize) % rules.len();
+        let Some(site) = strategy.find_one(ast, rid) else {
+            continue;
+        };
+        let rule = rules.get(rid);
+        let bindings = match_node(ast, site, &rule.pattern)
+            .unwrap_or_else(|| panic!("stale match at {}", to_sexpr(ast, ast.root())));
+        strategy.before_replace(ast, site, Some((rid, &bindings)));
+        let result = rule.apply(ast, site, &bindings, tick as u64);
+        let ctx = ReplaceCtx {
+            old_root: result.old_root,
+            new_root: result.new_root,
+            removed: &result.removed,
+            inserted: result.inserted(),
+            parent_update: result.parent_update.as_ref(),
+            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &result }),
+        };
+        strategy.after_replace(ast, &ctx);
+        applied += 1;
+        ast.validate().expect("tree intact");
+        oracle(strategy, ast).expect("views exact after rewrite");
+    }
+    applied
+}
+
+/// Oracle comparing `find_one` agreement per rule plus, when available,
+/// the engine-internal consistency check.
+fn agreement_oracle(
+    rules: Arc<RuleSet>,
+) -> impl Fn(&mut dyn MatchSource, &Ast) -> Result<(), String> {
+    move |strategy, ast| {
+        for (rid, rule) in rules.iter() {
+            let expected = !match_set(ast, ast.root(), &rule.pattern).is_empty();
+            let got = strategy.find_one(ast, rid).is_some();
+            if expected != got {
+                return Err(format!(
+                    "rule {rid} ({}): scan={expected} strategy={got}",
+                    rule.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn treetoaster_views_stay_exact(
+        recipe in proptest::collection::vec(any::<u8>(), 10..80),
+        choices in proptest::collection::vec(any::<u8>(), 0..40),
+        generic in any::<bool>(),
+    ) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let rules = arith_rules(&schema);
+        let mut ast = Ast::new(schema);
+        let mut idx = 0;
+        let root = build_tree(&mut ast, &recipe, &mut idx, 5);
+        ast.set_root(root);
+        let mode = if generic { MaintenanceMode::Generic } else { MaintenanceMode::Inlined };
+        let mut engine = TreeToasterEngine::with_mode(rules.clone(), mode);
+        drive(&mut engine, &mut ast, &rules, &choices, &agreement_oracle(rules.clone()));
+        // Strong oracle on the final state: full view ≡ match-set equality.
+        engine.check_views_correct(&ast).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn classic_views_stay_exact(
+        recipe in proptest::collection::vec(any::<u8>(), 10..60),
+        choices in proptest::collection::vec(any::<u8>(), 0..25),
+    ) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let rules = arith_rules(&schema);
+        let mut ast = Ast::new(schema);
+        let mut idx = 0;
+        let root = build_tree(&mut ast, &recipe, &mut idx, 4);
+        ast.set_root(root);
+        let mut engine = ClassicIvm::new(rules.clone(), &ast);
+        drive(&mut engine, &mut ast, &rules, &choices, &agreement_oracle(rules.clone()));
+        engine.check_views_correct().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn dbtoaster_views_stay_exact(
+        recipe in proptest::collection::vec(any::<u8>(), 10..60),
+        choices in proptest::collection::vec(any::<u8>(), 0..25),
+    ) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let rules = arith_rules(&schema);
+        let mut ast = Ast::new(schema);
+        let mut idx = 0;
+        let root = build_tree(&mut ast, &recipe, &mut idx, 4);
+        ast.set_root(root);
+        let mut engine = DbtIvm::new(rules.clone(), &ast);
+        drive(&mut engine, &mut ast, &rules, &choices, &agreement_oracle(rules.clone()));
+        engine.check_views_correct().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn inlined_and_generic_modes_agree(
+        recipe in proptest::collection::vec(any::<u8>(), 10..80),
+        choices in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let schema = treetoaster::ast::schema::arith_schema();
+        let rules = arith_rules(&schema);
+
+        let run = |mode: MaintenanceMode| {
+            let mut ast = Ast::new(schema.clone());
+            let mut idx = 0;
+            let root = build_tree(&mut ast, &recipe, &mut idx, 5);
+            ast.set_root(root);
+            let mut engine = TreeToasterEngine::with_mode(rules.clone(), mode);
+            let applied =
+                drive(&mut engine, &mut ast, &rules, &choices, &agreement_oracle(rules.clone()));
+            (applied, to_sexpr(&ast, ast.root()))
+        };
+        let (a1, t1) = run(MaintenanceMode::Inlined);
+        let (a2, t2) = run(MaintenanceMode::Generic);
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(t1, t2);
+    }
+}
