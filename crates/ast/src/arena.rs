@@ -103,7 +103,13 @@ pub struct Ast {
 impl Ast {
     /// Creates an empty AST over `schema` (no root yet).
     pub fn new(schema: Arc<Schema>) -> Self {
-        Self { schema, slots: Vec::new(), free: Vec::new(), root: NodeId::NULL, live: 0 }
+        Self {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            root: NodeId::NULL,
+            live: 0,
+        }
     }
 
     /// The schema this AST follows.
@@ -156,7 +162,12 @@ impl Ast {
             assert!(child.parent.is_null(), "child {c:?} already attached");
             child.parent = id;
         }
-        self.slots[id.0 as usize] = Some(Node { label, attrs, children, parent: NodeId::NULL });
+        self.slots[id.0 as usize] = Some(Node {
+            label,
+            attrs,
+            children,
+            parent: NodeId::NULL,
+        });
         self.live += 1;
         id
     }
@@ -170,20 +181,22 @@ impl Ast {
     /// True if `id` refers to a live node.
     #[inline]
     pub fn is_live(&self, id: NodeId) -> bool {
-        !id.is_null()
-            && (id.0 as usize) < self.slots.len()
-            && self.slots[id.0 as usize].is_some()
+        !id.is_null() && (id.0 as usize) < self.slots.len() && self.slots[id.0 as usize].is_some()
     }
 
     /// Immutable node access; panics on dead ids (a stale-id bug).
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
-        self.slots[id.0 as usize].as_ref().unwrap_or_else(|| panic!("dead node {id:?}"))
+        self.slots[id.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("dead node {id:?}"))
     }
 
     #[inline]
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.slots[id.0 as usize].as_mut().unwrap_or_else(|| panic!("dead node {id:?}"))
+        self.slots[id.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("dead node {id:?}"))
     }
 
     /// The node's label.
@@ -208,16 +221,13 @@ impl Ast {
     #[inline]
     pub fn attr(&self, id: NodeId, attr: AttrName) -> &Value {
         let node = self.node(id);
-        let idx = self
-            .schema
-            .attr_index(node.label, attr)
-            .unwrap_or_else(|| {
-                panic!(
-                    "label {} has no attribute {}",
-                    self.schema.label_name(node.label),
-                    self.schema.attr_name(attr)
-                )
-            });
+        let idx = self.schema.attr_index(node.label, attr).unwrap_or_else(|| {
+            panic!(
+                "label {} has no attribute {}",
+                self.schema.label_name(node.label),
+                self.schema.attr_name(attr)
+            )
+        });
         &node.attrs[idx]
     }
 
@@ -243,7 +253,10 @@ impl Ast {
             return;
         }
         let siblings = &mut self.node_mut(parent).children;
-        let pos = siblings.iter().position(|&c| c == id).expect("child missing from parent");
+        let pos = siblings
+            .iter()
+            .position(|&c| c == id)
+            .expect("child missing from parent");
         siblings.remove(pos);
         self.node_mut(id).parent = NodeId::NULL;
     }
@@ -252,7 +265,10 @@ impl Ast {
     /// detached node `new` in `old`'s parent slot (or as root). `old` is
     /// left detached and still live; the caller frees or reuses it.
     pub fn replace(&mut self, old: NodeId, new: NodeId) {
-        assert!(self.node(new).parent.is_null(), "replacement {new:?} must be detached");
+        assert!(
+            self.node(new).parent.is_null(),
+            "replacement {new:?} must be detached"
+        );
         assert_ne!(old, new, "cannot replace a node with itself");
         let parent = self.node(old).parent;
         if parent.is_null() {
@@ -274,7 +290,10 @@ impl Ast {
     /// Frees a detached subtree, returning the freed ids (preorder).
     /// Panics if the subtree root is attached or is the AST root.
     pub fn free_subtree(&mut self, id: NodeId) -> Vec<NodeId> {
-        assert!(self.node(id).parent.is_null(), "cannot free an attached subtree");
+        assert!(
+            self.node(id).parent.is_null(),
+            "cannot free an attached subtree"
+        );
         assert_ne!(self.root, id, "cannot free the root; detach it first");
         let ids = self.collect_subtree(id);
         for &n in &ids {
@@ -302,12 +321,18 @@ impl Ast {
     /// Iterates `Desc(id)` (the node and all descendants, preorder) without
     /// allocating the whole list up front.
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { ast: self, stack: if id.is_null() { vec![] } else { vec![id] } }
+        Descendants {
+            ast: self,
+            stack: if id.is_null() { vec![] } else { vec![id] },
+        }
     }
 
     /// Iterates proper ancestors of `id`, nearest first.
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
-        Ancestors { ast: self, current: self.parent(id) }
+        Ancestors {
+            ast: self,
+            current: self.parent(id),
+        }
     }
 
     /// The `depth`-th ancestor (1 = parent), or `NULL` if the path leaves
@@ -334,10 +359,7 @@ impl Ast {
             return true;
         }
         let (na, nb) = (self.node(a), self.node(b));
-        if na.label != nb.label
-            || na.attrs != nb.attrs
-            || na.children.len() != nb.children.len()
-        {
+        if na.label != nb.label || na.attrs != nb.attrs || na.children.len() != nb.children.len() {
             return false;
         }
         na.children
@@ -454,7 +476,11 @@ impl NodeRow {
     /// Snapshots a live node.
     pub fn of(ast: &Ast, id: NodeId) -> NodeRow {
         let node = ast.node(id);
-        NodeRow { id, attrs: node.attrs().to_vec(), children: node.children().to_vec() }
+        NodeRow {
+            id,
+            attrs: node.attrs().to_vec(),
+            children: node.children().to_vec(),
+        }
     }
 
     /// Approximate heap bytes of this snapshot (shadow-copy accounting).

@@ -45,7 +45,9 @@ pub struct Schema {
 impl Schema {
     /// Starts building a schema.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { schema: Schema::default() }
+        SchemaBuilder {
+            schema: Schema::default(),
+        }
     }
 
     /// Number of declared labels.
@@ -60,7 +62,8 @@ impl Schema {
 
     /// Looks up a label by name, panicking with context if absent.
     pub fn expect_label(&self, name: &str) -> Label {
-        self.label(name).unwrap_or_else(|| panic!("label {name:?} not in schema"))
+        self.label(name)
+            .unwrap_or_else(|| panic!("label {name:?} not in schema"))
     }
 
     /// Looks up an attribute name.
@@ -70,7 +73,8 @@ impl Schema {
 
     /// Looks up an attribute name, panicking with context if absent.
     pub fn expect_attr(&self, name: &str) -> AttrName {
-        self.attr(name).unwrap_or_else(|| panic!("attribute {name:?} not in schema"))
+        self.attr(name)
+            .unwrap_or_else(|| panic!("attribute {name:?} not in schema"))
     }
 
     /// The definition for `label`.
@@ -133,7 +137,11 @@ impl SchemaBuilder {
             let mut sorted = attr_ids.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), attr_ids.len(), "label {name:?} repeats an attribute");
+            assert_eq!(
+                sorted.len(),
+                attr_ids.len(),
+                "label {name:?} repeats an attribute"
+            );
         }
         let id = Label(u16::try_from(self.schema.labels.len()).expect("too many labels"));
         self.schema.labels.push(LabelDef {
@@ -154,9 +162,14 @@ impl SchemaBuilder {
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for def in &self.labels {
-            let attrs: Vec<&str> =
-                def.attrs.iter().map(|a| self.attr_name(*a)).collect();
-            writeln!(f, "{}({}) / {} children", def.name, attrs.join(", "), def.max_children)?;
+            let attrs: Vec<&str> = def.attrs.iter().map(|a| self.attr_name(*a)).collect();
+            writeln!(
+                f,
+                "{}({}) / {} children",
+                def.name,
+                attrs.join(", "),
+                def.max_children
+            )?;
         }
         Ok(())
     }

@@ -43,7 +43,10 @@ fn write_node(ast: &Ast, id: NodeId, out: &mut String) {
 /// Attribute order in the text may differ from schema order; missing
 /// attributes default to `Unit`. Errors carry byte offsets.
 pub fn parse_sexpr(ast: &mut Ast, text: &str) -> Result<NodeId, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     let id = p.node(ast)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -76,7 +79,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { at: self.pos, message: message.to_string() }
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -290,7 +296,10 @@ mod tests {
         assert_eq!(ast.attr(id, schema.expect_attr("i")).as_int(), -7);
         assert!(ast.attr(id, schema.expect_attr("b")).as_bool());
         assert_eq!(ast.attr(id, schema.expect_attr("s")).as_str(), "hi");
-        assert_eq!(ast.attr(id, schema.expect_attr("r")).as_rec(), Record::new(1, 2));
+        assert_eq!(
+            ast.attr(id, schema.expect_attr("r")).as_rec(),
+            Record::new(1, 2)
+        );
         assert_eq!(ast.attr(id, schema.expect_attr("rs")).as_recs().len(), 2);
         assert!(ast.attr(id, schema.expect_attr("st")).as_set().contains(6));
         assert_eq!(*ast.attr(id, schema.expect_attr("u")), Value::Unit);

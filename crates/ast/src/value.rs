@@ -39,15 +39,17 @@ impl Record {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct IntSet(Vec<u32>);
 
-impl IntSet {
+impl FromIterator<u32> for IntSet {
     /// Builds a set from any iterator (deduplicates and sorts).
-    pub fn from_iter(items: impl IntoIterator<Item = u32>) -> Self {
+    fn from_iter<I: IntoIterator<Item = u32>>(items: I) -> Self {
         let mut v: Vec<u32> = items.into_iter().collect();
         v.sort_unstable();
         v.dedup();
         Self(v)
     }
+}
 
+impl IntSet {
     /// The empty set.
     pub fn empty() -> Self {
         Self(Vec::new())
@@ -97,7 +99,13 @@ impl IntSet {
 
     /// Set intersection.
     pub fn intersect(&self, other: &IntSet) -> IntSet {
-        IntSet(self.0.iter().copied().filter(|x| other.contains(*x)).collect())
+        IntSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|x| other.contains(*x))
+                .collect(),
+        )
     }
 
     /// Iterates elements in ascending order.
@@ -335,7 +343,10 @@ mod tests {
     fn value_scalar_comparisons() {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(1).partial_cmp_scalar(&Value::Int(2)), Some(Less));
-        assert_eq!(Value::str("a").partial_cmp_scalar(&Value::str("a")), Some(Equal));
+        assert_eq!(
+            Value::str("a").partial_cmp_scalar(&Value::str("a")),
+            Some(Equal)
+        );
         assert_eq!(Value::Int(1).partial_cmp_scalar(&Value::Bool(true)), None);
         assert_eq!(Value::Unit.partial_cmp_scalar(&Value::Unit), None);
     }
@@ -352,7 +363,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Rec(Record::new(1, 2)).to_string(), "1:2");
-        assert_eq!(Value::recs(vec![Record::new(1, 2), Record::new(3, 4)]).to_string(), "[1:2,3:4]");
+        assert_eq!(
+            Value::recs(vec![Record::new(1, 2), Record::new(3, 4)]).to_string(),
+            "[1:2,3:4]"
+        );
         assert_eq!(Value::set([2, 1]).to_string(), "{1,2}");
     }
 

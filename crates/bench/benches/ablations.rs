@@ -25,7 +25,12 @@ use tt_queryopt::tpch;
 /// returning (total maintenance ns, rewrites applied).
 fn run_tt_mode(mode: MaintenanceMode, records: u64, threshold: usize) -> (u64, u64) {
     let schema = jitd_schema();
-    let rules = Arc::new(paper_rules(&schema, RuleConfig { crack_threshold: threshold }));
+    let rules = Arc::new(paper_rules(
+        &schema,
+        RuleConfig {
+            crack_threshold: threshold,
+        },
+    ));
     let data: Vec<Record> = (0..records as i64).map(|k| Record::new(k, k)).collect();
     let mut index = JitdIndex::load(data);
     let mut engine = TreeToasterEngine::with_mode(rules.clone(), mode);
@@ -52,7 +57,11 @@ fn run_tt_mode(mode: MaintenanceMode, records: u64, threshold: usize) -> (u64, u
                     removed: &result.removed,
                     inserted: result.inserted(),
                     parent_update: result.parent_update.as_ref(),
-                    rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &result }),
+                    rule: Some(RuleFired {
+                        rule: rid,
+                        bindings: &bindings,
+                        applied: &result,
+                    }),
                 };
                 let m1 = now_ns();
                 engine.after_replace(index.ast(), &ctx);
@@ -103,11 +112,21 @@ fn main() {
 
     println!("\nAblation 2 — Catalyst breakdown: naive scan vs. TreeToaster views (TPC-H mix)\n");
     let mut table = Table::new([
-        "mode", "search_ms", "ineffective_ms", "effective_ms", "fixpoint_ms", "maintain_ms",
+        "mode",
+        "search_ms",
+        "ineffective_ms",
+        "effective_ms",
+        "fixpoint_ms",
+        "maintain_ms",
         "total_ms",
     ]);
     let mut csv = Csv::new([
-        "mode", "search_ns", "ineffective_ns", "effective_ns", "fixpoint_ns", "maintain_ns",
+        "mode",
+        "search_ns",
+        "ineffective_ns",
+        "effective_ns",
+        "fixpoint_ns",
+        "maintain_ns",
     ]);
     let reps = env_u64("TT_FIG1_REPS", 3);
     for (name, mode) in [
@@ -202,8 +221,8 @@ fn ablation_view_structure() {
 /// 1..=5 is registered as views while tombstone chains are built and
 /// collapsed; deeper patterns force wider Definition-6 search sets.
 fn ablation_ancestor_depth(records: u64) {
-    use treetoaster_core::{RewriteRule, RuleSet, TreeToasterEngine};
     use treetoaster_core::generator::{acopy, gen, reuse};
+    use treetoaster_core::{RewriteRule, RuleSet, TreeToasterEngine};
     use tt_ast::Record;
     use tt_jitd::JitdIndex;
     use tt_pattern::dsl as p;
@@ -237,8 +256,7 @@ fn ablation_ancestor_depth(records: u64) {
         let rules = Arc::new(RuleSet::from_rules(vec![rule]));
         // Force the generic path: the rule drops tombstone wrappers whose
         // keys differ, which is fine for this cost measurement.
-        let mut engine =
-            TreeToasterEngine::with_mode(rules.clone(), MaintenanceMode::Generic);
+        let mut engine = TreeToasterEngine::with_mode(rules.clone(), MaintenanceMode::Generic);
 
         let data: Vec<Record> = (0..records as i64).map(|k| Record::new(k, k)).collect();
         let mut index = JitdIndex::load(data);
@@ -266,7 +284,11 @@ fn ablation_ancestor_depth(records: u64) {
                 removed: &result.removed,
                 inserted: result.inserted(),
                 parent_update: result.parent_update.as_ref(),
-                rule: Some(RuleFired { rule: 0, bindings: &bindings, applied: &result }),
+                rule: Some(RuleFired {
+                    rule: 0,
+                    bindings: &bindings,
+                    applied: &result,
+                }),
             };
             let m1 = now_ns();
             engine.after_replace(index.ast(), &ctx);

@@ -15,11 +15,21 @@ fn main() {
     println!("(seed={seed}, best of {reps} reps; times in microseconds)\n");
 
     let mut table = Table::new([
-        "query", "search_us", "ineffective_us", "effective_us", "fixpoint_us", "total_us",
+        "query",
+        "search_us",
+        "ineffective_us",
+        "effective_us",
+        "fixpoint_us",
+        "total_us",
         "search_%",
     ]);
     let mut csv = Csv::new([
-        "query", "search_ns", "ineffective_ns", "effective_ns", "fixpoint_ns", "total_ns",
+        "query",
+        "search_ns",
+        "ineffective_ns",
+        "effective_ns",
+        "fixpoint_ns",
+        "total_ns",
         "search_fraction",
     ]);
     let (mut sum_search, mut sum_total) = (0u64, 0u64);
@@ -30,9 +40,14 @@ fn main() {
         for _rep in 0..reps {
             let mut ast = tpch::build_query(q, seed);
             let bd = optimize(&mut ast, SearchMode::NaiveScan, 100);
-            let cand = (bd.search_ns, bd.ineffective_ns, bd.effective_ns, bd.fixpoint_ns);
+            let cand = (
+                bd.search_ns,
+                bd.ineffective_ns,
+                bd.effective_ns,
+                bd.fixpoint_ns,
+            );
             let total = |x: &(u64, u64, u64, u64)| x.0 + x.1 + x.2 + x.3;
-            if best.map_or(true, |b| total(&cand) < total(&b)) {
+            if best.is_none_or(|b| total(&cand) < total(&b)) {
                 best = Some(cand);
             }
         }

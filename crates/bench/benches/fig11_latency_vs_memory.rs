@@ -17,10 +17,20 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "workload", "strategy", "total_latency_ns", "memory_pages", "ast_pages", "statm_pages",
+        "workload",
+        "strategy",
+        "total_latency_ns",
+        "memory_pages",
+        "ast_pages",
+        "statm_pages",
     ]);
     let mut csv = Csv::new([
-        "workload", "strategy", "total_latency_ns", "memory_pages", "ast_pages", "statm_pages",
+        "workload",
+        "strategy",
+        "total_latency_ns",
+        "memory_pages",
+        "ast_pages",
+        "statm_pages",
     ]);
     for wl in paper_workloads() {
         for strategy in StrategyKind::all() {

@@ -17,7 +17,14 @@ fn main() {
     );
 
     let mut table = Table::new(["workload", "Index", "Classic", "DBT", "TT"]);
-    let mut csv = Csv::new(["workload", "strategy", "mean_ns", "median_ns", "p95_ns", "n"]);
+    let mut csv = Csv::new([
+        "workload",
+        "strategy",
+        "mean_ns",
+        "median_ns",
+        "p95_ns",
+        "n",
+    ]);
     for wl in paper_workloads() {
         let mut cells = vec![wl.to_string()];
         for strategy in StrategyKind::ivm_set() {

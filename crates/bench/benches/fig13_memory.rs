@@ -17,7 +17,13 @@ fn main() {
     );
 
     let mut table = Table::new(["workload", "Index", "Classic", "DBT", "TT", "AST(base)"]);
-    let mut csv = Csv::new(["workload", "strategy", "memory_pages", "ast_pages", "statm_pages"]);
+    let mut csv = Csv::new([
+        "workload",
+        "strategy",
+        "memory_pages",
+        "ast_pages",
+        "statm_pages",
+    ]);
     for wl in paper_workloads() {
         let mut cells = vec![wl.to_string()];
         let mut ast_pages = 0usize;

@@ -24,8 +24,14 @@ fn main() {
         "search_%",
     ]);
     let mut csv = Csv::new([
-        "level", "ast_size", "total_ns", "search_ns", "effective_ns", "ineffective_ns",
-        "fixpoint_ns", "search_fraction",
+        "level",
+        "ast_size",
+        "total_ns",
+        "search_ns",
+        "effective_ns",
+        "ineffective_ns",
+        "fixpoint_ns",
+        "search_fraction",
     ]);
     // Warm-up pass so the first measured level doesn't absorb first-touch
     // costs (allocator growth, instruction cache).
@@ -43,7 +49,7 @@ fn main() {
             size = ast.subtree_size(ast.root());
             assert_eq!(size, expected_size(level));
             let candidate = optimize(&mut ast, SearchMode::NaiveScan, 60);
-            if best.map_or(true, |b| candidate.total_ns() < b.total_ns()) {
+            if best.is_none_or(|b| candidate.total_ns() < b.total_ns()) {
                 best = Some(candidate);
             }
         }

@@ -25,8 +25,14 @@ fn main() {
         "tasks",
     ]);
     let mut csv = Csv::new([
-        "level", "ast_size", "total_ns", "search_ns", "effective_ns", "memo_ns",
-        "search_fraction", "tasks",
+        "level",
+        "ast_size",
+        "total_ns",
+        "search_ns",
+        "effective_ns",
+        "memo_ns",
+        "search_fraction",
+        "tasks",
     ]);
     {
         let mut warm = union_doubling(2);
@@ -40,7 +46,7 @@ fn main() {
             let mut ast = union_doubling(level);
             size = ast.subtree_size(ast.root());
             let candidate = optimize_orca(&mut ast, u64::MAX);
-            if best.map_or(true, |b| candidate.total_ns() < b.total_ns()) {
+            if best.is_none_or(|b| candidate.total_ns() < b.total_ns()) {
                 best = Some(candidate);
             }
         }

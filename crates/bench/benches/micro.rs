@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::Arc;
 use treetoaster_core::{MatchSource, TreeToasterEngine};
 use tt_ast::{GenMultiset, NodeId, Record};
-use tt_jitd::{paper_rules, jitd_schema, Jitd, JitdIndex, RuleConfig, StrategyKind};
+use tt_jitd::{jitd_schema, paper_rules, Jitd, JitdIndex, RuleConfig, StrategyKind};
 use tt_pattern::matches;
 
 fn cracked_index(records: i64, threshold: usize) -> JitdIndex {
@@ -15,7 +15,12 @@ fn cracked_index(records: i64, threshold: usize) -> JitdIndex {
     let mut idx = JitdIndex::load(data);
     // Crack it via a one-off naive loop.
     let schema = jitd_schema();
-    let rules = Arc::new(paper_rules(&schema, RuleConfig { crack_threshold: threshold }));
+    let rules = Arc::new(paper_rules(
+        &schema,
+        RuleConfig {
+            crack_threshold: threshold,
+        },
+    ));
     let mut engine = TreeToasterEngine::new(rules.clone());
     engine.rebuild(idx.ast());
     let mut tick = 0;
@@ -45,7 +50,12 @@ fn cracked_index(records: i64, threshold: usize) -> JitdIndex {
 fn bench_pattern_eval(c: &mut Criterion) {
     let idx = cracked_index(4096, 64);
     let schema = jitd_schema();
-    let rules = paper_rules(&schema, RuleConfig { crack_threshold: 64 });
+    let rules = paper_rules(
+        &schema,
+        RuleConfig {
+            crack_threshold: 64,
+        },
+    );
     let pattern = &rules.get(1).pattern; // PushDownSingletonBtreeLeft
     let nodes: Vec<NodeId> = idx.ast().descendants(idx.ast().root()).collect();
     c.bench_function("pattern_eval_per_node", |b| {
@@ -63,8 +73,7 @@ fn bench_pattern_eval(c: &mut Criterion) {
 
 fn bench_multiset_ops(c: &mut Criterion) {
     c.bench_function("multiset_union_1k", |b| {
-        let a: GenMultiset =
-            (0..1000).map(|i| (NodeId::from_index(i), 1i64)).collect();
+        let a: GenMultiset = (0..1000).map(|i| (NodeId::from_index(i), 1i64)).collect();
         let d: GenMultiset = (500..1500)
             .map(|i| (NodeId::from_index(i), -1i64))
             .collect();
@@ -97,16 +106,24 @@ fn bench_find_one(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let data: Vec<Record> = (0..2048).map(|k| Record::new(k, k)).collect();
-                    let mut jitd = Jitd::new(kind, RuleConfig { crack_threshold: 64 }, data);
+                    let mut jitd = Jitd::new(
+                        kind,
+                        RuleConfig {
+                            crack_threshold: 64,
+                        },
+                        data,
+                    );
                     jitd.reorganize_until_quiet(u64::MAX);
-                    jitd.execute(&tt_ycsb::Op::Insert { key: 5000, value: 1 });
+                    jitd.execute(&tt_ycsb::Op::Insert {
+                        key: 5000,
+                        value: 1,
+                    });
                     jitd
                 },
                 // One search for a push-down candidate: the quantity
                 // Figure 9 plots.
                 |mut jitd| {
-                    let fired = jitd.reorganize_step(1).fired
-                        || jitd.reorganize_step(2).fired;
+                    let fired = jitd.reorganize_step(1).fired || jitd.reorganize_step(2).fired;
                     criterion::black_box(fired)
                 },
                 BatchSize::SmallInput,
@@ -125,7 +142,13 @@ fn bench_maintenance(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let data: Vec<Record> = (0..2048).map(|k| Record::new(k, k)).collect();
-                    let mut jitd = Jitd::new(kind, RuleConfig { crack_threshold: 64 }, data);
+                    let mut jitd = Jitd::new(
+                        kind,
+                        RuleConfig {
+                            crack_threshold: 64,
+                        },
+                        data,
+                    );
                     jitd.reorganize_until_quiet(u64::MAX);
                     jitd
                 },

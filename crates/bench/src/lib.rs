@@ -109,7 +109,9 @@ pub fn run_jitd(workload: char, strategy: StrategyKind, cfg: ExperimentConfig) -
         .collect();
     let mut jitd = Jitd::new(
         strategy,
-        RuleConfig { crack_threshold: cfg.crack_threshold },
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
         records,
     );
     let mut driver = Workload::new(WorkloadSpec::standard(workload), cfg.records, cfg.seed);
@@ -123,8 +125,7 @@ pub fn run_jitd(workload: char, strategy: StrategyKind, cfg: ExperimentConfig) -
     }
 
     let rules = jitd.rules().clone();
-    let search: Vec<Option<Summary>> =
-        jitd.stats.search_ns.iter().map(|b| b.finish()).collect();
+    let search: Vec<Option<Summary>> = jitd.stats.search_ns.iter().map(|b| b.finish()).collect();
     let total: Vec<Option<Summary>> = (0..rules.len())
         .map(|rid| {
             // Per applied step: search + rewrite + maintenance. Rewrite
@@ -174,7 +175,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { records: 256, ops: 30, crack_threshold: 32, seed: 7 }
+        ExperimentConfig {
+            records: 256,
+            ops: 30,
+            crack_threshold: 32,
+            seed: 7,
+        }
     }
 
     #[test]

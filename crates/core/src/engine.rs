@@ -55,7 +55,13 @@ impl TreeToasterEngine {
         let matrix = InlineMatrix::build(&rules);
         let views = (0..rules.len()).map(|_| MatchView::new()).collect();
         let inlineable = rules.iter().map(|(_, r)| r.safe_for_inline()).collect();
-        Self { rules, views, matrix, inlineable, mode }
+        Self {
+            rules,
+            views,
+            matrix,
+            inlineable,
+            mode,
+        }
     }
 
     /// The view maintained for `rule`.
@@ -115,7 +121,10 @@ impl TreeToasterEngine {
     /// planned ancestor heights.
     fn inlined_pre(&mut self, ast: &Ast, old_root: NodeId, fired: RuleId, bindings: &Bindings) {
         for (id, rule) in self.rules.clone().iter() {
-            let plan = self.matrix.plan(id, fired).expect("caller checked plan exists");
+            let plan = self
+                .matrix
+                .plan(id, fired)
+                .expect("caller checked plan exists");
             let pattern = &rule.pattern;
             for &var in &plan.removed_candidates {
                 let n = bindings.get(var);
@@ -136,7 +145,10 @@ impl TreeToasterEngine {
     /// same ancestor heights.
     fn inlined_post(&mut self, ast: &Ast, new_root: NodeId, fired: RuleId, gen_nodes: &[NodeId]) {
         for (id, rule) in self.rules.clone().iter() {
-            let plan = self.matrix.plan(id, fired).expect("caller checked plan exists");
+            let plan = self
+                .matrix
+                .plan(id, fired)
+                .expect("caller checked plan exists");
             let pattern = &rule.pattern;
             for &gi in &plan.gen_candidates {
                 let n = gen_nodes[gi];
@@ -186,12 +198,7 @@ impl MatchSource for TreeToasterEngine {
         self.views[rule].any()
     }
 
-    fn before_replace(
-        &mut self,
-        ast: &Ast,
-        old_root: NodeId,
-        rule: Option<(RuleId, &Bindings)>,
-    ) {
+    fn before_replace(&mut self, ast: &Ast, old_root: NodeId, rule: Option<(RuleId, &Bindings)>) {
         match rule {
             Some((fired, bindings)) if self.can_inline(fired) => {
                 self.inlined_pre(ast, old_root, fired, bindings)
@@ -280,7 +287,10 @@ mod tests {
 
     fn rules() -> Arc<RuleSet> {
         let s = schema();
-        Arc::new(RuleSet::from_rules(vec![add_zero_rule(&s), mul_one_rule(&s)]))
+        Arc::new(RuleSet::from_rules(vec![
+            add_zero_rule(&s),
+            mul_one_rule(&s),
+        ]))
     }
 
     fn tree(text: &str) -> Ast {
@@ -303,20 +313,27 @@ mod tests {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule: rid,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         engine.after_replace(ast, &ctx);
     }
 
     #[test]
     fn rebuild_materializes_views() {
-        let mut ast = tree(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
         let mut engine = TreeToasterEngine::new(rules());
         engine.rebuild(&ast);
         assert_eq!(engine.view(0).len(), 1, "one AddZero site");
-        assert_eq!(engine.view(1).len(), 0, "no MulOne site (left child is Arith)");
+        assert_eq!(
+            engine.view(1).len(),
+            0,
+            "no MulOne site (left child is Arith)"
+        );
         engine.check_views_correct(&ast).unwrap();
         let _ = &mut ast;
     }
@@ -326,9 +343,8 @@ mod tests {
         // After AddZero fires, the root becomes Arith(*, Var(b), Var(x)) —
         // still no MulOne match (needs Const(1) child), and the AddZero
         // view must drain.
-        let mut ast = tree(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
         let mut engine = TreeToasterEngine::new(rules());
         engine.rebuild(&ast);
         let site = engine.find_one(&ast, 0).unwrap();
@@ -347,9 +363,8 @@ mod tests {
         // Start: (Arith + (Const 0) (Arith * (Const 1) (Var y)))
         // Root doesn't match AddZero yet (right child is Arith, not Var).
         // Firing MulOne turns the right child into Var(y) → root matches.
-        let mut ast = tree(
-            r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#);
         let mut engine = TreeToasterEngine::new(rules());
         engine.rebuild(&ast);
         assert!(engine.view(0).is_empty(), "root not yet eligible");
@@ -363,15 +378,17 @@ mod tests {
         engine.check_views_correct(&ast).unwrap();
         assert!(engine.view(0).is_empty());
         assert!(engine.view(1).is_empty());
-        assert_eq!(tt_ast::sexpr::to_sexpr(&ast, ast.root()), r#"(Var name="y")"#);
+        assert_eq!(
+            tt_ast::sexpr::to_sexpr(&ast, ast.root()),
+            r#"(Var name="y")"#
+        );
     }
 
     #[test]
     fn generic_mode_agrees_with_inlined() {
         let build = |mode| {
-            let mut ast = tree(
-                r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
-            );
+            let mut ast =
+                tree(r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#);
             let mut engine = TreeToasterEngine::with_mode(rules(), mode);
             engine.rebuild(&ast);
             let site = engine.find_one(&ast, 1).unwrap();
@@ -379,7 +396,10 @@ mod tests {
             engine.check_views_correct(&ast).unwrap();
             (engine.view(0).len(), engine.view(1).len())
         };
-        assert_eq!(build(MaintenanceMode::Inlined), build(MaintenanceMode::Generic));
+        assert_eq!(
+            build(MaintenanceMode::Inlined),
+            build(MaintenanceMode::Generic)
+        );
     }
 
     #[test]
@@ -408,7 +428,10 @@ mod tests {
         };
         engine.after_replace(&ast, &ctx);
         engine.check_views_correct(&ast).unwrap();
-        assert!(engine.view(0).is_empty(), "root no longer matches (Var became Const)");
+        assert!(
+            engine.view(0).is_empty(),
+            "root no longer matches (Var became Const)"
+        );
     }
 
     #[test]
@@ -455,9 +478,7 @@ mod tests {
 
     #[test]
     fn memory_is_views_only() {
-        let ast = tree(
-            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
-        );
+        let ast = tree(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
         let mut engine = TreeToasterEngine::new(rules());
         engine.rebuild(&ast);
         let bytes = engine.memory_bytes();

@@ -128,11 +128,20 @@ impl GenNode {
                 ast.detach(node);
                 node
             }
-            GenNode::Gen { index, label, attrs, children } => {
+            GenNode::Gen {
+                index,
+                label,
+                attrs,
+                children,
+            } => {
                 // Attributes first (they read the pre-state AST), then
                 // children (which may detach reused subtrees).
                 let values: Vec<Value> = {
-                    let ctx = GenCtx { ast, bindings, tick };
+                    let ctx = GenCtx {
+                        ast,
+                        bindings,
+                        tick,
+                    };
                     attrs.iter().map(|a| a.eval(&ctx)).collect()
                 };
                 let child_ids: Vec<NodeId> = children
@@ -171,7 +180,9 @@ pub enum GenSpec {
 impl fmt::Debug for GenSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GenSpec::Gen { label, children, .. } => {
+            GenSpec::Gen {
+                label, children, ..
+            } => {
                 write!(f, "Gen({label}, …, {} children)", children.len())
             }
             GenSpec::Reuse(v) => write!(f, "Reuse({v})"),
@@ -198,10 +209,7 @@ pub fn gen(
 ) -> GenSpec {
     GenSpec::Gen {
         label: label.to_string(),
-        attrs: attrs
-            .into_iter()
-            .map(|(n, a)| (n.to_string(), a))
-            .collect(),
+        attrs: attrs.into_iter().map(|(n, a)| (n.to_string(), a)).collect(),
         children: children.into_iter().collect(),
     }
 }
@@ -250,7 +258,11 @@ fn compile_rec(
                 .unwrap_or_else(|| panic!("generator reuses unbound variable {var:?}"));
             GenNode::Reuse(var_id)
         }
-        GenSpec::Gen { label, attrs, children } => {
+        GenSpec::Gen {
+            label,
+            attrs,
+            children,
+        } => {
             let label_id = schema.expect_label(&label);
             let def = schema.def(label_id);
             let mut compiled_attrs: Vec<Option<AttrGen>> = vec![None; def.attrs.len()];
@@ -296,7 +308,12 @@ fn compile_rec(
                 .into_iter()
                 .map(|c| compile_rec(schema, pattern, c, next_index))
                 .collect();
-            GenNode::Gen { index, label: label_id, attrs, children }
+            GenNode::Gen {
+                index,
+                label: label_id,
+                attrs,
+                children,
+            }
         }
     }
 }
@@ -335,8 +352,7 @@ mod tests {
         assert_eq!(g.reused_vars(), vec![pat.var("C").unwrap()]);
 
         let mut ast = Ast::new(schema);
-        let root =
-            parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
         ast.set_root(root);
         let bindings = match_node(&ast, root, &pat).unwrap();
         let mut gen_nodes = vec![];
@@ -356,16 +372,12 @@ mod tests {
             gen(
                 "Arith",
                 [("op", aconst(Value::str("*")))],
-                [
-                    gen("Const", [("val", acopy("B", "val"))], []),
-                    reuse("C"),
-                ],
+                [gen("Const", [("val", acopy("B", "val"))], []), reuse("C")],
             ),
         );
         assert_eq!(g.gen_count(), 2);
         let mut ast = Ast::new(schema);
-        let root =
-            parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
         ast.set_root(root);
         let bindings = match_node(&ast, root, &pat).unwrap();
         let mut gen_nodes = vec![NodeId::NULL; 2];
@@ -394,8 +406,7 @@ mod tests {
                         let pat_var = tt_pattern::VarId(1); // B
                         let val_attr = ctx.ast.schema().expect_attr("val");
                         Value::Int(
-                            ctx.ast.attr(b.get(pat_var), val_attr).as_int()
-                                + ctx.tick as i64,
+                            ctx.ast.attr(b.get(pat_var), val_attr).as_int() + ctx.tick as i64,
                         )
                     }),
                 )],
@@ -403,8 +414,7 @@ mod tests {
             ),
         );
         let mut ast = Ast::new(schema);
-        let root =
-            parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
         ast.set_root(root);
         let bindings = match_node(&ast, root, &pat).unwrap();
         let mut gen_nodes = vec![NodeId::NULL; 1];
@@ -431,7 +441,10 @@ mod tests {
             &pat,
             gen(
                 "Arith",
-                [("op", aconst(Value::str("+"))), ("op", aconst(Value::str("*")))],
+                [
+                    ("op", aconst(Value::str("+"))),
+                    ("op", aconst(Value::str("*"))),
+                ],
                 [],
             ),
         );

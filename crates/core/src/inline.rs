@@ -108,13 +108,20 @@ fn compile_plan(q: &Pattern, fired: &RewriteRule) -> CompiledRulePlan {
         })
         .collect();
 
-    CompiledRulePlan { gen_candidates, removed_candidates, ancestor_heights }
+    CompiledRulePlan {
+        gen_candidates,
+        removed_candidates,
+        ancestor_heights,
+    }
 }
 
 /// Lines 3–11 of Algorithm 3: recursively descend the generator, marking
 /// every `Gen` position whose subtree aligns with `q` at its root.
 fn collect_gen_candidates(q: &PatternNode, g: &GenNode, out: &mut Vec<GenPath>) {
-    if let GenNode::Gen { index, children, .. } = g {
+    if let GenNode::Gen {
+        index, children, ..
+    } = g
+    {
         if align0_gen(q, g) {
             out.push(*index as usize);
         }
@@ -132,12 +139,18 @@ fn align0_gen(q: &PatternNode, g: &GenNode) -> bool {
         (PatternNode::Any { .. }, _) => true,
         (_, GenNode::Reuse(_)) => true, // label unknown until runtime
         (
-            PatternNode::Match { label: ql, children: qc, .. },
-            GenNode::Gen { label: gl, children: gc, .. },
+            PatternNode::Match {
+                label: ql,
+                children: qc,
+                ..
+            },
+            GenNode::Gen {
+                label: gl,
+                children: gc,
+                ..
+            },
         ) => {
-            ql == gl
-                && qc.len() == gc.len()
-                && qc.iter().zip(gc).all(|(qk, gk)| align0_gen(qk, gk))
+            ql == gl && qc.len() == gc.len() && qc.iter().zip(gc).all(|(qk, gk)| align0_gen(qk, gk))
         }
     }
 }
@@ -150,12 +163,18 @@ fn align0_pat(q: &PatternNode, m: &PatternNode) -> bool {
         (PatternNode::Any { .. }, _) => true,
         (_, PatternNode::Any { .. }) => true,
         (
-            PatternNode::Match { label: ql, children: qc, .. },
-            PatternNode::Match { label: ml, children: mc, .. },
+            PatternNode::Match {
+                label: ql,
+                children: qc,
+                ..
+            },
+            PatternNode::Match {
+                label: ml,
+                children: mc,
+                ..
+            },
         ) => {
-            ql == ml
-                && qc.len() == mc.len()
-                && qc.iter().zip(mc).all(|(qk, mk)| align0_pat(qk, mk))
+            ql == ml && qc.len() == mc.len() && qc.iter().zip(mc).all(|(qk, mk)| align0_pat(qk, mk))
         }
     }
 }
@@ -170,9 +189,7 @@ fn align_h_gen(q: &PatternNode, g: &GenNode, d: usize) -> bool {
     }
     match q {
         PatternNode::Any { .. } => false,
-        PatternNode::Match { children, .. } => {
-            children.iter().any(|qk| align_h_gen(qk, g, d - 1))
-        }
+        PatternNode::Match { children, .. } => children.iter().any(|qk| align_h_gen(qk, g, d - 1)),
     }
 }
 
@@ -183,9 +200,7 @@ fn align_h_pat(q: &PatternNode, m: &PatternNode, d: usize) -> bool {
     }
     match q {
         PatternNode::Any { .. } => false,
-        PatternNode::Match { children, .. } => {
-            children.iter().any(|qk| align_h_pat(qk, m, d - 1))
-        }
+        PatternNode::Match { children, .. } => children.iter().any(|qk| align_h_pat(qk, m, d - 1)),
     }
 }
 
@@ -229,7 +244,10 @@ mod tests {
         let rules = RuleSet::from_rules(vec![rule]);
         let m = InlineMatrix::build(&rules);
         let plan = m.plan(0, 0).expect("safe rule gets a plan");
-        assert!(plan.gen_candidates.is_empty(), "pure-reuse generator creates nothing");
+        assert!(
+            plan.gen_candidates.is_empty(),
+            "pure-reuse generator creates nothing"
+        );
         // The destroyed Arith(+) could itself have rooted a match of q;
         // the destroyed Const cannot (q roots at Arith).
         let pat = &rules.get(0).pattern;
@@ -252,7 +270,10 @@ mod tests {
             gen(
                 "Arith",
                 [("op", aconst(Value::str("*")))],
-                [gen("Const", [("val", aconst(Value::Int(1)))], []), reuse("C")],
+                [
+                    gen("Const", [("val", aconst(Value::Int(1)))], []),
+                    reuse("C"),
+                ],
             ),
         );
         let rules = RuleSet::from_rules(vec![rule]);
@@ -266,10 +287,7 @@ mod tests {
         // Generator produces only Const nodes; q roots at Arith → no
         // generated candidates, no aligned removal for Const/Var.
         let s = schema();
-        let pattern = Pattern::compile(
-            &s,
-            p::node("Var", "V", [], p::tru()),
-        );
+        let pattern = Pattern::compile(&s, p::node("Var", "V", [], p::tru()));
         let rule = RewriteRule::new(
             "VarToConst",
             &s,
@@ -281,7 +299,10 @@ mod tests {
         let m = InlineMatrix::build(&rules);
         // Maintaining view 0 (AddZero) after rule 1 (VarToConst) fires:
         let plan = m.plan(0, 1).unwrap();
-        assert!(plan.gen_candidates.is_empty(), "Const cannot root an Arith match");
+        assert!(
+            plan.gen_candidates.is_empty(),
+            "Const cannot root an Arith match"
+        );
         assert!(
             plan.removed_candidates.is_empty(),
             "a destroyed Var cannot root an Arith match"
@@ -300,7 +321,12 @@ mod tests {
                 "Arith",
                 "A",
                 [
-                    p::node("Arith", "B", [p::node("Const", "C", [], p::tru()), p::any()], p::tru()),
+                    p::node(
+                        "Arith",
+                        "B",
+                        [p::node("Const", "C", [], p::tru()), p::any()],
+                        p::tru(),
+                    ),
                     p::any(),
                 ],
                 p::tru(),
@@ -315,7 +341,12 @@ mod tests {
             cpat,
             gen("Const", [("val", aconst(Value::Int(9)))], []),
         );
-        let qrule = RewriteRule::new("Deep", &s, q, gen("Const", [("val", aconst(Value::Int(0)))], []));
+        let qrule = RewriteRule::new(
+            "Deep",
+            &s,
+            q,
+            gen("Const", [("val", aconst(Value::Int(0)))], []),
+        );
         let rules = RuleSet::from_rules(vec![qrule, fired]);
         let m = InlineMatrix::build(&rules);
         let plan = m.plan(0, 1).unwrap();
@@ -333,7 +364,12 @@ mod tests {
         // Pattern has an unreused wildcard → unsafe.
         let pat = Pattern::compile(
             &s,
-            p::node("Arith", "A", [p::any_as("q"), p::node("Var", "V", [], p::tru())], p::tru()),
+            p::node(
+                "Arith",
+                "A",
+                [p::any_as("q"), p::node("Var", "V", [], p::tru())],
+                p::tru(),
+            ),
         );
         let unsafe_rule = RewriteRule::new("Drop", &s, pat, reuse("V"));
         let rules = RuleSet::from_rules(vec![unsafe_rule]);
@@ -361,7 +397,12 @@ mod tests {
                 ],
             ),
         );
-        let qrule = RewriteRule::new("Q", &s, q, gen("Const", [("val", aconst(Value::Int(0)))], []));
+        let qrule = RewriteRule::new(
+            "Q",
+            &s,
+            q,
+            gen("Const", [("val", aconst(Value::Int(0)))], []),
+        );
         let rules = RuleSet::from_rules(vec![qrule, fired]);
         let m = InlineMatrix::build(&rules);
         let plan = m.plan(0, 1).unwrap();

@@ -42,7 +42,11 @@ impl RewriteRule {
         sorted.sort_unstable();
         let before = sorted.len();
         sorted.dedup();
-        assert_eq!(before, sorted.len(), "rule {name}: a variable is reused twice");
+        assert_eq!(
+            before,
+            sorted.len(),
+            "rule {name}: a variable is reused twice"
+        );
 
         // Root cannot be reused: after detaching it there is nothing left
         // at the replacement site to swap out.
@@ -105,8 +109,8 @@ impl RewriteRule {
         tick: u64,
     ) -> AppliedRewrite {
         let parent = ast.parent(root);
-        let parent_snapshot = (!parent.is_null())
-            .then(|| (ast.label(parent), NodeRow::of(ast, parent)));
+        let parent_snapshot =
+            (!parent.is_null()).then(|| (ast.label(parent), NodeRow::of(ast, parent)));
 
         // Snapshot the nodes this application will free — `Desc(root)`
         // pruned at reused subtrees — *before* the generator runs: reuse
@@ -154,8 +158,8 @@ impl RewriteRule {
             "pre-computed removal set must equal the freed set"
         );
 
-        let parent_update = parent_snapshot
-            .map(|(label, old_row)| (label, old_row, NodeRow::of(ast, parent)));
+        let parent_update =
+            parent_snapshot.map(|(label, old_row)| (label, old_row, NodeRow::of(ast, parent)));
 
         AppliedRewrite {
             old_root: root,
@@ -233,10 +237,7 @@ impl RuleSet {
 
     /// Looks a rule up by name.
     pub fn by_name(&self, name: &str) -> Option<(usize, &RewriteRule)> {
-        self.rules
-            .iter()
-            .enumerate()
-            .find(|(_, r)| r.name == name)
+        self.rules.iter().enumerate().find(|(_, r)| r.name == name)
     }
 
     /// Iterates `(id, rule)`.
@@ -248,10 +249,12 @@ impl RuleSet {
 /// True if the pattern position bound by `ancestor` strictly contains the
 /// position bound by `descendant`.
 fn var_contains(pattern: &Pattern, ancestor: VarId, descendant: VarId) -> bool {
-    fn position_of<'a>(node: &'a PatternNode, var: VarId) -> Option<&'a PatternNode> {
+    fn position_of(node: &PatternNode, var: VarId) -> Option<&PatternNode> {
         match node {
             PatternNode::Any { var: v } => (*v == Some(var)).then_some(node),
-            PatternNode::Match { var: v, children, .. } => {
+            PatternNode::Match {
+                var: v, children, ..
+            } => {
                 if *v == var {
                     Some(node)
                 } else {
@@ -263,9 +266,9 @@ fn var_contains(pattern: &Pattern, ancestor: VarId, descendant: VarId) -> bool {
     fn binds(node: &PatternNode, var: VarId) -> bool {
         match node {
             PatternNode::Any { var: v } => *v == Some(var),
-            PatternNode::Match { var: v, children, .. } => {
-                *v == var || children.iter().any(|c| binds(c, var))
-            }
+            PatternNode::Match {
+                var: v, children, ..
+            } => *v == var || children.iter().any(|c| binds(c, var)),
         }
     }
     let Some(anc) = position_of(pattern.root(), ancestor) else {
@@ -383,8 +386,7 @@ mod tests {
     fn apply_at_root_has_no_parent_update() {
         let rule = add_zero_rule();
         let mut ast = Ast::new(schema());
-        let root =
-            parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
         ast.set_root(root);
         let bindings = match_node(&ast, root, &rule.pattern).unwrap();
         let applied = rule.apply(&mut ast, root, &bindings, 0);
@@ -407,14 +409,17 @@ mod tests {
                 "Arith",
                 [("op", crate::generator::aconst(tt_ast::Value::str("*")))],
                 [
-                    gen("Const", [("val", crate::generator::aconst(tt_ast::Value::Int(1)))], []),
+                    gen(
+                        "Const",
+                        [("val", crate::generator::aconst(tt_ast::Value::Int(1)))],
+                        [],
+                    ),
                     reuse("C"),
                 ],
             ),
         );
         let mut ast = Ast::new(s);
-        let root =
-            parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="b"))"#).unwrap();
         ast.set_root(root);
         let bindings = match_node(&ast, root, &rule.pattern).unwrap();
         let applied = rule.apply(&mut ast, root, &bindings, 0);
@@ -447,7 +452,12 @@ mod tests {
         // A named wildcard that is reused → safe.
         let pat = Pattern::compile(
             &s,
-            p::node("Arith", "A", [p::any_as("q"), p::node("Var", "V", [], p::tru())], p::tru()),
+            p::node(
+                "Arith",
+                "A",
+                [p::any_as("q"), p::node("Var", "V", [], p::tru())],
+                p::tru(),
+            ),
         );
         let safe = RewriteRule::new("Safe", &s, pat.clone(), reuse("q"));
         assert!(safe.safe_for_inline());
@@ -506,7 +516,11 @@ mod tests {
             "Bad",
             &s,
             pat,
-            gen("Arith", [("op", acopy("A", "op"))], [reuse("B"), reuse("q")]),
+            gen(
+                "Arith",
+                [("op", acopy("A", "op"))],
+                [reuse("B"), reuse("q")],
+            ),
         );
     }
 

@@ -142,7 +142,10 @@ impl IndexStrategy {
     /// Creates the strategy over a rule set (index initially empty; call
     /// [`MatchSource::rebuild`] after loading the tree).
     pub fn new(rules: Arc<RuleSet>, ast: &Ast) -> Self {
-        Self { rules, index: LabelIndex::new(ast.schema()) }
+        Self {
+            rules,
+            index: LabelIndex::new(ast.schema()),
+        }
     }
 }
 
@@ -231,11 +234,12 @@ mod tests {
     /// notification protocol; returns the strategy's post-state find.
     fn drive_one(strategy: &mut dyn MatchSource) -> Option<NodeId> {
         let rules = add_zero_rules();
-        let (mut ast, root) = tree(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
-        );
+        let (mut ast, root) =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
         strategy.rebuild(&ast);
-        let site = strategy.find_one(&ast, 0).expect("should find the inner Arith");
+        let site = strategy
+            .find_one(&ast, 0)
+            .expect("should find the inner Arith");
         assert_eq!(site, ast.children(root)[0]);
         let rule = rules.get(0);
         let bindings = match_node(&ast, site, &rule.pattern).unwrap();
@@ -247,7 +251,11 @@ mod tests {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: 0, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule: 0,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         strategy.after_replace(&ast, &ctx);
         strategy.find_one(&ast, 0)
@@ -258,7 +266,10 @@ mod tests {
         let mut s = NaiveStrategy::new(add_zero_rules());
         assert_eq!(s.name(), "Naive");
         assert_eq!(s.memory_bytes(), 0);
-        assert!(drive_one(&mut s).is_none(), "no match remains after rewriting");
+        assert!(
+            drive_one(&mut s).is_none(),
+            "no match remains after rewriting"
+        );
     }
 
     #[test]
@@ -274,9 +285,7 @@ mod tests {
     #[test]
     fn index_tracks_membership_across_rewrites() {
         let rules = add_zero_rules();
-        let (mut ast, root) = tree(
-            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
-        );
+        let (mut ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
         let mut s = IndexStrategy::new(rules.clone(), &ast);
         s.rebuild(&ast);
         let site = s.find_one(&ast, 0).unwrap();

@@ -44,25 +44,24 @@ impl PrefixTable {
             self.rows.remove(row);
         }
         match (old_positive, new_positive) {
-            (false, true) => {
-                if !stored_key.is_null() {
-                    self.by_next_key.entry(stored_key).or_default().push(row.into());
-                }
+            (false, true) if !stored_key.is_null() => {
+                self.by_next_key
+                    .entry(stored_key)
+                    .or_default()
+                    .push(row.into());
             }
-            (true, false) => {
-                if !stored_key.is_null() {
-                    let bucket = self
-                        .by_next_key
-                        .get_mut(&stored_key)
-                        .expect("indexed row missing bucket");
-                    let at = bucket
-                        .iter()
-                        .position(|r| r.as_ref() == row)
-                        .expect("indexed row missing");
-                    bucket.swap_remove(at);
-                    if bucket.is_empty() {
-                        self.by_next_key.remove(&stored_key);
-                    }
+            (true, false) if !stored_key.is_null() => {
+                let bucket = self
+                    .by_next_key
+                    .get_mut(&stored_key)
+                    .expect("indexed row missing bucket");
+                let at = bucket
+                    .iter()
+                    .position(|r| r.as_ref() == row)
+                    .expect("indexed row missing");
+                bucket.swap_remove(at);
+                if bucket.is_empty() {
+                    self.by_next_key.remove(&stored_key);
                 }
             }
             _ => {}
@@ -74,10 +73,8 @@ impl PrefixTable {
     }
 
     fn memory_bytes(&self) -> usize {
-        let width = self.rows.keys().next().map_or(0, |k| k.len())
-            * std::mem::size_of::<NodeId>();
-        self.rows.capacity()
-            * (1 + std::mem::size_of::<(Box<[NodeId]>, (i64, NodeId))>() + width)
+        let width = self.rows.keys().next().map_or(0, |k| k.len()) * std::mem::size_of::<NodeId>();
+        self.rows.capacity() * (1 + std::mem::size_of::<(Box<[NodeId]>, (i64, NodeId))>() + width)
             + self
                 .by_next_key
                 .values()
@@ -136,7 +133,9 @@ impl ClassicQuery {
             query,
             parent_edges,
             filter_levels,
-            prefixes: (0..k.saturating_sub(1)).map(|_| PrefixTable::default()).collect(),
+            prefixes: (0..k.saturating_sub(1))
+                .map(|_| PrefixTable::default())
+                .collect(),
             view: ViewCore::new(root_var),
         }
     }
@@ -163,7 +162,11 @@ impl ClassicQuery {
         let Some(parent_row) = db.table(parent_label).get(parent_id) else {
             return NodeId::NULL;
         };
-        parent_row.children.get(child_index).copied().unwrap_or(NodeId::NULL)
+        parent_row
+            .children
+            .get(child_index)
+            .copied()
+            .unwrap_or(NodeId::NULL)
     }
 
     /// Applies a delta row at `level`, updating the prefix (or the view
@@ -251,7 +254,10 @@ impl ClassicQuery {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.prefixes.iter().map(PrefixTable::memory_bytes).sum::<usize>()
+        self.prefixes
+            .iter()
+            .map(PrefixTable::memory_bytes)
+            .sum::<usize>()
             + self.view.memory_bytes()
     }
 }
@@ -319,7 +325,10 @@ impl ClassicIvm {
                 ));
             }
             for row in &expected {
-                let found = q.view.iter().any(|(r, c)| r.as_ref() == row.as_ref() && c == 1);
+                let found = q
+                    .view
+                    .iter()
+                    .any(|(r, c)| r.as_ref() == row.as_ref() && c == 1);
                 if !found {
                     return Err(format!("classic view {id} missing row {row:?}"));
                 }
@@ -378,15 +387,19 @@ impl MatchSource for ClassicIvm {
     fn memory_bytes(&self) -> usize {
         // Shadow copy + prefixes + views: the §3.2 overhead story.
         self.db.memory_bytes()
-            + self.queries.iter().map(ClassicQuery::memory_bytes).sum::<usize>()
+            + self
+                .queries
+                .iter()
+                .map(ClassicQuery::memory_bytes)
+                .sum::<usize>()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use treetoaster_core::{RewriteRule, RuleFired};
     use treetoaster_core::generator::reuse;
+    use treetoaster_core::{RewriteRule, RuleFired};
     use tt_ast::schema::arith_schema;
     use tt_ast::sexpr::parse_sexpr;
     use tt_pattern::dsl as p;
@@ -406,7 +419,12 @@ mod tests {
                 p::eq(p::attr("A", "op"), p::str_("+")),
             ),
         );
-        Arc::new(RuleSet::from_rules(vec![RewriteRule::new("AddZero", &s, pattern, reuse("C"))]))
+        Arc::new(RuleSet::from_rules(vec![RewriteRule::new(
+            "AddZero",
+            &s,
+            pattern,
+            reuse("C"),
+        )]))
     }
 
     fn tree(text: &str) -> Ast {
@@ -428,7 +446,11 @@ mod tests {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule: rid,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         engine.after_replace(ast, &ctx);
     }
@@ -459,9 +481,8 @@ mod tests {
 
     #[test]
     fn rewrite_drains_view() {
-        let mut ast = tree(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
         let mut engine = ClassicIvm::new(rules(), &ast);
         engine.rebuild(&ast);
         let site = engine.find_one(&ast, 0).unwrap();
@@ -507,20 +528,25 @@ mod tests {
             RewriteRule::new("AddZero", &s, pattern, reuse("C"))
         };
         let rules = Arc::new(RuleSet::from_rules(vec![add_zero, mul_one]));
-        let mut ast = tree(
-            r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#);
         let mut engine = ClassicIvm::new(rules, &ast);
         engine.rebuild(&ast);
         assert!(engine.find_one(&ast, 0).is_none());
         let site = engine.find_one(&ast, 1).unwrap();
         fire(&mut engine, &mut ast, 1, site);
         engine.check_views_correct().unwrap();
-        assert!(engine.find_one(&ast, 0).is_some(), "parent became an AddZero site");
+        assert!(
+            engine.find_one(&ast, 0).is_some(),
+            "parent became an AddZero site"
+        );
         let site = engine.find_one(&ast, 0).unwrap();
         fire(&mut engine, &mut ast, 0, site);
         engine.check_views_correct().unwrap();
-        assert_eq!(tt_ast::sexpr::to_sexpr(&ast, ast.root()), r#"(Var name="y")"#);
+        assert_eq!(
+            tt_ast::sexpr::to_sexpr(&ast, ast.root()),
+            r#"(Var name="y")"#
+        );
     }
 
     #[test]
@@ -532,7 +558,10 @@ mod tests {
             p::node(
                 "Arith",
                 "A",
-                [p::node("Arith", "B", [p::any(), p::any()], p::tru()), p::any()],
+                [
+                    p::node("Arith", "B", [p::any(), p::any()], p::tru()),
+                    p::any(),
+                ],
                 p::tru(),
             ),
         );
@@ -542,7 +571,10 @@ mod tests {
             pattern,
             treetoaster_core::generator::gen(
                 "Const",
-                [("val", treetoaster_core::generator::aconst(tt_ast::Value::Int(0)))],
+                [(
+                    "val",
+                    treetoaster_core::generator::aconst(tt_ast::Value::Int(0)),
+                )],
                 [],
             ),
         );

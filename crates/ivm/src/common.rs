@@ -41,7 +41,10 @@ pub struct ViewCore {
 impl ViewCore {
     /// Creates an empty view for a query rooted at `root_var`.
     pub fn new(root_var: VarId) -> ViewCore {
-        ViewCore { root_var: root_var.0 as usize, ..Default::default() }
+        ViewCore {
+            root_var: root_var.0 as usize,
+            ..Default::default()
+        }
     }
 
     /// Applies one row delta.
@@ -91,8 +94,8 @@ impl ViewCore {
 
     /// Approximate heap bytes.
     pub fn memory_bytes(&self) -> usize {
-        let row_width = std::mem::size_of::<NodeId>()
-            * self.rows.keys().next().map_or(0, |k| k.len());
+        let row_width =
+            std::mem::size_of::<NodeId>() * self.rows.keys().next().map_or(0, |k| k.len());
         self.rows.capacity() * (1 + std::mem::size_of::<(Box<[NodeId]>, i64)>() + row_width)
             + self.roots.memory_bytes()
     }
@@ -113,12 +116,7 @@ pub fn filter_vars(constraint: &Constraint, all_atoms: &[VarId]) -> Vec<VarId> {
 }
 
 /// Evaluates the filters listed by `indices` on a (partial) row.
-pub fn eval_filters(
-    db: &Database,
-    query: &SqlQuery,
-    row: &[NodeId],
-    indices: &[usize],
-) -> bool {
+pub fn eval_filters(db: &Database, query: &SqlQuery, row: &[NodeId], indices: &[usize]) -> bool {
     let src = RowAttrs { db, query, row };
     indices.iter().all(|&i| query.filters[i].1.eval(&src))
 }
@@ -144,7 +142,10 @@ pub struct SingleRowAttrs<'a> {
 
 impl AttrSource for SingleRowAttrs<'_> {
     fn attr_of(&self, var: VarId, attr: tt_ast::AttrName) -> tt_ast::Value {
-        assert_eq!(var, self.var, "single-row filter referenced another variable");
+        assert_eq!(
+            var, self.var,
+            "single-row filter referenced another variable"
+        );
         let label = self.query.atom(var).label;
         let idx = self
             .db

@@ -27,7 +27,10 @@ use tt_relational::{Database, NodeDelta};
 enum BoundaryKind {
     /// Subset holds the edge's parent atom: key is that row's child
     /// pointer (a shadow-database lookup at insert time).
-    HoldsParent { parent_var: VarId, child_index: usize },
+    HoldsParent {
+        parent_var: VarId,
+        child_index: usize,
+    },
     /// Subset holds the edge's child atom: key is the bound child id.
     HoldsChild { child_var: VarId },
 }
@@ -70,13 +73,19 @@ struct RowMeta {
     keys: Vec<(usize, NodeId)>,
 }
 
+/// Rows of a materialized map grouped by one boundary-edge key.
+type RowsByKey = FxHashMap<NodeId, Vec<Box<[NodeId]>>>;
+
+/// Signed row deltas destined for one materialized subset.
+type RowDeltas = Vec<(Box<[NodeId]>, i64)>;
+
 /// One materialized map `M_S`.
 struct SubsetState {
     /// Sorted atom indices.
     atoms: Vec<usize>,
     rows: FxHashMap<Box<[NodeId]>, RowMeta>,
     /// Per boundary edge: key → rows.
-    indexes: FxHashMap<usize, FxHashMap<NodeId, Vec<Box<[NodeId]>>>>,
+    indexes: FxHashMap<usize, RowsByKey>,
     boundary: Vec<BoundaryEdge>,
     /// Aligned with `atoms`.
     member_plans: Vec<MemberPlan>,
@@ -87,7 +96,7 @@ impl SubsetState {
         if delta == 0 {
             return;
         }
-        let entry = self.rows.entry(row.into()).or_insert_with(RowMeta::default);
+        let entry = self.rows.entry(row.into()).or_default();
         if entry.mult == 0 && entry.keys.is_empty() {
             // Fresh row: capture boundary keys now.
             entry.keys = self
@@ -96,7 +105,10 @@ impl SubsetState {
                 .map(|b| {
                     let key = match b.kind {
                         BoundaryKind::HoldsChild { child_var } => row[child_var.0 as usize],
-                        BoundaryKind::HoldsParent { parent_var, child_index } => {
+                        BoundaryKind::HoldsParent {
+                            parent_var,
+                            child_index,
+                        } => {
                             let parent_id = row[parent_var.0 as usize];
                             let label = query.atom(parent_var).label;
                             db.table(label)
@@ -163,10 +175,10 @@ impl SubsetState {
     }
 
     fn memory_bytes(&self) -> usize {
-        let width = self.rows.keys().next().map_or(0, |k| k.len())
-            * std::mem::size_of::<NodeId>();
+        let width = self.rows.keys().next().map_or(0, |k| k.len()) * std::mem::size_of::<NodeId>();
         let rows = self.rows.capacity()
-            * (1 + std::mem::size_of::<(Box<[NodeId]>, RowMeta)>() + width
+            * (1 + std::mem::size_of::<(Box<[NodeId]>, RowMeta)>()
+                + width
                 + self.boundary.len() * std::mem::size_of::<(usize, NodeId)>());
         let idx: usize = self
             .indexes
@@ -278,10 +290,7 @@ impl DbtQuery {
                             while let Some(a) = frontier.pop() {
                                 for &(p, c) in &edges {
                                     for (u, v) in [(p, c), (c, p)] {
-                                        if u == a
-                                            && rem & (1 << v) != 0
-                                            && seen & (1 << v) == 0
-                                        {
+                                        if u == a && rem & (1 << v) != 0 && seen & (1 << v) == 0 {
                                             seen |= 1 << v;
                                             frontier.push(v);
                                         }
@@ -328,7 +337,10 @@ impl DbtQuery {
                             })
                             .map(|(fi, _)| fi)
                             .collect();
-                        MemberPlan { components, filters }
+                        MemberPlan {
+                            components,
+                            filters,
+                        }
                     })
                     .collect();
                 SubsetState {
@@ -343,7 +355,12 @@ impl DbtQuery {
 
         let full_index = index_of_mask[&((1u32 << k) - 1)];
         let root_var = query.root_var();
-        DbtQuery { query, subsets, full_index, view: ViewCore::new(root_var) }
+        DbtQuery {
+            query,
+            subsets,
+            full_index,
+            view: ViewCore::new(root_var),
+        }
     }
 
     fn atoms_for(&self, label: Label) -> Vec<usize> {
@@ -365,7 +382,7 @@ impl DbtQuery {
         let var_j = self.query.atoms[j].var.0 as usize;
         // Compute all subset deltas first (components never contain j, so
         // no subset read here is mutated in this step).
-        let mut deltas: Vec<(usize, Vec<(Box<[NodeId]>, i64)>)> = Vec::new();
+        let mut deltas: Vec<(usize, RowDeltas)> = Vec::new();
         for (si, subset) in self.subsets.iter().enumerate() {
             let Some(pos) = subset.atoms.iter().position(|&a| a == j) else {
                 continue;
@@ -373,20 +390,17 @@ impl DbtQuery {
             let plan = &subset.member_plans[pos];
             let mut base = vec![NodeId::NULL; self.query.var_space];
             base[var_j] = t.id;
-            let mut partials: Vec<(Box<[NodeId]>, i64)> =
-                vec![(base.into_boxed_slice(), 1)];
+            let mut partials: Vec<(Box<[NodeId]>, i64)> = vec![(base.into_boxed_slice(), 1)];
             for link in &plan.components {
                 let key = match link.key_from {
                     KeyFrom::TupleId => t.id,
-                    KeyFrom::TupleChild { child_index } => {
-                        match t.children.get(child_index) {
-                            Some(&c) => c,
-                            None => {
-                                partials.clear();
-                                break;
-                            }
+                    KeyFrom::TupleChild { child_index } => match t.children.get(child_index) {
+                        Some(&c) => c,
+                        None => {
+                            partials.clear();
+                            break;
                         }
-                    }
+                    },
                 };
                 let comp = &self.subsets[link.subset_index];
                 let comp_rows = comp.probe(link.join_index, key);
@@ -408,9 +422,7 @@ impl DbtQuery {
                     break;
                 }
             }
-            partials.retain(|(row, _)| {
-                common::eval_filters(db, &self.query, row, &plan.filters)
-            });
+            partials.retain(|(row, _)| common::eval_filters(db, &self.query, row, &plan.filters));
             if !partials.is_empty() {
                 deltas.push((si, partials));
             }
@@ -434,7 +446,10 @@ impl DbtQuery {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.subsets.iter().map(SubsetState::memory_bytes).sum::<usize>()
+        self.subsets
+            .iter()
+            .map(SubsetState::memory_bytes)
+            .sum::<usize>()
             + self.view.memory_bytes()
     }
 }
@@ -562,7 +577,11 @@ impl MatchSource for DbtIvm {
 
     fn memory_bytes(&self) -> usize {
         self.db.memory_bytes()
-            + self.queries.iter().map(DbtQuery::memory_bytes).sum::<usize>()
+            + self
+                .queries
+                .iter()
+                .map(DbtQuery::memory_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -590,7 +609,12 @@ mod tests {
                 p::eq(p::attr("A", "op"), p::str_("+")),
             ),
         );
-        Arc::new(RuleSet::from_rules(vec![RewriteRule::new("AddZero", &s, pattern, reuse("C"))]))
+        Arc::new(RuleSet::from_rules(vec![RewriteRule::new(
+            "AddZero",
+            &s,
+            pattern,
+            reuse("C"),
+        )]))
     }
 
     fn tree(text: &str) -> Ast {
@@ -612,7 +636,11 @@ mod tests {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule: rid,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         engine.after_replace(ast, &ctx);
     }
@@ -638,9 +666,8 @@ mod tests {
 
     #[test]
     fn rewrite_drains_view_and_maps() {
-        let mut ast = tree(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
         let mut engine = DbtIvm::new(rules(), &ast);
         engine.rebuild(&ast);
         let site = engine.find_one(&ast, 0).unwrap();
@@ -670,9 +697,8 @@ mod tests {
         };
         let add_zero_rule = rules().get(0).clone();
         let rules = Arc::new(RuleSet::from_rules(vec![add_zero_rule, mul_one]));
-        let mut ast = tree(
-            r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#,
-        );
+        let mut ast =
+            tree(r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#);
         let mut engine = DbtIvm::new(rules, &ast);
         engine.rebuild(&ast);
         assert!(engine.find_one(&ast, 0).is_none());
@@ -682,7 +708,10 @@ mod tests {
         let site = engine.find_one(&ast, 0).expect("parent became a match");
         fire(&mut engine, &mut ast, 0, site);
         engine.check_views_correct().unwrap();
-        assert_eq!(tt_ast::sexpr::to_sexpr(&ast, ast.root()), r#"(Var name="y")"#);
+        assert_eq!(
+            tt_ast::sexpr::to_sexpr(&ast, ast.root()),
+            r#"(Var name="y")"#
+        );
     }
 
     #[test]
@@ -693,7 +722,10 @@ mod tests {
             p::node(
                 "Arith",
                 "A",
-                [p::node("Arith", "B", [p::any(), p::any()], p::tru()), p::any()],
+                [
+                    p::node("Arith", "B", [p::any(), p::any()], p::tru()),
+                    p::any(),
+                ],
                 p::tru(),
             ),
         );
@@ -703,7 +735,10 @@ mod tests {
             pattern,
             treetoaster_core::generator::gen(
                 "Const",
-                [("val", treetoaster_core::generator::aconst(tt_ast::Value::Int(0)))],
+                [(
+                    "val",
+                    treetoaster_core::generator::aconst(tt_ast::Value::Int(0)),
+                )],
                 [],
             ),
         );
@@ -721,9 +756,7 @@ mod tests {
     fn dbt_uses_more_memory_than_classic_shape() {
         // Not a strict benchmark, but the combinatorial materialization
         // must cost at least as much as the shadow db alone.
-        let ast = tree(
-            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
-        );
+        let ast = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
         let mut engine = DbtIvm::new(rules(), &ast);
         engine.rebuild(&ast);
         assert!(engine.memory_bytes() > engine.db.memory_bytes());

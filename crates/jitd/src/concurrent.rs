@@ -55,7 +55,10 @@ impl AsyncJitd {
             }
             applied
         });
-        AsyncJitd { shared, worker: Some(worker) }
+        AsyncJitd {
+            shared,
+            worker: Some(worker),
+        }
     }
 
     /// Executes one operation (serialized against the reorganizer).
@@ -121,7 +124,9 @@ mod tests {
     fn background_reorganizer_applies_rewrites() {
         let jitd = AsyncJitd::spawn(
             StrategyKind::TreeToaster,
-            RuleConfig { crack_threshold: 16 },
+            RuleConfig {
+                crack_threshold: 16,
+            },
             records(2048),
         );
         // Give the worker a moment to crack the initial array.
@@ -146,7 +151,9 @@ mod tests {
         let n = 512i64;
         let jitd = AsyncJitd::spawn(
             StrategyKind::TreeToaster,
-            RuleConfig { crack_threshold: 16 },
+            RuleConfig {
+                crack_threshold: 16,
+            },
             records(n),
         );
         let mut model: BTreeMap<i64, i64> = (0..n).map(|k| (k, k * 5)).collect();
@@ -176,7 +183,11 @@ mod tests {
         runtime.index().check_structure().unwrap();
         runtime.agreement_with_naive().unwrap();
         for k in 0..n {
-            assert_eq!(runtime.index().get(k), model.get(&k).copied(), "key {k} post-stop");
+            assert_eq!(
+                runtime.index().get(k),
+                model.get(&k).copied(),
+                "key {k} post-stop"
+            );
         }
     }
 
@@ -184,7 +195,9 @@ mod tests {
     fn stop_is_idempotent_with_drop() {
         let jitd = AsyncJitd::spawn(
             StrategyKind::Index,
-            RuleConfig { crack_threshold: 32 },
+            RuleConfig {
+                crack_threshold: 32,
+            },
             records(128),
         );
         drop(jitd); // Drop path must join cleanly too.

@@ -72,7 +72,11 @@ impl JitdIndex {
         let schema = jitd_schema();
         let labels = JitdLabels::of(&schema);
         let mut ast = Ast::new(schema);
-        let root = ast.alloc(labels.array, vec![Value::recs(vec![]), Value::Int(0)], vec![]);
+        let root = ast.alloc(
+            labels.array,
+            vec![Value::recs(vec![]), Value::Int(0)],
+            vec![],
+        );
         ast.set_root(root);
         JitdIndex { ast, labels }
     }
@@ -214,8 +218,11 @@ impl JitdIndex {
         let l = self.labels;
         let old_root = self.ast.root();
         self.ast.detach(old_root);
-        let singleton =
-            self.ast.alloc(l.singleton, vec![Value::Int(key), Value::Int(value)], vec![]);
+        let singleton = self.ast.alloc(
+            l.singleton,
+            vec![Value::Int(key), Value::Int(value)],
+            vec![],
+        );
         let concat = self.ast.alloc(l.concat, vec![], vec![old_root, singleton]);
         self.ast.set_root(concat);
         vec![singleton, concat]
@@ -226,7 +233,9 @@ impl JitdIndex {
         let l = self.labels;
         let old_root = self.ast.root();
         self.ast.detach(old_root);
-        let ds = self.ast.alloc(l.delete_singleton, vec![Value::Int(key)], vec![old_root]);
+        let ds = self
+            .ast
+            .alloc(l.delete_singleton, vec![Value::Int(key)], vec![old_root]);
         self.ast.set_root(ds);
         vec![ds]
     }

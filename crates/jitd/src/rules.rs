@@ -33,7 +33,9 @@ pub struct RuleConfig {
 
 impl Default for RuleConfig {
     fn default() -> Self {
-        RuleConfig { crack_threshold: 16 }
+        RuleConfig {
+            crack_threshold: 16,
+        }
     }
 }
 
@@ -52,8 +54,14 @@ fn mix(tick: u64) -> u64 {
 fn crack_pivot(ctx: &GenCtx<'_>, pattern: &Pattern) -> i64 {
     let schema = ctx.ast.schema();
     let a = pattern.var("A").expect("CrackArray binds A");
-    let data = ctx.ast.attr(ctx.bindings.get(a), schema.expect_attr("data")).as_recs();
-    debug_assert!(data.len() >= 2, "threshold ≥ 1 guarantees at least 2 records");
+    let data = ctx
+        .ast
+        .attr(ctx.bindings.get(a), schema.expect_attr("data"))
+        .as_recs();
+    debug_assert!(
+        data.len() >= 2,
+        "threshold ≥ 1 guarantees at least 2 records"
+    );
     // Skip index 0 (the minimum in a sorted run): pivot strictly greater
     // than some key means the `< sep` partition is non-empty, and the
     // pivot's own record keeps the `≥ sep` side non-empty.
@@ -64,7 +72,10 @@ fn crack_pivot(ctx: &GenCtx<'_>, pattern: &Pattern) -> i64 {
 fn partition(ctx: &GenCtx<'_>, pattern: &Pattern, keep_lt: bool) -> Arc<Vec<Record>> {
     let schema = ctx.ast.schema();
     let a = pattern.var("A").expect("CrackArray binds A");
-    let data = ctx.ast.attr(ctx.bindings.get(a), schema.expect_attr("data")).as_recs();
+    let data = ctx
+        .ast
+        .attr(ctx.bindings.get(a), schema.expect_attr("data"))
+        .as_recs();
     let sep = crack_pivot(ctx, pattern);
     Arc::new(
         data.iter()
@@ -99,30 +110,44 @@ fn crack_array(schema: &Arc<Schema>, config: RuleConfig) -> RewriteRule {
             "BinTree",
             [(
                 "sep",
-                acompute("crackPivot", move |ctx| Value::Int(crack_pivot(ctx, &pat_for_sep))),
+                acompute("crackPivot", move |ctx| {
+                    Value::Int(crack_pivot(ctx, &pat_for_sep))
+                }),
             )],
             [
                 gen(
                     "Array",
                     [
-                        ("data", acompute("lowerRun", move |ctx| {
-                            Value::Recs(partition(ctx, &pat_lt, true))
-                        })),
-                        ("size", acompute("lowerLen", move |ctx| {
-                            Value::Int(partition(ctx, &pat_lt_size, true).len() as i64)
-                        })),
+                        (
+                            "data",
+                            acompute("lowerRun", move |ctx| {
+                                Value::Recs(partition(ctx, &pat_lt, true))
+                            }),
+                        ),
+                        (
+                            "size",
+                            acompute("lowerLen", move |ctx| {
+                                Value::Int(partition(ctx, &pat_lt_size, true).len() as i64)
+                            }),
+                        ),
                     ],
                     [],
                 ),
                 gen(
                     "Array",
                     [
-                        ("data", acompute("upperRun", move |ctx| {
-                            Value::Recs(partition(ctx, &pat_ge, false))
-                        })),
-                        ("size", acompute("upperLen", move |ctx| {
-                            Value::Int(partition(ctx, &pat_ge_size, false).len() as i64)
-                        })),
+                        (
+                            "data",
+                            acompute("upperRun", move |ctx| {
+                                Value::Recs(partition(ctx, &pat_ge, false))
+                            }),
+                        ),
+                        (
+                            "size",
+                            acompute("upperLen", move |ctx| {
+                                Value::Int(partition(ctx, &pat_ge_size, false).len() as i64)
+                            }),
+                        ),
                     ],
                     [],
                 ),
@@ -164,7 +189,11 @@ fn push_down_singleton(schema: &Arc<Schema>, left: bool) -> RewriteRule {
             [reuse("q1"), gen("Concat", [], [reuse("q2"), reuse("S")])],
         )
     };
-    let name = if left { "PushDownSingletonBtreeLeft" } else { "PushDownSingletonBtreeRight" };
+    let name = if left {
+        "PushDownSingletonBtreeLeft"
+    } else {
+        "PushDownSingletonBtreeRight"
+    };
     RewriteRule::new(name, schema, pattern, generator)
 }
 
@@ -181,7 +210,12 @@ fn push_down_delete(schema: &Arc<Schema>, left: bool) -> RewriteRule {
         p::node(
             "DeleteSingleton",
             "D",
-            [p::node("BinTree", "B", [p::any_as("q1"), p::any_as("q2")], p::tru())],
+            [p::node(
+                "BinTree",
+                "B",
+                [p::any_as("q1"), p::any_as("q2")],
+                p::tru(),
+            )],
             side,
         ),
     );
@@ -190,7 +224,11 @@ fn push_down_delete(schema: &Arc<Schema>, left: bool) -> RewriteRule {
             "BinTree",
             [("sep", acopy("B", "sep"))],
             [
-                gen("DeleteSingleton", [("key", acopy("D", "key"))], [reuse("q1")]),
+                gen(
+                    "DeleteSingleton",
+                    [("key", acopy("D", "key"))],
+                    [reuse("q1")],
+                ),
                 reuse("q2"),
             ],
         )
@@ -200,7 +238,11 @@ fn push_down_delete(schema: &Arc<Schema>, left: bool) -> RewriteRule {
             [("sep", acopy("B", "sep"))],
             [
                 reuse("q1"),
-                gen("DeleteSingleton", [("key", acopy("D", "key"))], [reuse("q2")]),
+                gen(
+                    "DeleteSingleton",
+                    [("key", acopy("D", "key"))],
+                    [reuse("q2")],
+                ),
             ],
         )
     };
@@ -228,9 +270,18 @@ fn merged_with_singleton(ctx: &GenCtx<'_>, pattern: &Pattern) -> Vec<Record> {
     let schema = ctx.ast.schema();
     let a = pattern.var("A").expect("binds A");
     let s = pattern.var("S").expect("binds S");
-    let data = ctx.ast.attr(ctx.bindings.get(a), schema.expect_attr("data")).as_recs();
-    let key = ctx.ast.attr(ctx.bindings.get(s), schema.expect_attr("key")).as_int();
-    let value = ctx.ast.attr(ctx.bindings.get(s), schema.expect_attr("value")).as_int();
+    let data = ctx
+        .ast
+        .attr(ctx.bindings.get(a), schema.expect_attr("data"))
+        .as_recs();
+    let key = ctx
+        .ast
+        .attr(ctx.bindings.get(s), schema.expect_attr("key"))
+        .as_int();
+    let value = ctx
+        .ast
+        .attr(ctx.bindings.get(s), schema.expect_attr("value"))
+        .as_int();
     let mut out: Vec<Record> = data.as_ref().clone();
     match out.binary_search_by_key(&key, |r| r.key) {
         Ok(at) => out[at].value = value, // newer singleton wins
@@ -247,7 +298,10 @@ fn merge_singleton_into_array(schema: &Arc<Schema>) -> RewriteRule {
         p::node(
             "Concat",
             "C",
-            [p::node("Array", "A", [], p::tru()), p::node("Singleton", "S", [], p::tru())],
+            [
+                p::node("Array", "A", [], p::tru()),
+                p::node("Singleton", "S", [], p::tru()),
+            ],
             p::tru(),
         ),
     );
@@ -260,12 +314,18 @@ fn merge_singleton_into_array(schema: &Arc<Schema>) -> RewriteRule {
         gen(
             "Array",
             [
-                ("data", acompute("mergeSingleton", move |ctx| {
-                    Value::recs(merged_with_singleton(ctx, &pat_data))
-                })),
-                ("size", acompute("mergeSingletonLen", move |ctx| {
-                    Value::Int(merged_with_singleton(ctx, &pat_size).len() as i64)
-                })),
+                (
+                    "data",
+                    acompute("mergeSingleton", move |ctx| {
+                        Value::recs(merged_with_singleton(ctx, &pat_data))
+                    }),
+                ),
+                (
+                    "size",
+                    acompute("mergeSingletonLen", move |ctx| {
+                        Value::Int(merged_with_singleton(ctx, &pat_size).len() as i64)
+                    }),
+                ),
             ],
             [],
         ),
@@ -276,8 +336,14 @@ fn without_key(ctx: &GenCtx<'_>, pattern: &Pattern) -> Vec<Record> {
     let schema = ctx.ast.schema();
     let a = pattern.var("A").expect("binds A");
     let d = pattern.var("D").expect("binds D");
-    let data = ctx.ast.attr(ctx.bindings.get(a), schema.expect_attr("data")).as_recs();
-    let key = ctx.ast.attr(ctx.bindings.get(d), schema.expect_attr("key")).as_int();
+    let data = ctx
+        .ast
+        .attr(ctx.bindings.get(a), schema.expect_attr("data"))
+        .as_recs();
+    let key = ctx
+        .ast
+        .attr(ctx.bindings.get(d), schema.expect_attr("key"))
+        .as_int();
     data.iter().copied().filter(|r| r.key != key).collect()
 }
 
@@ -302,12 +368,18 @@ fn delete_from_array(schema: &Arc<Schema>) -> RewriteRule {
         gen(
             "Array",
             [
-                ("data", acompute("filterKey", move |ctx| {
-                    Value::recs(without_key(ctx, &pat_data))
-                })),
-                ("size", acompute("filterKeyLen", move |ctx| {
-                    Value::Int(without_key(ctx, &pat_size).len() as i64)
-                })),
+                (
+                    "data",
+                    acompute("filterKey", move |ctx| {
+                        Value::recs(without_key(ctx, &pat_data))
+                    }),
+                ),
+                (
+                    "size",
+                    acompute("filterKeyLen", move |ctx| {
+                        Value::Int(without_key(ctx, &pat_size).len() as i64)
+                    }),
+                ),
             ],
             [],
         ),
@@ -318,8 +390,14 @@ fn merged_arrays(ctx: &GenCtx<'_>, pattern: &Pattern) -> Vec<Record> {
     let schema = ctx.ast.schema();
     let a1 = pattern.var("A1").expect("binds A1");
     let a2 = pattern.var("A2").expect("binds A2");
-    let old = ctx.ast.attr(ctx.bindings.get(a1), schema.expect_attr("data")).as_recs();
-    let new = ctx.ast.attr(ctx.bindings.get(a2), schema.expect_attr("data")).as_recs();
+    let old = ctx
+        .ast
+        .attr(ctx.bindings.get(a1), schema.expect_attr("data"))
+        .as_recs();
+    let new = ctx
+        .ast
+        .attr(ctx.bindings.get(a2), schema.expect_attr("data"))
+        .as_recs();
     // Sorted merge; the right (newer) array wins on key collisions.
     let mut out = Vec::with_capacity(old.len() + new.len());
     let (mut i, mut j) = (0, 0);
@@ -353,7 +431,10 @@ fn merge_arrays(schema: &Arc<Schema>) -> RewriteRule {
         p::node(
             "Concat",
             "C",
-            [p::node("Array", "A1", [], p::tru()), p::node("Array", "A2", [], p::tru())],
+            [
+                p::node("Array", "A1", [], p::tru()),
+                p::node("Array", "A2", [], p::tru()),
+            ],
             p::tru(),
         ),
     );
@@ -366,12 +447,18 @@ fn merge_arrays(schema: &Arc<Schema>) -> RewriteRule {
         gen(
             "Array",
             [
-                ("data", acompute("mergeRuns", move |ctx| {
-                    Value::recs(merged_arrays(ctx, &pat_data))
-                })),
-                ("size", acompute("mergeRunsLen", move |ctx| {
-                    Value::Int(merged_arrays(ctx, &pat_size).len() as i64)
-                })),
+                (
+                    "data",
+                    acompute("mergeRuns", move |ctx| {
+                        Value::recs(merged_arrays(ctx, &pat_data))
+                    }),
+                ),
+                (
+                    "size",
+                    acompute("mergeRunsLen", move |ctx| {
+                        Value::Int(merged_arrays(ctx, &pat_size).len() as i64)
+                    }),
+                ),
             ],
             [],
         ),
@@ -386,7 +473,12 @@ fn push_delete_through_concat(schema: &Arc<Schema>) -> RewriteRule {
         p::node(
             "DeleteSingleton",
             "D",
-            [p::node("Concat", "C", [p::any_as("q1"), p::any_as("q2")], p::tru())],
+            [p::node(
+                "Concat",
+                "C",
+                [p::any_as("q1"), p::any_as("q2")],
+                p::tru(),
+            )],
             p::tru(),
         ),
     );
@@ -398,8 +490,16 @@ fn push_delete_through_concat(schema: &Arc<Schema>) -> RewriteRule {
             "Concat",
             [],
             [
-                gen("DeleteSingleton", [("key", acopy("D", "key"))], [reuse("q1")]),
-                gen("DeleteSingleton", [("key", acopy("D", "key"))], [reuse("q2")]),
+                gen(
+                    "DeleteSingleton",
+                    [("key", acopy("D", "key"))],
+                    [reuse("q1")],
+                ),
+                gen(
+                    "DeleteSingleton",
+                    [("key", acopy("D", "key"))],
+                    [reuse("q2")],
+                ),
             ],
         ),
     )
@@ -423,8 +523,13 @@ fn delete_hits_singleton(schema: &Arc<Schema>) -> RewriteRule {
         pattern,
         gen(
             "Array",
-            [("data", treetoaster_core::generator::aconst(Value::recs(vec![]))),
-             ("size", treetoaster_core::generator::aconst(Value::Int(0)))],
+            [
+                (
+                    "data",
+                    treetoaster_core::generator::aconst(Value::recs(vec![])),
+                ),
+                ("size", treetoaster_core::generator::aconst(Value::Int(0))),
+            ],
             [],
         ),
     )
@@ -465,7 +570,11 @@ fn reassociate_concat_singleton(schema: &Arc<Schema>) -> RewriteRule {
         "ReassociateConcatSingleton",
         schema,
         pattern,
-        gen("Concat", [], [reuse("x"), gen("Concat", [], [reuse("y"), reuse("S")])]),
+        gen(
+            "Concat",
+            [],
+            [reuse("x"), gen("Concat", [], [reuse("y"), reuse("S")])],
+        ),
     )
 }
 
@@ -477,7 +586,10 @@ fn merge_singleton_pair(schema: &Arc<Schema>) -> RewriteRule {
         p::node(
             "Concat",
             "C",
-            [p::node("Singleton", "S1", [], p::tru()), p::node("Singleton", "S2", [], p::tru())],
+            [
+                p::node("Singleton", "S1", [], p::tru()),
+                p::node("Singleton", "S2", [], p::tru()),
+            ],
             p::tru(),
         ),
     );
@@ -510,10 +622,16 @@ fn merge_singleton_pair(schema: &Arc<Schema>) -> RewriteRule {
         gen(
             "Array",
             [
-                ("data", acompute("pairRun", move |ctx| Value::recs(records(ctx, &pat_data)))),
-                ("size", acompute("pairLen", move |ctx| {
-                    Value::Int(records(ctx, &pat_size).len() as i64)
-                })),
+                (
+                    "data",
+                    acompute("pairRun", move |ctx| Value::recs(records(ctx, &pat_data))),
+                ),
+                (
+                    "size",
+                    acompute("pairLen", move |ctx| {
+                        Value::Int(records(ctx, &pat_size).len() as i64)
+                    }),
+                ),
             ],
             [],
         ),
@@ -563,7 +681,11 @@ pub fn pivot_rules(schema: &Arc<Schema>) -> RuleSet {
                 [("sep", acopy("U", "sep"))],
                 [
                     reuse("a"),
-                    gen("BinTree", [("sep", acopy("T", "sep"))], [reuse("b"), reuse("c")]),
+                    gen(
+                        "BinTree",
+                        [("sep", acopy("T", "sep"))],
+                        [reuse("b"), reuse("c")],
+                    ),
                 ],
             ),
         )
@@ -591,7 +713,11 @@ pub fn pivot_rules(schema: &Arc<Schema>) -> RuleSet {
                 "BinTree",
                 [("sep", acopy("U", "sep"))],
                 [
-                    gen("BinTree", [("sep", acopy("T", "sep"))], [reuse("a"), reuse("b")]),
+                    gen(
+                        "BinTree",
+                        [("sep", acopy("T", "sep"))],
+                        [reuse("a"), reuse("b")],
+                    ),
                     reuse("c"),
                 ],
             ),
@@ -719,7 +845,11 @@ mod tests {
         let fired = fire_once(&mut idx, &rules, 3, 0) || fire_once(&mut idx, &rules, 4, 0);
         assert!(fired);
         idx.check_structure().unwrap();
-        assert_eq!(idx.get(7), None, "tombstone still effective after push-down");
+        assert_eq!(
+            idx.get(7),
+            None,
+            "tombstone still effective after push-down"
+        );
         assert_eq!(idx.get(6), Some(6));
     }
 

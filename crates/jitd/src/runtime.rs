@@ -164,7 +164,14 @@ impl Jitd {
         let mut strategy = kind.build(rules.clone(), index.ast());
         strategy.rebuild(index.ast());
         let stats = JitdStats::new(rules.len());
-        Jitd { index, rules, strategy, kind, tick: 0, stats }
+        Jitd {
+            index,
+            rules,
+            strategy,
+            kind,
+            tick: 0,
+            stats,
+        }
     }
 
     /// The underlying index.
@@ -247,7 +254,12 @@ impl Jitd {
         let search_ns = now_ns() - s0;
         self.stats.search_ns[rule].push_u64(search_ns);
         let Some(site) = site else {
-            return StepOutcome { fired: false, search_ns, rewrite_ns: 0, maintain_ns: 0 };
+            return StepOutcome {
+                fired: false,
+                search_ns,
+                rewrite_ns: 0,
+                maintain_ns: 0,
+            };
         };
 
         let rule_def = self.rules.get(rule);
@@ -270,7 +282,11 @@ impl Jitd {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         let m1 = now_ns();
         self.strategy.after_replace(self.index.ast(), &ctx);
@@ -279,7 +295,12 @@ impl Jitd {
         self.stats.rewrite_ns[rule].push_u64(rewrite_ns);
         self.stats.maintain_ns[rule].push_u64(maintain_ns);
         self.stats.steps += 1;
-        StepOutcome { fired: true, search_ns, rewrite_ns, maintain_ns }
+        StepOutcome {
+            fired: true,
+            search_ns,
+            rewrite_ns,
+            maintain_ns,
+        }
     }
 
     /// Tries every rule once; returns how many fired.
@@ -391,8 +412,7 @@ mod tests {
         // agree with a model BTreeMap at the end.
         let spec = WorkloadSpec::standard('A');
         for kind in StrategyKind::all() {
-            let mut jitd =
-                Jitd::new(kind, RuleConfig { crack_threshold: 8 }, records(64));
+            let mut jitd = Jitd::new(kind, RuleConfig { crack_threshold: 8 }, records(64));
             let mut model: std::collections::BTreeMap<i64, i64> =
                 (0..64).map(|i| (i, i * 2)).collect();
             let mut workload = Workload::new(spec, 64, 1234);
@@ -424,8 +444,11 @@ mod tests {
 
     #[test]
     fn reorganize_until_quiet_reaches_paper_rule_fixpoint() {
-        let mut jitd =
-            Jitd::new(StrategyKind::TreeToaster, RuleConfig { crack_threshold: 4 }, records(64));
+        let mut jitd = Jitd::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 4 },
+            records(64),
+        );
         let applied = jitd.reorganize_until_quiet(10_000);
         assert!(applied > 0);
         // At quiescence no rule matches (agreement check covers all).
@@ -437,8 +460,11 @@ mod tests {
 
     #[test]
     fn delete_flows_through_tombstone_rules() {
-        let mut jitd =
-            Jitd::new(StrategyKind::TreeToaster, RuleConfig { crack_threshold: 4 }, records(32));
+        let mut jitd = Jitd::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 4 },
+            records(32),
+        );
         jitd.reorganize_until_quiet(1000);
         jitd.delete(10);
         jitd.reorganize_until_quiet(1000);
@@ -452,7 +478,7 @@ mod tests {
         let jitd = run_mixed(StrategyKind::TreeToaster);
         let total_searches: usize = jitd.stats.search_ns.iter().map(|b| b.len()).sum();
         assert!(total_searches > 0);
-        assert!(jitd.stats.op_ns.len() > 0);
-        assert!(jitd.stats.all_maintenance_samples().len() > 0);
+        assert!(!jitd.stats.op_ns.is_empty());
+        assert!(!jitd.stats.all_maintenance_samples().is_empty());
     }
 }

@@ -56,7 +56,9 @@ impl LabelIndex {
     /// An empty index over `schema`'s labels.
     pub fn new(schema: &Schema) -> LabelIndex {
         LabelIndex {
-            buckets: (0..schema.label_count()).map(|_| Bucket::default()).collect(),
+            buckets: (0..schema.label_count())
+                .map(|_| Bucket::default())
+                .collect(),
         }
     }
 
@@ -108,11 +110,7 @@ impl LabelIndex {
     /// re-checking the full pattern (recursive matches and constraints)
     /// on each candidate. For an `AnyNode` root the whole tree matches,
     /// so the AST root is returned (line 2 of the algorithm).
-    pub fn index_lookup(
-        &self,
-        ast: &Ast,
-        pattern: &Pattern,
-    ) -> Option<(NodeId, Bindings)> {
+    pub fn index_lookup(&self, ast: &Ast, pattern: &Pattern) -> Option<(NodeId, Bindings)> {
         match pattern.root() {
             PatternNode::Any { .. } => {
                 let root = ast.root();
@@ -180,9 +178,8 @@ mod tests {
 
     #[test]
     fn build_counts_labels() {
-        let (ast, root) = tree(
-            r#"(Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))"#,
-        );
+        let (ast, root) =
+            tree(r#"(Arith op="+" (Arith op="*" (Const val=2) (Var name="y")) (Var name="x"))"#);
         let idx = LabelIndex::build_from(&ast, root);
         let schema = ast.schema();
         assert_eq!(idx.len(schema.expect_label("Arith")), 2);
@@ -260,9 +257,8 @@ mod tests {
 
     #[test]
     fn lookup_all_agrees_with_naive_matcher() {
-        let (ast, root) = tree(
-            r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
-        );
+        let (ast, root) =
+            tree(r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#);
         let idx = LabelIndex::build_from(&ast, root);
         let q = add_zero(&ast);
         let mut via_index = idx.index_lookup_all(&ast, &q);

@@ -89,7 +89,9 @@ impl SummaryBuilder {
 
     /// Creates a collector pre-sized for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        Self { samples: Vec::with_capacity(n) }
+        Self {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Records one sample.

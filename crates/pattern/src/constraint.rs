@@ -109,6 +109,9 @@ impl Atom {
     }
 }
 
+/// The shared function type behind a [`HostPred`].
+pub type HostPredFn = dyn Fn(&dyn AttrSource) -> bool + Send + Sync;
+
 /// A named native predicate over the bound attribute values.
 ///
 /// The function sees only attribute values through [`AttrSource`], so the
@@ -119,7 +122,7 @@ pub struct HostPred {
     /// Display name (e.g. `"arrayLen>threshold"`).
     pub name: &'static str,
     /// The predicate.
-    pub test: Arc<dyn Fn(&dyn AttrSource) -> bool + Send + Sync>,
+    pub test: Arc<HostPredFn>,
 }
 
 impl HostPred {
@@ -128,7 +131,10 @@ impl HostPred {
         name: &'static str,
         test: impl Fn(&dyn AttrSource) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Self { name, test: Arc::new(test) }
+        Self {
+            name,
+            test: Arc::new(test),
+        }
     }
 }
 
@@ -359,7 +365,10 @@ mod tests {
             Atom::Const(Value::Int(1)),
         ));
         assert!(matches!(c, Constraint::Cmp(..)), "T ∧ c simplifies to c");
-        assert!(matches!(Constraint::False.and(Constraint::True), Constraint::False));
+        assert!(matches!(
+            Constraint::False.and(Constraint::True),
+            Constraint::False
+        ));
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn any() -> PatSpec {
 /// `AnyNode` binding the matched subtree to `var` (so generators can
 /// `Reuse` it — the paper writes these as `q₁`, `q₂` in its JITD rules).
 pub fn any_as(var: &str) -> PatSpec {
-    PatSpec::Any { var: Some(var.to_string()) }
+    PatSpec::Any {
+        var: Some(var.to_string()),
+    }
 }
 
 /// Constraint `T`.

@@ -23,7 +23,9 @@ pub struct Bindings {
 impl Bindings {
     /// Empty environment for a pattern with `var_count` variables.
     pub fn new(var_count: usize) -> Self {
-        Self { slots: vec![NodeId::NULL; var_count] }
+        Self {
+            slots: vec![NodeId::NULL; var_count],
+        }
     }
 
     /// The node bound to `var`; panics if unbound (an evaluation bug).
@@ -102,7 +104,12 @@ fn match_rec(ast: &Ast, node: NodeId, pat: &PatternNode, bindings: &mut Bindings
             }
             true
         }
-        PatternNode::Match { label, var, children, .. } => {
+        PatternNode::Match {
+            label,
+            var,
+            children,
+            ..
+        } => {
             let n = ast.node(node);
             if n.label() != *label || n.children().len() != children.len() {
                 return false;
@@ -119,10 +126,13 @@ fn match_rec(ast: &Ast, node: NodeId, pat: &PatternNode, bindings: &mut Bindings
 fn check_constraints(ast: &Ast, pat: &PatternNode, bindings: &Bindings) -> bool {
     match pat {
         PatternNode::Any { .. } => true,
-        PatternNode::Match { children, constraint, .. } => {
+        PatternNode::Match {
+            children,
+            constraint,
+            ..
+        } => {
             let src = TreeAttrs { ast, bindings };
-            constraint.eval(&src)
-                && children.iter().all(|c| check_constraints(ast, c, bindings))
+            constraint.eval(&src) && children.iter().all(|c| check_constraints(ast, c, bindings))
         }
     }
 }
@@ -239,9 +249,7 @@ mod tests {
     #[test]
     fn find_first_scans_preorder() {
         // Two eligible subtrees; the scan finds the outermost first.
-        let (ast, root) = tree(
-            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
-        );
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="a"))"#);
         let q = add_zero();
         let (found, _) = find_first(&ast, root, &q).unwrap();
         assert_eq!(found, root);
@@ -251,9 +259,8 @@ mod tests {
     fn match_set_of_nested_tree() {
         // Root: + over (inner: + over Const0, Var) and Var — wait, root's
         // left child is an Arith, so only the inner node matches.
-        let (ast, root) = tree(
-            r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
-        );
+        let (ast, root) =
+            tree(r#"(Arith op="+" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#);
         let q = add_zero();
         let found = match_set(&ast, root, &q);
         assert_eq!(found, vec![ast.children(root)[0]]);
@@ -291,10 +298,7 @@ mod tests {
     #[test]
     fn wildcard_positions_do_not_bind() {
         let schema = arith_schema();
-        let q = Pattern::compile(
-            &schema,
-            node("Arith", "A", [any(), any()], tru()),
-        );
+        let q = Pattern::compile(&schema, node("Arith", "A", [any(), any()], tru()));
         let (ast, root) = tree(r#"(Arith op="+" (Const val=1) (Var name="x"))"#);
         let b = match_node(&ast, root, &q).unwrap();
         assert_eq!(b.len(), 1, "only A binds");

@@ -42,11 +42,9 @@ impl PatternNode {
     pub fn depth(&self) -> usize {
         match self {
             PatternNode::Any { .. } => 0,
-            PatternNode::Match { children, .. } => children
-                .iter()
-                .map(|c| 1 + c.depth())
-                .max()
-                .unwrap_or(0),
+            PatternNode::Match { children, .. } => {
+                children.iter().map(|c| 1 + c.depth()).max().unwrap_or(0)
+            }
         }
     }
 }
@@ -70,7 +68,12 @@ impl Pattern {
         let mut by_name: FxHashMap<String, VarId> = FxHashMap::default();
         let root = compile_node(schema, spec, &mut vars, &mut by_name);
         let depth = root.depth();
-        Pattern { schema: schema.clone(), root, var_names: vars, depth }
+        Pattern {
+            schema: schema.clone(),
+            root,
+            var_names: vars,
+            depth,
+        }
     }
 
     /// The pattern tree.
@@ -103,7 +106,10 @@ impl Pattern {
 
     /// Looks up a variable by name.
     pub fn var(&self, name: &str) -> Option<VarId> {
-        self.var_names.iter().position(|n| n == name).map(|i| VarId(i as u16))
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u16))
     }
 
     /// The root label, if the root is a `Match` (None for `AnyNode`).
@@ -124,10 +130,12 @@ impl Pattern {
 
     /// The pattern node bound by `var`, if any (searching the tree).
     pub fn node_of_var(&self, var: VarId) -> Option<&PatternNode> {
-        fn go<'a>(node: &'a PatternNode, var: VarId) -> Option<&'a PatternNode> {
+        fn go(node: &PatternNode, var: VarId) -> Option<&PatternNode> {
             match node {
                 PatternNode::Any { var: v } => (*v == Some(var)).then_some(node),
-                PatternNode::Match { var: v, children, .. } => {
+                PatternNode::Match {
+                    var: v, children, ..
+                } => {
                     if *v == var {
                         Some(node)
                     } else {
@@ -172,7 +180,10 @@ fn compile_node(
         by_name: &mut FxHashMap<String, VarId>,
         var: String,
     ) -> VarId {
-        assert!(!by_name.contains_key(&var), "pattern variable {var:?} bound twice");
+        assert!(
+            !by_name.contains_key(&var),
+            "pattern variable {var:?} bound twice"
+        );
         let var_id = VarId(u16::try_from(vars.len()).expect("too many pattern vars"));
         vars.push(var.clone());
         by_name.insert(var, var_id);
@@ -182,7 +193,12 @@ fn compile_node(
         PatSpec::Any { var } => PatternNode::Any {
             var: var.map(|v| intern_var(vars, by_name, v)),
         },
-        PatSpec::Match { label, var, children, constraint } => {
+        PatSpec::Match {
+            label,
+            var,
+            children,
+            constraint,
+        } => {
             let label_id = schema.expect_label(&label);
             let var_id = intern_var(vars, by_name, var);
             let children: Vec<PatternNode> = children
@@ -195,7 +211,12 @@ fn compile_node(
                 schema.label_name(label_id)
             );
             let constraint = compile_constraint(schema, constraint, by_name);
-            PatternNode::Match { label: label_id, var: var_id, children, constraint }
+            PatternNode::Match {
+                label: label_id,
+                var: var_id,
+                children,
+                constraint,
+            }
         }
     }
 }
@@ -231,8 +252,9 @@ fn compile_constraint(
         CSpec::True => C::True,
         CSpec::False => C::False,
         CSpec::Cmp(op, a, b) => C::Cmp(op, atom(schema, a, by_name), atom(schema, b, by_name)),
-        CSpec::And(a, b) => compile_constraint(schema, *a, by_name)
-            .and(compile_constraint(schema, *b, by_name)),
+        CSpec::And(a, b) => {
+            compile_constraint(schema, *a, by_name).and(compile_constraint(schema, *b, by_name))
+        }
         CSpec::Or(a, b) => C::Or(
             Box::new(compile_constraint(schema, *a, by_name)),
             Box::new(compile_constraint(schema, *b, by_name)),
@@ -243,7 +265,10 @@ fn compile_constraint(
 }
 
 fn collect_labels(node: &PatternNode, out: &mut Vec<Label>) {
-    if let PatternNode::Match { label, children, .. } = node {
+    if let PatternNode::Match {
+        label, children, ..
+    } = node
+    {
         out.push(*label);
         for c in children {
             collect_labels(c, out);
@@ -290,15 +315,16 @@ impl Pattern {
 
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn go(
-            p: &Pattern,
-            node: &PatternNode,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn go(p: &Pattern, node: &PatternNode, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match node {
                 PatternNode::Any { var: None } => write!(f, "_"),
                 PatternNode::Any { var: Some(v) } => write!(f, "{}@_", p.var_name(*v)),
-                PatternNode::Match { label, var, children, constraint } => {
+                PatternNode::Match {
+                    label,
+                    var,
+                    children,
+                    constraint,
+                } => {
                     write!(f, "{}@{}", p.var_name(*var), p.schema.label_name(*label))?;
                     if !children.is_empty() {
                         write!(f, "(")?;
@@ -374,7 +400,10 @@ mod tests {
         );
         assert_eq!(p.depth(), 2);
         // A childless match and a bare wildcard are depth 0.
-        assert_eq!(Pattern::compile(&schema, node("Const", "X", [], tru())).depth(), 0);
+        assert_eq!(
+            Pattern::compile(&schema, node("Const", "X", [], tru())).depth(),
+            0
+        );
         assert_eq!(Pattern::compile(&schema, any()).depth(), 0);
     }
 
@@ -393,12 +422,7 @@ mod tests {
         let schema = arith_schema();
         let _ = Pattern::compile(
             &schema,
-            node(
-                "Arith",
-                "A",
-                [node("Const", "A", [], tru()), any()],
-                tru(),
-            ),
+            node("Arith", "A", [node("Const", "A", [], tru()), any()], tru()),
         );
     }
 
@@ -463,10 +487,7 @@ mod tests {
             ),
         );
         let b = p.var("B").unwrap();
-        assert!(matches!(
-            p.node_of_var(b),
-            Some(PatternNode::Match { .. })
-        ));
+        assert!(matches!(p.node_of_var(b), Some(PatternNode::Match { .. })));
         let q = p.var("q").unwrap();
         assert!(matches!(p.node_of_var(q), Some(PatternNode::Any { .. })));
         assert!(p.node_of_var(VarId(99)).is_none());

@@ -105,16 +105,30 @@ impl SqlQuery {
 }
 
 fn reduce(node: &PatternNode, q: &mut SqlQuery) {
-    let PatternNode::Match { label, var, children, constraint } = node else {
+    let PatternNode::Match {
+        label,
+        var,
+        children,
+        constraint,
+    } = node
+    else {
         return; // AnyNode (named or not): R_q = ∅, θ_q = T
     };
-    q.atoms.push(SqlAtom { label: *label, var: *var, arity: children.len() });
+    q.atoms.push(SqlAtom {
+        label: *label,
+        var: *var,
+        arity: children.len(),
+    });
     if !matches!(constraint, Constraint::True) {
         q.filters.push((*var, constraint.clone()));
     }
     for (idx, child) in children.iter().enumerate() {
         if let PatternNode::Match { var: child_var, .. } = child {
-            q.joins.push(ChildJoin { parent: *var, child_index: idx, child: *child_var });
+            q.joins.push(ChildJoin {
+                parent: *var,
+                child_index: idx,
+                child: *child_var,
+            });
         }
         reduce(child, q);
     }
@@ -147,8 +161,7 @@ mod tests {
         );
         let q = SqlQuery::from_pattern(&p);
         assert_eq!(q.width(), 3);
-        let labels: Vec<&str> =
-            q.atoms.iter().map(|a| schema.label_name(a.label)).collect();
+        let labels: Vec<&str> = q.atoms.iter().map(|a| schema.label_name(a.label)).collect();
         assert_eq!(labels, vec!["Arith", "Const", "Var"]);
         let a = p.var("a").unwrap();
         let b = p.var("b").unwrap();
@@ -157,8 +170,16 @@ mod tests {
         assert_eq!(
             q.joins,
             vec![
-                ChildJoin { parent: a, child_index: 0, child: b },
-                ChildJoin { parent: a, child_index: 1, child: c },
+                ChildJoin {
+                    parent: a,
+                    child_index: 0,
+                    child: b
+                },
+                ChildJoin {
+                    parent: a,
+                    child_index: 1,
+                    child: c
+                },
             ]
         );
         // Two θ fragments: a.op='+' and b.val=0. Var's T is dropped.
@@ -175,7 +196,11 @@ mod tests {
         assert_eq!(q.width(), 1);
         assert!(q.joins.is_empty());
         assert!(q.filters.is_empty());
-        assert_eq!(q.atom(p.var("a").unwrap()).arity, 2, "arity still counts wildcards");
+        assert_eq!(
+            q.atom(p.var("a").unwrap()).arity,
+            2,
+            "arity still counts wildcards"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn optimize(ast: &mut Ast, mode: SearchMode, max_iterations: usize) -> Break
 fn optimize_naive(ast: &mut Ast, max_iterations: usize) -> Breakdown {
     let schema = ast.schema().clone();
     let rules = catalyst_rules(&schema, false);
-    let mut bd = Breakdown { initial_size: ast.subtree_size(ast.root()), ..Default::default() };
+    let mut bd = Breakdown {
+        initial_size: ast.subtree_size(ast.root()),
+        ..Default::default()
+    };
     let mut tick = 0u64;
     for _ in 0..max_iterations {
         bd.iterations += 1;
@@ -129,7 +132,10 @@ fn transform_down(ast: &mut Ast, opt: &OptRule, tick: &mut u64, bd: &mut Breakdo
                 // top of the body).
                 let s1 = now_ns();
                 let effective = opt.precise.as_ref().is_none_or(|c| {
-                    c.eval(&TreeAttrs { ast, bindings: &bindings })
+                    c.eval(&TreeAttrs {
+                        ast,
+                        bindings: &bindings,
+                    })
                 });
                 bd.search_ns += now_ns() - s1;
                 if effective {
@@ -176,7 +182,10 @@ fn optimize_tt(ast: &mut Ast, max_iterations: usize) -> Breakdown {
     let schema = ast.schema().clone();
     let rules = catalyst_ruleset(&schema);
     let mut engine = TreeToasterEngine::new(rules.clone());
-    let mut bd = Breakdown { initial_size: ast.subtree_size(ast.root()), ..Default::default() };
+    let mut bd = Breakdown {
+        initial_size: ast.subtree_size(ast.root()),
+        ..Default::default()
+    };
 
     let m0 = now_ns();
     engine.rebuild(ast);
@@ -194,8 +203,8 @@ fn optimize_tt(ast: &mut Ast, max_iterations: usize) -> Breakdown {
                 let Some(site) = site else { break };
 
                 let e0 = now_ns();
-                let bindings = match_node(ast, site, &rule.pattern)
-                    .expect("view returned a stale match");
+                let bindings =
+                    match_node(ast, site, &rule.pattern).expect("view returned a stale match");
                 bd.effective_ns += now_ns() - e0;
 
                 let m1 = now_ns();
@@ -214,7 +223,11 @@ fn optimize_tt(ast: &mut Ast, max_iterations: usize) -> Breakdown {
                     removed: &applied.removed,
                     inserted: applied.inserted(),
                     parent_update: applied.parent_update.as_ref(),
-                    rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &applied }),
+                    rule: Some(RuleFired {
+                        rule: rid,
+                        bindings: &bindings,
+                        applied: &applied,
+                    }),
                 };
                 let m2 = now_ns();
                 engine.after_replace(ast, &ctx);
@@ -308,7 +321,10 @@ mod tests {
         let mut ast = Ast::new(plan_schema());
         messy_plan(&mut ast);
         let bd = optimize(&mut ast, SearchMode::TreeToasterViews, 50);
-        assert_eq!(bd.ineffective_count, 0, "folded rules are always applicable");
+        assert_eq!(
+            bd.ineffective_count, 0,
+            "folded rules are always applicable"
+        );
         assert!(bd.maintain_ns > 0, "view maintenance is the traded cost");
     }
 

@@ -69,8 +69,10 @@ fn subtree_hash(ast: &Ast, root: NodeId) -> u64 {
 pub fn optimize_orca(ast: &mut Ast, max_tasks: u64) -> OrcaBreakdown {
     let schema = ast.schema().clone();
     let rules: Vec<OptRule> = catalyst_rules(&schema, false);
-    let mut bd =
-        OrcaBreakdown { initial_size: ast.subtree_size(ast.root()), ..Default::default() };
+    let mut bd = OrcaBreakdown {
+        initial_size: ast.subtree_size(ast.root()),
+        ..Default::default()
+    };
     let mut memo: FxHashSet<u64> = FxHashSet::default();
 
     // Initial memo population: Orca copies the input plan into the memo.
@@ -110,7 +112,11 @@ pub fn optimize_orca(ast: &mut Ast, max_tasks: u64) -> OrcaBreakdown {
         // by the constant-time operator-id comparison.
         let s0 = now_ns();
         let label_ok = root_labels[rid].is_none_or(|l| ast.label(node) == l);
-        let matched = if label_ok { match_node(ast, node, &opt.rule.pattern) } else { None };
+        let matched = if label_ok {
+            match_node(ast, node, &opt.rule.pattern)
+        } else {
+            None
+        };
         let verdict = matched.as_ref().map(|bindings| {
             opt.precise
                 .as_ref()

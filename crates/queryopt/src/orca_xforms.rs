@@ -71,7 +71,11 @@ fn get_to_table_scan(schema: &Arc<Schema>) -> RewriteRule {
             [],
             p::eq(p::attr("G", "isPartitioned"), p::boolean(false)),
         ),
-        gen("CPhysicalTableScan", [("relname", acopy("G", "relname"))], []),
+        gen(
+            "CPhysicalTableScan",
+            [("relname", acopy("G", "relname"))],
+            [],
+        ),
     )
 }
 
@@ -107,7 +111,11 @@ fn inner_join_impl(schema: &Arc<Schema>, hash: bool) -> RewriteRule {
         )
     };
     rule(
-        if hash { "InnerJoin2HashJoin" } else { "InnerJoin2NLJoin" },
+        if hash {
+            "InnerJoin2HashJoin"
+        } else {
+            "InnerJoin2NLJoin"
+        },
         schema,
         p::node(
             "CLogicalInnerJoin",
@@ -116,7 +124,11 @@ fn inner_join_impl(schema: &Arc<Schema>, hash: bool) -> RewriteRule {
             parity("J"),
         ),
         gen(
-            if hash { "CPhysicalHashJoin" } else { "CPhysicalNLJoin" },
+            if hash {
+                "CPhysicalHashJoin"
+            } else {
+                "CPhysicalNLJoin"
+            },
             [("joinId", acopy("J", "joinId"))],
             [reuse("left"), reuse("right"), reuse("pred")],
         ),

@@ -61,7 +61,8 @@ pub fn catalyst_rules(schema: &Arc<Schema>, fold_precise: bool) -> Vec<OptRule> 
             let precise = if fold_precise {
                 None
             } else {
-                spec.precise.map(|f| rule.pattern.compile_extra_constraint(f()))
+                spec.precise
+                    .map(|f| rule.pattern.compile_extra_constraint(f()))
             };
             OptRule { rule, precise }
         })
@@ -71,13 +72,21 @@ pub fn catalyst_rules(schema: &Arc<Schema>, fold_precise: bool) -> Vec<OptRule> 
 /// The folded rules as a [`RuleSet`] (for TreeToaster view maintenance).
 pub fn catalyst_ruleset(schema: &Arc<Schema>) -> Arc<RuleSet> {
     Arc::new(RuleSet::from_rules(
-        catalyst_rules(schema, true).into_iter().map(|r| r.rule).collect(),
+        catalyst_rules(schema, true)
+            .into_iter()
+            .map(|r| r.rule)
+            .collect(),
     ))
 }
 
 fn with_constraint(spec: PatSpec, extra: CSpec) -> PatSpec {
     match spec {
-        PatSpec::Match { label, var, children, constraint } => PatSpec::Match {
+        PatSpec::Match {
+            label,
+            var,
+            children,
+            constraint,
+        } => PatSpec::Match {
             label,
             var,
             children,
@@ -387,7 +396,12 @@ fn specs() -> Vec<RuleSpec> {
                 p::node(
                     "Project",
                     "P",
-                    [p::node("UnionAll", "U", [p::any_as("A"), p::any_as("B")], p::tru())],
+                    [p::node(
+                        "UnionAll",
+                        "U",
+                        [p::any_as("A"), p::any_as("B")],
+                        p::tru(),
+                    )],
                     p::tru(),
                 )
             },
@@ -406,7 +420,10 @@ fn specs() -> Vec<RuleSpec> {
                 };
                 gen(
                     "UnionAll",
-                    [("output", acopy("P", "output")), ("references", acopy("U", "references"))],
+                    [
+                        ("output", acopy("P", "output")),
+                        ("references", acopy("U", "references")),
+                    ],
                     [side("A"), side("B")],
                 )
             },
@@ -426,7 +443,10 @@ fn specs() -> Vec<RuleSpec> {
             generator: |_| {
                 gen(
                     "LocalRelation",
-                    [("output", acopy("P", "output")), ("references", aconst(Value::set([])))],
+                    [
+                        ("output", acopy("P", "output")),
+                        ("references", aconst(Value::set([]))),
+                    ],
                     [],
                 )
             },
@@ -446,7 +466,10 @@ fn specs() -> Vec<RuleSpec> {
             generator: |_| {
                 gen(
                     "LocalRelation",
-                    [("output", acopy("L", "output")), ("references", aconst(Value::set([])))],
+                    [
+                        ("output", acopy("L", "output")),
+                        ("references", aconst(Value::set([]))),
+                    ],
                     [],
                 )
             },
@@ -480,7 +503,10 @@ fn specs() -> Vec<RuleSpec> {
             generator: |_| {
                 gen(
                     "Sort",
-                    [("output", acopy("S1", "output")), ("references", acopy("S1", "references"))],
+                    [
+                        ("output", acopy("S1", "output")),
+                        ("references", acopy("S1", "references")),
+                    ],
                     [reuse("X")],
                 )
             },
@@ -513,7 +539,11 @@ mod tests {
         let s = plan_schema();
         let ruleset = catalyst_ruleset(&s);
         let (rid, rule) = ruleset.by_name("CombineLimits").unwrap();
-        assert_eq!(rule.pattern.depth(), 4, "the 4-deep exception the paper notes");
+        assert_eq!(
+            rule.pattern.depth(),
+            4,
+            "the 4-deep exception the paper notes"
+        );
         let mut ast = Ast::new(s);
         let mut b = PlanBuilder::new(&mut ast);
         let t = b.table(1, [1]);
@@ -584,16 +614,22 @@ mod tests {
     fn noop_project_weak_guard_matches_but_precise_fails_on_narrowing() {
         let s = plan_schema();
         let rules = catalyst_rules(&s, false);
-        let opt = rules.iter().find(|r| r.rule.name == "RemoveNoopProject").unwrap();
+        let opt = rules
+            .iter()
+            .find(|r| r.rule.name == "RemoveNoopProject")
+            .unwrap();
         let mut ast = Ast::new(s);
         let mut b = PlanBuilder::new(&mut ast);
         let t = b.table(1, [1, 2]);
         let narrowing = b.project([1], t); // output ≠ child output
         ast.set_root(narrowing);
-        let bindings = match_node(&ast, narrowing, &opt.rule.pattern)
-            .expect("weak guard matches any Project");
+        let bindings =
+            match_node(&ast, narrowing, &opt.rule.pattern).expect("weak guard matches any Project");
         let precise = opt.precise.as_ref().unwrap();
-        let src = TreeAttrs { ast: &ast, bindings: &bindings };
+        let src = TreeAttrs {
+            ast: &ast,
+            bindings: &bindings,
+        };
         assert!(!precise.eval(&src), "precise check rejects");
     }
 

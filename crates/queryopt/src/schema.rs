@@ -17,9 +17,17 @@ pub fn plan_schema() -> Arc<Schema> {
         // Leaf: materialized local data (ConvertToLocalRelation's target).
         .label("LocalRelation", &["output", "references"], 0)
         .label("Project", &["output", "references", "deterministic"], 1)
-        .label("Filter", &["output", "references", "cond", "deterministic"], 1)
+        .label(
+            "Filter",
+            &["output", "references", "cond", "deterministic"],
+            1,
+        )
         .label("Join", &["output", "references", "joinType", "cond"], 2)
-        .label("Aggregate", &["output", "references", "groupingNonEmpty", "deterministic"], 1)
+        .label(
+            "Aggregate",
+            &["output", "references", "groupingNonEmpty", "deterministic"],
+            1,
+        )
         .label("UnionAll", &["output", "references"], 2)
         .label("Sort", &["output", "references"], 1)
         .label("Distinct", &["output", "references"], 1)
@@ -161,11 +169,21 @@ impl<'a> PlanBuilder<'a> {
 
     /// A deterministic filter with synthetic condition id `cond` reading
     /// `refs`.
-    pub fn filter(&mut self, cond: i64, refs: impl IntoIterator<Item = u32>, child: NodeId) -> NodeId {
+    pub fn filter(
+        &mut self,
+        cond: i64,
+        refs: impl IntoIterator<Item = u32>,
+        child: NodeId,
+    ) -> NodeId {
         let out = self.l.output_of(self.ast, child);
         self.ast.alloc(
             self.l.filter,
-            vec![Value::Set(out), Self::set(refs), Value::Int(cond), Value::Bool(true)],
+            vec![
+                Value::Set(out),
+                Self::set(refs),
+                Value::Int(cond),
+                Value::Bool(true),
+            ],
             vec![child],
         )
     }
@@ -192,7 +210,12 @@ impl<'a> PlanBuilder<'a> {
         let refs = self.l.output_of(self.ast, child);
         self.ast.alloc(
             self.l.aggregate,
-            vec![Self::set(cols), Value::Set(refs), Value::Bool(true), Value::Bool(true)],
+            vec![
+                Self::set(cols),
+                Value::Set(refs),
+                Value::Bool(true),
+                Value::Bool(true),
+            ],
             vec![child],
         )
     }
@@ -210,15 +233,21 @@ impl<'a> PlanBuilder<'a> {
     /// A sort.
     pub fn sort(&mut self, child: NodeId) -> NodeId {
         let out = self.l.output_of(self.ast, child);
-        self.ast
-            .alloc(self.l.sort, vec![Value::Set(out.clone()), Value::Set(out)], vec![child])
+        self.ast.alloc(
+            self.l.sort,
+            vec![Value::Set(out.clone()), Value::Set(out)],
+            vec![child],
+        )
     }
 
     /// A distinct.
     pub fn distinct(&mut self, child: NodeId) -> NodeId {
         let out = self.l.output_of(self.ast, child);
-        self.ast
-            .alloc(self.l.distinct, vec![Value::Set(out), Value::set([])], vec![child])
+        self.ast.alloc(
+            self.l.distinct,
+            vec![Value::Set(out), Value::set([])],
+            vec![child],
+        )
     }
 
     /// A no-op projection (same output as its child) — RemoveNoopOperators
@@ -297,7 +326,10 @@ mod tests {
         let c = b.table(2, [3]);
         let j = b.join(9, a, c);
         let l = b.l;
-        assert_eq!(l.output_of(&ast, j).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            l.output_of(&ast, j).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -15,14 +15,14 @@ use tt_ast::{Ast, NodeId};
 
 /// The TPC-H base tables: `(relid, first column, column count)`.
 const TABLES: [(i64, u32, u32); 8] = [
-    (1, 1, 16),  // lineitem
-    (2, 17, 9),  // orders
-    (3, 26, 8),  // customer
-    (4, 34, 9),  // part
-    (5, 43, 7),  // supplier
-    (6, 50, 5),  // partsupp
-    (7, 55, 4),  // nation
-    (8, 59, 3),  // region
+    (1, 1, 16), // lineitem
+    (2, 17, 9), // orders
+    (3, 26, 8), // customer
+    (4, 34, 9), // part
+    (5, 43, 7), // supplier
+    (6, 50, 5), // partsupp
+    (7, 55, 4), // nation
+    (8, 59, 3), // region
 ];
 
 /// Tables joined by each query (indices into [`TABLES`]), mirroring each
@@ -199,8 +199,14 @@ mod tests {
         let c = build_query(3, 100);
         // Different seeds usually differ in bait placement; sizes may
         // coincide, so compare over all queries.
-        let total_a: usize = all_queries(99).iter().map(|(_, t)| t.subtree_size(t.root())).sum();
-        let total_c: usize = all_queries(100).iter().map(|(_, t)| t.subtree_size(t.root())).sum();
+        let total_a: usize = all_queries(99)
+            .iter()
+            .map(|(_, t)| t.subtree_size(t.root()))
+            .sum();
+        let total_c: usize = all_queries(100)
+            .iter()
+            .map(|(_, t)| t.subtree_size(t.root()))
+            .sum();
         let _ = c;
         assert_ne!(total_a, total_c);
     }

@@ -113,7 +113,11 @@ impl Database {
             .labels()
             .map(|l| Table::new(l, schema.def(l).max_children))
             .collect();
-        Database { schema, tables, projection: None }
+        Database {
+            schema,
+            tables,
+            projection: None,
+        }
     }
 
     /// An empty database that projects every inserted row.
@@ -257,7 +261,11 @@ mod tests {
     fn delta_accessors() {
         let schema = arith_schema();
         let constant = schema.expect_label("Const");
-        let row = NodeRow { id: NodeId::from_index(5), attrs: vec![Value::Int(1)], children: vec![] };
+        let row = NodeRow {
+            id: NodeId::from_index(5),
+            attrs: vec![Value::Int(1)],
+            children: vec![],
+        };
         let ins = NodeDelta::Insert(constant, row.clone());
         let rem = NodeDelta::Remove(constant, row);
         assert_eq!(ins.sign(), 1);
@@ -306,17 +314,34 @@ mod tests {
         );
         db.insert(
             schema.expect_label("Const"),
-            NodeRow { id: NodeId::from_index(2), attrs: vec![Value::Int(0)], children: vec![] },
+            NodeRow {
+                id: NodeId::from_index(2),
+                attrs: vec![Value::Int(0)],
+                children: vec![],
+            },
         );
         db.insert(
             schema.expect_label("Var"),
-            NodeRow { id: NodeId::from_index(3), attrs: vec![Value::str("x")], children: vec![] },
+            NodeRow {
+                id: NodeId::from_index(3),
+                attrs: vec![Value::str("x")],
+                children: vec![],
+            },
         );
-        let arith_row = db.table(schema.expect_label("Arith")).get(NodeId::from_index(1)).unwrap();
+        let arith_row = db
+            .table(schema.expect_label("Arith"))
+            .get(NodeId::from_index(1))
+            .unwrap();
         assert_eq!(arith_row.attrs[0], Value::Unit, "op projected away");
-        let const_row = db.table(schema.expect_label("Const")).get(NodeId::from_index(2)).unwrap();
+        let const_row = db
+            .table(schema.expect_label("Const"))
+            .get(NodeId::from_index(2))
+            .unwrap();
         assert_eq!(const_row.attrs[0], Value::Int(0), "val kept for the filter");
-        let var_row = db.table(schema.expect_label("Var")).get(NodeId::from_index(3)).unwrap();
+        let var_row = db
+            .table(schema.expect_label("Var"))
+            .get(NodeId::from_index(3))
+            .unwrap();
         assert_eq!(var_row.attrs[0], Value::Unit, "name projected away");
         // Children always survive (they are the join columns).
         assert_eq!(arith_row.children.len(), 2);
@@ -352,11 +377,7 @@ mod tests {
         use tt_pattern::{Pattern, SqlQuery};
         let schema = arith_schema();
         let mut ast = Ast::new(schema.clone());
-        let root = parse_sexpr(
-            &mut ast,
-            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
-        )
-        .unwrap();
+        let root = parse_sexpr(&mut ast, r#"(Arith op="+" (Const val=0) (Var name="x"))"#).unwrap();
         ast.set_root(root);
         let pattern = Pattern::compile(
             &schema,

@@ -77,7 +77,10 @@ fn extend(db: &Database, query: &SqlQuery, idx: usize, row: &mut [NodeId]) -> bo
         .find(|j| j.child == atom.var)
         .expect("non-root atom must have a parent join");
     let parent_id = row[join.parent.0 as usize];
-    debug_assert!(!parent_id.is_null(), "parent bound before child in preorder");
+    debug_assert!(
+        !parent_id.is_null(),
+        "parent bound before child in preorder"
+    );
     let parent_label = query.atom(join.parent).label;
     let Some(parent_row) = db.table(parent_label).get(parent_id) else {
         return false;
@@ -156,9 +159,7 @@ mod tests {
 
     #[test]
     fn matches_tree_semantics_on_fig3_variant() {
-        let (ast, root, db) = load(
-            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
-        );
+        let (ast, root, db) = load(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
         let (p, q) = add_zero_query();
         let rows = evaluate(&db, &q);
         assert_eq!(rows.len(), 1);
@@ -177,9 +178,8 @@ mod tests {
 
     #[test]
     fn nested_matches_found_anywhere() {
-        let (ast, root, db) = load(
-            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#,
-        );
+        let (ast, root, db) =
+            load(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Var name="b"))"#);
         let (p, q) = add_zero_query();
         let rows = evaluate(&db, &q);
         assert_eq!(rows.len(), 1);
@@ -192,9 +192,7 @@ mod tests {
 
     #[test]
     fn probe_root_agrees_with_evaluate() {
-        let (ast, root, db) = load(
-            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
-        );
+        let (ast, root, db) = load(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
         let (_, q) = add_zero_query();
         assert!(probe_root(&db, &q, root).is_some());
         assert!(probe_root(&db, &q, ast.children(root)[0]).is_none());
@@ -202,9 +200,7 @@ mod tests {
 
     #[test]
     fn wrong_child_label_rejected() {
-        let (_, _, db) = load(
-            r#"(Arith op="+" (Var name="z") (Var name="x"))"#,
-        );
+        let (_, _, db) = load(r#"(Arith op="+" (Var name="z") (Var name="x"))"#);
         let (_, q) = add_zero_query();
         assert!(evaluate(&db, &q).is_empty());
     }
@@ -214,9 +210,7 @@ mod tests {
         let schema = arith_schema();
         let p = Pattern::compile(&schema, node("Var", "v", [], tru()));
         let q = SqlQuery::from_pattern(&p);
-        let (_, _, db) = load(
-            r#"(Arith op="+" (Var name="a") (Var name="b"))"#,
-        );
+        let (_, _, db) = load(r#"(Arith op="+" (Var name="a") (Var name="b"))"#);
         assert_eq!(evaluate(&db, &q).len(), 2);
     }
 
@@ -225,7 +219,11 @@ mod tests {
         let (_, root, db) = load(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
         let (p, q) = add_zero_query();
         let rows = evaluate(&db, &q);
-        let src = RowAttrs { db: &db, query: &q, row: &rows[0] };
+        let src = RowAttrs {
+            db: &db,
+            query: &q,
+            row: &rows[0],
+        };
         let op = db.schema().expect_attr("op");
         assert_eq!(src.attr_of(p.var("a").unwrap(), op).as_str(), "+");
         let _ = root;

@@ -82,8 +82,7 @@ impl Table {
 
     /// Approximate heap bytes (rows, payloads, reverse indexes).
     pub fn memory_bytes(&self) -> usize {
-        let row_slots = self.rows.capacity()
-            * (1 + std::mem::size_of::<(NodeId, NodeRow)>());
+        let row_slots = self.rows.capacity() * (1 + std::mem::size_of::<(NodeId, NodeRow)>());
         let payloads: usize = self.rows.values().map(NodeRow::heap_bytes).sum();
         let indexes: usize = self
             .child_index
@@ -115,7 +114,10 @@ mod tests {
         let mut t = Table::new(arith, 2);
         t.insert(row(1, &[2, 3]));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(NodeId::from_index(1)).unwrap().attrs[0], Value::Int(1));
+        assert_eq!(
+            t.get(NodeId::from_index(1)).unwrap().attrs[0],
+            Value::Int(1)
+        );
         assert!(t.get(NodeId::from_index(9)).is_none());
         let removed = t.remove(NodeId::from_index(1)).unwrap();
         assert_eq!(removed.children.len(), 2);
@@ -132,9 +134,15 @@ mod tests {
         t.insert(row(4, &[5, 6]));
         let p = t.parent_of(0, NodeId::from_index(5)).unwrap();
         assert_eq!(p.id, NodeId::from_index(4));
-        assert!(t.parent_of(1, NodeId::from_index(5)).is_none(), "wrong column");
+        assert!(
+            t.parent_of(1, NodeId::from_index(5)).is_none(),
+            "wrong column"
+        );
         t.remove(NodeId::from_index(4));
-        assert!(t.parent_of(0, NodeId::from_index(5)).is_none(), "index cleaned up");
+        assert!(
+            t.parent_of(0, NodeId::from_index(5)).is_none(),
+            "index cleaned up"
+        );
     }
 
     #[test]
@@ -143,7 +151,11 @@ mod tests {
         let mut ast = Ast::new(schema.clone());
         let c = ast.alloc(schema.expect_label("Const"), vec![Value::Int(7)], vec![]);
         let v = ast.alloc(schema.expect_label("Var"), vec![Value::str("x")], vec![]);
-        let a = ast.alloc(schema.expect_label("Arith"), vec![Value::str("+")], vec![c, v]);
+        let a = ast.alloc(
+            schema.expect_label("Arith"),
+            vec![Value::str("+")],
+            vec![c, v],
+        );
         let r = NodeRow::of(&ast, a);
         assert_eq!(r.id, a);
         assert_eq!(r.children, vec![c, v]);

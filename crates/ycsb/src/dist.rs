@@ -74,7 +74,14 @@ impl Zipfian {
         assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
         let zeta_n = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
-        let mut z = Zipfian { items: n, theta, zeta_n, zeta2, alpha: 0.0, eta: 0.0 };
+        let mut z = Zipfian {
+            items: n,
+            theta,
+            zeta_n,
+            zeta2,
+            alpha: 0.0,
+            eta: 0.0,
+        };
         z.refresh();
         z
     }
@@ -136,7 +143,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Scrambled zipfian over `0..n`.
     pub fn new(n: u64) -> ScrambledZipfian {
-        ScrambledZipfian { inner: Zipfian::new(n) }
+        ScrambledZipfian {
+            inner: Zipfian::new(n),
+        }
     }
 }
 
@@ -177,7 +186,9 @@ pub struct Latest {
 impl Latest {
     /// Latest-skewed over `0..n`.
     pub fn new(n: u64) -> Latest {
-        Latest { inner: Zipfian::new(n) }
+        Latest {
+            inner: Zipfian::new(n),
+        }
     }
 }
 

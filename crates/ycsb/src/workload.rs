@@ -176,7 +176,10 @@ impl Workload {
     pub fn new(spec: WorkloadSpec, record_count: u64, seed: u64) -> Workload {
         assert!(record_count >= 1);
         let total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw;
-        assert!((total - 1.0).abs() < 1e-9, "op mix must sum to 1.0, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "op mix must sum to 1.0, got {total}"
+        );
         let dist = match spec.request {
             RequestKind::Zipfian => Dist::Zipfian(ScrambledZipfian::new(record_count)),
             RequestKind::Latest => Dist::Latest(Latest::new(record_count)),
@@ -213,9 +216,14 @@ impl Workload {
         let spec = self.spec;
         let value = self.rng.gen_range(0..1_000_000);
         if x < spec.read {
-            Op::Read { key: self.pick_key() }
+            Op::Read {
+                key: self.pick_key(),
+            }
         } else if x < spec.read + spec.update {
-            Op::Update { key: self.pick_key(), value }
+            Op::Update {
+                key: self.pick_key(),
+                value,
+            }
         } else if x < spec.read + spec.update + spec.insert {
             let key = self.key_count as i64;
             self.key_count += 1;
@@ -223,9 +231,15 @@ impl Workload {
             Op::Insert { key, value }
         } else if x < spec.read + spec.update + spec.insert + spec.scan {
             let len = self.scan_len.next_index(&mut self.rng) as usize + 1;
-            Op::Scan { key: self.pick_key(), len }
+            Op::Scan {
+                key: self.pick_key(),
+                len,
+            }
         } else {
-            Op::ReadModifyWrite { key: self.pick_key(), value }
+            Op::ReadModifyWrite {
+                key: self.pick_key(),
+                value,
+            }
         }
     }
 

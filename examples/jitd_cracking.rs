@@ -23,7 +23,9 @@ fn main() {
         let data: Vec<Record> = (0..records).map(|k| Record::new(k, k * 3)).collect();
         let mut jitd = Jitd::new(
             StrategyKind::TreeToaster,
-            RuleConfig { crack_threshold: 128 },
+            RuleConfig {
+                crack_threshold: 128,
+            },
             data,
         );
         println!("phase 1 — reads during cracking:");
@@ -55,7 +57,13 @@ fn main() {
     );
     for kind in StrategyKind::all() {
         let data: Vec<Record> = (0..records / 10).map(|k| Record::new(k, k)).collect();
-        let mut jitd = Jitd::new(kind, RuleConfig { crack_threshold: 128 }, data);
+        let mut jitd = Jitd::new(
+            kind,
+            RuleConfig {
+                crack_threshold: 128,
+            },
+            data,
+        );
         let mut workload = Workload::new(WorkloadSpec::standard('A'), (records / 10) as u64, 7);
         jitd.reorganize_until_quiet(u64::MAX);
         for _ in 0..ops {
@@ -73,8 +81,7 @@ fn main() {
             all.iter().sum::<f64>() / all.len().max(1) as f64
         };
         let maintain = jitd.stats.all_maintenance_samples();
-        let maintain_mean =
-            maintain.samples().iter().sum::<f64>() / maintain.len().max(1) as f64;
+        let maintain_mean = maintain.samples().iter().sum::<f64>() / maintain.len().max(1) as f64;
         println!(
             "{:<8} {:>14.0} {:>16.0} {:>14} {:>10}",
             kind.label(),

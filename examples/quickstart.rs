@@ -67,13 +67,23 @@ fn main() {
             removed: &applied.removed,
             inserted: applied.inserted(),
             parent_update: applied.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: 0, bindings: &bindings, applied: &applied }),
+            rule: Some(RuleFired {
+                rule: 0,
+                bindings: &bindings,
+                applied: &applied,
+            }),
         };
         engine.after_replace(&ast, &ctx);
         println!("after:  {}", to_sexpr(&ast, ast.root()));
     }
 
     engine.check_views_correct(&ast).expect("views stay exact");
-    println!("\nfixpoint reached; view empty: {}", engine.view(0).is_empty());
-    println!("engine memory: {} bytes (views only — no shadow copy)", engine.memory_bytes());
+    println!(
+        "\nfixpoint reached; view empty: {}",
+        engine.view(0).is_empty()
+    );
+    println!(
+        "engine memory: {} bytes (views only — no shadow copy)",
+        engine.memory_bytes()
+    );
 }

@@ -44,8 +44,10 @@ fn main() {
     show("naive scan", &total_naive);
     show("treetoaster", &total_tt);
 
-    println!("\nUNION-ALL-doubling antipattern (Appendix A), level 4 (~{} nodes):\n",
-        treetoaster::queryopt::antipattern::expected_size(4));
+    println!(
+        "\nUNION-ALL-doubling antipattern (Appendix A), level 4 (~{} nodes):\n",
+        treetoaster::queryopt::antipattern::expected_size(4)
+    );
     let mut ast = union_doubling(4);
     let bd = optimize(&mut ast, SearchMode::NaiveScan, 60);
     show("naive scan", &bd);

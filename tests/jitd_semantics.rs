@@ -158,8 +158,9 @@ fn strategies_reach_equivalent_indexes_on_shared_stream() {
             jitd.reorganize_round();
         }
         jitd.reorganize_until_quiet(100_000);
-        let snapshot: Vec<Option<i64>> =
-            (0..key_space as i64 + 90).map(|k| jitd.index().get(k)).collect();
+        let snapshot: Vec<Option<i64>> = (0..key_space as i64 + 90)
+            .map(|k| jitd.index().get(k))
+            .collect();
         results.push((strategy, snapshot));
     }
     let (_, reference) = &results[0];
@@ -173,8 +174,10 @@ fn strategies_reach_equivalent_indexes_on_shared_stream() {
 #[test]
 fn rule_set_types_compose() {
     let schema = jitd_schema();
-    let rules: Arc<RuleSet> =
-        Arc::new(treetoaster::jitd::paper_rules(&schema, RuleConfig::default()));
+    let rules: Arc<RuleSet> = Arc::new(treetoaster::jitd::paper_rules(
+        &schema,
+        RuleConfig::default(),
+    ));
     assert_eq!(rules.len(), 5);
 }
 
@@ -188,7 +191,13 @@ fn workload_e_scans_survive_reorganization() {
     for strategy in StrategyKind::all() {
         let initial: Vec<Record> = (0..n as i64).map(|k| Record::new(k, k * 3)).collect();
         let mut model: BTreeMap<i64, i64> = initial.iter().map(|r| (r.key, r.value)).collect();
-        let mut jitd = Jitd::new(strategy, RuleConfig { crack_threshold: 16 }, initial);
+        let mut jitd = Jitd::new(
+            strategy,
+            RuleConfig {
+                crack_threshold: 16,
+            },
+            initial,
+        );
         let mut workload = Workload::new(WorkloadSpec::standard('E'), n, 77);
         for _ in 0..60 {
             let op = workload.next_op();

@@ -28,7 +28,11 @@ fn arith_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> No
         let l = arith_tree(ast, recipe, idx, depth - 1);
         let r = arith_tree(ast, recipe, idx, depth - 1);
         let op = if byte % 2 == 0 { "+" } else { "*" };
-        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![l, r])
+        ast.alloc(
+            schema.expect_label("Arith"),
+            vec![Value::str(op)],
+            vec![l, r],
+        )
     }
 }
 
@@ -41,8 +45,9 @@ fn jitd_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> Nod
     if depth == 0 || byte % 4 == 0 {
         match byte % 3 {
             0 => {
-                let recs: Vec<Record> =
-                    (0..(byte % 5) as i64).map(|k| Record::new(k, k * 2)).collect();
+                let recs: Vec<Record> = (0..(byte % 5) as i64)
+                    .map(|k| Record::new(k, k * 2))
+                    .collect();
                 let n = recs.len() as i64;
                 ast.alloc(array, vec![Value::recs(recs), Value::Int(n)], vec![])
             }

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use treetoaster::ast::{Ast, NodeId, Value};
-use treetoaster::pattern::dsl::{add, attr, eq, gt, int, lt, node, str_, tru};
 use treetoaster::pattern::dsl::any as wildcard;
+use treetoaster::pattern::dsl::{add, attr, eq, gt, int, lt, node, str_, tru};
 use treetoaster::pattern::{match_set, Pattern, SqlQuery};
 use treetoaster::relational::{evaluate, Database};
 
@@ -17,14 +17,22 @@ fn build_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> No
     if depth == 0 || byte % 3 == 0 {
         match byte % 6 {
             0 | 3 => ast.alloc(schema.expect_label("Const"), vec![Value::Int(0)], vec![]),
-            1 | 4 => ast.alloc(schema.expect_label("Const"), vec![Value::Int((byte % 5) as i64)], vec![]),
+            1 | 4 => ast.alloc(
+                schema.expect_label("Const"),
+                vec![Value::Int((byte % 5) as i64)],
+                vec![],
+            ),
             _ => ast.alloc(schema.expect_label("Var"), vec![Value::str("v")], vec![]),
         }
     } else {
         let left = build_tree(ast, recipe, idx, depth - 1);
         let right = build_tree(ast, recipe, idx, depth - 1);
         let op = if byte % 2 == 0 { "+" } else { "*" };
-        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![left, right])
+        ast.alloc(
+            schema.expect_label("Arith"),
+            vec![Value::str(op)],
+            vec![left, right],
+        )
     }
 }
 
@@ -55,7 +63,10 @@ fn patterns() -> Vec<Pattern> {
             node(
                 "Arith",
                 "outer",
-                [node("Arith", "inner", [wildcard(), wildcard()], tru()), wildcard()],
+                [
+                    node("Arith", "inner", [wildcard(), wildcard()], tru()),
+                    wildcard(),
+                ],
                 tru(),
             ),
         ),
@@ -66,7 +77,10 @@ fn patterns() -> Vec<Pattern> {
             node(
                 "Arith",
                 "p",
-                [node("Const", "b", [], lt(add(attr("b", "val"), int(1)), int(3))), wildcard()],
+                [
+                    node("Const", "b", [], lt(add(attr("b", "val"), int(1)), int(3))),
+                    wildcard(),
+                ],
                 tru(),
             ),
         ),

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use treetoaster::ast::{sexpr::to_sexpr, Ast, NodeId, Value};
 use treetoaster::core::engine::MaintenanceMode;
 use treetoaster::core::generator::reuse;
-use treetoaster::core::{MatchSource, ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine};
+use treetoaster::core::{
+    MatchSource, ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine,
+};
 use treetoaster::ivm::{ClassicIvm, DbtIvm};
 use treetoaster::pattern::dsl::{any_as, attr, eq, int, node, str_};
 use treetoaster::pattern::{match_node, match_set, Pattern};
@@ -73,7 +75,11 @@ fn build_tree(ast: &mut Ast, recipe: &[u8], idx: &mut usize, depth: usize) -> No
         let left = build_tree(ast, recipe, idx, depth - 1);
         let right = build_tree(ast, recipe, idx, depth - 1);
         let op = if byte % 2 == 0 { "+" } else { "*" };
-        ast.alloc(schema.expect_label("Arith"), vec![Value::str(op)], vec![left, right])
+        ast.alloc(
+            schema.expect_label("Arith"),
+            vec![Value::str(op)],
+            vec![left, right],
+        )
     }
 }
 
@@ -105,7 +111,11 @@ fn drive(
             removed: &result.removed,
             inserted: result.inserted(),
             parent_update: result.parent_update.as_ref(),
-            rule: Some(RuleFired { rule: rid, bindings: &bindings, applied: &result }),
+            rule: Some(RuleFired {
+                rule: rid,
+                bindings: &bindings,
+                applied: &result,
+            }),
         };
         strategy.after_replace(ast, &ctx);
         applied += 1;

@@ -1,0 +1,113 @@
+//! Workspace smoke test: the facade crate's re-export map and prelude
+//! must be enough to build an AST, materialize a view, apply one
+//! rewrite through [`TreeToasterEngine`], and watch the [`MatchView`]
+//! multiset update incrementally.
+
+use std::sync::Arc;
+use treetoaster::ast::sexpr::{parse_sexpr, to_sexpr};
+use treetoaster::core::generator::reuse;
+use treetoaster::pattern::dsl::{attr, eq, int, node, str_, tru};
+use treetoaster::prelude::*;
+
+/// The paper's running example: `x + 0 → x`.
+fn add_zero_rules(schema: &Arc<Schema>) -> Arc<RuleSet> {
+    let pattern = Pattern::compile(
+        schema,
+        node(
+            "Arith",
+            "A",
+            [
+                node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                node("Var", "C", [], tru()),
+            ],
+            eq(attr("A", "op"), str_("+")),
+        ),
+    );
+    let rule = RewriteRule::new("AddZero", schema, pattern, reuse("C"));
+    Arc::new(RuleSet::from_rules(vec![rule]))
+}
+
+#[test]
+fn facade_builds_rewrites_and_maintains_views() {
+    let schema = treetoaster::ast::schema::arith_schema();
+    let rules = add_zero_rules(&schema);
+
+    // (0 + x) * (0 + y): two disjoint AddZero sites.
+    let mut ast = Ast::new(schema);
+    let root = parse_sexpr(
+        &mut ast,
+        r#"(Arith op="*"
+             (Arith op="+" (Const val=0) (Var name="x"))
+             (Arith op="+" (Const val=0) (Var name="y")))"#,
+    )
+    .expect("literal parses");
+    ast.set_root(root);
+
+    let mut engine = TreeToasterEngine::new(rules.clone());
+    engine.rebuild(&ast);
+    engine
+        .check_views_correct(&ast)
+        .expect("views exact after rebuild");
+
+    // The view is a multiset over eligible nodes: both sites, once each.
+    assert_eq!(engine.view(0).len(), 2);
+    let site = engine.find_one(&ast, 0).expect("a match is available");
+    assert_eq!(engine.view(0).count(site), 1);
+    assert!(
+        !engine.view(0).contains(root),
+        "root is not an AddZero site"
+    );
+
+    // Apply one rewrite through the engine's MatchSource hooks.
+    let rule = rules.get(0);
+    let bindings = match_node(&ast, site, &rule.pattern).expect("view entry matches for real");
+    engine.before_replace(&ast, site, Some((0, &bindings)));
+    let result = rule.apply(&mut ast, site, &bindings, 0);
+    let ctx = ReplaceCtx {
+        old_root: result.old_root,
+        new_root: result.new_root,
+        removed: &result.removed,
+        inserted: result.inserted(),
+        parent_update: result.parent_update.as_ref(),
+        rule: Some(RuleFired {
+            rule: 0,
+            bindings: &bindings,
+            applied: &result,
+        }),
+    };
+    engine.after_replace(&ast, &ctx);
+
+    // Incremental maintenance removed exactly the consumed site.
+    assert_eq!(engine.view(0).count(site), 0, "consumed site left the view");
+    assert_eq!(engine.view(0).len(), 1, "the untouched site remains");
+    engine
+        .check_views_correct(&ast)
+        .expect("views exact after one rewrite");
+
+    // Drain the second site; the view must empty out.
+    let site2 = engine.find_one(&ast, 0).expect("second match still live");
+    let bindings2 = match_node(&ast, site2, &rule.pattern).expect("second entry matches");
+    engine.before_replace(&ast, site2, Some((0, &bindings2)));
+    let result2 = rule.apply(&mut ast, site2, &bindings2, 1);
+    let ctx2 = ReplaceCtx {
+        old_root: result2.old_root,
+        new_root: result2.new_root,
+        removed: &result2.removed,
+        inserted: result2.inserted(),
+        parent_update: result2.parent_update.as_ref(),
+        rule: Some(RuleFired {
+            rule: 0,
+            bindings: &bindings2,
+            applied: &result2,
+        }),
+    };
+    engine.after_replace(&ast, &ctx2);
+
+    assert!(engine.view(0).is_empty(), "no AddZero sites remain");
+    assert_eq!(engine.find_one(&ast, 0), None);
+    assert_eq!(
+        to_sexpr(&ast, ast.root()),
+        r#"(Arith op="*" (Var name="x") (Var name="y"))"#,
+        "both zero-additions were eliminated"
+    );
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses: `Criterion` with builder knobs, `benchmark_group`/
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. It is a real (if
+//! simple) wall-clock harness — warm-up, then `sample_size` timed
+//! samples, reporting mean and min per iteration — not a no-op, so
+//! `cargo bench` produces usable numbers offline. Swap this path
+//! dependency for crates.io `criterion` when a registry is reachable;
+//! call sites need no changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The stub times one
+/// routine call per setup (criterion's `PerIteration` behaviour), which
+/// is correct for every variant, just less amortized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per setup.
+    SmallInput,
+    /// Large inputs: criterion would batch few per setup.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Per-sample measurement state handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark driver: collects samples and prints a one-line summary per
+/// benchmark, mirroring `criterion::Criterion`'s builder API.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// No-op CLI hook kept for `criterion_main!` compatibility (`cargo
+    /// bench` passes `--bench` etc., which the stub ignores).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Final reporting hook; the stub prints per-benchmark, so this is a
+    /// no-op kept for `criterion_main!` compatibility.
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // Warm-up with single iterations, estimating per-iter cost.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        }
+
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<48} time: [mean {} min {}]  ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            self.sample_size,
+            iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is cosmetic).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: both the plain and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21u64,
+                |x| {
+                    ran += 1;
+                    x * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}
