@@ -1,0 +1,37 @@
+//! `tt-bench-check` — CI gate for `BENCH_*.json` trajectories.
+//!
+//! Parses the file, verifies the schema (version, required fields,
+//! finite positive latencies), and enforces the coverage contract: all
+//! five strategies and the acceptance batch sizes {1, 8, 64}. Exits
+//! non-zero with a diagnostic on any violation, so the CI job fails
+//! instead of archiving a malformed artifact.
+
+use std::process::ExitCode;
+use tt_bench::report::{validate_report, BENCH_FILE};
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| BENCH_FILE.to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tt-bench-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_report(&text) {
+        Ok(summary) => {
+            println!(
+                "tt-bench-check: {path} OK — {} results, strategies {:?}, \
+                 workloads {:?}, batch sizes {:?}",
+                summary.results, summary.strategies, summary.workloads, summary.batch_sizes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tt-bench-check: {path} INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

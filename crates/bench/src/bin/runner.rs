@@ -1,0 +1,161 @@
+//! `tt-bench` — the machine-readable benchmark runner.
+//!
+//! Sweeps the figure-12/13 workloads across all five strategies and a
+//! configurable batch-size axis, writing `BENCH_treetoaster.json` (see
+//! [`tt_bench::report`] for the schema). `--quick` runs the CI scale;
+//! without it the `TT_*` environment knobs (or explicit flags) set the
+//! scale.
+//!
+//! ```text
+//! tt-bench --quick [--out PATH] [--batch-sizes 1,8,64]
+//!          [--workloads ABCDF] [--records N] [--ops N] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+use tt_bench::report::{render_report, validate_report, SweepConfig, BENCH_FILE};
+use tt_bench::{paper_workloads, run_jitd_batched, ExperimentConfig};
+use tt_jitd::StrategyKind;
+
+struct Args {
+    quick: bool,
+    out: String,
+    batch_sizes: Vec<usize>,
+    workloads: Vec<char>,
+    records: Option<u64>,
+    ops: Option<usize>,
+    seed: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tt-bench [--quick] [--out PATH] [--batch-sizes 1,8,64] \
+         [--workloads ABCDF] [--records N] [--ops N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: BENCH_FILE.to_string(),
+        batch_sizes: vec![1, 8, 64],
+        workloads: paper_workloads(),
+        records: None,
+        ops: None,
+        seed: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out"),
+            "--batch-sizes" => {
+                args.batch_sizes = value("--batch-sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.batch_sizes.is_empty() || args.batch_sizes.contains(&0) {
+                    usage();
+                }
+            }
+            "--workloads" => {
+                args.workloads = value("--workloads").chars().collect();
+                if args.workloads.is_empty() {
+                    usage();
+                }
+            }
+            "--records" => {
+                args.records = Some(value("--records").parse().unwrap_or_else(|_| usage()))
+            }
+            "--ops" => args.ops = Some(value("--ops").parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // Quick mode pins a small, CI-friendly scale; otherwise the usual
+    // environment knobs apply. Explicit flags override both.
+    let mut experiment = if args.quick {
+        ExperimentConfig {
+            records: 512,
+            ops: 96,
+            crack_threshold: 64,
+            seed: 42,
+        }
+    } else {
+        ExperimentConfig::from_env()
+    };
+    if let Some(records) = args.records {
+        experiment.records = records;
+    }
+    if let Some(ops) = args.ops {
+        experiment.ops = ops;
+    }
+    if let Some(seed) = args.seed {
+        experiment.seed = seed;
+    }
+
+    let sweep = SweepConfig {
+        quick: args.quick,
+        experiment,
+        batch_sizes: args.batch_sizes.clone(),
+        workloads: args.workloads.clone(),
+    };
+    let runs = StrategyKind::all().len() * sweep.workloads.len() * sweep.batch_sizes.len();
+    eprintln!(
+        "tt-bench: {} runs (records={}, ops={}, seed={}, batch sizes {:?}, workloads {:?})",
+        runs,
+        experiment.records,
+        experiment.ops,
+        experiment.seed,
+        sweep.batch_sizes,
+        sweep.workloads
+    );
+
+    let mut results = Vec::with_capacity(runs);
+    for &workload in &sweep.workloads {
+        for strategy in StrategyKind::all() {
+            for &batch_size in &sweep.batch_sizes {
+                let r = run_jitd_batched(workload, strategy, experiment, batch_size);
+                eprintln!(
+                    "  {}/{} K={:<4} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",
+                    workload,
+                    strategy.label(),
+                    batch_size,
+                    r.ns_per_op(),
+                    r.peak_strategy_bytes,
+                    r.rewrites
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    let text = render_report(&sweep, &results);
+    // Self-check before writing: the runner must never publish a
+    // trajectory its own checker would reject.
+    if let Err(e) = validate_report(&text) {
+        eprintln!("tt-bench: internal error, emitted report invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("tt-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("tt-bench: wrote {} ({} results)", args.out, results.len());
+    ExitCode::SUCCESS
+}

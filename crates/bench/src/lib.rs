@@ -16,9 +16,11 @@
 //! | `TT_FIG1_REPS`      | 3       | repetitions averaged per query      |
 //! | `TT_SCALING_REPS`   | 3       | best-of-N reps for fig14/fig15      |
 
+pub mod report;
+
 use tt_ast::Record;
 use tt_jitd::{Jitd, JitdStats, RuleConfig, StrategyKind};
-use tt_metrics::{bytes_to_pages, statm_resident_pages, Summary, SummaryBuilder};
+use tt_metrics::{bytes_to_pages, now_ns, statm_resident_pages, Summary, SummaryBuilder};
 use tt_ycsb::{Workload, WorkloadSpec};
 
 /// Scale configuration, environment-overridable.
@@ -160,6 +162,113 @@ pub fn run_jitd(workload: char, strategy: StrategyKind, cfg: ExperimentConfig) -
     }
 }
 
+/// The result of one batched (workload, strategy, batch-size) run.
+#[derive(Debug, Clone)]
+pub struct BatchRunResult {
+    /// Workload mnemonic.
+    pub workload: char,
+    /// The strategy measured.
+    pub strategy: StrategyKind,
+    /// Operations per maintenance epoch (`usize::MAX` = one epoch).
+    pub batch_size: usize,
+    /// YCSB operations executed.
+    pub ops: usize,
+    /// Rewrites applied across all epochs.
+    pub rewrites: u64,
+    /// Wall time of the measured epoch loop.
+    pub total_ns: u64,
+    /// Mean per-rewrite maintenance latency (staging side).
+    pub maintain_mean_ns: f64,
+    /// Mean batch-commit latency.
+    pub commit_mean_ns: f64,
+    /// Largest strategy memory observed at an epoch commit.
+    pub peak_strategy_bytes: usize,
+    /// Strategy memory after the final commit.
+    pub final_strategy_bytes: usize,
+}
+
+impl BatchRunResult {
+    /// Nanoseconds per YCSB operation (reorganization included).
+    pub fn ns_per_op(&self) -> f64 {
+        self.total_ns as f64 / self.ops.max(1) as f64
+    }
+
+    /// Nanoseconds per applied rewrite.
+    pub fn ns_per_rewrite(&self) -> f64 {
+        self.total_ns as f64 / self.rewrites.max(1) as f64
+    }
+}
+
+/// Runs one YCSB workload against one strategy with **epoch-batched**
+/// maintenance: the op stream is consumed in chunks of `batch_size`;
+/// each chunk executes inside one maintenance epoch together with a full
+/// reorganization burst, then commits. `batch_size = 1` is the paper's
+/// per-rewrite regime; larger sizes let overlapping deltas cancel in the
+/// strategies' buffers before touching views/indexes.
+pub fn run_jitd_batched(
+    workload: char,
+    strategy: StrategyKind,
+    cfg: ExperimentConfig,
+    batch_size: usize,
+) -> BatchRunResult {
+    assert!(batch_size > 0, "batch size must be positive");
+    let records: Vec<Record> = (0..cfg.records as i64)
+        .map(|k| Record::new(k, k.wrapping_mul(7)))
+        .collect();
+    let mut jitd = Jitd::new(
+        strategy,
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
+        records,
+    );
+    let mut driver = Workload::new(WorkloadSpec::standard(workload), cfg.records, cfg.seed);
+    // Load-phase organization happens outside the measured loop (all
+    // strategies pay it identically; it has no batching axis to compare).
+    jitd.reorganize_until_quiet(u64::MAX);
+
+    let mut peak = jitd.strategy_memory_bytes();
+    let steps_before = jitd.stats.steps;
+    let t0 = now_ns();
+    let mut done = 0usize;
+    while done < cfg.ops {
+        let chunk = batch_size.min(cfg.ops - done);
+        jitd.begin_batch();
+        for _ in 0..chunk {
+            let op = driver.next_op();
+            jitd.execute(&op);
+        }
+        jitd.reorganize_until_quiet(u64::MAX);
+        // Sample while the epoch's staged buffers are still live — their
+        // footprint is exactly what the batch-size axis trades away —
+        // and again after the commit drains them into the views.
+        peak = peak.max(jitd.strategy_memory_bytes());
+        jitd.commit_batch();
+        done += chunk;
+        peak = peak.max(jitd.strategy_memory_bytes());
+    }
+    let total_ns = now_ns() - t0;
+
+    let maintain_mean_ns = jitd
+        .stats
+        .all_maintenance_samples()
+        .finish()
+        .map_or(0.0, |s| s.mean);
+    let commit_mean_ns = jitd.stats.commit_ns.finish().map_or(0.0, |s| s.mean);
+    BatchRunResult {
+        workload,
+        strategy,
+        batch_size,
+        ops: cfg.ops,
+        rewrites: jitd.stats.steps - steps_before,
+        total_ns,
+        maintain_mean_ns,
+        commit_mean_ns,
+        peak_strategy_bytes: peak,
+        final_strategy_bytes: jitd.strategy_memory_bytes(),
+    }
+}
+
 /// The five workloads the paper's figures report.
 pub fn paper_workloads() -> Vec<char> {
     WorkloadSpec::paper_set().iter().map(|s| s.name).collect()
@@ -191,6 +300,18 @@ mod tests {
             assert!(r.rewrites > 0, "{} applied no rewrites", strategy.label());
             assert!(r.search.iter().any(|s| s.is_some()));
             assert!(r.mean_search_ns() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn run_jitd_batched_covers_batch_axis() {
+        for batch in [1usize, 8, usize::MAX] {
+            let r = run_jitd_batched('A', StrategyKind::TreeToaster, tiny(), batch);
+            assert_eq!(r.batch_size, batch);
+            assert_eq!(r.ops, 30);
+            assert!(r.total_ns > 0);
+            assert!(r.ns_per_op() > 0.0);
+            assert!(r.peak_strategy_bytes >= r.final_strategy_bytes);
         }
     }
 

@@ -1,0 +1,294 @@
+//! The machine-readable bench trajectory: `BENCH_treetoaster.json`.
+//!
+//! One schema, two consumers: the `tt-bench` runner renders it, the
+//! `tt-bench-check` CI gate validates it. Layout (schema version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "treetoaster",
+//!   "quick": true,
+//!   "config": {"records": 512, "ops": 96, "seed": 42,
+//!              "crack_threshold": 64,
+//!              "batch_sizes": [1, 8, 64], "workloads": ["A", …]},
+//!   "results": [
+//!     {"strategy": "TT", "workload": "A", "batch_size": 8,
+//!      "ops": 96, "rewrites": 41, "ns_per_op": 1234.5,
+//!      "ns_per_rewrite": 2890.1, "maintain_mean_ns": 310.0,
+//!      "commit_mean_ns": 95.0, "peak_bytes": 8192,
+//!      "final_bytes": 4096}, …
+//!   ]
+//! }
+//! ```
+
+use crate::{BatchRunResult, ExperimentConfig};
+use tt_jitd::StrategyKind;
+use tt_metrics::Json;
+
+/// Version stamp of the emitted layout.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default output filename.
+pub const BENCH_FILE: &str = "BENCH_treetoaster.json";
+
+/// What a `tt-bench` invocation sweeps.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Quick mode (CI scale) vs full scale.
+    pub quick: bool,
+    /// Scale knobs shared by every run.
+    pub experiment: ExperimentConfig,
+    /// Ops-per-epoch axis.
+    pub batch_sizes: Vec<usize>,
+    /// Workload mnemonics.
+    pub workloads: Vec<char>,
+}
+
+/// Renders the full report document.
+pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String {
+    let config = Json::obj([
+        ("records", Json::Num(sweep.experiment.records as f64)),
+        ("ops", Json::Num(sweep.experiment.ops as f64)),
+        ("seed", Json::Num(sweep.experiment.seed as f64)),
+        (
+            "crack_threshold",
+            Json::Num(sweep.experiment.crack_threshold as f64),
+        ),
+        (
+            "batch_sizes",
+            Json::Arr(
+                sweep
+                    .batch_sizes
+                    .iter()
+                    .map(|&b| Json::Num(b as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "workloads",
+            Json::Arr(
+                sweep
+                    .workloads
+                    .iter()
+                    .map(|w| Json::Str(w.to_string()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let results = Json::Arr(
+        results
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("strategy", Json::Str(r.strategy.label().to_string())),
+                    ("workload", Json::Str(r.workload.to_string())),
+                    ("batch_size", Json::Num(r.batch_size as f64)),
+                    ("ops", Json::Num(r.ops as f64)),
+                    ("rewrites", Json::Num(r.rewrites as f64)),
+                    ("ns_per_op", Json::Num(r.ns_per_op())),
+                    ("ns_per_rewrite", Json::Num(r.ns_per_rewrite())),
+                    ("maintain_mean_ns", Json::Num(r.maintain_mean_ns)),
+                    ("commit_mean_ns", Json::Num(r.commit_mean_ns)),
+                    ("peak_bytes", Json::Num(r.peak_strategy_bytes as f64)),
+                    ("final_bytes", Json::Num(r.final_strategy_bytes as f64)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("schema_version", Json::Num(BENCH_SCHEMA_VERSION as f64)),
+        ("name", Json::Str("treetoaster".to_string())),
+        ("quick", Json::Bool(sweep.quick)),
+        ("config", config),
+        ("results", results),
+    ])
+    .render()
+}
+
+/// Summary of a validated report.
+#[derive(Debug)]
+pub struct ReportSummary {
+    /// Result rows.
+    pub results: usize,
+    /// Distinct strategy labels seen.
+    pub strategies: Vec<String>,
+    /// Distinct workloads seen.
+    pub workloads: Vec<String>,
+    /// Distinct batch sizes seen.
+    pub batch_sizes: Vec<u64>,
+}
+
+fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
+    let value = entry
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("results[{index}]: missing numeric `{field}`"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "results[{index}]: `{field}` must be finite and ≥ 0, got {value}"
+        ));
+    }
+    Ok(value)
+}
+
+/// Validates a rendered report against the CI contract: schema version,
+/// required fields, finite positive latencies, full strategy coverage,
+/// and the acceptance batch sizes {1, 8, 64}.
+pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing `schema_version`")?;
+    if version != BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version}, expected {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    if doc.get("name").and_then(Json::as_str) != Some("treetoaster") {
+        return Err("missing or wrong `name`".into());
+    }
+    if doc.get("config").is_none() {
+        return Err("missing `config`".into());
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing `results` array")?;
+    if results.is_empty() {
+        return Err("`results` is empty".into());
+    }
+
+    let mut strategies: Vec<String> = Vec::new();
+    let mut workloads: Vec<String> = Vec::new();
+    let mut batch_sizes: Vec<u64> = Vec::new();
+    for (i, entry) in results.iter().enumerate() {
+        let strategy = entry
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("results[{i}]: missing `strategy`"))?;
+        let workload = entry
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("results[{i}]: missing `workload`"))?;
+        let batch = require_num(entry, "batch_size", i)?;
+        if batch < 1.0 || batch.fract() != 0.0 {
+            return Err(format!("results[{i}]: bad batch_size {batch}"));
+        }
+        let ns_per_op = require_num(entry, "ns_per_op", i)?;
+        if ns_per_op == 0.0 {
+            return Err(format!("results[{i}]: ns_per_op is zero"));
+        }
+        require_num(entry, "peak_bytes", i)?;
+        require_num(entry, "rewrites", i)?;
+        if !strategies.iter().any(|s| s == strategy) {
+            strategies.push(strategy.to_string());
+        }
+        if !workloads.iter().any(|w| w == workload) {
+            workloads.push(workload.to_string());
+        }
+        if !batch_sizes.contains(&(batch as u64)) {
+            batch_sizes.push(batch as u64);
+        }
+    }
+
+    for required in StrategyKind::all() {
+        if !strategies.iter().any(|s| s == required.label()) {
+            return Err(format!(
+                "strategy `{}` missing from results",
+                required.label()
+            ));
+        }
+    }
+    for required in [1u64, 8, 64] {
+        if !batch_sizes.contains(&required) {
+            return Err(format!("batch size {required} missing from results"));
+        }
+    }
+    batch_sizes.sort_unstable();
+    Ok(ReportSummary {
+        results: results.len(),
+        strategies,
+        workloads,
+        batch_sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> SweepConfig {
+        SweepConfig {
+            quick: true,
+            experiment: ExperimentConfig {
+                records: 64,
+                ops: 8,
+                crack_threshold: 16,
+                seed: 1,
+            },
+            batch_sizes: vec![1, 8, 64],
+            workloads: vec!['A'],
+        }
+    }
+
+    fn fake_results() -> Vec<BatchRunResult> {
+        let mut out = Vec::new();
+        for strategy in StrategyKind::all() {
+            for &batch_size in &[1usize, 8, 64] {
+                out.push(BatchRunResult {
+                    workload: 'A',
+                    strategy,
+                    batch_size,
+                    ops: 8,
+                    rewrites: 3,
+                    total_ns: 12_000,
+                    maintain_mean_ns: 100.0,
+                    commit_mean_ns: 50.0,
+                    peak_strategy_bytes: 2048,
+                    final_strategy_bytes: 1024,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        let text = render_report(&sweep(), &fake_results());
+        let summary = validate_report(&text).unwrap();
+        assert_eq!(summary.results, 15);
+        assert_eq!(summary.strategies.len(), 5);
+        assert_eq!(summary.batch_sizes, vec![1, 8, 64]);
+        assert_eq!(summary.workloads, vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn validation_rejects_missing_strategy() {
+        let results: Vec<BatchRunResult> = fake_results()
+            .into_iter()
+            .filter(|r| r.strategy.label() != "TT")
+            .collect();
+        let text = render_report(&sweep(), &results);
+        let err = validate_report(&text).unwrap_err();
+        assert!(err.contains("TT"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_missing_batch_size() {
+        let results: Vec<BatchRunResult> = fake_results()
+            .into_iter()
+            .filter(|r| r.batch_size != 64)
+            .collect();
+        let text = render_report(&sweep(), &results);
+        assert!(validate_report(&text).unwrap_err().contains("64"));
+    }
+
+    #[test]
+    fn validation_rejects_non_json_and_empty() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{}").is_err());
+        let empty = render_report(&sweep(), &[]);
+        assert!(validate_report(&empty).unwrap_err().contains("empty"));
+    }
+}

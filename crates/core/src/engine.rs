@@ -16,6 +16,7 @@
 //! generated positions, destroyed positions, and ancestor heights are
 //! touched — reused subtrees are skipped entirely.
 
+use crate::batch::DeltaBuffer;
 use crate::inline::InlineMatrix;
 use crate::rules::RuleSet;
 use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
@@ -42,6 +43,9 @@ pub struct TreeToasterEngine {
     /// Per rule: does it have inlined plans (Definition-7 safe)?
     inlineable: Vec<bool>,
     mode: MaintenanceMode,
+    /// Open maintenance epoch: deltas stage here (and cancel) instead of
+    /// touching the views. `None` = immediate (K=1) maintenance.
+    batch: Option<DeltaBuffer>,
 }
 
 impl TreeToasterEngine {
@@ -61,6 +65,35 @@ impl TreeToasterEngine {
             matrix,
             inlineable,
             mode,
+            batch: None,
+        }
+    }
+
+    /// Net deltas currently staged in an open epoch (0 outside one).
+    pub fn pending_deltas(&self) -> usize {
+        self.batch.as_ref().map_or(0, DeltaBuffer::len)
+    }
+
+    /// `(staged, canceled)` counters of the open epoch's buffer, if any —
+    /// `canceled` deltas are maintenance the views never had to absorb.
+    pub fn batch_stats(&self) -> Option<(u64, u64)> {
+        self.batch.as_ref().map(|b| (b.staged(), b.canceled()))
+    }
+
+    /// Routes one view delta through the open epoch (or straight into
+    /// the view when none is open). Takes the fields directly so callers
+    /// holding a borrow of `self.matrix` or `self.rules` can still stage.
+    #[inline]
+    fn stage_into(
+        batch: &mut Option<DeltaBuffer>,
+        views: &mut [MatchView],
+        view: usize,
+        node: NodeId,
+        delta: i64,
+    ) {
+        match batch {
+            Some(buffer) => buffer.stage(view, node, delta),
+            None => views[view].add(node, delta),
         }
     }
 
@@ -105,13 +138,13 @@ impl TreeToasterEngine {
             let pattern = &rule.pattern;
             for n in ast.descendants(root) {
                 if matches(ast, n, pattern) {
-                    self.views[id].add(n, sign);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, n, sign);
                 }
             }
             for h in 1..=pattern.depth() {
                 let a = ast.ancestor_at(root, h);
                 if !a.is_null() && matches(ast, a, pattern) {
-                    self.views[id].add(a, sign);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, a, sign);
                 }
             }
         }
@@ -129,13 +162,13 @@ impl TreeToasterEngine {
             for &var in &plan.removed_candidates {
                 let n = bindings.get(var);
                 if matches(ast, n, pattern) {
-                    self.views[id].add(n, -1);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, n, -1);
                 }
             }
             for &h in &plan.ancestor_heights {
                 let a = ast.ancestor_at(old_root, h);
                 if !a.is_null() && matches(ast, a, pattern) {
-                    self.views[id].add(a, -1);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, a, -1);
                 }
             }
         }
@@ -153,13 +186,13 @@ impl TreeToasterEngine {
             for &gi in &plan.gen_candidates {
                 let n = gen_nodes[gi];
                 if matches(ast, n, pattern) {
-                    self.views[id].add(n, 1);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, n, 1);
                 }
             }
             for &h in &plan.ancestor_heights {
                 let a = ast.ancestor_at(new_root, h);
                 if !a.is_null() && matches(ast, a, pattern) {
-                    self.views[id].add(a, 1);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, a, 1);
                 }
             }
         }
@@ -179,6 +212,10 @@ impl MatchSource for TreeToasterEngine {
         for v in &mut self.views {
             v.clear();
         }
+        // A rebuild supersedes anything staged: restart the epoch empty.
+        if self.batch.is_some() {
+            self.batch = Some(DeltaBuffer::new(self.views.len()));
+        }
         let root = ast.root();
         if root.is_null() {
             return;
@@ -195,6 +232,26 @@ impl MatchSource for TreeToasterEngine {
     }
 
     fn find_one(&mut self, _ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        // Inside an open epoch the views are stale by exactly the staged
+        // deltas, and `view ⊕ pending` is the up-to-date view — so answer
+        // through an overlay instead of forcing a commit. This read-path
+        // asymmetry is the point: the bolt-on engines must reconcile
+        // their whole event stream to answer the same question.
+        if let Some(buffer) = self.batch.as_ref().filter(|b| !b.is_empty()) {
+            let pending = buffer.view_deltas(rule);
+            if !pending.is_empty() {
+                // Any member the epoch hasn't touched is still a match…
+                if let Some(n) = self.views[rule].iter().find(|n| !pending.contains_key(n)) {
+                    return Some(n);
+                }
+                // …otherwise a touched node with positive net support.
+                return pending
+                    .iter()
+                    .filter(|(&n, &d)| self.views[rule].count(n) + d > 0)
+                    .map(|(&n, _)| n)
+                    .next();
+            }
+        }
         self.views[rule].any()
     }
 
@@ -224,14 +281,41 @@ impl MatchSource for TreeToasterEngine {
         for (id, rule) in self.rules.clone().iter() {
             for &n in created {
                 if matches(ast, n, &rule.pattern) {
-                    self.views[id].add(n, 1);
+                    Self::stage_into(&mut self.batch, &mut self.views, id, n, 1);
                 }
             }
         }
     }
 
+    fn begin_batch(&mut self) {
+        if self.batch.is_none() {
+            self.batch = Some(DeltaBuffer::new(self.views.len()));
+        }
+    }
+
+    fn commit_batch(&mut self) {
+        if let Some(mut buffer) = self.batch.take() {
+            buffer.drain_into(&mut self.views);
+            #[cfg(debug_assertions)]
+            for v in &self.views {
+                debug_assert!(v.check_consistent().is_ok(), "view corrupted by commit");
+            }
+        }
+    }
+
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if self.batch.as_ref().is_some_and(|b| !b.is_empty()) {
+            return Err("engine has staged deltas in an open batch".into());
+        }
+        self.check_views_correct(ast)
+    }
+
     fn memory_bytes(&self) -> usize {
-        self.views.iter().map(MatchView::memory_bytes).sum()
+        self.views
+            .iter()
+            .map(MatchView::memory_bytes)
+            .sum::<usize>()
+            + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
     }
 }
 
@@ -474,6 +558,72 @@ mod tests {
             tt_ast::sexpr::to_sexpr(&ast, ast.root()),
             r#"(Arith op="*" (Var name="a") (Var name="b"))"#
         );
+    }
+
+    #[test]
+    fn batched_cascade_matches_immediate_maintenance() {
+        // Same two-rewrite cascade as `cascading_rewrites_create_new_matches`,
+        // but inside one epoch: mid-epoch finds must see through the
+        // overlay, and the commit must leave the views exactly correct.
+        let mut ast =
+            tree(r#"(Arith op="+" (Const val=0) (Arith op="*" (Const val=1) (Var name="y")))"#);
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        let site = engine.find_one(&ast, 1).expect("MulOne site exists");
+        fire(&mut engine, &mut ast, 1, site);
+        assert!(
+            engine.pending_deltas() > 0,
+            "deltas staged, views untouched"
+        );
+        let site = engine
+            .find_one(&ast, 0)
+            .expect("overlay exposes the new AddZero match mid-epoch");
+        fire(&mut engine, &mut ast, 0, site);
+        let (staged, canceled) = engine.batch_stats().unwrap();
+        assert!(staged >= 2);
+        assert!(
+            canceled >= 2,
+            "the AddZero match born and consumed in-epoch must cancel"
+        );
+        engine.commit_batch();
+        engine.check_views_correct(&ast).unwrap();
+        engine.check_consistent(&ast).unwrap();
+        assert!(engine.view(0).is_empty());
+        assert!(engine.view(1).is_empty());
+        assert_eq!(
+            tt_ast::sexpr::to_sexpr(&ast, ast.root()),
+            r#"(Var name="y")"#
+        );
+    }
+
+    #[test]
+    fn batch_protocol_is_reentrant_and_degenerate_without_deltas() {
+        let ast = tree(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        // begin twice, commit twice, commit without begin: all legal.
+        engine.begin_batch();
+        engine.begin_batch();
+        assert_eq!(engine.find_one(&ast, 0), Some(ast.root()), "empty overlay");
+        engine.commit_batch();
+        engine.commit_batch();
+        engine.check_consistent(&ast).unwrap();
+        assert_eq!(engine.view(0).len(), 1);
+    }
+
+    #[test]
+    fn check_consistent_rejects_open_dirty_batch() {
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        assert!(engine.check_consistent(&ast).is_err());
+        engine.commit_batch();
+        engine.check_consistent(&ast).unwrap();
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! - [`strategy`] — the `MatchSource` abstraction shared by every search
 //!   strategy in the paper's evaluation (Naive, Index, Classic, DBT, TT),
 //!   with the Naive and Label-Index baselines implemented here.
+//! - [`batch`] — epoch/transactional maintenance: a [`DeltaBuffer`]
+//!   accumulates ± view deltas across a rewrite burst and cancels
+//!   opposing entries before they ever touch a `MatchView`
+//!   (single-rewrite maintenance is the degenerate one-delta epoch).
 
+pub mod batch;
 pub mod engine;
 pub mod generator;
 pub mod inline;
@@ -29,6 +34,7 @@ pub mod rules;
 pub mod strategy;
 pub mod view;
 
+pub use batch::DeltaBuffer;
 pub use engine::TreeToasterEngine;
 pub use generator::{AttrGen, GenCtx, GenNode, GenPath};
 pub use inline::{CompiledRulePlan, InlineMatrix};

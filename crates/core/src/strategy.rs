@@ -15,9 +15,9 @@
 
 use crate::rules::{AppliedRewrite, RuleSet};
 use std::sync::Arc;
-use tt_ast::{Ast, Label, NodeId, NodeRow};
+use tt_ast::{Ast, FxHashMap, Label, NodeId, NodeRow};
 use tt_labelindex::LabelIndex;
-use tt_pattern::{find_first, Bindings};
+use tt_pattern::{find_first, matches, Bindings, PatternNode};
 
 /// Index of a rewrite rule within the shared [`RuleSet`].
 pub type RuleId = usize;
@@ -82,6 +82,34 @@ pub trait MatchSource: Send {
     /// changed, so only the created nodes can change match status.
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]);
 
+    /// Opens a maintenance epoch: until [`commit_batch`], notifications
+    /// (`before_replace`/`after_replace`/`on_graft`) may be *staged*
+    /// instead of applied, so opposing deltas from overlapping rewrites
+    /// cancel before ever touching the strategy's structures.
+    ///
+    /// Default: no-op, so single-rewrite maintenance is the degenerate
+    /// K=1 case and stateless strategies need no change. Inside an open
+    /// epoch, `find_one` must still answer correctly — either through an
+    /// overlay over pending deltas (TreeToaster) or by reconciling on
+    /// read (the bolt-on engines, which can only consume their flat
+    /// node-event stream). Opening an already-open epoch is a no-op.
+    ///
+    /// [`commit_batch`]: MatchSource::commit_batch
+    fn begin_batch(&mut self) {}
+
+    /// Closes the current maintenance epoch, applying every surviving
+    /// net delta. A commit with no open epoch is a no-op.
+    fn commit_batch(&mut self) {}
+
+    /// Test oracle: checks the strategy's structures against a
+    /// from-scratch rebuild over `ast`. Only meaningful between epochs
+    /// (an open batch with staged deltas reports an error rather than a
+    /// false mismatch). Default: trivially consistent, for strategies
+    /// that keep no state.
+    fn check_consistent(&self, _ast: &Ast) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Live bytes of all supplemental structures this strategy maintains
     /// (views, indexes, shadow copies) — the Figure 11/13 memory axis.
     fn memory_bytes(&self) -> usize;
@@ -136,6 +164,9 @@ impl MatchSource for NaiveStrategy {
 pub struct IndexStrategy {
     rules: Arc<RuleSet>,
     index: LabelIndex,
+    /// Open-epoch staging: net ±1 per `(label, node)`; entries that
+    /// cancel to zero never touch a posting list. `None` = immediate.
+    batch: Option<FxHashMap<(Label, NodeId), i64>>,
 }
 
 impl IndexStrategy {
@@ -145,6 +176,23 @@ impl IndexStrategy {
         Self {
             rules,
             index: LabelIndex::new(ast.schema()),
+            batch: None,
+        }
+    }
+
+    /// Routes one node event through the open epoch (or straight into
+    /// the index when none is open).
+    fn stage(&mut self, label: Label, id: NodeId, delta: i64) {
+        match &mut self.batch {
+            Some(pending) => {
+                let entry = pending.entry((label, id)).or_insert(0);
+                *entry += delta;
+                if *entry == 0 {
+                    pending.remove(&(label, id));
+                }
+            }
+            None if delta > 0 => self.index.insert(label, id),
+            None => self.index.remove(label, id),
         }
     }
 }
@@ -156,12 +204,34 @@ impl MatchSource for IndexStrategy {
 
     fn rebuild(&mut self, ast: &Ast) {
         self.index = LabelIndex::build_from(ast, ast.root());
+        if let Some(pending) = &mut self.batch {
+            pending.clear();
+        }
     }
 
     fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
-        self.index
-            .index_lookup(ast, &self.rules.get(rule).pattern)
-            .map(|(n, _)| n)
+        let pattern = &self.rules.get(rule).pattern;
+        let Some(pending) = self.batch.as_ref().filter(|p| !p.is_empty()) else {
+            return self.index.index_lookup(ast, pattern).map(|(n, _)| n);
+        };
+        // Overlay: indexed nodes staged for removal are dead (their
+        // arena slots may already be reused), so skip them…
+        if let Some((n, _)) = self
+            .index
+            .index_lookup_where(ast, pattern, |label, n| !pending.contains_key(&(label, n)))
+        {
+            return Some(n);
+        }
+        // …and nodes born inside the epoch are not yet indexed, so
+        // check the staged insertions carrying the pattern's root label.
+        let PatternNode::Match { label: root, .. } = pattern.root() else {
+            return None;
+        };
+        pending
+            .iter()
+            .filter(|(&(label, _), &d)| d > 0 && label == *root)
+            .map(|(&(_, n), _)| n)
+            .find(|&n| matches(ast, n, pattern))
     }
 
     fn before_replace(&mut self, _: &Ast, _: NodeId, _: Option<(RuleId, &Bindings)>) {
@@ -171,10 +241,10 @@ impl MatchSource for IndexStrategy {
 
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
         for (label, row) in ctx.removed {
-            self.index.remove(*label, row.id);
+            self.stage(*label, row.id, -1);
         }
         for &n in ctx.inserted {
-            self.index.insert(ast.label(n), n);
+            self.stage(ast.label(n), n, 1);
         }
         // The parent's label did not change; no index update needed for
         // `parent_update`.
@@ -182,12 +252,59 @@ impl MatchSource for IndexStrategy {
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
         for &n in created {
-            self.index.insert(ast.label(n), n);
+            self.stage(ast.label(n), n, 1);
         }
+    }
+
+    fn begin_batch(&mut self) {
+        self.batch.get_or_insert_with(FxHashMap::default);
+    }
+
+    fn commit_batch(&mut self) {
+        let Some(mut pending) = self.batch.take() else {
+            return;
+        };
+        // Sorted for deterministic posting-list order; removals first so
+        // a same-id label change never double-occupies a bucket slot.
+        let mut entries: Vec<((Label, NodeId), i64)> = pending.drain().collect();
+        entries.sort_unstable_by_key(|&((label, id), _)| (label.0, id));
+        for &((label, id), d) in entries.iter().filter(|(_, d)| *d < 0) {
+            debug_assert_eq!(d, -1, "net index delta beyond ±1");
+            self.index.remove(label, id);
+        }
+        for &((label, id), d) in entries.iter().filter(|(_, d)| *d > 0) {
+            debug_assert_eq!(d, 1, "net index delta beyond ±1");
+            self.index.insert(label, id);
+        }
+    }
+
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if self.batch.as_ref().is_some_and(|p| !p.is_empty()) {
+            return Err("label index has staged deltas in an open batch".into());
+        }
+        let fresh = LabelIndex::build_from(ast, ast.root());
+        for label in ast.schema().labels() {
+            let mut mine: Vec<NodeId> = self.index.nodes(label).to_vec();
+            let mut want: Vec<NodeId> = fresh.nodes(label).to_vec();
+            mine.sort_unstable();
+            want.sort_unstable();
+            if mine != want {
+                return Err(format!(
+                    "label {}: index holds {} nodes, rebuild {}",
+                    ast.schema().label_name(label),
+                    mine.len(),
+                    want.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes()
+            + self.batch.as_ref().map_or(0, |p| {
+                p.capacity() * (1 + std::mem::size_of::<((Label, NodeId), i64)>())
+            })
     }
 }
 
@@ -280,6 +397,42 @@ mod tests {
         assert_eq!(s.name(), "Index");
         assert!(drive_one(&mut s).is_none());
         assert!(s.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn index_batched_epoch_overlay_and_commit() {
+        let rules = add_zero_rules();
+        let (mut ast, root) = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Arith op="+" (Const val=0) (Var name="c")))"#,
+        );
+        let mut s = IndexStrategy::new(rules.clone(), &ast);
+        s.rebuild(&ast);
+        s.begin_batch();
+        let site = s.find_one(&ast, 0).unwrap();
+        let rule = rules.get(0);
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        s.before_replace(&ast, site, Some((0, &bindings)));
+        let applied = rule.apply(&mut ast, site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: None,
+        };
+        s.after_replace(&ast, &ctx);
+        // Mid-epoch: the freed site must be invisible through the
+        // overlay; the untouched second site must still surface.
+        let next = s.find_one(&ast, 0).expect("second site visible");
+        assert_ne!(next, site);
+        assert!(
+            s.check_consistent(&ast).is_err(),
+            "dirty open batch is not a checkable state"
+        );
+        s.commit_batch();
+        s.check_consistent(&ast).unwrap();
+        assert_eq!(s.find_one(&ast, 0), Some(ast.children(root)[1]));
     }
 
     #[test]

@@ -97,6 +97,25 @@ impl MatchView {
         }
     }
 
+    /// Applies a batch of net multiplicity deltas in one pass — the
+    /// commit side of epoch maintenance (see
+    /// [`DeltaBuffer`](crate::batch::DeltaBuffer)). Deltas arriving here
+    /// have already been coalesced, so every item touches the maps at
+    /// most once; capacity is reserved up front instead of rehashing
+    /// per entry.
+    pub fn apply_delta<I>(&mut self, deltas: I)
+    where
+        I: IntoIterator<Item = (NodeId, i64)>,
+    {
+        let deltas = deltas.into_iter();
+        let (lower, _) = deltas.size_hint();
+        self.counts.reserve(lower);
+        self.pos.reserve(lower);
+        for (node, delta) in deltas {
+            self.add(node, delta);
+        }
+    }
+
     /// Removes everything.
     pub fn clear(&mut self) {
         self.counts.clear();
@@ -327,6 +346,23 @@ mod tests {
         let mut v = MatchView::new();
         v.add(n(1), 0);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_bulk_matches_sequential_adds() {
+        let mut bulk = MatchView::new();
+        let mut seq = MatchView::new();
+        seq.add(n(1), 1);
+        seq.add(n(2), 1);
+        seq.add(n(1), -1);
+        seq.add(n(3), 1);
+        bulk.add(n(1), 1);
+        bulk.apply_delta([(n(2), 1), (n(1), -1), (n(3), 1)]);
+        assert_eq!(bulk.len(), seq.len());
+        for i in 1..=3 {
+            assert_eq!(bulk.contains(n(i)), seq.contains(n(i)));
+        }
+        bulk.check_consistent().unwrap();
     }
 
     #[test]

@@ -267,6 +267,11 @@ pub struct ClassicIvm {
     rules: Arc<RuleSet>,
     db: Database,
     queries: Vec<ClassicQuery>,
+    /// Epoch-scoped coalescing of the node event stream. Bolt-ons can
+    /// only answer `find_one` from reconciled state, so reads inside an
+    /// open epoch flush the log first (coalescing whatever accumulated
+    /// since the last read) — the asymmetry §3.2 predicts.
+    log: crate::batch::DeltaLog,
 }
 
 impl ClassicIvm {
@@ -277,7 +282,12 @@ impl ClassicIvm {
             .map(|(_, r)| ClassicQuery::new(SqlQuery::from_pattern(&r.pattern)))
             .collect();
         let db = Self::fresh_db(ast, &queries);
-        ClassicIvm { rules, db, queries }
+        ClassicIvm {
+            rules,
+            db,
+            queries,
+            log: crate::batch::DeltaLog::new(),
+        }
     }
 
     /// A projected shadow database: unnecessary fields projected away
@@ -308,6 +318,14 @@ impl ClassicIvm {
                     }
                 }
             }
+        }
+    }
+
+    /// Replays everything staged in the open epoch through the normal
+    /// sequential path — net deltas only, opposing pairs already gone.
+    fn flush_pending(&mut self) {
+        for delta in self.log.take_pending() {
+            self.apply_delta(&delta);
         }
     }
 
@@ -353,6 +371,7 @@ impl MatchSource for ClassicIvm {
         for q in &mut self.queries {
             q.clear();
         }
+        self.log.clear();
         if ast.root().is_null() {
             return;
         }
@@ -365,6 +384,7 @@ impl MatchSource for ClassicIvm {
     }
 
     fn find_one(&mut self, _ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        self.flush_pending();
         self.queries[rule].view.any_root()
     }
 
@@ -374,24 +394,48 @@ impl MatchSource for ClassicIvm {
 
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
         for delta in common::deltas_of_ctx(ast, ctx) {
-            self.apply_delta(&delta);
+            if let Some(delta) = self.log.absorb(delta) {
+                self.apply_delta(&delta);
+            }
         }
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
         for &n in created {
-            self.apply_delta(&NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n)));
+            let delta = NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n));
+            if let Some(delta) = self.log.absorb(delta) {
+                self.apply_delta(&delta);
+            }
         }
     }
 
+    fn begin_batch(&mut self) {
+        self.log.begin();
+    }
+
+    fn commit_batch(&mut self) {
+        self.flush_pending();
+        self.log.end();
+    }
+
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if !self.log.is_empty() {
+            return Err("classic engine has staged deltas in an open batch".into());
+        }
+        common::check_shadow_db(&self.db, ast)?;
+        self.check_views_correct()
+    }
+
     fn memory_bytes(&self) -> usize {
-        // Shadow copy + prefixes + views: the §3.2 overhead story.
+        // Shadow copy + prefixes + views + staged deltas: the §3.2
+        // overhead story.
         self.db.memory_bytes()
             + self
                 .queries
                 .iter()
                 .map(ClassicQuery::memory_bytes)
                 .sum::<usize>()
+            + self.log.memory_bytes()
     }
 }
 
@@ -587,6 +631,50 @@ mod tests {
         engine.rebuild(&ast);
         engine.check_views_correct().unwrap();
         assert_eq!(engine.queries[0].view.len(), 2);
+    }
+
+    #[test]
+    fn batched_epoch_coalesces_and_commits_correctly() {
+        // Two AddZero sites under one parent, fired inside one epoch.
+        // Sites are located with the naive matcher so the engine's log is
+        // never flushed mid-epoch; the two parent-image updates must
+        // telescope in the log before commit replays the net stream.
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        let rules = rules();
+        let mut engine = ClassicIvm::new(rules.clone(), &ast);
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        for _ in 0..2 {
+            let (site, _) =
+                tt_pattern::find_first(&ast, ast.root(), &rules.get(0).pattern).unwrap();
+            fire(&mut engine, &mut ast, 0, site);
+        }
+        assert!(engine.log.staged() > 0);
+        engine.commit_batch();
+        assert!(
+            engine.log.coalesced() >= 2,
+            "overlapping parent updates must cancel"
+        );
+        engine.check_consistent(&ast).unwrap();
+        assert!(engine.find_one(&ast, 0).is_none());
+        ast.validate().unwrap();
+    }
+
+    #[test]
+    fn mid_epoch_find_reconciles_on_read() {
+        let mut ast =
+            tree(r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Var name="x"))"#);
+        let mut engine = ClassicIvm::new(rules(), &ast);
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        // The bolt-on cannot overlay: the read flushes the pending log.
+        assert!(engine.find_one(&ast, 0).is_none());
+        engine.commit_batch();
+        engine.check_consistent(&ast).unwrap();
     }
 
     #[test]

@@ -26,6 +26,36 @@ pub fn deltas_of_ctx(ast: &Ast, ctx: &ReplaceCtx<'_>) -> Vec<NodeDelta> {
     out
 }
 
+/// Test oracle: the shadow database must mirror the live AST node for
+/// node — same ids, labels, and child pointers (attributes may be
+/// projected away, so they are not compared).
+pub fn check_shadow_db(db: &Database, ast: &Ast) -> Result<(), String> {
+    let root = ast.root();
+    let live = if root.is_null() {
+        0
+    } else {
+        ast.descendants(root).count()
+    };
+    if db.len() != live {
+        return Err(format!(
+            "shadow db has {} rows, tree has {live} nodes",
+            db.len()
+        ));
+    }
+    if root.is_null() {
+        return Ok(());
+    }
+    for n in ast.descendants(root) {
+        let Some(row) = db.table(ast.label(n)).get(n) else {
+            return Err(format!("shadow db missing node {n:?}"));
+        };
+        if row.children != ast.children(n) {
+            return Err(format!("shadow db stale children for {n:?}"));
+        }
+    }
+    Ok(())
+}
+
 /// The materialized top view of one pattern: full join rows with
 /// multiplicities, plus a [`MatchView`] over match roots for the O(1)
 /// `find_one` the host compiler calls.

@@ -459,6 +459,9 @@ pub struct DbtIvm {
     rules: Arc<RuleSet>,
     db: Database,
     queries: Vec<DbtQuery>,
+    /// Epoch-scoped coalescing of the node event stream (see
+    /// [`crate::batch::DeltaLog`]); reads inside an open epoch flush it.
+    log: crate::batch::DeltaLog,
 }
 
 impl DbtIvm {
@@ -469,7 +472,12 @@ impl DbtIvm {
             .map(|(_, r)| DbtQuery::new(SqlQuery::from_pattern(&r.pattern)))
             .collect();
         let db = Self::fresh_db(ast, &queries);
-        DbtIvm { rules, db, queries }
+        DbtIvm {
+            rules,
+            db,
+            queries,
+            log: crate::batch::DeltaLog::new(),
+        }
     }
 
     /// A projected shadow database (§3.2).
@@ -497,6 +505,14 @@ impl DbtIvm {
                     }
                 }
             }
+        }
+    }
+
+    /// Replays everything staged in the open epoch through the normal
+    /// sequential path — net deltas only, opposing pairs already gone.
+    fn flush_pending(&mut self) {
+        for delta in self.log.take_pending() {
+            self.apply_delta(&delta);
         }
     }
 
@@ -547,6 +563,7 @@ impl MatchSource for DbtIvm {
         for q in &mut self.queries {
             q.clear();
         }
+        self.log.clear();
         if ast.root().is_null() {
             return;
         }
@@ -558,6 +575,7 @@ impl MatchSource for DbtIvm {
     }
 
     fn find_one(&mut self, _ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        self.flush_pending();
         self.queries[rule].view.any_root()
     }
 
@@ -565,14 +583,36 @@ impl MatchSource for DbtIvm {
 
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
         for delta in common::deltas_of_ctx(ast, ctx) {
-            self.apply_delta(&delta);
+            if let Some(delta) = self.log.absorb(delta) {
+                self.apply_delta(&delta);
+            }
         }
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
         for &n in created {
-            self.apply_delta(&NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n)));
+            let delta = NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n));
+            if let Some(delta) = self.log.absorb(delta) {
+                self.apply_delta(&delta);
+            }
         }
+    }
+
+    fn begin_batch(&mut self) {
+        self.log.begin();
+    }
+
+    fn commit_batch(&mut self) {
+        self.flush_pending();
+        self.log.end();
+    }
+
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if !self.log.is_empty() {
+            return Err("dbt engine has staged deltas in an open batch".into());
+        }
+        common::check_shadow_db(&self.db, ast)?;
+        self.check_views_correct()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -582,6 +622,7 @@ impl MatchSource for DbtIvm {
                 .iter()
                 .map(DbtQuery::memory_bytes)
                 .sum::<usize>()
+            + self.log.memory_bytes()
     }
 }
 
@@ -750,6 +791,30 @@ mod tests {
         engine.rebuild(&ast);
         engine.check_views_correct().unwrap();
         assert_eq!(engine.queries[0].view.len(), 2);
+    }
+
+    #[test]
+    fn batched_epoch_coalesces_and_commits_correctly() {
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        let rules = rules();
+        let mut engine = DbtIvm::new(rules.clone(), &ast);
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        for _ in 0..2 {
+            let (site, _) =
+                tt_pattern::find_first(&ast, ast.root(), &rules.get(0).pattern).unwrap();
+            fire(&mut engine, &mut ast, 0, site);
+        }
+        engine.commit_batch();
+        assert!(
+            engine.log.coalesced() >= 2,
+            "overlapping parent updates must cancel"
+        );
+        engine.check_consistent(&ast).unwrap();
+        assert!(engine.find_one(&ast, 0).is_none());
+        ast.validate().unwrap();
     }
 
     #[test]

@@ -16,12 +16,16 @@
 //!   pattern (all possible plans), so each single-tuple delta is answered
 //!   by joining the tuple against precomputed complements.
 //!
-//! Shared plumbing lives in [`common`].
+//! Shared plumbing lives in [`common`]; [`batch`] adds the epoch-scoped
+//! [`DeltaLog`] both engines use to coalesce overlapping deltas across a
+//! rewrite burst before replaying only the net event stream.
 
+pub mod batch;
 pub mod classic;
 pub mod common;
 pub mod dbtoaster;
 
+pub use batch::DeltaLog;
 pub use classic::ClassicIvm;
 pub use common::{deltas_of_ctx, ViewCore};
 pub use dbtoaster::DbtIvm;

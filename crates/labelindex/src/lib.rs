@@ -111,6 +111,20 @@ impl LabelIndex {
     /// on each candidate. For an `AnyNode` root the whole tree matches,
     /// so the AST root is returned (line 2 of the algorithm).
     pub fn index_lookup(&self, ast: &Ast, pattern: &Pattern) -> Option<(NodeId, Bindings)> {
+        self.index_lookup_where(ast, pattern, |_, _| true)
+    }
+
+    /// [`index_lookup`](LabelIndex::index_lookup) restricted to candidates
+    /// passing `live`. Batched maintenance uses this as its read overlay:
+    /// posting-list entries staged for removal in an open epoch may point
+    /// at freed (or reused) arena slots, so they must be skipped *before*
+    /// the pattern matcher dereferences them.
+    pub fn index_lookup_where(
+        &self,
+        ast: &Ast,
+        pattern: &Pattern,
+        live: impl Fn(Label, NodeId) -> bool,
+    ) -> Option<(NodeId, Bindings)> {
         match pattern.root() {
             PatternNode::Any { .. } => {
                 let root = ast.root();
@@ -123,6 +137,7 @@ impl LabelIndex {
             PatternNode::Match { label, .. } => self
                 .nodes(*label)
                 .iter()
+                .filter(|&&n| live(*label, n))
                 .find_map(|&n| match_node(ast, n, pattern).map(|b| (n, b))),
         }
     }
@@ -253,6 +268,24 @@ mod tests {
         let schema = arith_schema();
         let mut idx = LabelIndex::new(&schema);
         idx.remove(schema.expect_label("Const"), NodeId::from_index(1));
+    }
+
+    #[test]
+    fn filtered_lookup_skips_dead_candidates() {
+        // Two AddZero sites; filtering the first one out must surface
+        // the second, and filtering both must miss.
+        let (ast, root) = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        let idx = LabelIndex::build_from(&ast, root);
+        let q = add_zero(&ast);
+        let first = ast.children(root)[0];
+        let second = ast.children(root)[1];
+        let (got, _) = idx.index_lookup_where(&ast, &q, |_, n| n != first).unwrap();
+        assert_eq!(got, second);
+        assert!(idx
+            .index_lookup_where(&ast, &q, |_, n| n != first && n != second)
+            .is_none());
     }
 
     #[test]

@@ -11,12 +11,16 @@
 //!   mirroring the paper's Linux `/proc` measurements.
 //! - [`table`]: aligned-table and CSV output so each benchmark prints the
 //!   same rows/series the corresponding paper figure plots.
+//! - [`json`]: a dependency-free JSON tree/writer/parser backing the
+//!   machine-readable `BENCH_*.json` trajectories and their CI checker.
 
+pub mod json;
 pub mod memory;
 pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use json::Json;
 pub use memory::{bytes_to_pages, statm_resident_pages, PAGE_BYTES};
 pub use stats::{Summary, SummaryBuilder};
 pub use table::{Csv, Table};
