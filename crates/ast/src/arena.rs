@@ -327,6 +327,22 @@ impl Ast {
         }
     }
 
+    /// [`Ast::descendants`] over a caller-provided DFS stack, so hot
+    /// maintenance loops (one preorder walk per rewrite) reuse one
+    /// allocation for the life of an engine instead of allocating a
+    /// fresh stack per traversal. The stack is cleared on entry.
+    pub fn descendants_with<'a>(
+        &'a self,
+        id: NodeId,
+        stack: &'a mut Vec<NodeId>,
+    ) -> DescendantsWith<'a> {
+        stack.clear();
+        if !id.is_null() {
+            stack.push(id);
+        }
+        DescendantsWith { ast: self, stack }
+    }
+
     /// Iterates proper ancestors of `id`, nearest first.
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
         Ancestors {
@@ -424,11 +440,13 @@ impl Ast {
             }
         }
         let mut live_seen = 0usize;
+        // One dense scratch set for the whole pass; entries are removed
+        // after each node so the per-node duplicate check stays O(children).
+        let mut seen = crate::dense::NodeBitSet::new();
         for (idx, slot) in self.slots.iter().enumerate() {
             let Some(node) = slot else { continue };
             live_seen += 1;
             let id = NodeId(idx as u32);
-            let mut seen = std::collections::HashSet::new();
             for &c in &node.children {
                 if !self.is_live(c) {
                     return Err(format!("{id:?} has dead child {c:?}"));
@@ -439,6 +457,9 @@ impl Ast {
                 if self.node(c).parent != id {
                     return Err(format!("child {c:?} of {id:?} has wrong parent"));
                 }
+            }
+            for &c in &node.children {
+                seen.remove(c);
             }
             if !node.parent.is_null() {
                 if !self.is_live(node.parent) {
@@ -498,6 +519,25 @@ pub struct Descendants<'a> {
 }
 
 impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        for &c in self.ast.node(id).children().iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+/// Preorder iterator borrowing its DFS stack. See
+/// [`Ast::descendants_with`].
+pub struct DescendantsWith<'a> {
+    ast: &'a Ast,
+    stack: &'a mut Vec<NodeId>,
+}
+
+impl Iterator for DescendantsWith<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {

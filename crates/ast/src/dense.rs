@@ -1,0 +1,737 @@
+//! Dense node-indexed storage: the data plane under every maintained view.
+//!
+//! [`NodeId`] is already a dense `u32` arena index, yet the first version
+//! of every hot maintenance structure — view multiplicity maps, posting
+//! list positions, epoch delta buffers — keyed an `FxHashMap` by it,
+//! paying a hash, a probe sequence, and tombstone churn per update. §4 of
+//! the paper promises `find_one` in O(1) with "negligible memory
+//! overhead"; the same holds for *maintenance* only if each staged delta
+//! is a direct store. This module provides the direct-indexed
+//! replacements:
+//!
+//! - [`NodeMap<T>`] — a page-backed map `NodeId → T`. Pages (of
+//!   [`PAGE_LEN`] slots) are allocated lazily on first touch, so a sparse
+//!   view over a huge arena holds only the pages its members fall in, and
+//!   a steady-state update (the overwhelmingly common case: a node whose
+//!   page already exists) is one bounds check and one indexed store —
+//!   no hashing, no probing, no allocation.
+//! - [`NodeBitSet`] — one bit per node, for membership-only scratch sets.
+//! - [`NodeLabelMap<T>`] — `(Label, NodeId) → T` for the epoch logs that
+//!   must distinguish an arena slot freed under one label and reused
+//!   under another. Keyed densely by node; the per-node label dimension
+//!   is a one-inline-entry structure (a node carries exactly one label at
+//!   a time, so the spill vector is empty in steady state).
+//!
+//! ### Page size
+//!
+//! [`PAGE_LEN`] is 256 slots. For the common payloads (`i64`
+//! multiplicities, `u32` positions) a page is 2–4 KiB — big enough that
+//! the per-page pointer and occupancy counter are noise, small enough
+//! that a view whose members cluster (as rewrite sites do: the arena
+//! recycles freed slots, so live ids stay compact) doesn't drag in
+//! megabytes for a handful of entries. `memory_bytes()` on every
+//! structure accounts allocated pages honestly, so the Figure 11/13
+//! memory axis reflects the true dense-vs-hash tradeoff.
+
+use crate::arena::NodeId;
+use crate::schema::Label;
+use std::fmt;
+
+/// Slots per page (2⁸). See the module docs for the sizing rationale.
+pub const PAGE_LEN: usize = 1 << PAGE_BITS;
+const PAGE_BITS: u32 = 8;
+
+/// One lazily allocated page: a fixed slab of optional slots plus an
+/// occupancy count so `clear`/iteration can skip vacant pages wholesale.
+struct Page<T> {
+    slots: Box<[Option<T>]>,
+    used: u32,
+}
+
+impl<T> Page<T> {
+    fn new() -> Page<T> {
+        let mut slots = Vec::with_capacity(PAGE_LEN);
+        slots.resize_with(PAGE_LEN, || None);
+        Page {
+            slots: slots.into_boxed_slice(),
+            used: 0,
+        }
+    }
+}
+
+/// A page-backed direct-indexed map `NodeId → T`.
+///
+/// Insert/lookup/remove are O(1) with no hashing; `iter`/`drain` visit
+/// only allocated, non-empty pages. Pages are retained by `remove`,
+/// `clear`, and `drain` so a structure reused across maintenance epochs
+/// reaches a steady state where no operation allocates.
+pub struct NodeMap<T> {
+    pages: Vec<Option<Box<Page<T>>>>,
+    len: usize,
+}
+
+impl<T> Default for NodeMap<T> {
+    fn default() -> Self {
+        NodeMap {
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> NodeMap<T> {
+    /// An empty map (no pages allocated).
+    pub fn new() -> NodeMap<T> {
+        NodeMap::default()
+    }
+
+    #[inline]
+    fn split(id: NodeId) -> (usize, usize) {
+        debug_assert!(!id.is_null(), "null NodeId used as a dense key");
+        let idx = id.index() as usize;
+        (idx >> PAGE_BITS, idx & (PAGE_LEN - 1))
+    }
+
+    #[inline]
+    fn join(page: usize, slot: usize) -> NodeId {
+        NodeId::from_index(((page << PAGE_BITS) | slot) as u32)
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are present (pages may still be allocated).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `id`, if present.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        let (p, s) = Self::split(id);
+        self.pages.get(p)?.as_deref()?.slots[s].as_ref()
+    }
+
+    /// Mutable access to the value for `id`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        let (p, s) = Self::split(id);
+        self.pages.get_mut(p)?.as_deref_mut()?.slots[s].as_mut()
+    }
+
+    /// True if `id` has an entry.
+    #[inline]
+    pub fn contains_key(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    #[inline]
+    fn page_for(pages: &mut Vec<Option<Box<Page<T>>>>, p: usize) -> &mut Page<T> {
+        if p >= pages.len() {
+            pages.resize_with(p + 1, || None);
+        }
+        pages[p].get_or_insert_with(|| Box::new(Page::new()))
+    }
+
+    /// Inserts `value` for `id`, returning the displaced value if any.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        let (p, s) = Self::split(id);
+        let page = Self::page_for(&mut self.pages, p);
+        let old = page.slots[s].replace(value);
+        if old.is_none() {
+            page.used += 1;
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The entry for `id`, inserted via `default` if absent.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, id: NodeId, default: impl FnOnce() -> T) -> &mut T {
+        let (p, s) = Self::split(id);
+        let page = Self::page_for(&mut self.pages, p);
+        if page.slots[s].is_none() {
+            page.slots[s] = Some(default());
+            page.used += 1;
+            self.len += 1;
+        }
+        page.slots[s].as_mut().expect("slot just ensured")
+    }
+
+    /// Removes and returns the entry for `id`. The page is retained for
+    /// reuse (see the type docs on steady-state allocation).
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let (p, s) = Self::split(id);
+        let page = self.pages.get_mut(p)?.as_deref_mut()?;
+        let old = page.slots[s].take();
+        if old.is_some() {
+            page.used -= 1;
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Removes every entry, keeping all pages allocated.
+    pub fn clear(&mut self) {
+        for page in self.pages.iter_mut().flatten() {
+            if page.used > 0 {
+                page.slots.fill_with(|| None);
+                page.used = 0;
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Iterates `(id, &value)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, p)| {
+                p.as_deref()
+                    .filter(|page| page.used > 0)
+                    .map(move |page| (pi, page))
+            })
+            .flat_map(|(pi, page)| {
+                page.slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(si, s)| s.as_ref().map(|v| (Self::join(pi, si), v)))
+            })
+    }
+
+    /// Drains every entry as `(id, value)`, keeping pages allocated.
+    /// Dropping the iterator mid-way still empties the map.
+    pub fn drain(&mut self) -> Drain<'_, T> {
+        Drain {
+            map: self,
+            page: 0,
+            slot: 0,
+        }
+    }
+
+    /// Approximate heap bytes: the page table plus every allocated page
+    /// (whether occupied or not — retained pages are real memory).
+    pub fn memory_bytes(&self) -> usize {
+        let allocated = self.pages.iter().flatten().count();
+        self.pages.capacity() * std::mem::size_of::<Option<Box<Page<T>>>>()
+            + allocated
+                * (std::mem::size_of::<Page<T>>() + PAGE_LEN * std::mem::size_of::<Option<T>>())
+    }
+
+    /// Allocated page count (diagnostics / tests).
+    pub fn page_count(&self) -> usize {
+        self.pages.iter().flatten().count()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for NodeMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// Draining iterator over a [`NodeMap`]. See [`NodeMap::drain`].
+pub struct Drain<'a, T> {
+    map: &'a mut NodeMap<T>,
+    page: usize,
+    slot: usize,
+}
+
+impl<T> Iterator for Drain<'_, T> {
+    type Item = (NodeId, T);
+
+    fn next(&mut self) -> Option<(NodeId, T)> {
+        while self.page < self.map.pages.len() {
+            let Some(page) = self.map.pages[self.page].as_deref_mut() else {
+                self.page += 1;
+                continue;
+            };
+            if page.used == 0 {
+                self.page += 1;
+                self.slot = 0;
+                continue;
+            }
+            // `used` hits zero as soon as the page's last occupied slot
+            // is taken, so sparse pages don't pay for a full slot scan.
+            while self.slot < PAGE_LEN && page.used > 0 {
+                let slot = self.slot;
+                self.slot += 1;
+                if let Some(v) = page.slots[slot].take() {
+                    page.used -= 1;
+                    self.map.len -= 1;
+                    return Some((NodeMap::<T>::join(self.page, slot), v));
+                }
+            }
+            self.page += 1;
+            self.slot = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.map.len, Some(self.map.len))
+    }
+}
+
+impl<T> Drop for Drain<'_, T> {
+    fn drop(&mut self) {
+        while self.next().is_some() {}
+    }
+}
+
+/// A dense bitset over node ids: one bit per arena slot, for the
+/// membership-only scratch sets of the maintenance plans.
+#[derive(Default, Clone)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeBitSet {
+    /// An empty set.
+    pub fn new() -> NodeBitSet {
+        NodeBitSet::default()
+    }
+
+    #[inline]
+    fn split(id: NodeId) -> (usize, u64) {
+        debug_assert!(!id.is_null(), "null NodeId used as a dense key");
+        let idx = id.index() as usize;
+        (idx >> 6, 1u64 << (idx & 63))
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `id` is a member.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (w, bit) = Self::split(id);
+        self.words.get(w).is_some_and(|word| word & bit != 0)
+    }
+
+    /// Adds `id`; returns true if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (w, bit) = Self::split(id);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `id`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (w, bit) = Self::split(id);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let present = *word & bit != 0;
+        *word &= !bit;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Clears all bits, keeping the word vector allocated.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(NodeId::from_index(((wi << 6) | bit) as u32))
+            })
+        })
+    }
+
+    /// Approximate heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl fmt::Debug for NodeBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Per-node label dimension of a [`NodeLabelMap`]: a node carries exactly
+/// one label at a time, so `first` covers steady state and `rest` (an
+/// un-allocated `Vec` until needed) absorbs the rare in-epoch id reuse
+/// under a different label.
+struct LabelSlot<T> {
+    first: (Label, T),
+    rest: Vec<(Label, T)>,
+}
+
+/// A dense map keyed by `(Label, NodeId)`, node-major.
+///
+/// The epoch logs (`tt_ivm`'s `DeltaLog`, the label-index staging buffer)
+/// key by label *and* node because an arena slot freed under one label
+/// can be recycled under another before the epoch commits. Keying the
+/// page structure by node keeps the hot path direct-indexed; the label
+/// dimension is resolved by at most one inline comparison in steady
+/// state.
+pub struct NodeLabelMap<T> {
+    slots: NodeMap<LabelSlot<T>>,
+    len: usize,
+}
+
+impl<T> Default for NodeLabelMap<T> {
+    fn default() -> Self {
+        NodeLabelMap {
+            slots: NodeMap::new(),
+            len: 0,
+        }
+    }
+}
+
+/// Where a `(label, node)` key lives inside its node's [`LabelSlot`].
+enum SlotPos {
+    Absent,
+    First,
+    Rest(usize),
+}
+
+impl<T> NodeLabelMap<T> {
+    /// An empty map.
+    pub fn new() -> NodeLabelMap<T> {
+        NodeLabelMap::default()
+    }
+
+    /// Number of `(label, node)` entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn position(slot: &LabelSlot<T>, label: Label) -> SlotPos {
+        if slot.first.0 == label {
+            return SlotPos::First;
+        }
+        match slot.rest.iter().position(|(l, _)| *l == label) {
+            Some(i) => SlotPos::Rest(i),
+            None => SlotPos::Absent,
+        }
+    }
+
+    /// The value for `(label, id)`, if present.
+    pub fn get(&self, label: Label, id: NodeId) -> Option<&T> {
+        let slot = self.slots.get(id)?;
+        match Self::position(slot, label) {
+            SlotPos::First => Some(&slot.first.1),
+            SlotPos::Rest(i) => Some(&slot.rest[i].1),
+            SlotPos::Absent => None,
+        }
+    }
+
+    /// True if `(label, id)` has an entry.
+    pub fn contains(&self, label: Label, id: NodeId) -> bool {
+        self.get(label, id).is_some()
+    }
+
+    /// The entry for `(label, id)`, inserted via `default` if absent.
+    /// One page-table lookup per call — this is the staging hot path.
+    pub fn get_or_insert_with(
+        &mut self,
+        label: Label,
+        id: NodeId,
+        default: impl FnOnce() -> T,
+    ) -> &mut T {
+        // `default` moves into the closure only if the node slot is
+        // fresh; an untouched `Some` afterwards means the slot existed.
+        let mut default = Some(default);
+        let len = &mut self.len;
+        let slot = self.slots.get_or_insert_with(id, || {
+            *len += 1;
+            LabelSlot {
+                first: (label, (default.take().expect("fresh slot"))()),
+                rest: Vec::new(),
+            }
+        });
+        // A fresh slot carries our label in `first`, so `position` finds
+        // it there and the consumed default is never needed again.
+        match Self::position(slot, label) {
+            SlotPos::First => &mut slot.first.1,
+            SlotPos::Rest(i) => &mut slot.rest[i].1,
+            SlotPos::Absent => {
+                self.len += 1;
+                let make = default.take().expect("existing slot left default unused");
+                slot.rest.push((label, make()));
+                &mut slot.rest.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Inserts `value` for `(label, id)`, returning the displaced value.
+    pub fn insert(&mut self, label: Label, id: NodeId, value: T) -> Option<T> {
+        let mut value = Some(value);
+        let entry = self.get_or_insert_with(label, id, || value.take().expect("fresh key"));
+        // `value` survives only if the key already existed; displace it.
+        value.map(|v| std::mem::replace(entry, v))
+    }
+
+    /// Removes and returns the entry for `(label, id)`.
+    pub fn remove(&mut self, label: Label, id: NodeId) -> Option<T> {
+        let pos = Self::position(self.slots.get(id)?, label);
+        match pos {
+            SlotPos::Absent => None,
+            SlotPos::Rest(i) => {
+                self.len -= 1;
+                let slot = self.slots.get_mut(id).expect("present");
+                Some(slot.rest.swap_remove(i).1)
+            }
+            SlotPos::First => {
+                self.len -= 1;
+                let slot = self.slots.get_mut(id).expect("present");
+                if let Some(promoted) = slot.rest.pop() {
+                    let old = std::mem::replace(&mut slot.first, promoted);
+                    Some(old.1)
+                } else {
+                    Some(self.slots.remove(id).expect("present").first.1)
+                }
+            }
+        }
+    }
+
+    /// Removes every entry, keeping node pages allocated.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+
+    /// Iterates `((label, id), &value)`, node-major.
+    pub fn iter(&self) -> impl Iterator<Item = ((Label, NodeId), &T)> + '_ {
+        self.slots.iter().flat_map(|(id, slot)| {
+            std::iter::once((&slot.first, id))
+                .chain(slot.rest.iter().map(move |e| (e, id)))
+                .map(|(&(label, ref v), id)| ((label, id), v))
+        })
+    }
+
+    /// Drains every entry as `((label, id), value)`, keeping pages.
+    pub fn drain(&mut self) -> impl Iterator<Item = ((Label, NodeId), T)> + '_ {
+        self.len = 0;
+        self.slots.drain().flat_map(|(id, slot)| {
+            std::iter::once(slot.first)
+                .chain(slot.rest)
+                .map(move |(label, v)| ((label, id), v))
+        })
+    }
+
+    /// Approximate heap bytes: pages plus any spill vectors.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.memory_bytes()
+            + self
+                .slots
+                .iter()
+                .map(|(_, slot)| slot.rest.capacity() * std::mem::size_of::<(Label, T)>())
+                .sum::<usize>()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for NodeLabelMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fxhash::FxHashMap;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn map_insert_get_remove_across_pages() {
+        let mut m: NodeMap<i64> = NodeMap::new();
+        assert!(m.is_empty());
+        // Spread keys across three pages.
+        for i in [0u32, 1, 255, 256, 257, 1000] {
+            assert_eq!(m.insert(n(i), i as i64), None);
+        }
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.page_count(), 3);
+        assert_eq!(m.get(n(256)), Some(&256));
+        assert_eq!(m.get(n(2)), None);
+        assert_eq!(m.insert(n(256), -1), Some(256));
+        assert_eq!(m.len(), 6, "overwrite does not grow");
+        assert_eq!(m.remove(n(256)), Some(-1));
+        assert_eq!(m.remove(n(256)), None);
+        assert_eq!(m.len(), 5);
+        assert!(m.page_count() >= 3, "pages are retained after removal");
+    }
+
+    #[test]
+    fn map_get_or_insert_with() {
+        let mut m: NodeMap<i64> = NodeMap::new();
+        *m.get_or_insert_with(n(7), || 0) += 5;
+        *m.get_or_insert_with(n(7), || 100) += 1;
+        assert_eq!(m.get(n(7)), Some(&6));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_iter_ascending_and_clear_keeps_pages() {
+        let mut m: NodeMap<u32> = NodeMap::new();
+        for i in [513u32, 5, 300] {
+            m.insert(n(i), i);
+        }
+        let items: Vec<(NodeId, u32)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(items, vec![(n(5), 5), (n(300), 300), (n(513), 513)]);
+        let pages = m.page_count();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.page_count(), pages, "clear retains pages");
+        assert_eq!(m.iter().count(), 0);
+        m.insert(n(5), 9);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_drain_yields_all_and_empties() {
+        let mut m: NodeMap<i64> = NodeMap::new();
+        for i in 0..600u32 {
+            m.insert(n(i), i as i64);
+        }
+        let drained: FxHashMap<NodeId, i64> = m.drain().collect();
+        assert_eq!(drained.len(), 600);
+        assert_eq!(drained[&n(599)], 599);
+        assert!(m.is_empty());
+        // Partial drain still empties on drop.
+        m.insert(n(1), 1);
+        m.insert(n(400), 2);
+        {
+            let mut d = m.drain();
+            assert!(d.next().is_some());
+        }
+        assert!(m.is_empty(), "dropped drain clears the rest");
+    }
+
+    #[test]
+    fn map_memory_grows_per_page_not_per_arena() {
+        let mut sparse: NodeMap<i64> = NodeMap::new();
+        sparse.insert(n(1_000_000), 1);
+        // One page of payload plus the (lazy) page table.
+        let one_page = std::mem::size_of::<Option<i64>>() * PAGE_LEN;
+        assert!(sparse.memory_bytes() >= one_page);
+        assert!(
+            sparse.memory_bytes() < 16 * one_page,
+            "a single far-off key must not materialize the whole range: {}",
+            sparse.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn bitset_insert_remove_contains_iter() {
+        let mut s = NodeBitSet::new();
+        assert!(s.insert(n(3)));
+        assert!(!s.insert(n(3)), "double insert reports not-new");
+        assert!(s.insert(n(64)));
+        assert!(s.insert(n(1000)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(n(64)));
+        assert!(!s.contains(n(65)));
+        assert!(!s.contains(n(1_000_000)), "out of range is absent");
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![n(3), n(64), n(1000)],
+            "ascending order"
+        );
+        assert!(s.remove(n(64)));
+        assert!(!s.remove(n(64)));
+        assert!(!s.remove(n(1_000_000)));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.memory_bytes() > 0, "clear retains words");
+    }
+
+    #[test]
+    fn label_map_distinguishes_labels_on_one_node() {
+        let (a, b) = (Label(0), Label(3));
+        let mut m: NodeLabelMap<i64> = NodeLabelMap::new();
+        assert_eq!(m.insert(a, n(4), 10), None);
+        assert_eq!(m.insert(b, n(4), 20), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(a, n(4)), Some(&10));
+        assert_eq!(m.get(b, n(4)), Some(&20));
+        assert_eq!(m.insert(a, n(4), 11), Some(10));
+        assert_eq!(m.len(), 2, "overwrite does not grow");
+        // Removing the inline entry promotes the spilled one.
+        assert_eq!(m.remove(a, n(4)), Some(11));
+        assert_eq!(m.get(b, n(4)), Some(&20));
+        assert_eq!(m.remove(b, n(4)), Some(20));
+        assert!(m.is_empty());
+        assert_eq!(m.remove(b, n(4)), None);
+    }
+
+    #[test]
+    fn label_map_get_or_insert_and_drain() {
+        let (a, b) = (Label(1), Label(2));
+        let mut m: NodeLabelMap<i64> = NodeLabelMap::new();
+        *m.get_or_insert_with(a, n(1), || 0) += 7;
+        *m.get_or_insert_with(a, n(1), || 99) += 1;
+        *m.get_or_insert_with(b, n(1), || 0) -= 2;
+        *m.get_or_insert_with(a, n(300), || 0) += 3;
+        assert_eq!(m.len(), 3);
+        let mut drained: Vec<((Label, NodeId), i64)> = m.drain().collect();
+        drained.sort_by_key(|&((l, id), _)| (id, l.0));
+        assert_eq!(
+            drained,
+            vec![((a, n(1)), 8), ((b, n(1)), -2), ((a, n(300)), 3)]
+        );
+        assert!(m.is_empty());
+        // Reusable after drain.
+        m.insert(a, n(1), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn label_map_memory_accounts_pages() {
+        let mut m: NodeLabelMap<i64> = NodeLabelMap::new();
+        assert_eq!(m.memory_bytes(), 0);
+        m.insert(Label(0), n(9), 1);
+        assert!(m.memory_bytes() > 0);
+    }
+}

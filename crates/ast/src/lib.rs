@@ -11,14 +11,19 @@
 //! navigates the very same tree the compiler owns — no shadow copies.
 //!
 //! The crate also provides:
+//! - [`dense`] — the dense node-indexed storage layer ([`NodeMap`],
+//!   [`NodeBitSet`], [`NodeLabelMap`]): page-backed direct-indexed maps
+//!   that every maintenance-hot-path structure (views, posting lists,
+//!   epoch delta buffers) uses instead of hashing `NodeId` keys,
 //! - [`multiset::GenMultiset`] — Blizard generalized multisets (§5) with
 //!   signed multiplicities and ⊕ / ⊖ operators,
-//! - [`fxhash`] — a fast FxHash-style hasher for the hot `NodeId`-keyed
-//!   maps (per the performance guide; avoids SipHash in inner loops),
+//! - [`fxhash`] — a fast FxHash-style hasher for the remaining (cold or
+//!   non-`NodeId`-keyed) maps; avoids SipHash in inner loops,
 //! - [`sexpr`] — an s-expression printer/parser used by tests, examples,
 //!   and debugging output.
 
 pub mod arena;
+pub mod dense;
 pub mod fxhash;
 pub mod multiset;
 pub mod schema;
@@ -26,6 +31,7 @@ pub mod sexpr;
 pub mod value;
 
 pub use arena::{Ast, Node, NodeId, NodeRow};
+pub use dense::{NodeBitSet, NodeLabelMap, NodeMap};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use multiset::GenMultiset;
 pub use schema::{AttrName, Label, Schema, SchemaBuilder};

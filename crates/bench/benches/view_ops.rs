@@ -1,0 +1,169 @@
+//! `view_ops` — microbenchmark of the view backends' primitive ops.
+//!
+//! The dense storage layer (`tt_ast::dense`) replaced hashed `NodeId`
+//! maps under both view structures; this target isolates the primitives
+//! every maintenance strategy composes — membership `add` (the 0→1
+//! crossing), membership `remove` (1→0), `any`, and the epoch-commit
+//! `apply_delta` — on both backends, across a compact id range
+//! (everything on a few pages, the steady-state case) and a sparse
+//! range (page-miss pressure).
+//!
+//! Run: `cargo bench --bench view_ops` (env `TT_VIEW_OPS_N` scales the
+//! op count). The CI bench-smoke job compiles this target on every push.
+
+use treetoaster_core::{MatchView, OrderedMatchView};
+use tt_ast::NodeId;
+use tt_bench::env_u64;
+use tt_metrics::{now_ns, Table};
+
+/// Ids per churn pass (one insert pass then one remove pass over this
+/// window, so every measured op crosses the membership boundary).
+const WINDOW: u64 = 2048;
+
+/// Resident-member ids: the low half of the compact window, or a
+/// multiplicative stride over ~1 Mi ids for the sparse layout.
+fn resident_id(compact: bool, i: u64) -> NodeId {
+    if compact {
+        NodeId::from_index((i % WINDOW) as u32)
+    } else {
+        NodeId::from_index(((i.wrapping_mul(7919)) % (1 << 20)) as u32)
+    }
+}
+
+/// Churn ids, disjoint from the resident set (compact: the upper half of
+/// the 4 Ki window; sparse: a stride offset far from the resident one,
+/// where the rare collision only turns one op into a count bump).
+fn churn_id(compact: bool, i: u64) -> NodeId {
+    if compact {
+        NodeId::from_index((WINDOW + (i % WINDOW)) as u32)
+    } else {
+        NodeId::from_index((((i + 500_009).wrapping_mul(7919)) % (1 << 20)) as u32)
+    }
+}
+
+/// One measured cell: `ops` executions of a closure, reported as ns/op.
+fn measure(mut op: impl FnMut(), ops: u64) -> f64 {
+    let t0 = now_ns();
+    for _ in 0..ops {
+        op();
+    }
+    (now_ns() - t0) as f64 / ops as f64
+}
+
+/// Drives one backend through the four primitives via the closures the
+/// caller supplies (both view types share the same method names but no
+/// trait, so the driver takes the ops pre-bound).
+#[allow(clippy::too_many_arguments)]
+fn bench_backend(
+    table: &mut Table,
+    backend: &str,
+    layout: &str,
+    ops: u64,
+    compact: bool,
+    mut add: impl FnMut(NodeId, i64),
+    mut any: impl FnMut() -> Option<NodeId>,
+    mut apply: impl FnMut(&[(NodeId, i64)]),
+) {
+    // Warm a resident member set (and its pages): `any` answers over a
+    // populated view, and churn ids below never touch these.
+    for i in 0..WINDOW {
+        add(resident_id(compact, i), 1);
+    }
+    // Membership churn in alternating passes: an insert pass makes every
+    // churn id a member (each add is a 0→1 crossing), the paired remove
+    // pass takes each back out (1→0). Timing the passes separately keeps
+    // the two primitives in their own cells while guaranteeing every
+    // measured op does membership work, not a count bump.
+    let mut insert_total = 0u64;
+    let mut remove_total = 0u64;
+    let mut done = 0u64;
+    while done < ops {
+        let t0 = now_ns();
+        for k in 0..WINDOW {
+            add(churn_id(compact, k), 1);
+        }
+        insert_total += now_ns() - t0;
+        let t1 = now_ns();
+        for k in 0..WINDOW {
+            add(churn_id(compact, k), -1);
+        }
+        remove_total += now_ns() - t1;
+        done += WINDOW;
+    }
+    let add_ns = insert_total as f64 / done as f64;
+    let remove_ns = remove_total as f64 / done as f64;
+    let any_ns = measure(
+        || {
+            std::hint::black_box(any());
+        },
+        ops,
+    );
+    // apply_delta: batches of 64 coalesced deltas (one epoch's survivors
+    // entering the view, cancelled back out by the next batch).
+    let batch: Vec<(NodeId, i64)> = (0..64).map(|k| (churn_id(compact, k), 1)).collect();
+    let unbatch: Vec<(NodeId, i64)> = batch.iter().map(|&(n, _)| (n, -1)).collect();
+    let mut flip = false;
+    let apply_ns = measure(
+        || {
+            apply(if flip { &unbatch } else { &batch });
+            flip = !flip;
+        },
+        (ops / 64).max(2),
+    ) / 64.0;
+    for (op, ns) in [
+        ("add (0→1)", add_ns),
+        ("remove (1→0)", remove_ns),
+        ("any", any_ns),
+        ("apply_delta/item", apply_ns),
+    ] {
+        table.row([
+            backend.to_string(),
+            layout.to_string(),
+            op.to_string(),
+            format!("{ns:.1}"),
+        ]);
+    }
+}
+
+fn main() {
+    let ops = env_u64("TT_VIEW_OPS_N", 200_000);
+    println!("view_ops — primitive op latency per view backend ({ops} ops/cell)\n");
+    let mut table = Table::new(["backend", "ids", "op", "ns_per_op"]);
+    for (layout, compact) in [("compact", true), ("sparse", false)] {
+        {
+            let mut v = MatchView::new();
+            // Split borrows: MatchView is one object, so route each
+            // primitive through a fresh closure over the same cell.
+            let cell = std::cell::RefCell::new(&mut v);
+            bench_backend(
+                &mut table,
+                "swap-remove",
+                layout,
+                ops,
+                compact,
+                |n, d| cell.borrow_mut().add(n, d),
+                || cell.borrow().any(),
+                |deltas| cell.borrow_mut().apply_delta(deltas.iter().copied()),
+            );
+        }
+        {
+            let mut v = OrderedMatchView::new();
+            let cell = std::cell::RefCell::new(&mut v);
+            bench_backend(
+                &mut table,
+                "btree-ordered",
+                layout,
+                ops,
+                compact,
+                |n, d| cell.borrow_mut().add(n, d),
+                || cell.borrow().any(),
+                |deltas| cell.borrow_mut().apply_delta(deltas.iter().copied()),
+            );
+        }
+    }
+    table.print();
+    println!(
+        "\n`compact` churns the upper half of a 4Ki id window (steady-state pages); \
+         `sparse` strides ~1Mi ids."
+    );
+}

@@ -1,24 +1,46 @@
 //! `tt-bench-check` — CI gate for `BENCH_*.json` trajectories.
 //!
-//! Parses the file, verifies the schema (version, required fields,
-//! finite positive latencies), and enforces the coverage contract: all
-//! five strategies and the acceptance batch sizes {1, 8, 64}. Exits
-//! non-zero with a diagnostic on any violation, so the CI job fails
-//! instead of archiving a malformed artifact.
+//! Two modes:
+//!
+//! ```text
+//! tt-bench-check [FILE]
+//! tt-bench-check --compare OLD NEW [--threshold 0.15]
+//! ```
+//!
+//! The first parses one file, verifies the schema (version, required
+//! fields, finite positive latencies), and enforces the coverage
+//! contract: all five strategies and the acceptance batch sizes
+//! {1, 8, 64}. The second additionally pairs every baseline cell with
+//! the candidate's and fails if any cell's ns/op regressed beyond the
+//! threshold (default 15%), or if the candidate lost coverage the
+//! baseline had. Exits non-zero with a diagnostic on any violation, so
+//! the CI job fails instead of archiving a malformed (or slower)
+//! artifact.
 
 use std::process::ExitCode;
-use tt_bench::report::{validate_report, BENCH_FILE};
+use tt_bench::report::{
+    compare_reports, validate_report, BENCH_FILE, DEFAULT_REGRESSION_THRESHOLD,
+};
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| BENCH_FILE.to_string());
-    let text = match std::fs::read_to_string(&path) {
+fn usage() -> ! {
+    eprintln!(
+        "usage: tt-bench-check [FILE]\n       \
+         tt-bench-check --compare OLD NEW [--threshold {DEFAULT_REGRESSION_THRESHOLD}]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("tt-bench-check: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn validate_one(path: &str) -> ExitCode {
+    let text = match read(path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("tt-bench-check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     match validate_report(&text) {
         Ok(summary) => {
@@ -34,4 +56,96 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
+    let (old_text, new_text) = match (read(old_path), read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let cmp = match compare_reports(&old_text, &new_text, threshold) {
+        Ok(cmp) => cmp,
+        Err(e) => {
+            eprintln!("tt-bench-check: compare failed — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut improved = 0usize;
+    let mut worst: f64 = 0.0;
+    for cell in &cmp.cells {
+        if cell.ratio() < 1.0 {
+            improved += 1;
+        }
+        worst = worst.max(cell.ratio());
+        println!(
+            "  {}/{} K={:<4} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
+            cell.workload,
+            cell.strategy,
+            cell.batch_size,
+            cell.old_ns,
+            cell.new_ns,
+            (cell.ratio() - 1.0) * 100.0
+        );
+    }
+    if cmp.passed() {
+        println!(
+            "tt-bench-check: {new_path} vs {old_path} OK — {} cells, {} improved, \
+             worst ratio {:.2} (threshold {:.2})",
+            cmp.cells.len(),
+            improved,
+            worst,
+            1.0 + threshold
+        );
+        ExitCode::SUCCESS
+    } else {
+        for cell in cmp.regressions() {
+            eprintln!(
+                "tt-bench-check: REGRESSION {}/{} K={} — {:.0} → {:.0} ns/op \
+                 ({:+.1}%, threshold {:+.1}%)",
+                cell.workload,
+                cell.strategy,
+                cell.batch_size,
+                cell.old_ns,
+                cell.new_ns,
+                (cell.ratio() - 1.0) * 100.0,
+                threshold * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    if args.first().is_some_and(|a| a == "--compare") {
+        let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
+            usage();
+        };
+        let threshold = match args.get(3).map(String::as_str) {
+            None => DEFAULT_REGRESSION_THRESHOLD,
+            Some("--threshold") => match args.get(4).and_then(|v| v.parse().ok()) {
+                Some(t) => t,
+                None => usage(),
+            },
+            Some(_) => usage(),
+        };
+        // Reject trailing arguments: a typo'd extra flag must fail loudly
+        // rather than silently degrade the gate.
+        let expected = if args.len() > 3 { 5 } else { 3 };
+        if args.len() > expected {
+            usage();
+        }
+        return compare(old_path, new_path, threshold);
+    }
+    if args.len() > 1 {
+        usage();
+    }
+    let path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| BENCH_FILE.to_string());
+    validate_one(&path)
 }

@@ -42,6 +42,11 @@ pub struct SweepConfig {
     pub batch_sizes: Vec<usize>,
     /// Workload mnemonics.
     pub workloads: Vec<char>,
+    /// Runs per cell; the fastest (minimum total ns) run is kept. The
+    /// minimum is the standard noise-robust latency estimator: scheduler
+    /// preemption and cache pollution only ever add time, so min-of-N
+    /// converges on the machine's true cost as N grows.
+    pub repeat: usize,
 }
 
 /// Renders the full report document.
@@ -54,6 +59,7 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
             "crack_threshold",
             Json::Num(sweep.experiment.crack_threshold as f64),
         ),
+        ("repeat", Json::Num(sweep.repeat.max(1) as f64)),
         (
             "batch_sizes",
             Json::Arr(
@@ -214,6 +220,159 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     })
 }
 
+/// Default per-cell ns/op regression tolerance for
+/// [`compare_reports`]: 15% slower than the baseline fails.
+pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// One (strategy, workload, batch size) cell's before/after latency.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// Strategy label.
+    pub strategy: String,
+    /// Workload mnemonic.
+    pub workload: String,
+    /// Ops per maintenance epoch.
+    pub batch_size: u64,
+    /// Baseline ns/op.
+    pub old_ns: f64,
+    /// Candidate ns/op.
+    pub new_ns: f64,
+}
+
+impl CellDelta {
+    /// `new / old` — above 1.0 is a slowdown.
+    pub fn ratio(&self) -> f64 {
+        self.new_ns / self.old_ns
+    }
+}
+
+/// The outcome of a trend comparison between two valid reports.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Every cell present in both reports.
+    pub cells: Vec<CellDelta>,
+    /// The tolerance regressions were judged against.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Cells whose ns/op grew beyond the threshold.
+    pub fn regressions(&self) -> impl Iterator<Item = &CellDelta> + '_ {
+        self.cells
+            .iter()
+            .filter(|c| c.ratio() > 1.0 + self.threshold)
+    }
+
+    /// True if no cell regressed beyond the threshold.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+fn collect_cells(text: &str, which: &str) -> Result<Vec<(String, String, u64, f64)>, String> {
+    validate_report(text).map_err(|e| format!("{which} report: {e}"))?;
+    let doc = Json::parse(text).expect("validated above");
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("validated");
+    Ok(results
+        .iter()
+        .map(|entry| {
+            (
+                entry
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                entry
+                    .get("workload")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                entry
+                    .get("batch_size")
+                    .and_then(Json::as_f64)
+                    .expect("validated") as u64,
+                entry
+                    .get("ns_per_op")
+                    .and_then(Json::as_f64)
+                    .expect("validated"),
+            )
+        })
+        .collect())
+}
+
+/// Scale knobs that must agree for two reports' ns/op to be comparable
+/// at all. `repeat` is deliberately excluded: min-of-N converges on the
+/// same underlying latency for any N.
+const COMPARABLE_CONFIG: [&str; 4] = ["records", "ops", "seed", "crack_threshold"];
+
+fn check_configs_comparable(old_text: &str, new_text: &str) -> Result<(), String> {
+    let old_doc = Json::parse(old_text).expect("validated");
+    let new_doc = Json::parse(new_text).expect("validated");
+    for field in COMPARABLE_CONFIG {
+        let read = |doc: &Json| {
+            doc.get("config")
+                .and_then(|c| c.get(field))
+                .and_then(Json::as_f64)
+        };
+        let (old, new) = (read(&old_doc), read(&new_doc));
+        if old != new {
+            return Err(format!(
+                "reports are not comparable: config `{field}` is {} in the baseline \
+                 but {} in the candidate (ns/op only compares at identical scale)",
+                old.map_or("missing".to_string(), |v| v.to_string()),
+                new.map_or("missing".to_string(), |v| v.to_string()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-cell ns/op trend gate: pairs `old` and `new` results by
+/// `(strategy, workload, batch_size)` and reports every shared cell's
+/// latency ratio. Errors on invalid reports, on mismatched experiment
+/// scale (records/ops/seed/crack_threshold must agree — ratios between
+/// different scales measure the scale, not the code), or when a
+/// baseline cell is missing from the candidate (coverage must never
+/// silently shrink); cells only present in the candidate are new
+/// coverage and pass. The caller decides pass/fail via
+/// [`Comparison::passed`].
+pub fn compare_reports(
+    old_text: &str,
+    new_text: &str,
+    threshold: f64,
+) -> Result<Comparison, String> {
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(format!("threshold must be finite and ≥ 0, got {threshold}"));
+    }
+    let old_cells = collect_cells(old_text, "baseline")?;
+    let new_cells = collect_cells(new_text, "candidate")?;
+    check_configs_comparable(old_text, new_text)?;
+    let mut cells = Vec::with_capacity(old_cells.len());
+    for (strategy, workload, batch_size, old_ns) in old_cells {
+        let new_ns = new_cells
+            .iter()
+            .find(|(s, w, b, _)| *s == strategy && *w == workload && *b == batch_size)
+            .map(|&(_, _, _, ns)| ns)
+            .ok_or_else(|| {
+                format!(
+                    "cell {strategy}/{workload}/K={batch_size} present in baseline, \
+                     missing from candidate"
+                )
+            })?;
+        cells.push(CellDelta {
+            strategy,
+            workload,
+            batch_size,
+            old_ns,
+            new_ns,
+        });
+    }
+    Ok(Comparison { cells, threshold })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +388,7 @@ mod tests {
             },
             batch_sizes: vec![1, 8, 64],
             workloads: vec!['A'],
+            repeat: 1,
         }
     }
 
@@ -282,6 +442,83 @@ mod tests {
             .collect();
         let text = render_report(&sweep(), &results);
         assert!(validate_report(&text).unwrap_err().contains("64"));
+    }
+
+    #[test]
+    fn compare_accepts_improvement_and_flags_regression() {
+        let base = fake_results();
+        let text_old = render_report(&sweep(), &base);
+        // 10% faster everywhere: passes at the default threshold.
+        let faster: Vec<BatchRunResult> = base
+            .iter()
+            .map(|r| BatchRunResult {
+                total_ns: r.total_ns * 9 / 10,
+                ..r.clone()
+            })
+            .collect();
+        let text_new = render_report(&sweep(), &faster);
+        let cmp = compare_reports(&text_old, &text_new, DEFAULT_REGRESSION_THRESHOLD).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.cells.len(), base.len());
+        assert!(cmp.cells.iter().all(|c| c.ratio() < 1.0));
+        // One cell 2x slower: that exact cell is reported.
+        let mut slower = base.clone();
+        slower[0].total_ns *= 2;
+        let text_bad = render_report(&sweep(), &slower);
+        let cmp = compare_reports(&text_old, &text_bad, DEFAULT_REGRESSION_THRESHOLD).unwrap();
+        assert!(!cmp.passed());
+        let regressed: Vec<&CellDelta> = cmp.regressions().collect();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].strategy, slower[0].strategy.label());
+        assert_eq!(regressed[0].batch_size, slower[0].batch_size as u64);
+        // …but a generous threshold tolerates it.
+        assert!(compare_reports(&text_old, &text_bad, 1.5).unwrap().passed());
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_scale() {
+        let base = fake_results();
+        let text_old = render_report(&sweep(), &base);
+        // Same cells, different record count: the ratios would measure
+        // the scale, so the compare must refuse with a diagnostic.
+        let mut bigger = sweep();
+        bigger.experiment.records = 4096;
+        let text_big = render_report(&bigger, &base);
+        let err = compare_reports(&text_old, &text_big, 0.15).unwrap_err();
+        assert!(err.contains("records"), "{err}");
+        assert!(err.contains("not comparable"), "{err}");
+        // A different repeat is fine: min-of-N stays comparable.
+        let mut more_passes = sweep();
+        more_passes.repeat = 9;
+        let text_rep = render_report(&more_passes, &base);
+        assert!(compare_reports(&text_old, &text_rep, 0.15).is_ok());
+    }
+
+    #[test]
+    fn compare_rejects_shrunk_coverage_and_bad_threshold() {
+        let base = fake_results();
+        let text_old = render_report(&sweep(), &base);
+        assert!(compare_reports(&text_old, &text_old, -0.1).is_err());
+        assert!(compare_reports("nope", &text_old, 0.15)
+            .unwrap_err()
+            .contains("baseline"));
+        // A candidate sweeping an extra batch size still passes (new
+        // coverage is fine)…
+        let mut extra = base.clone();
+        extra.push(BatchRunResult {
+            batch_size: 128,
+            ..base[0].clone()
+        });
+        let mut sweep_extra = sweep();
+        sweep_extra.batch_sizes.push(128);
+        let text_extra = render_report(&sweep_extra, &extra);
+        assert!(compare_reports(&text_old, &text_extra, 0.15)
+            .unwrap()
+            .passed());
+        // …but the reverse direction (baseline has a cell the candidate
+        // lost) is an error, not a pass.
+        let err = compare_reports(&text_extra, &text_old, 0.15).unwrap_err();
+        assert!(err.contains("missing from candidate"), "{err}");
     }
 
     #[test]

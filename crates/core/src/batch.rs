@@ -17,15 +17,17 @@
 //! `find_one` mid-epoch through a cheap overlay instead of flushing.
 
 use crate::view::MatchView;
-use tt_ast::{FxHashMap, NodeId};
+use tt_ast::{NodeId, NodeMap};
 
 /// Signed multiplicity deltas staged against a set of per-rule views.
 ///
-/// One map per view; staging a delta that returns an entry to net zero
-/// removes the entry — that removal *is* the cancellation.
+/// One dense [`NodeMap`] per view; staging a delta that returns an entry
+/// to net zero removes the entry — that removal *is* the cancellation.
+/// Pages are retained across epochs, so a long-lived buffer stages and
+/// drains without allocating.
 #[derive(Debug, Default)]
 pub struct DeltaBuffer {
-    per_view: Vec<FxHashMap<NodeId, i64>>,
+    per_view: Vec<NodeMap<i64>>,
     /// Deltas staged since creation (including later-canceled ones).
     staged: u64,
     /// Staged deltas that annihilated with an opposing entry.
@@ -36,7 +38,7 @@ impl DeltaBuffer {
     /// An empty buffer for `views` views.
     pub fn new(views: usize) -> DeltaBuffer {
         DeltaBuffer {
-            per_view: (0..views).map(|_| FxHashMap::default()).collect(),
+            per_view: (0..views).map(|_| NodeMap::new()).collect(),
             staged: 0,
             canceled: 0,
         }
@@ -55,10 +57,10 @@ impl DeltaBuffer {
         }
         self.staged += 1;
         let map = &mut self.per_view[view];
-        let entry = map.entry(node).or_insert(0);
+        let entry = map.get_or_insert_with(node, || 0);
         *entry += delta;
         if *entry == 0 {
-            map.remove(&node);
+            map.remove(node);
             // This stage op and the one(s) it annihilated.
             self.canceled += 2;
         }
@@ -66,27 +68,38 @@ impl DeltaBuffer {
 
     /// Net pending delta for `node` in `view` (0 when absent).
     pub fn pending(&self, view: usize, node: NodeId) -> i64 {
-        self.per_view[view].get(&node).copied().unwrap_or(0)
+        self.per_view[view].get(node).copied().unwrap_or(0)
     }
 
     /// The pending delta map of one view.
-    pub fn view_deltas(&self, view: usize) -> &FxHashMap<NodeId, i64> {
+    pub fn view_deltas(&self, view: usize) -> &NodeMap<i64> {
         &self.per_view[view]
     }
 
     /// True if no net delta is pending anywhere.
     pub fn is_empty(&self) -> bool {
-        self.per_view.iter().all(FxHashMap::is_empty)
+        self.per_view.iter().all(NodeMap::is_empty)
     }
 
     /// Total net entries pending across all views.
     pub fn len(&self) -> usize {
-        self.per_view.iter().map(FxHashMap::len).sum()
+        self.per_view.iter().map(NodeMap::len).sum()
     }
 
     /// Deltas staged over the buffer's lifetime.
     pub fn staged(&self) -> u64 {
         self.staged
+    }
+
+    /// Empties all staged state and zeroes the lifetime counters while
+    /// keeping allocated pages — the engine recycles one buffer across
+    /// epochs so begin/commit cycles stop allocating.
+    pub fn reset(&mut self) {
+        for map in &mut self.per_view {
+            map.clear();
+        }
+        self.staged = 0;
+        self.canceled = 0;
     }
 
     /// Staged deltas that cancelled against an opposing entry — work the
@@ -108,12 +121,9 @@ impl DeltaBuffer {
         }
     }
 
-    /// Approximate heap bytes.
+    /// Approximate heap bytes (allocated pages are charged in full).
     pub fn memory_bytes(&self) -> usize {
-        self.per_view
-            .iter()
-            .map(|m| m.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>()))
-            .sum()
+        self.per_view.iter().map(NodeMap::memory_bytes).sum()
     }
 }
 

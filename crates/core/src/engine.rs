@@ -23,7 +23,7 @@ use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
 use crate::view::MatchView;
 use std::sync::Arc;
 use tt_ast::{Ast, NodeId};
-use tt_pattern::{matches, Bindings};
+use tt_pattern::{matches_with, Bindings};
 
 /// Maintenance-path selection (the §6.1 ablation knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +33,18 @@ pub enum MaintenanceMode {
     Inlined,
     /// Always use the maximal search set (Definition 6 only).
     Generic,
+}
+
+/// Reusable per-engine work buffers, so a steady-state `replace` — one
+/// preorder walk plus a handful of candidate evaluations — performs zero
+/// heap allocations: the DFS stack and the pattern-binding environment
+/// both live for the life of the engine.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// DFS stack for [`tt_ast::Ast::descendants_with`] walks.
+    stack: Vec<NodeId>,
+    /// Binding environment for [`matches_with`] evaluations.
+    bindings: Bindings,
 }
 
 /// The TreeToaster engine: per-rule views over the live AST.
@@ -46,6 +58,12 @@ pub struct TreeToasterEngine {
     /// Open maintenance epoch: deltas stage here (and cancel) instead of
     /// touching the views. `None` = immediate (K=1) maintenance.
     batch: Option<DeltaBuffer>,
+    /// The previous epoch's drained buffer, kept so its dense pages are
+    /// reused by the next [`MatchSource::begin_batch`] instead of being
+    /// freed and re-allocated every epoch.
+    spare: Option<DeltaBuffer>,
+    /// Reusable maintenance work buffers (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl TreeToasterEngine {
@@ -66,6 +84,8 @@ impl TreeToasterEngine {
             inlineable,
             mode,
             batch: None,
+            spare: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -132,19 +152,31 @@ impl TreeToasterEngine {
     }
 
     /// Generic phase helper: walk `Desc(root)` and the `D(q)` nearest
-    /// ancestors, applying `sign` for every current match.
+    /// ancestors, applying `sign` for every current match. One preorder
+    /// walk tests every pattern per node (better locality than one walk
+    /// per pattern); the DFS stack and binding scratch are engine-owned,
+    /// so the walk allocates nothing.
     fn generic_phase(&mut self, ast: &Ast, root: NodeId, sign: i64) {
-        for (id, rule) in self.rules.clone().iter() {
-            let pattern = &rule.pattern;
-            for n in ast.descendants(root) {
-                if matches(ast, n, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, n, sign);
+        let Self {
+            rules,
+            views,
+            batch,
+            scratch,
+            ..
+        } = self;
+        for n in ast.descendants_with(root, &mut scratch.stack) {
+            for (id, rule) in rules.iter() {
+                if matches_with(ast, n, &rule.pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, n, sign);
                 }
             }
+        }
+        for (id, rule) in rules.iter() {
+            let pattern = &rule.pattern;
             for h in 1..=pattern.depth() {
                 let a = ast.ancestor_at(root, h);
-                if !a.is_null() && matches(ast, a, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, a, sign);
+                if !a.is_null() && matches_with(ast, a, pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, a, sign);
                 }
             }
         }
@@ -153,22 +185,27 @@ impl TreeToasterEngine {
     /// Inlined pre-phase: check only destroyed candidate positions and
     /// planned ancestor heights.
     fn inlined_pre(&mut self, ast: &Ast, old_root: NodeId, fired: RuleId, bindings: &Bindings) {
-        for (id, rule) in self.rules.clone().iter() {
-            let plan = self
-                .matrix
-                .plan(id, fired)
-                .expect("caller checked plan exists");
+        let Self {
+            rules,
+            views,
+            batch,
+            matrix,
+            scratch,
+            ..
+        } = self;
+        for (id, rule) in rules.iter() {
+            let plan = matrix.plan(id, fired).expect("caller checked plan exists");
             let pattern = &rule.pattern;
             for &var in &plan.removed_candidates {
                 let n = bindings.get(var);
-                if matches(ast, n, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, n, -1);
+                if matches_with(ast, n, pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, n, -1);
                 }
             }
             for &h in &plan.ancestor_heights {
                 let a = ast.ancestor_at(old_root, h);
-                if !a.is_null() && matches(ast, a, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, a, -1);
+                if !a.is_null() && matches_with(ast, a, pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, a, -1);
                 }
             }
         }
@@ -177,22 +214,27 @@ impl TreeToasterEngine {
     /// Inlined post-phase: check only aligned generated positions and the
     /// same ancestor heights.
     fn inlined_post(&mut self, ast: &Ast, new_root: NodeId, fired: RuleId, gen_nodes: &[NodeId]) {
-        for (id, rule) in self.rules.clone().iter() {
-            let plan = self
-                .matrix
-                .plan(id, fired)
-                .expect("caller checked plan exists");
+        let Self {
+            rules,
+            views,
+            batch,
+            matrix,
+            scratch,
+            ..
+        } = self;
+        for (id, rule) in rules.iter() {
+            let plan = matrix.plan(id, fired).expect("caller checked plan exists");
             let pattern = &rule.pattern;
             for &gi in &plan.gen_candidates {
                 let n = gen_nodes[gi];
-                if matches(ast, n, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, n, 1);
+                if matches_with(ast, n, pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, n, 1);
                 }
             }
             for &h in &plan.ancestor_heights {
                 let a = ast.ancestor_at(new_root, h);
-                if !a.is_null() && matches(ast, a, pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, a, 1);
+                if !a.is_null() && matches_with(ast, a, pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, a, 1);
                 }
             }
         }
@@ -212,9 +254,10 @@ impl MatchSource for TreeToasterEngine {
         for v in &mut self.views {
             v.clear();
         }
-        // A rebuild supersedes anything staged: restart the epoch empty.
-        if self.batch.is_some() {
-            self.batch = Some(DeltaBuffer::new(self.views.len()));
+        // A rebuild supersedes anything staged: restart the epoch empty
+        // (pages retained for the coming deltas).
+        if let Some(buffer) = &mut self.batch {
+            buffer.reset();
         }
         let root = ast.root();
         if root.is_null() {
@@ -222,10 +265,16 @@ impl MatchSource for TreeToasterEngine {
         }
         // One traversal; every pattern tested per node (the paper's
         // initial materialization).
-        for n in ast.descendants(root) {
-            for (id, rule) in self.rules.clone().iter() {
-                if matches(ast, n, &rule.pattern) {
-                    self.views[id].add(n, 1);
+        let Self {
+            rules,
+            views,
+            scratch,
+            ..
+        } = self;
+        for n in ast.descendants_with(root, &mut scratch.stack) {
+            for (id, rule) in rules.iter() {
+                if matches_with(ast, n, &rule.pattern, &mut scratch.bindings) {
+                    views[id].add(n, 1);
                 }
             }
         }
@@ -241,14 +290,14 @@ impl MatchSource for TreeToasterEngine {
             let pending = buffer.view_deltas(rule);
             if !pending.is_empty() {
                 // Any member the epoch hasn't touched is still a match…
-                if let Some(n) = self.views[rule].iter().find(|n| !pending.contains_key(n)) {
+                if let Some(n) = self.views[rule].iter().find(|&n| !pending.contains_key(n)) {
                     return Some(n);
                 }
                 // …otherwise a touched node with positive net support.
                 return pending
                     .iter()
-                    .filter(|(&n, &d)| self.views[rule].count(n) + d > 0)
-                    .map(|(&n, _)| n)
+                    .filter(|&(n, &d)| self.views[rule].count(n) + d > 0)
+                    .map(|(n, _)| n)
                     .next();
             }
         }
@@ -278,10 +327,17 @@ impl MatchSource for TreeToasterEngine {
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
-        for (id, rule) in self.rules.clone().iter() {
+        let Self {
+            rules,
+            views,
+            batch,
+            scratch,
+            ..
+        } = self;
+        for (id, rule) in rules.iter() {
             for &n in created {
-                if matches(ast, n, &rule.pattern) {
-                    Self::stage_into(&mut self.batch, &mut self.views, id, n, 1);
+                if matches_with(ast, n, &rule.pattern, &mut scratch.bindings) {
+                    Self::stage_into(batch, views, id, n, 1);
                 }
             }
         }
@@ -289,7 +345,14 @@ impl MatchSource for TreeToasterEngine {
 
     fn begin_batch(&mut self) {
         if self.batch.is_none() {
-            self.batch = Some(DeltaBuffer::new(self.views.len()));
+            let buffer = match self.spare.take() {
+                Some(mut spare) if spare.view_count() == self.views.len() => {
+                    spare.reset();
+                    spare
+                }
+                _ => DeltaBuffer::new(self.views.len()),
+            };
+            self.batch = Some(buffer);
         }
     }
 
@@ -300,6 +363,8 @@ impl MatchSource for TreeToasterEngine {
             for v in &self.views {
                 debug_assert!(v.check_consistent().is_ok(), "view corrupted by commit");
             }
+            // Park the drained buffer: its pages serve the next epoch.
+            self.spare = Some(buffer);
         }
     }
 
@@ -316,6 +381,7 @@ impl MatchSource for TreeToasterEngine {
             .map(MatchView::memory_bytes)
             .sum::<usize>()
             + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
+            + self.spare.as_ref().map_or(0, DeltaBuffer::memory_bytes)
     }
 }
 
@@ -598,6 +664,38 @@ mod tests {
     }
 
     #[test]
+    fn epoch_buffers_are_recycled_across_epochs() {
+        // Two sites, drained one per epoch: the second epoch must reuse
+        // the first epoch's drained buffer (and its pages) instead of
+        // allocating a fresh one, so memory stays flat across epochs.
+        let mut ast = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        let mut engine = TreeToasterEngine::new(rules());
+        engine.rebuild(&ast);
+        engine.begin_batch();
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        engine.commit_batch();
+        let after_first = engine.memory_bytes();
+        engine.begin_batch();
+        assert_eq!(
+            engine.batch_stats(),
+            Some((0, 0)),
+            "recycled buffer starts the epoch with fresh counters"
+        );
+        let site = engine.find_one(&ast, 0).unwrap();
+        fire(&mut engine, &mut ast, 0, site);
+        engine.commit_batch();
+        engine.check_consistent(&ast).unwrap();
+        assert!(
+            engine.memory_bytes() <= after_first,
+            "second epoch re-allocated pages: {} > {after_first}",
+            engine.memory_bytes()
+        );
+    }
+
+    #[test]
     fn batch_protocol_is_reentrant_and_degenerate_without_deltas() {
         let ast = tree(r#"(Arith op="+" (Const val=0) (Var name="x"))"#);
         let mut engine = TreeToasterEngine::new(rules());
@@ -633,8 +731,10 @@ mod tests {
         engine.rebuild(&ast);
         let bytes = engine.memory_bytes();
         assert!(bytes > 0);
-        // Far smaller than the AST's own footprint would be for a shadow
-        // copy: a view holds a few words per match, and we have 1 match.
-        assert!(bytes < 4096, "view memory should be tiny: {bytes}");
+        // Far smaller than a shadow copy of any real AST: with one match,
+        // the cost is dominated by the single lazily allocated 256-slot
+        // page the match falls in (page-granular accounting is honest —
+        // see tt_ast::dense), plus the empty second view.
+        assert!(bytes < 16 * 1024, "view memory should be tiny: {bytes}");
     }
 }

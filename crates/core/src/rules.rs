@@ -23,6 +23,9 @@ pub struct RewriteRule {
     pub generator: GenNode,
     /// Pattern `Match` positions destroyed by an application (not reused).
     removed_vars: Vec<VarId>,
+    /// Pattern positions the generator reuses (cached at construction so
+    /// `apply` never re-walks the generator or allocates to learn them).
+    reused_vars: Vec<VarId>,
     /// Whether the rule satisfies the Definition-7 discipline, enabling
     /// the inlined maintenance path (unsafe rules fall back to the
     /// maximal-search-set path, which is always correct).
@@ -78,6 +81,7 @@ impl RewriteRule {
             pattern,
             generator,
             removed_vars,
+            reused_vars: reused,
             safe_for_inline,
         }
     }
@@ -85,6 +89,11 @@ impl RewriteRule {
     /// `Match` positions whose nodes an application frees.
     pub fn removed_vars(&self) -> &[VarId] {
         &self.removed_vars
+    }
+
+    /// Pattern positions the generator reuses.
+    pub fn reused_vars(&self) -> &[VarId] {
+        &self.reused_vars
     }
 
     /// True if the rule satisfies Definition 7 (every wildcard match is
@@ -117,18 +126,15 @@ impl RewriteRule {
         // detaches subtrees, which would otherwise corrupt the removed
         // parents' images (their child lists shrink), and bolt-on engines
         // must see `remove()` events matching the rows they inserted.
-        let reused_roots: tt_ast::FxHashSet<NodeId> = self
-            .generator
-            .reused_vars()
-            .iter()
-            .map(|&v| bindings.get(v))
-            .collect();
+        // A rule reuses at most a handful of positions, so a linear scan
+        // of the cached variable list beats materializing a set.
+        let is_reused = |c: NodeId| self.reused_vars.iter().any(|&v| bindings.get(v) == c);
         let mut removed: Vec<(Label, NodeRow)> = Vec::new();
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             removed.push((ast.label(n), NodeRow::of(ast, n)));
             for &c in ast.children(n) {
-                if !reused_roots.contains(&c) {
+                if !is_reused(c) {
                     stack.push(c);
                 }
             }

@@ -15,7 +15,7 @@
 
 use crate::rules::{AppliedRewrite, RuleSet};
 use std::sync::Arc;
-use tt_ast::{Ast, FxHashMap, Label, NodeId, NodeRow};
+use tt_ast::{Ast, Label, NodeId, NodeLabelMap, NodeRow};
 use tt_labelindex::LabelIndex;
 use tt_pattern::{find_first, matches, Bindings, PatternNode};
 
@@ -164,9 +164,13 @@ impl MatchSource for NaiveStrategy {
 pub struct IndexStrategy {
     rules: Arc<RuleSet>,
     index: LabelIndex,
-    /// Open-epoch staging: net ±1 per `(label, node)`; entries that
-    /// cancel to zero never touch a posting list. `None` = immediate.
-    batch: Option<FxHashMap<(Label, NodeId), i64>>,
+    /// Open-epoch staging: net ±1 per `(label, node)`, stored densely by
+    /// node; entries that cancel to zero never touch a posting list.
+    /// `None` = immediate.
+    batch: Option<NodeLabelMap<i64>>,
+    /// The previous epoch's drained staging map, kept so its dense pages
+    /// are reused by the next `begin_batch`.
+    spare: Option<NodeLabelMap<i64>>,
 }
 
 impl IndexStrategy {
@@ -177,6 +181,7 @@ impl IndexStrategy {
             rules,
             index: LabelIndex::new(ast.schema()),
             batch: None,
+            spare: None,
         }
     }
 
@@ -185,10 +190,10 @@ impl IndexStrategy {
     fn stage(&mut self, label: Label, id: NodeId, delta: i64) {
         match &mut self.batch {
             Some(pending) => {
-                let entry = pending.entry((label, id)).or_insert(0);
+                let entry = pending.get_or_insert_with(label, id, || 0);
                 *entry += delta;
                 if *entry == 0 {
-                    pending.remove(&(label, id));
+                    pending.remove(label, id);
                 }
             }
             None if delta > 0 => self.index.insert(label, id),
@@ -218,7 +223,7 @@ impl MatchSource for IndexStrategy {
         // arena slots may already be reused), so skip them…
         if let Some((n, _)) = self
             .index
-            .index_lookup_where(ast, pattern, |label, n| !pending.contains_key(&(label, n)))
+            .index_lookup_where(ast, pattern, |label, n| !pending.contains(label, n))
         {
             return Some(n);
         }
@@ -229,8 +234,8 @@ impl MatchSource for IndexStrategy {
         };
         pending
             .iter()
-            .filter(|(&(label, _), &d)| d > 0 && label == *root)
-            .map(|(&(_, n), _)| n)
+            .filter(|&((label, _), &d)| d > 0 && label == *root)
+            .map(|((_, n), _)| n)
             .find(|&n| matches(ast, n, pattern))
     }
 
@@ -257,7 +262,11 @@ impl MatchSource for IndexStrategy {
     }
 
     fn begin_batch(&mut self) {
-        self.batch.get_or_insert_with(FxHashMap::default);
+        if self.batch.is_none() {
+            // Reuse the drained map from the last epoch (empty, pages
+            // allocated) rather than building a fresh one.
+            self.batch = Some(self.spare.take().unwrap_or_default());
+        }
     }
 
     fn commit_batch(&mut self) {
@@ -276,6 +285,7 @@ impl MatchSource for IndexStrategy {
             debug_assert_eq!(d, 1, "net index delta beyond ±1");
             self.index.insert(label, id);
         }
+        self.spare = Some(pending);
     }
 
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
@@ -302,9 +312,8 @@ impl MatchSource for IndexStrategy {
 
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes()
-            + self.batch.as_ref().map_or(0, |p| {
-                p.capacity() * (1 + std::mem::size_of::<((Label, NodeId), i64)>())
-            })
+            + self.batch.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+            + self.spare.as_ref().map_or(0, NodeLabelMap::memory_bytes)
     }
 }
 

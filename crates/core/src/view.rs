@@ -3,27 +3,40 @@
 //! §4 states the goal: "given some q_k, obtain a single, arbitrary element
 //! of the set q_k(N) as quickly as possible". A view is a generalized
 //! multiset (Definition 4 maps matches to multiplicity 1) — here stored as
-//! a multiplicity map plus a dense member vector, so:
+//! a dense member vector plus a page-backed [`NodeMap`] carrying, per
+//! node, its multiplicity and its position in the member list, so:
 //!
 //! - `any()` (one arbitrary eligible node) is O(1),
-//! - membership updates are O(1) (`swap_remove` on the member list),
-//! - memory is a few machine words per *match*, not per AST node —
-//!   the paper's "negligible memory overhead" quadrant in Figure 2.
+//! - membership updates are O(1) direct-indexed stores (`swap_remove` on
+//!   the member list, no hashing — see `tt_ast::dense`),
+//! - memory is a few machine words per *match* (plus the pages the
+//!   matches fall in), not per AST node — the paper's "negligible memory
+//!   overhead" quadrant in Figure 2.
 //!
 //! Multiplicities other than 0/1 can occur transiently while a delta is
 //! being applied; the member list tracks the positive support.
 
-use tt_ast::{FxHashMap, NodeId};
+use tt_ast::{NodeId, NodeMap};
+
+/// Sentinel position for slots whose node is not currently a member
+/// (zero-crossing multiplicities keep a slot without a member position).
+const NOT_MEMBER: u32 = u32::MAX;
+
+/// Per-node view state: signed multiplicity plus the member-list index
+/// (valid iff `count > 0`).
+#[derive(Debug, Clone, Copy)]
+struct ViewSlot {
+    count: i64,
+    pos: u32,
+}
 
 /// A maintained view over one pattern: the multiset of matching nodes.
 #[derive(Debug, Default)]
 pub struct MatchView {
-    /// Non-zero multiplicities (usually exactly 1 per member).
-    counts: FxHashMap<NodeId, i64>,
+    /// Dense per-node state (non-zero multiplicities only).
+    slots: NodeMap<ViewSlot>,
     /// Dense list of nodes with positive multiplicity.
     members: Vec<NodeId>,
-    /// Position of each member in `members`.
-    pos: FxHashMap<NodeId, u32>,
 }
 
 impl MatchView {
@@ -35,7 +48,7 @@ impl MatchView {
     /// Current multiplicity of `node`.
     #[inline]
     pub fn count(&self, node: NodeId) -> i64 {
-        self.counts.get(&node).copied().unwrap_or(0)
+        self.slots.get(node).map_or(0, |s| s.count)
     }
 
     /// True if `node` is currently in the view (positive multiplicity).
@@ -69,79 +82,84 @@ impl MatchView {
 
     /// Adds `delta` to `node`'s multiplicity (Algorithm 2's
     /// `View ⊕ {| N → Δ(N) |}`), keeping the member list in sync as the
-    /// multiplicity crosses zero.
+    /// multiplicity crosses zero. In steady state (the node's page
+    /// already allocated, the member vector at capacity) this performs
+    /// no heap allocation.
     pub fn add(&mut self, node: NodeId, delta: i64) {
         if delta == 0 {
             return;
         }
-        let old = self.count(node);
+        let slot = self.slots.get_or_insert_with(node, || ViewSlot {
+            count: 0,
+            pos: NOT_MEMBER,
+        });
+        let old = slot.count;
         let new = old + delta;
-        if new == 0 {
-            self.counts.remove(&node);
-        } else {
-            self.counts.insert(node, new);
-        }
+        slot.count = new;
         match (old > 0, new > 0) {
             (false, true) => {
-                self.pos.insert(node, self.members.len() as u32);
+                slot.pos = self.members.len() as u32;
                 self.members.push(node);
             }
             (true, false) => {
-                let at = self.pos.remove(&node).expect("member without position") as usize;
+                debug_assert_ne!(slot.pos, NOT_MEMBER, "member without position");
+                let at = slot.pos as usize;
+                slot.pos = NOT_MEMBER;
+                if new == 0 {
+                    self.slots.remove(node);
+                }
                 self.members.swap_remove(at);
                 if let Some(&moved) = self.members.get(at) {
-                    self.pos.insert(moved, at as u32);
+                    self.slots.get_mut(moved).expect("member has a slot").pos = at as u32;
                 }
             }
-            _ => {}
+            _ => {
+                if new == 0 {
+                    self.slots.remove(node);
+                }
+            }
         }
     }
 
     /// Applies a batch of net multiplicity deltas in one pass — the
     /// commit side of epoch maintenance (see
     /// [`DeltaBuffer`](crate::batch::DeltaBuffer)). Deltas arriving here
-    /// have already been coalesced, so every item touches the maps at
-    /// most once; capacity is reserved up front instead of rehashing
-    /// per entry.
+    /// have already been coalesced, so every item touches the slot map
+    /// at most once.
     pub fn apply_delta<I>(&mut self, deltas: I)
     where
         I: IntoIterator<Item = (NodeId, i64)>,
     {
-        let deltas = deltas.into_iter();
-        let (lower, _) = deltas.size_hint();
-        self.counts.reserve(lower);
-        self.pos.reserve(lower);
         for (node, delta) in deltas {
             self.add(node, delta);
         }
     }
 
-    /// Removes everything.
+    /// Removes everything (pages stay allocated for reuse).
     pub fn clear(&mut self) {
-        self.counts.clear();
+        self.slots.clear();
         self.members.clear();
-        self.pos.clear();
     }
 
     /// Debug invariant: every multiplicity is exactly 1 and agrees with
     /// the member list (Definition 4's view correctness implies 0/1
     /// multiplicities between maintenance operations).
     pub fn check_consistent(&self) -> Result<(), String> {
-        if self.counts.len() != self.members.len() {
+        if self.slots.len() != self.members.len() {
             return Err(format!(
-                "count map has {} entries, member list {}",
-                self.counts.len(),
+                "slot map has {} entries, member list {}",
+                self.slots.len(),
                 self.members.len()
             ));
         }
-        for (&n, &c) in &self.counts {
-            if c != 1 {
-                return Err(format!("{n:?} has multiplicity {c}, expected 1"));
+        for (n, slot) in self.slots.iter() {
+            if slot.count != 1 {
+                return Err(format!("{n:?} has multiplicity {}, expected 1", slot.count));
             }
-            let Some(&at) = self.pos.get(&n) else {
+            if slot.pos == NOT_MEMBER {
                 return Err(format!("{n:?} missing from position map"));
-            };
-            if self.members.get(at as usize) != Some(&n) {
+            }
+            if self.members.get(slot.pos as usize) != Some(&n) {
                 return Err(format!("{n:?} position map out of sync"));
             }
         }
@@ -149,11 +167,10 @@ impl MatchView {
     }
 
     /// Approximate heap bytes — the entire memory cost TreeToaster adds
-    /// on top of the compiler's own AST.
+    /// on top of the compiler's own AST. Allocated (even vacant) pages
+    /// are charged in full; see `tt_ast::dense` on the tradeoff.
     pub fn memory_bytes(&self) -> usize {
-        self.counts.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>())
-            + self.members.capacity() * std::mem::size_of::<NodeId>()
-            + self.pos.capacity() * (1 + std::mem::size_of::<(NodeId, u32)>())
+        self.slots.memory_bytes() + self.members.capacity() * std::mem::size_of::<NodeId>()
     }
 }
 
@@ -163,9 +180,13 @@ impl MatchView {
 /// pop cost instead of O(1). The paper's §4 goal only asks for "a single,
 /// arbitrary element ... as quickly as possible", which the swap-remove
 /// view satisfies; this variant quantifies what ordering would cost.
+///
+/// API parity with [`MatchView`] (`iter`, `clear`, `apply_delta`,
+/// `check_consistent`) lets the batched-mode ablations swap either view
+/// structure under the same driver.
 #[derive(Debug, Default)]
 pub struct OrderedMatchView {
-    counts: FxHashMap<NodeId, i64>,
+    counts: NodeMap<i64>,
     members: std::collections::BTreeSet<NodeId>,
 }
 
@@ -177,7 +198,7 @@ impl OrderedMatchView {
 
     /// Current multiplicity.
     pub fn count(&self, node: NodeId) -> i64 {
-        self.counts.get(&node).copied().unwrap_or(0)
+        self.counts.get(node).copied().unwrap_or(0)
     }
 
     /// True if in the view.
@@ -200,17 +221,22 @@ impl OrderedMatchView {
         self.members.first().copied()
     }
 
+    /// Iterates current members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
     /// Adds `delta` to the multiplicity.
     pub fn add(&mut self, node: NodeId, delta: i64) {
         if delta == 0 {
             return;
         }
-        let old = self.count(node);
+        let entry = self.counts.get_or_insert_with(node, || 0);
+        let old = *entry;
         let new = old + delta;
+        *entry = new;
         if new == 0 {
-            self.counts.remove(&node);
-        } else {
-            self.counts.insert(node, new);
+            self.counts.remove(node);
         }
         match (old > 0, new > 0) {
             (false, true) => {
@@ -223,9 +249,45 @@ impl OrderedMatchView {
         }
     }
 
+    /// Applies a batch of coalesced net deltas (epoch commit).
+    pub fn apply_delta<I>(&mut self, deltas: I)
+    where
+        I: IntoIterator<Item = (NodeId, i64)>,
+    {
+        for (node, delta) in deltas {
+            self.add(node, delta);
+        }
+    }
+
+    /// Removes everything (pages stay allocated for reuse).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.members.clear();
+    }
+
+    /// Debug invariant, mirroring [`MatchView::check_consistent`].
+    pub fn check_consistent(&self) -> Result<(), String> {
+        if self.counts.len() != self.members.len() {
+            return Err(format!(
+                "count map has {} entries, member set {}",
+                self.counts.len(),
+                self.members.len()
+            ));
+        }
+        for (n, &c) in self.counts.iter() {
+            if c != 1 {
+                return Err(format!("{n:?} has multiplicity {c}, expected 1"));
+            }
+            if !self.members.contains(&n) {
+                return Err(format!("{n:?} missing from member set"));
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate heap bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.counts.capacity() * (1 + std::mem::size_of::<(NodeId, i64)>())
+        self.counts.memory_bytes()
             // BTreeSet nodes: ~B·(key + pointers) amortized; charge 3 words
             // per member as a conservative stand-in.
             + self.members.len() * 3 * std::mem::size_of::<usize>()
@@ -252,6 +314,7 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(v.contains(n(9)));
         assert!(!v.is_empty());
+        v.check_consistent().unwrap();
     }
 
     #[test]
@@ -261,6 +324,52 @@ mod tests {
         assert_eq!(v.any(), None);
         v.add(n(3), 2);
         assert_eq!(v.any(), Some(n(3)));
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn ordered_view_parity_iter_clear_apply_delta() {
+        let mut v = OrderedMatchView::new();
+        v.add(n(4), 1);
+        v.apply_delta([(n(1), 1), (n(7), 1), (n(4), -1), (n(2), 1)]);
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            vec![n(1), n(2), n(7)],
+            "ordered iteration"
+        );
+        v.check_consistent().unwrap();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.count(n(1)), 0);
+        assert_eq!(v.iter().count(), 0);
+        v.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn ordered_view_consistency_detects_double_count() {
+        let mut v = OrderedMatchView::new();
+        v.add(n(1), 2);
+        assert!(v.check_consistent().is_err());
+    }
+
+    /// Both view structures, driven by the same delta stream, must agree
+    /// on membership (the batched-mode ablation's correctness premise).
+    #[test]
+    fn ordered_and_swap_remove_views_agree() {
+        let mut ordered = OrderedMatchView::new();
+        let mut swap = MatchView::new();
+        let deltas: Vec<(NodeId, i64)> = (0..200u32)
+            .map(|i| (n(i * 7 % 64), if i % 3 == 0 { -1 } else { 1 }))
+            .collect();
+        for &(node, d) in &deltas {
+            ordered.add(node, d);
+            swap.add(node, d);
+        }
+        assert_eq!(ordered.len(), swap.len());
+        for i in 0..64 {
+            assert_eq!(ordered.contains(n(i)), swap.contains(n(i)), "node {i}");
+            assert_eq!(ordered.count(n(i)), swap.count(n(i)), "node {i}");
+        }
     }
 
     #[test]
@@ -346,6 +455,23 @@ mod tests {
         let mut v = MatchView::new();
         v.add(n(1), 0);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn members_spread_across_pages() {
+        // Ids far apart exercise lazy page allocation and the moved-member
+        // position fixup across pages.
+        let mut v = MatchView::new();
+        for i in [3u32, 1000, 70_000, 5, 260] {
+            v.add(n(i), 1);
+        }
+        assert_eq!(v.len(), 5);
+        v.check_consistent().unwrap();
+        v.add(n(1000), -1);
+        v.add(n(3), -1);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(n(70_000)));
+        v.check_consistent().unwrap();
     }
 
     #[test]

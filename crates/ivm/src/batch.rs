@@ -21,7 +21,7 @@
 //! so the engine's telescoped remove-probe/insert-probe discipline is
 //! preserved verbatim.
 
-use tt_ast::{FxHashMap, Label, NodeId, NodeRow};
+use tt_ast::{Label, NodeId, NodeLabelMap, NodeRow};
 use tt_relational::NodeDelta;
 
 /// Per-key compaction state. Pre-batch presence is implied by the
@@ -42,10 +42,14 @@ enum Pending {
 }
 
 /// An epoch-scoped, self-cancelling buffer of [`NodeDelta`]s.
+///
+/// Compaction state is keyed densely by node (`tt_ast::dense::NodeLabelMap`),
+/// so the per-event hot path — one lookup plus one store per AST
+/// mutation — does no hashing, and the pages persist across epochs.
 #[derive(Debug, Default)]
 pub struct DeltaLog {
     open: bool,
-    keys: FxHashMap<(Label, NodeId), Pending>,
+    keys: NodeLabelMap<Pending>,
     /// First-touch order, for deterministic emission.
     order: Vec<(Label, NodeId)>,
     /// Events pushed over the log's lifetime.
@@ -119,7 +123,7 @@ impl DeltaLog {
     pub fn push(&mut self, delta: NodeDelta) {
         self.staged += 1;
         let key = (delta.label(), delta.row().id);
-        let prior = self.keys.remove(&key);
+        let prior = self.keys.remove(key.0, key.1);
         if prior.is_none() {
             self.order.push(key);
         }
@@ -148,7 +152,7 @@ impl DeltaLog {
                  {prior:?} then {delta:?}"
             ),
         };
-        self.keys.insert(key, next);
+        self.keys.insert(key.0, key.1, next);
     }
 
     /// Drains the log into the net event stream: every surviving removal
@@ -161,7 +165,7 @@ impl DeltaLog {
         let mut removes = Vec::new();
         let mut inserts = Vec::new();
         for key in self.order.drain(..) {
-            match self.keys.remove(&key).expect("ordered key present") {
+            match self.keys.remove(key.0, key.1).expect("ordered key present") {
                 Pending::Inserted(row) => inserts.push(NodeDelta::Insert(key.0, row)),
                 Pending::Removed(row) => removes.push(NodeDelta::Remove(key.0, row)),
                 Pending::Replaced { removed, inserted } => {
@@ -176,14 +180,14 @@ impl DeltaLog {
         removes
     }
 
-    /// Approximate heap bytes of the staged state.
+    /// Approximate heap bytes of the staged state (allocated pages are
+    /// charged in full).
     pub fn memory_bytes(&self) -> usize {
-        let key = std::mem::size_of::<((Label, NodeId), Pending)>();
-        self.keys.capacity() * (1 + key)
+        self.keys.memory_bytes()
             + self
                 .keys
-                .values()
-                .map(|p| match p {
+                .iter()
+                .map(|(_, p)| match p {
                     Pending::Inserted(r) | Pending::Removed(r) => r.heap_bytes(),
                     Pending::Replaced { removed, inserted } => {
                         removed.heap_bytes() + inserted.heap_bytes()

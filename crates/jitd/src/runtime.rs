@@ -17,7 +17,7 @@ use treetoaster_core::{
 use tt_ast::Record;
 use tt_ivm::{ClassicIvm, DbtIvm};
 use tt_metrics::{now_ns, SummaryBuilder};
-use tt_pattern::match_node;
+use tt_pattern::{matches_with, Bindings};
 use tt_ycsb::Op;
 
 /// The five search strategies of the evaluation.
@@ -148,6 +148,10 @@ pub struct Jitd {
     strategy: Box<dyn MatchSource>,
     kind: StrategyKind,
     tick: u64,
+    /// Reusable binding environment for the per-rewrite match
+    /// re-derivation, so a steady-state reorganization step allocates
+    /// nothing outside the rewrite itself.
+    bindings: Bindings,
     /// Collected measurements.
     pub stats: JitdStats,
 }
@@ -173,6 +177,7 @@ impl Jitd {
             strategy,
             kind,
             tick: 0,
+            bindings: Bindings::default(),
             stats,
         }
     }
@@ -266,8 +271,14 @@ impl Jitd {
         };
 
         let rule_def = self.rules.get(rule);
-        let bindings = match_node(self.index.ast(), site, &rule_def.pattern)
-            .expect("strategy returned a stale match — view maintenance bug");
+        // Re-derive bindings into the runtime's reusable environment
+        // (strategies are charged equally for this step; see
+        // `MatchSource::find_one`).
+        let mut bindings = std::mem::take(&mut self.bindings);
+        assert!(
+            matches_with(self.index.ast(), site, &rule_def.pattern, &mut bindings),
+            "strategy returned a stale match — view maintenance bug"
+        );
 
         let m0 = now_ns();
         self.strategy
@@ -294,6 +305,7 @@ impl Jitd {
         let m1 = now_ns();
         self.strategy.after_replace(self.index.ast(), &ctx);
         let maintain_ns = pre_maintain + (now_ns() - m1);
+        self.bindings = bindings;
 
         self.stats.rewrite_ns[rule].push_u64(rewrite_ns);
         self.stats.maintain_ns[rule].push_u64(maintain_ns);

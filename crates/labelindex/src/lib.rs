@@ -11,26 +11,27 @@
 //! which is why it scales poorly on update-heavy workloads (Figure 10's
 //! workloads A and F).
 
-use tt_ast::{Ast, FxHashMap, Label, NodeId, Schema};
+use tt_ast::{Ast, Label, NodeId, NodeMap, Schema};
 use tt_pattern::{match_node, Bindings, Pattern, PatternNode};
 
 /// One label's posting list: a dense vector for cheap iteration plus a
-/// position map for O(1) removal (`swap_remove`).
+/// page-backed position map (`tt_ast::dense::NodeMap`) for O(1) removal
+/// (`swap_remove`) with no hashing on the per-node maintenance path.
 #[derive(Debug, Default)]
 struct Bucket {
     items: Vec<NodeId>,
-    pos: FxHashMap<NodeId, u32>,
+    pos: NodeMap<u32>,
 }
 
 impl Bucket {
     fn insert(&mut self, id: NodeId) {
-        debug_assert!(!self.pos.contains_key(&id), "{id:?} indexed twice");
+        debug_assert!(!self.pos.contains_key(id), "{id:?} indexed twice");
         self.pos.insert(id, self.items.len() as u32);
         self.items.push(id);
     }
 
     fn remove(&mut self, id: NodeId) {
-        let Some(at) = self.pos.remove(&id) else {
+        let Some(at) = self.pos.remove(id) else {
             panic!("removing unindexed node {id:?}");
         };
         let at = at as usize;
@@ -41,8 +42,7 @@ impl Bucket {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.items.capacity() * std::mem::size_of::<NodeId>()
-            + self.pos.capacity() * (1 + std::mem::size_of::<(NodeId, u32)>())
+        self.items.capacity() * std::mem::size_of::<NodeId>() + self.pos.memory_bytes()
     }
 }
 

@@ -15,7 +15,7 @@ use tt_ast::{Ast, AttrName, NodeId, Value};
 /// A pattern's variables are dense (0..var_count), so bindings are a small
 /// vector rather than a map; unbound slots are `NodeId::NULL` (only
 /// possible mid-evaluation).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Bindings {
     slots: Vec<NodeId>,
 }
@@ -26,6 +26,15 @@ impl Bindings {
         Self {
             slots: vec![NodeId::NULL; var_count],
         }
+    }
+
+    /// Re-initializes this environment for `pattern`, reusing the slot
+    /// allocation. Hot maintenance loops evaluate thousands of candidate
+    /// nodes per rewrite; pairing this with [`matches_with`] keeps those
+    /// evaluations allocation-free.
+    pub fn reset_for(&mut self, pattern: &Pattern) {
+        self.slots.clear();
+        self.slots.resize(pattern.var_count(), NodeId::NULL);
     }
 
     /// The node bound to `var`; panics if unbound (an evaluation bug).
@@ -91,6 +100,15 @@ pub fn match_node(ast: &Ast, node: NodeId, pattern: &Pattern) -> Option<Bindings
 /// Boolean fast path of [`match_node`].
 pub fn matches(ast: &Ast, node: NodeId, pattern: &Pattern) -> bool {
     match_node(ast, node, pattern).is_some()
+}
+
+/// [`matches`](fn@matches) over a caller-provided scratch environment: the zero-
+/// allocation fast path the maintenance engines drive per candidate.
+/// `scratch` is reset (and left holding this evaluation's bindings,
+/// valid only on a `true` return).
+pub fn matches_with(ast: &Ast, node: NodeId, pattern: &Pattern, scratch: &mut Bindings) -> bool {
+    scratch.reset_for(pattern);
+    match_rec(ast, node, pattern.root(), scratch) && check_constraints(ast, pattern.root(), scratch)
 }
 
 /// Structural phase: labels, arities, bindings. Constraints are checked in
@@ -208,6 +226,23 @@ mod tests {
         assert_eq!(bindings.get(q.var("A").unwrap()), root);
         assert_eq!(bindings.get(q.var("B").unwrap()), ast.children(root)[0]);
         assert_eq!(bindings.get(q.var("C").unwrap()), ast.children(root)[1]);
+    }
+
+    #[test]
+    fn matches_with_reuses_scratch_across_patterns() {
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
+        let q = add_zero();
+        let schema = ast.schema().clone();
+        let q_var = Pattern::compile(&schema, node("Var", "V", [], tru()));
+        let mut scratch = Bindings::default();
+        assert!(matches_with(&ast, root, &q, &mut scratch));
+        assert_eq!(scratch.get(q.var("A").unwrap()), root);
+        // Re-drive the same scratch through a pattern with fewer vars…
+        let b = ast.children(root)[1];
+        assert!(matches_with(&ast, b, &q_var, &mut scratch));
+        // …and back through the wider one; stale slots must not leak.
+        assert!(!matches_with(&ast, b, &q, &mut scratch));
+        assert!(matches_with(&ast, root, &q, &mut scratch));
     }
 
     #[test]

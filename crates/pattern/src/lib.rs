@@ -22,6 +22,8 @@ pub mod query;
 pub mod sql;
 
 pub use constraint::{ArithOp, Atom, AttrSource, CmpOp, Constraint, HostPred};
-pub use eval::{find_all, find_first, match_node, match_set, matches, Bindings, TreeAttrs};
+pub use eval::{
+    find_all, find_first, match_node, match_set, matches, matches_with, Bindings, TreeAttrs,
+};
 pub use query::{Pattern, PatternNode, VarId};
 pub use sql::{ChildJoin, SqlAtom, SqlQuery};

@@ -9,6 +9,12 @@
 //! index diffs against a freshly built index, and the bolt-ons compare
 //! their shadow database to the live AST and every materialized map to a
 //! from-scratch evaluation.
+//!
+//! Since the views, posting lists, and epoch buffers moved onto the
+//! dense storage layer (`tt_ast::dense`), this suite doubles as its
+//! end-to-end exercise: every epoch stages into `NodeMap`/`NodeLabelMap`
+//! pages and must still commit to exactly the rebuild state. The
+//! structure-level differential complement is `tests/dense_storage.rs`.
 
 use proptest::prelude::*;
 use treetoaster::ast::Record;
