@@ -32,6 +32,24 @@
 //! megabytes for a handful of entries. `memory_bytes()` on every
 //! structure accounts allocated pages honestly, so the Figure 11/13
 //! memory axis reflects the true dense-vs-hash tradeoff.
+//!
+//! ### Generation stamps
+//!
+//! [`NodeMap`] carries a generation counter and every page records the
+//! generation it was last written in. [`NodeMap::clear`] is therefore an
+//! O(1) stamp bump — no page walk — which matters for the epoch
+//! structures (delta buffers, staging maps) that clear once per epoch,
+//! and for forest deployments where per-tree structures clear whenever
+//! their shard's epoch turns over. A stale page (stamp ≠ current
+//! generation) reads as empty and is lazily wiped on its first write, so
+//! the cost of the old `clear` walk is only ever paid for pages actually
+//! reused — and at most once per page per epoch. The one observable
+//! tradeoff: values parked in stale pages are dropped at first-reuse (or
+//! map drop) rather than at `clear` time, and any heap those values own
+//! is invisible to value-walking `memory_bytes` implementations until
+//! then. Structures whose values own heap should `drain()` (which drops
+//! eagerly and still retains pages) instead of `clear()` when discarding
+//! state — see `tt_ivm`'s `DeltaLog::clear`.
 
 use crate::arena::NodeId;
 use crate::schema::Label;
@@ -41,33 +59,54 @@ use std::fmt;
 pub const PAGE_LEN: usize = 1 << PAGE_BITS;
 const PAGE_BITS: u32 = 8;
 
-/// One lazily allocated page: a fixed slab of optional slots plus an
-/// occupancy count so `clear`/iteration can skip vacant pages wholesale.
+/// One lazily allocated page: a fixed slab of optional slots, an
+/// occupancy count so iteration can skip vacant pages (and trailing
+/// vacant slots) wholesale, and the map generation the page was last
+/// written in (a page whose stamp lags the map's is logically empty —
+/// see the module docs).
 struct Page<T> {
     slots: Box<[Option<T>]>,
     used: u32,
+    gen: u64,
 }
 
 impl<T> Page<T> {
-    fn new() -> Page<T> {
+    fn new(gen: u64) -> Page<T> {
         let mut slots = Vec::with_capacity(PAGE_LEN);
         slots.resize_with(PAGE_LEN, || None);
         Page {
             slots: slots.into_boxed_slice(),
             used: 0,
+            gen,
         }
+    }
+
+    /// Wipes a stale page so it can serve the current generation. Cold:
+    /// it runs at most once per page per generation, and keeping it out
+    /// of line keeps the per-touch fast paths small.
+    #[cold]
+    #[inline(never)]
+    fn revive(&mut self, gen: u64) {
+        if self.used > 0 {
+            self.slots.fill_with(|| None);
+            self.used = 0;
+        }
+        self.gen = gen;
     }
 }
 
 /// A page-backed direct-indexed map `NodeId → T`.
 ///
 /// Insert/lookup/remove are O(1) with no hashing; `iter`/`drain` visit
-/// only allocated, non-empty pages. Pages are retained by `remove`,
-/// `clear`, and `drain` so a structure reused across maintenance epochs
-/// reaches a steady state where no operation allocates.
+/// only allocated, current-generation, non-empty pages. Pages are
+/// retained by `remove`, `clear`, and `drain` so a structure reused
+/// across maintenance epochs reaches a steady state where no operation
+/// allocates, and `clear` is an O(1) generation-stamp bump rather than
+/// a page walk.
 pub struct NodeMap<T> {
     pages: Vec<Option<Box<Page<T>>>>,
     len: usize,
+    gen: u64,
 }
 
 impl<T> Default for NodeMap<T> {
@@ -75,6 +114,7 @@ impl<T> Default for NodeMap<T> {
         NodeMap {
             pages: Vec::new(),
             len: 0,
+            gen: 0,
         }
     }
 }
@@ -113,14 +153,23 @@ impl<T> NodeMap<T> {
     #[inline]
     pub fn get(&self, id: NodeId) -> Option<&T> {
         let (p, s) = Self::split(id);
-        self.pages.get(p)?.as_deref()?.slots[s].as_ref()
+        let page = self.pages.get(p)?.as_deref()?;
+        if page.gen != self.gen {
+            return None;
+        }
+        page.slots[s].as_ref()
     }
 
     /// Mutable access to the value for `id`, if present.
     #[inline]
     pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
         let (p, s) = Self::split(id);
-        self.pages.get_mut(p)?.as_deref_mut()?.slots[s].as_mut()
+        let gen = self.gen;
+        let page = self.pages.get_mut(p)?.as_deref_mut()?;
+        if page.gen != gen {
+            return None;
+        }
+        page.slots[s].as_mut()
     }
 
     /// True if `id` has an entry.
@@ -130,18 +179,22 @@ impl<T> NodeMap<T> {
     }
 
     #[inline]
-    fn page_for(pages: &mut Vec<Option<Box<Page<T>>>>, p: usize) -> &mut Page<T> {
+    fn page_for(pages: &mut Vec<Option<Box<Page<T>>>>, gen: u64, p: usize) -> &mut Page<T> {
         if p >= pages.len() {
             pages.resize_with(p + 1, || None);
         }
-        pages[p].get_or_insert_with(|| Box::new(Page::new()))
+        let page = pages[p].get_or_insert_with(|| Box::new(Page::new(gen)));
+        if page.gen != gen {
+            page.revive(gen);
+        }
+        page
     }
 
     /// Inserts `value` for `id`, returning the displaced value if any.
     #[inline]
     pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
         let (p, s) = Self::split(id);
-        let page = Self::page_for(&mut self.pages, p);
+        let page = Self::page_for(&mut self.pages, self.gen, p);
         let old = page.slots[s].replace(value);
         if old.is_none() {
             page.used += 1;
@@ -154,7 +207,7 @@ impl<T> NodeMap<T> {
     #[inline]
     pub fn get_or_insert_with(&mut self, id: NodeId, default: impl FnOnce() -> T) -> &mut T {
         let (p, s) = Self::split(id);
-        let page = Self::page_for(&mut self.pages, p);
+        let page = Self::page_for(&mut self.pages, self.gen, p);
         if page.slots[s].is_none() {
             page.slots[s] = Some(default());
             page.used += 1;
@@ -168,7 +221,11 @@ impl<T> NodeMap<T> {
     #[inline]
     pub fn remove(&mut self, id: NodeId) -> Option<T> {
         let (p, s) = Self::split(id);
+        let gen = self.gen;
         let page = self.pages.get_mut(p)?.as_deref_mut()?;
+        if page.gen != gen {
+            return None;
+        }
         let old = page.slots[s].take();
         if old.is_some() {
             page.used -= 1;
@@ -177,33 +234,27 @@ impl<T> NodeMap<T> {
         old
     }
 
-    /// Removes every entry, keeping all pages allocated.
+    /// Removes every entry in O(1): bumps the map generation, so every
+    /// allocated page becomes stale (logically empty) at once. Pages
+    /// stay allocated and are wiped lazily on their next write.
     pub fn clear(&mut self) {
-        for page in self.pages.iter_mut().flatten() {
-            if page.used > 0 {
-                page.slots.fill_with(|| None);
-                page.used = 0;
-            }
-        }
+        self.gen += 1;
         self.len = 0;
     }
 
-    /// Iterates `(id, &value)` in ascending id order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(pi, p)| {
-                p.as_deref()
-                    .filter(|page| page.used > 0)
-                    .map(move |page| (pi, page))
-            })
-            .flat_map(|(pi, page)| {
-                page.slots
-                    .iter()
-                    .enumerate()
-                    .filter_map(move |(si, s)| s.as_ref().map(|v| (Self::join(pi, si), v)))
-            })
+    /// Iterates `(id, &value)` in ascending id order. Hand-rolled (not
+    /// an adapter chain) so the hot mid-epoch overlay scans stay cheap:
+    /// stale and vacant pages are skipped wholesale, and each live
+    /// page's occupancy count ends the slot scan at its last entry
+    /// instead of walking all [`PAGE_LEN`] slots.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            map: self,
+            current: None,
+            page: 0,
+            slot: 0,
+            left: 0,
+        }
     }
 
     /// Drains every entry as `(id, value)`, keeping pages allocated.
@@ -237,6 +288,59 @@ impl<T: fmt::Debug> fmt::Debug for NodeMap<T> {
     }
 }
 
+/// Borrowing iterator over a [`NodeMap`]. See [`NodeMap::iter`].
+pub struct Iter<'a, T> {
+    map: &'a NodeMap<T>,
+    /// The live page currently being scanned.
+    current: Option<&'a Page<T>>,
+    page: usize,
+    slot: usize,
+    /// Occupied slots of `current` not yet yielded; 0 = seek a new page.
+    left: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (NodeId, &'a T);
+
+    fn next(&mut self) -> Option<(NodeId, &'a T)> {
+        loop {
+            if let Some(page) = self.current {
+                while self.slot < PAGE_LEN {
+                    let s = self.slot;
+                    self.slot += 1;
+                    if let Some(v) = page.slots[s].as_ref() {
+                        let id = NodeMap::<T>::join(self.page, s);
+                        self.left -= 1;
+                        if self.left == 0 {
+                            // Last occupied slot of this page: skip its
+                            // vacant tail entirely.
+                            self.current = None;
+                            self.page += 1;
+                            self.slot = 0;
+                        }
+                        return Some((id, v));
+                    }
+                }
+                self.current = None;
+                self.page += 1;
+                self.slot = 0;
+            }
+            // Seek the next allocated, current-generation, non-empty page.
+            loop {
+                match self.map.pages.get(self.page)?.as_deref() {
+                    Some(p) if p.gen == self.map.gen && p.used > 0 => {
+                        self.current = Some(p);
+                        self.slot = 0;
+                        self.left = p.used;
+                        break;
+                    }
+                    _ => self.page += 1,
+                }
+            }
+        }
+    }
+}
+
 /// Draining iterator over a [`NodeMap`]. See [`NodeMap::drain`].
 pub struct Drain<'a, T> {
     map: &'a mut NodeMap<T>,
@@ -248,12 +352,13 @@ impl<T> Iterator for Drain<'_, T> {
     type Item = (NodeId, T);
 
     fn next(&mut self) -> Option<(NodeId, T)> {
+        let gen = self.map.gen;
         while self.page < self.map.pages.len() {
             let Some(page) = self.map.pages[self.page].as_deref_mut() else {
                 self.page += 1;
                 continue;
             };
-            if page.used == 0 {
+            if page.gen != gen || page.used == 0 {
                 self.page += 1;
                 self.slot = 0;
                 continue;
@@ -645,6 +750,72 @@ mod tests {
             assert!(d.next().is_some());
         }
         assert!(m.is_empty(), "dropped drain clears the rest");
+    }
+
+    #[test]
+    fn map_clear_is_a_stamp_bump() {
+        let mut m: NodeMap<i64> = NodeMap::new();
+        for i in [0u32, 300, 700] {
+            m.insert(n(i), i as i64);
+        }
+        let pages = m.page_count();
+        m.clear();
+        // Stale pages read as empty through every access path.
+        assert!(m.is_empty());
+        assert_eq!(m.get(n(0)), None);
+        assert_eq!(m.get_mut(n(300)), None);
+        assert!(!m.contains_key(n(700)));
+        assert_eq!(m.remove(n(0)), None);
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.drain().count(), 0);
+        assert_eq!(m.page_count(), pages, "clear retains (stale) pages");
+        // First write to a stale page revives it; untouched entries of
+        // the old generation never resurface.
+        *m.get_or_insert_with(n(1), || 10) += 1;
+        assert_eq!(m.get(n(1)), Some(&11));
+        assert_eq!(m.get(n(0)), None, "old-generation neighbor stays dead");
+        assert_eq!(m.len(), 1);
+        // Repeated clears (including clear-of-empty) stay consistent.
+        m.clear();
+        m.clear();
+        assert!(m.is_empty());
+        m.insert(n(300), 5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(n(300), &5)]);
+    }
+
+    #[test]
+    fn iter_early_exit_is_exhaustive_per_page() {
+        // Entries at both edges and the middle of one page, plus a
+        // second page: the occupancy-count early exit must still yield
+        // everything, in order, exactly once.
+        let mut m: NodeMap<u32> = NodeMap::new();
+        for i in [0u32, 128, 255, 256, 511] {
+            m.insert(n(i), i);
+        }
+        assert_eq!(
+            m.iter().map(|(k, &v)| (k.index(), v)).collect::<Vec<_>>(),
+            vec![(0, 0), (128, 128), (255, 255), (256, 256), (511, 511)]
+        );
+        // Removing mid-page entries keeps the count honest.
+        m.remove(n(128));
+        m.remove(n(255));
+        assert_eq!(m.iter().count(), 3);
+    }
+
+    #[test]
+    fn label_map_survives_stamp_clear() {
+        let (a, b) = (Label(1), Label(2));
+        let mut m: NodeLabelMap<i64> = NodeLabelMap::new();
+        m.insert(a, n(4), 1);
+        m.insert(b, n(4), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(a, n(4)), None);
+        assert_eq!(m.insert(a, n(4), 7), None, "no ghost from the old epoch");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(a, n(4)), Some(&7));
+        assert_eq!(m.get(b, n(4)), None);
     }
 
     #[test]

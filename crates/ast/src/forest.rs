@@ -1,0 +1,273 @@
+//! A sharded forest of independent AST arenas.
+//!
+//! The paper's motivating deployments maintain views over *many*
+//! concurrent query plans — Spark contributes ~1000-node plans in
+//! bursts, Greenplum/Orca a stream of independent optimizations (§2,
+//! §7) — yet a single [`Ast`] arena models exactly one tree. A
+//! [`Forest`] holds a fleet of arenas, one per [`TreeId`]-tagged
+//! **shard**. Each shard is its own id space starting at zero, so:
+//!
+//! - every shard owns a contiguous, private [`NodeId`] range — the dense
+//!   pages of any per-shard structure (`NodeMap`, views, delta buffers)
+//!   partition trivially, because a page can only ever hold one shard's
+//!   nodes;
+//! - shards stay compact no matter how many trees the forest holds (a
+//!   global id space would leave far-apart shards paying page-table
+//!   range for every shard before them);
+//! - per-shard maintenance state (epochs, views, indexes) commits and
+//!   clears independently — the isolation that lets a compiler back-end
+//!   scale near-linearly across independent inputs.
+//!
+//! A node is therefore globally addressed by a [`GlobalNodeId`]: the
+//! `(tree, node)` pair. Layers above (the `ForestEngine` in
+//! `treetoaster_core`, the JITD fleet runtime) dispatch on the tree
+//! component and hand the node component to per-shard structures
+//! unchanged.
+
+use crate::arena::Ast;
+use crate::schema::Schema;
+use crate::NodeId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Compact handle of one shard (tree) in a [`Forest`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeId(u32);
+
+impl TreeId {
+    /// Rebuilds a tree id from a raw shard index.
+    #[inline]
+    pub fn from_index(index: u32) -> TreeId {
+        TreeId(index)
+    }
+
+    /// Raw shard index.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Global address of a node: which shard, and which node within it.
+/// Shard-local [`NodeId`]s overlap across trees by design; this pair is
+/// the unambiguous forest-level handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalNodeId {
+    /// The owning shard.
+    pub tree: TreeId,
+    /// The node within that shard's arena.
+    pub node: NodeId,
+}
+
+impl GlobalNodeId {
+    /// Pairs a shard with one of its nodes.
+    #[inline]
+    pub fn new(tree: TreeId, node: NodeId) -> GlobalNodeId {
+        GlobalNodeId { tree, node }
+    }
+}
+
+/// A fleet of independent AST arenas over one shared schema.
+pub struct Forest {
+    schema: Arc<Schema>,
+    trees: Vec<Ast>,
+}
+
+impl Forest {
+    /// An empty forest over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Forest {
+        Forest {
+            schema,
+            trees: Vec::new(),
+        }
+    }
+
+    /// A forest preallocated with `n` empty trees.
+    pub fn with_trees(schema: Arc<Schema>, n: usize) -> Forest {
+        let mut forest = Forest::new(schema);
+        for _ in 0..n {
+            forest.add_tree();
+        }
+        forest
+    }
+
+    /// The shared schema every shard follows.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Adds a fresh empty shard, returning its id.
+    pub fn add_tree(&mut self) -> TreeId {
+        let id = TreeId(u32::try_from(self.trees.len()).expect("forest exhausted"));
+        self.trees.push(Ast::new(self.schema.clone()));
+        id
+    }
+
+    /// Adopts an existing arena as a new shard. Panics if the arena's
+    /// schema is not the forest's.
+    pub fn adopt_tree(&mut self, ast: Ast) -> TreeId {
+        assert!(
+            Arc::ptr_eq(ast.schema(), &self.schema),
+            "adopted tree must share the forest schema"
+        );
+        let id = TreeId(u32::try_from(self.trees.len()).expect("forest exhausted"));
+        self.trees.push(ast);
+        id
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if the forest holds no shards.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The shard for `id`.
+    #[inline]
+    pub fn tree(&self, id: TreeId) -> &Ast {
+        &self.trees[id.0 as usize]
+    }
+
+    /// Mutable access to the shard for `id`.
+    #[inline]
+    pub fn tree_mut(&mut self, id: TreeId) -> &mut Ast {
+        &mut self.trees[id.0 as usize]
+    }
+
+    /// Iterates `(id, shard)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &Ast)> + '_ {
+        self.trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TreeId(i as u32), t))
+    }
+
+    /// All shard ids.
+    pub fn tree_ids(&self) -> impl Iterator<Item = TreeId> {
+        (0..self.trees.len() as u32).map(TreeId)
+    }
+
+    /// Total live nodes across all shards.
+    pub fn live_total(&self) -> usize {
+        self.trees.iter().map(Ast::live_count).sum()
+    }
+
+    /// Approximate heap bytes across all shards' arenas.
+    pub fn memory_bytes(&self) -> usize {
+        self.trees.iter().map(Ast::memory_bytes).sum()
+    }
+
+    /// Validates every shard ([`Ast::validate`]), naming the failing tree.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, tree) in self.iter() {
+            tree.validate().map_err(|e| format!("{id:?}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::arith_schema;
+    use crate::sexpr::parse_sexpr;
+
+    fn grow(forest: &mut Forest, text: &str) -> TreeId {
+        let id = forest.add_tree();
+        let ast = forest.tree_mut(id);
+        let root = parse_sexpr(ast, text).unwrap();
+        ast.set_root(root);
+        id
+    }
+
+    #[test]
+    fn shards_have_independent_id_spaces() {
+        let mut forest = Forest::new(arith_schema());
+        let a = grow(
+            &mut forest,
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+        );
+        let b = grow(&mut forest, r#"(Var name="lonely")"#);
+        assert_eq!(forest.tree_count(), 2);
+        // Both shards allocate from zero: the same local NodeId names
+        // different nodes in different shards.
+        let n0 = NodeId::from_index(0);
+        assert!(forest.tree(a).is_live(n0));
+        assert!(forest.tree(b).is_live(n0));
+        assert_ne!(forest.tree(a).label(n0), forest.tree(b).label(n0));
+        assert_ne!(GlobalNodeId::new(a, n0), GlobalNodeId::new(b, n0));
+        assert_eq!(forest.live_total(), 4);
+        forest.validate().unwrap();
+    }
+
+    #[test]
+    fn mutating_one_shard_leaves_others_untouched() {
+        let mut forest = Forest::with_trees(arith_schema(), 3);
+        let ids: Vec<TreeId> = forest.tree_ids().collect();
+        let schema = forest.schema().clone();
+        for &id in &ids {
+            let ast = forest.tree_mut(id);
+            let c = ast.alloc(
+                schema.expect_label("Const"),
+                vec![crate::Value::Int(id.index() as i64)],
+                vec![],
+            );
+            ast.set_root(c);
+        }
+        let before: Vec<usize> = ids.iter().map(|&id| forest.tree(id).live_count()).collect();
+        // Rewrite shard 1 only.
+        let ast = forest.tree_mut(ids[1]);
+        let v = ast.alloc(
+            schema.expect_label("Var"),
+            vec![crate::Value::str("z")],
+            vec![],
+        );
+        let old = ast.root();
+        ast.replace(old, v);
+        ast.free_subtree(old);
+        assert_eq!(forest.tree(ids[0]).live_count(), before[0]);
+        assert_eq!(forest.tree(ids[2]).live_count(), before[2]);
+        forest.validate().unwrap();
+    }
+
+    #[test]
+    fn adopt_tree_requires_shared_schema() {
+        let schema = arith_schema();
+        let mut forest = Forest::new(schema.clone());
+        let mut ast = Ast::new(schema);
+        let root = parse_sexpr(&mut ast, r#"(Const val=7)"#).unwrap();
+        ast.set_root(root);
+        let id = forest.adopt_tree(ast);
+        assert_eq!(forest.tree(id).live_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the forest schema")]
+    fn adopt_rejects_foreign_schema() {
+        let mut forest = Forest::new(arith_schema());
+        forest.adopt_tree(Ast::new(arith_schema()));
+    }
+
+    #[test]
+    fn memory_sums_across_shards() {
+        let mut forest = Forest::new(arith_schema());
+        grow(&mut forest, r#"(Const val=1)"#);
+        let one = forest.memory_bytes();
+        grow(&mut forest, r#"(Const val=2)"#);
+        assert!(forest.memory_bytes() >= one);
+        // TreeId formatting is compact.
+        assert_eq!(format!("{:?}", TreeId::from_index(3)), "t3");
+    }
+}

@@ -46,8 +46,12 @@ fn validate_one(path: &str) -> ExitCode {
         Ok(summary) => {
             println!(
                 "tt-bench-check: {path} OK — {} results, strategies {:?}, \
-                 workloads {:?}, batch sizes {:?}",
-                summary.results, summary.strategies, summary.workloads, summary.batch_sizes
+                 workloads {:?}, batch sizes {:?}, tree counts {:?}",
+                summary.results,
+                summary.strategies,
+                summary.workloads,
+                summary.batch_sizes,
+                summary.tree_counts
             );
             ExitCode::SUCCESS
         }
@@ -78,10 +82,11 @@ fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
         }
         worst = worst.max(cell.ratio());
         println!(
-            "  {}/{} K={:<4} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
+            "  {}/{} K={:<4} T={:<3} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
             cell.workload,
             cell.strategy,
             cell.batch_size,
+            cell.trees,
             cell.old_ns,
             cell.new_ns,
             (cell.ratio() - 1.0) * 100.0
@@ -100,11 +105,12 @@ fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
     } else {
         for cell in cmp.regressions() {
             eprintln!(
-                "tt-bench-check: REGRESSION {}/{} K={} — {:.0} → {:.0} ns/op \
+                "tt-bench-check: REGRESSION {}/{} K={} T={} — {:.0} → {:.0} ns/op \
                  ({:+.1}%, threshold {:+.1}%)",
                 cell.workload,
                 cell.strategy,
                 cell.batch_size,
+                cell.trees,
                 cell.old_ns,
                 cell.new_ns,
                 (cell.ratio() - 1.0) * 100.0,

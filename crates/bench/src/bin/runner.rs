@@ -1,25 +1,31 @@
 //! `tt-bench` — the machine-readable benchmark runner.
 //!
 //! Sweeps the figure-12/13 workloads across all five strategies and a
-//! configurable batch-size axis, writing `BENCH_treetoaster.json` (see
+//! configurable batch-size axis — plus the multi-tree fleet workloads
+//! G/H across a tree-count axis — writing `BENCH_treetoaster.json` (see
 //! [`tt_bench::report`] for the schema). `--quick` runs the CI scale;
 //! without it the `TT_*` environment knobs (or explicit flags) set the
 //! scale.
 //!
 //! ```text
 //! tt-bench --quick [--out PATH] [--batch-sizes 1,8,64]
-//!          [--workloads ABCDF] [--records N] [--ops N] [--seed N]
-//!          [--repeat N]
+//!          [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GH]
+//!          [--records N] [--ops N] [--seed N] [--repeat N]
 //! ```
 //!
 //! `--repeat N` runs every cell N times and keeps the fastest run —
 //! min-of-N is the noise-robust latency estimator (interference only
 //! adds time), which the `tt-bench-check --compare` trend gate needs to
 //! hold per-cell thresholds without flapping. Quick mode defaults to 3.
+//!
+//! `--fleet-trees ""` (empty) skips the fleet sweep entirely.
 
 use std::process::ExitCode;
 use tt_bench::report::{render_report, validate_report, SweepConfig, BENCH_FILE};
-use tt_bench::{paper_workloads, run_jitd_batched, ExperimentConfig};
+use tt_bench::{
+    fleet_workloads, paper_workloads, run_fleet_batched, run_jitd_batched, BatchRunResult,
+    ExperimentConfig,
+};
 use tt_jitd::StrategyKind;
 
 struct Args {
@@ -27,6 +33,8 @@ struct Args {
     out: String,
     batch_sizes: Vec<usize>,
     workloads: Vec<char>,
+    fleet_trees: Vec<usize>,
+    fleet_workloads: Vec<char>,
     records: Option<u64>,
     ops: Option<usize>,
     seed: Option<u64>,
@@ -36,7 +44,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tt-bench [--quick] [--out PATH] [--batch-sizes 1,8,64] \
-         [--workloads ABCDF] [--records N] [--ops N] [--seed N] [--repeat N]"
+         [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GH] \
+         [--records N] [--ops N] [--seed N] [--repeat N]"
     );
     std::process::exit(2);
 }
@@ -47,6 +56,8 @@ fn parse_args() -> Args {
         out: BENCH_FILE.to_string(),
         batch_sizes: vec![1, 8, 64],
         workloads: paper_workloads(),
+        fleet_trees: vec![1, 4],
+        fleet_workloads: fleet_workloads(),
         records: None,
         ops: None,
         seed: None,
@@ -78,6 +89,20 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--fleet-trees" => {
+                let raw = value("--fleet-trees");
+                args.fleet_trees = raw
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.fleet_trees.contains(&0) {
+                    usage();
+                }
+            }
+            "--fleet-workloads" => {
+                args.fleet_workloads = value("--fleet-workloads").chars().collect();
+            }
             "--records" => {
                 args.records = Some(value("--records").parse().unwrap_or_else(|_| usage()))
             }
@@ -92,11 +117,21 @@ fn parse_args() -> Args {
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
-                usage();
+                usage()
             }
         }
     }
     args
+}
+
+/// One cell of the sweep: trees == 1 with a single-tree workload runs
+/// the classic driver, fleet workloads run the forest driver.
+#[derive(Clone, Copy)]
+struct CellSpec {
+    workload: char,
+    strategy: StrategyKind,
+    batch_size: usize,
+    trees: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -109,6 +144,7 @@ fn main() -> ExitCode {
             ops: 96,
             crack_threshold: 64,
             seed: 42,
+            adaptive_batch: false,
         }
     } else {
         ExperimentConfig::from_env()
@@ -127,58 +163,102 @@ fn main() -> ExitCode {
     // doesn't flap on scheduler noise; full runs default to 1.
     let repeat = args.repeat.unwrap_or(if args.quick { 3 } else { 1 });
 
+    let fleet_on = !args.fleet_trees.is_empty() && !args.fleet_workloads.is_empty();
     let sweep = SweepConfig {
         quick: args.quick,
         experiment,
         batch_sizes: args.batch_sizes.clone(),
         workloads: args.workloads.clone(),
+        fleet_workloads: if fleet_on {
+            args.fleet_workloads.clone()
+        } else {
+            Vec::new()
+        },
+        fleet_trees: if fleet_on {
+            args.fleet_trees.clone()
+        } else {
+            Vec::new()
+        },
         repeat,
     };
-    let runs = StrategyKind::all().len() * sweep.workloads.len() * sweep.batch_sizes.len();
+
+    let mut specs: Vec<CellSpec> = Vec::new();
+    for &workload in &sweep.workloads {
+        for strategy in StrategyKind::all() {
+            for &batch_size in &sweep.batch_sizes {
+                specs.push(CellSpec {
+                    workload,
+                    strategy,
+                    batch_size,
+                    trees: None,
+                });
+            }
+        }
+    }
+    for &workload in &sweep.fleet_workloads {
+        for strategy in StrategyKind::all() {
+            for &batch_size in &sweep.batch_sizes {
+                for &trees in &sweep.fleet_trees {
+                    specs.push(CellSpec {
+                        workload,
+                        strategy,
+                        batch_size,
+                        trees: Some(trees),
+                    });
+                }
+            }
+        }
+    }
     eprintln!(
         "tt-bench: {} runs (records={}, ops={}, seed={}, batch sizes {:?}, workloads {:?}, \
-         min-of-{})",
-        runs,
+         fleet {:?} × trees {:?}, min-of-{})",
+        specs.len(),
         experiment.records,
         experiment.ops,
         experiment.seed,
         sweep.batch_sizes,
         sweep.workloads,
+        sweep.fleet_workloads,
+        sweep.fleet_trees,
         repeat
     );
 
     // Repeat at the *sweep* level — N full passes, per-cell minimum
     // across passes — so a burst of machine interference degrades one
     // pass of many cells rather than every repeat of one cell.
-    let mut best: Vec<Option<tt_bench::BatchRunResult>> = vec![None; runs];
+    let mut best: Vec<Option<BatchRunResult>> = vec![None; specs.len()];
     for round in 0..repeat {
         if repeat > 1 {
             eprintln!("tt-bench: pass {}/{repeat}", round + 1);
         }
-        let mut cell = 0;
-        for &workload in &sweep.workloads {
-            for strategy in StrategyKind::all() {
-                for &batch_size in &sweep.batch_sizes {
-                    let r = run_jitd_batched(workload, strategy, experiment, batch_size);
-                    let slot = &mut best[cell];
-                    if slot.as_ref().is_none_or(|b| r.total_ns < b.total_ns) {
-                        *slot = Some(r);
-                    }
-                    cell += 1;
-                }
+        for (cell, spec) in specs.iter().enumerate() {
+            let r = match spec.trees {
+                None => run_jitd_batched(spec.workload, spec.strategy, experiment, spec.batch_size),
+                Some(trees) => run_fleet_batched(
+                    spec.workload,
+                    spec.strategy,
+                    experiment,
+                    spec.batch_size,
+                    trees,
+                ),
+            };
+            let slot = &mut best[cell];
+            if slot.as_ref().is_none_or(|b| r.total_ns < b.total_ns) {
+                *slot = Some(r);
             }
         }
     }
-    let results: Vec<tt_bench::BatchRunResult> = best
+    let results: Vec<BatchRunResult> = best
         .into_iter()
         .map(|r| r.expect("all cells ran"))
         .collect();
     for r in &results {
         eprintln!(
-            "  {}/{} K={:<4} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",
+            "  {}/{} K={:<4} T={:<3} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",
             r.workload,
             r.strategy.label(),
             r.batch_size,
+            r.trees,
             r.ns_per_op(),
             r.peak_strategy_bytes,
             r.rewrites
@@ -187,7 +267,8 @@ fn main() -> ExitCode {
 
     let text = render_report(&sweep, &results);
     // Self-check before writing: the runner must never publish a
-    // trajectory its own checker would reject.
+    // trajectory its own checker would reject (schema, coverage, and
+    // the fleet-scaling gate all run here).
     if let Err(e) = validate_report(&text) {
         eprintln!("tt-bench: internal error, emitted report invalid: {e}");
         return ExitCode::FAILURE;

@@ -11,6 +11,7 @@
 //! | `TT_OPS`            | 1000    | YCSB operations per run             |
 //! | `TT_CRACK_THRESHOLD`| 64      | CrackArray eligibility bound        |
 //! | `TT_SEED`           | 42      | master RNG seed                     |
+//! | `TT_ADAPTIVE_BATCH` | 0       | auto-tune K from cancellation rates |
 //! | `TT_ANTIPATTERN_MAX`| 6       | deepest UNION-doubling level (fig14)|
 //! | `TT_ORCA_MAX`       | 5       | deepest level for fig15             |
 //! | `TT_FIG1_REPS`      | 3       | repetitions averaged per query      |
@@ -18,10 +19,10 @@
 
 pub mod report;
 
-use tt_ast::Record;
-use tt_jitd::{Jitd, JitdStats, RuleConfig, StrategyKind};
+use tt_ast::{Record, TreeId};
+use tt_jitd::{Jitd, JitdFleet, JitdStats, RuleConfig, StrategyKind};
 use tt_metrics::{bytes_to_pages, now_ns, statm_resident_pages, Summary, SummaryBuilder};
-use tt_ycsb::{Workload, WorkloadSpec};
+use tt_ycsb::{FleetSpec, FleetWorkload, Workload, WorkloadSpec};
 
 /// Scale configuration, environment-overridable.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +35,11 @@ pub struct ExperimentConfig {
     pub crack_threshold: usize,
     /// Master seed.
     pub seed: u64,
+    /// Adaptive batch sizing: when set, the epoch drivers auto-tune the
+    /// ops-per-epoch K from the strategies' observed cancellation rates
+    /// (a high rate widens the epoch, a low rate narrows it). Off by
+    /// default — the fixed-K path is byte-for-byte unchanged.
+    pub adaptive_batch: bool,
 }
 
 impl ExperimentConfig {
@@ -44,7 +50,30 @@ impl ExperimentConfig {
             ops: env_u64("TT_OPS", 1_000) as usize,
             crack_threshold: env_u64("TT_CRACK_THRESHOLD", 64) as usize,
             seed: env_u64("TT_SEED", 42),
+            adaptive_batch: env_u64("TT_ADAPTIVE_BATCH", 0) != 0,
         }
+    }
+}
+
+/// Adaptive-K policy shared by the epoch drivers: widen the epoch while
+/// cancellation keeps absorbing churn, narrow it when staging is pure
+/// overhead. Bounds keep K in a sane envelope.
+fn tune_batch_size(k: usize, cancellation: Option<(u64, u64)>) -> usize {
+    const K_MIN: usize = 1;
+    const K_MAX: usize = 1024;
+    let Some((staged, canceled)) = cancellation else {
+        return k;
+    };
+    if staged == 0 {
+        return k;
+    }
+    let rate = canceled as f64 / staged as f64;
+    if rate > 0.5 {
+        (k * 2).min(K_MAX)
+    } else if rate < 0.1 {
+        (k / 2).max(K_MIN)
+    } else {
+        k
     }
 }
 
@@ -170,7 +199,13 @@ pub struct BatchRunResult {
     /// The strategy measured.
     pub strategy: StrategyKind,
     /// Operations per maintenance epoch (`usize::MAX` = one epoch).
+    /// Under adaptive sizing this is the *starting* K.
     pub batch_size: usize,
+    /// Ops-per-epoch after the last adaptive adjustment (equals
+    /// `batch_size` on the fixed-K path).
+    pub final_batch_size: usize,
+    /// Trees in the fleet (1 for the single-tree workloads A–F).
+    pub trees: usize,
     /// YCSB operations executed.
     pub ops: usize,
     /// Rewrites applied across all epochs.
@@ -231,8 +266,9 @@ pub fn run_jitd_batched(
     let steps_before = jitd.stats.steps;
     let t0 = now_ns();
     let mut done = 0usize;
+    let mut k = batch_size;
     while done < cfg.ops {
-        let chunk = batch_size.min(cfg.ops - done);
+        let chunk = k.min(cfg.ops - done);
         jitd.begin_batch();
         for _ in 0..chunk {
             let op = driver.next_op();
@@ -246,6 +282,11 @@ pub fn run_jitd_batched(
         jitd.commit_batch();
         done += chunk;
         peak = peak.max(jitd.strategy_memory_bytes());
+        if cfg.adaptive_batch {
+            // The counters describe the epoch just committed; tune the
+            // next epoch's width from its cancellation rate.
+            k = tune_batch_size(k, jitd.batch_cancellation());
+        }
     }
     let total_ns = now_ns() - t0;
 
@@ -259,6 +300,8 @@ pub fn run_jitd_batched(
         workload,
         strategy,
         batch_size,
+        final_batch_size: k,
+        trees: 1,
         ops: cfg.ops,
         rewrites: jitd.stats.steps - steps_before,
         total_ns,
@@ -267,6 +310,121 @@ pub fn run_jitd_batched(
         peak_strategy_bytes: peak,
         final_strategy_bytes: jitd.strategy_memory_bytes(),
     }
+}
+
+/// Runs one **fleet** workload (G or H) against one strategy with
+/// per-tree epoch-batched maintenance. The fleet holds `trees` shards;
+/// the preload is split evenly so total state matches a single-tree run
+/// at the same `cfg.records`. Each epoch consumes `batch_size` ops from
+/// the fleet stream; only the shards the epoch actually touched open an
+/// epoch, reorganize, and commit — untouched plans pay nothing, which is
+/// exactly the isolation the tree-count axis measures.
+pub fn run_fleet_batched(
+    workload: char,
+    strategy: StrategyKind,
+    cfg: ExperimentConfig,
+    batch_size: usize,
+    trees: usize,
+) -> BatchRunResult {
+    assert!(batch_size > 0, "batch size must be positive");
+    assert!(trees > 0, "fleet needs at least one tree");
+    let records_per_tree = (cfg.records / trees as u64).max(32);
+    let mut fleet = JitdFleet::new(
+        strategy,
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
+        trees,
+        |t| {
+            (0..records_per_tree as i64)
+                .map(|k| Record::new(k, k.wrapping_mul(7) ^ t as i64))
+                .collect()
+        },
+    );
+    let mut driver = FleetWorkload::new(
+        FleetSpec::standard(workload, trees),
+        records_per_tree,
+        cfg.seed,
+    );
+    // Load-phase organization per shard, outside the measured loop.
+    for t in fleet.tree_ids().collect::<Vec<TreeId>>() {
+        fleet.reorganize_until_quiet(t, u64::MAX);
+    }
+
+    let mut peak = fleet.strategy_memory_bytes();
+    let steps_before = fleet.stats.steps;
+    let t0 = now_ns();
+    let mut done = 0usize;
+    let mut k = batch_size;
+    let mut touched: Vec<TreeId> = Vec::new();
+    let mut in_epoch = vec![false; trees];
+    while done < cfg.ops {
+        let chunk = k.min(cfg.ops - done);
+        touched.clear();
+        in_epoch.iter_mut().for_each(|b| *b = false);
+        for _ in 0..chunk {
+            let fop = driver.next_op();
+            let tree = TreeId::from_index(fop.tree as u32);
+            if !in_epoch[fop.tree] {
+                in_epoch[fop.tree] = true;
+                touched.push(tree);
+                fleet.begin_batch(tree);
+            }
+            fleet.execute(tree, &fop.op);
+        }
+        for &tree in &touched {
+            fleet.reorganize_until_quiet(tree, u64::MAX);
+        }
+        peak = peak.max(fleet.strategy_memory_bytes());
+        for &tree in &touched {
+            fleet.commit_batch(tree);
+        }
+        done += chunk;
+        peak = peak.max(fleet.strategy_memory_bytes());
+        if cfg.adaptive_batch {
+            // Sum only the shards this epoch touched: untouched shards
+            // still report their *last* epoch's counters, which would
+            // let stale churn drive the tuning.
+            let mut any = false;
+            let (mut staged, mut canceled) = (0u64, 0u64);
+            for &tree in &touched {
+                if let Some((s, c)) = fleet.batch_cancellation(tree) {
+                    any = true;
+                    staged += s;
+                    canceled += c;
+                }
+            }
+            k = tune_batch_size(k, any.then_some((staged, canceled)));
+        }
+    }
+    let total_ns = now_ns() - t0;
+
+    let maintain_mean_ns = fleet
+        .stats
+        .all_maintenance_samples()
+        .finish()
+        .map_or(0.0, |s| s.mean);
+    let commit_mean_ns = fleet.stats.commit_ns.finish().map_or(0.0, |s| s.mean);
+    BatchRunResult {
+        workload,
+        strategy,
+        batch_size,
+        final_batch_size: k,
+        trees,
+        ops: cfg.ops,
+        rewrites: fleet.stats.steps - steps_before,
+        total_ns,
+        maintain_mean_ns,
+        commit_mean_ns,
+        peak_strategy_bytes: peak,
+        final_strategy_bytes: fleet.strategy_memory_bytes(),
+    }
+}
+
+/// The fleet workloads the multi-tree cells report (derived from the
+/// `FleetSpec` registry, like [`paper_workloads`] from `WorkloadSpec`).
+pub fn fleet_workloads() -> Vec<char> {
+    FleetSpec::fleet_set(1).iter().map(|s| s.name).collect()
 }
 
 /// The five workloads the paper's figures report.
@@ -289,6 +447,7 @@ mod tests {
             ops: 30,
             crack_threshold: 32,
             seed: 7,
+            adaptive_batch: false,
         }
     }
 
@@ -313,6 +472,42 @@ mod tests {
             assert!(r.ns_per_op() > 0.0);
             assert!(r.peak_strategy_bytes >= r.final_strategy_bytes);
         }
+    }
+
+    #[test]
+    fn run_fleet_batched_covers_tree_axis() {
+        for trees in [1usize, 3] {
+            for workload in fleet_workloads() {
+                let r = run_fleet_batched(workload, StrategyKind::TreeToaster, tiny(), 8, trees);
+                assert_eq!(r.workload, workload);
+                assert_eq!(r.trees, trees);
+                assert_eq!(r.ops, 30);
+                assert!(r.total_ns > 0);
+                assert!(r.rewrites > 0, "fleet applied no rewrites");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_batch_tunes_k_and_fixed_path_is_unchanged() {
+        // The policy itself: widen on heavy cancellation, narrow on none.
+        assert_eq!(tune_batch_size(8, Some((100, 80))), 16);
+        assert_eq!(tune_batch_size(8, Some((100, 2))), 4);
+        assert_eq!(tune_batch_size(8, Some((100, 30))), 8);
+        assert_eq!(tune_batch_size(8, Some((0, 0))), 8);
+        assert_eq!(tune_batch_size(8, None), 8);
+        assert_eq!(tune_batch_size(1, Some((10, 0))), 1, "floor");
+        assert_eq!(tune_batch_size(1024, Some((10, 10))), 1024, "cap");
+        // End-to-end: fixed runs report final == starting K; adaptive
+        // runs complete and report whatever K they settled on.
+        let fixed = run_jitd_batched('A', StrategyKind::TreeToaster, tiny(), 4);
+        assert_eq!(fixed.final_batch_size, 4);
+        let mut adaptive_cfg = tiny();
+        adaptive_cfg.adaptive_batch = true;
+        let adaptive = run_jitd_batched('A', StrategyKind::TreeToaster, adaptive_cfg, 4);
+        assert_eq!(adaptive.batch_size, 4, "reported cell key is the start K");
+        assert!(adaptive.final_batch_size >= 1);
+        assert!(adaptive.ns_per_op() > 0.0);
     }
 
     #[test]

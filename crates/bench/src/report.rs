@@ -10,9 +10,10 @@
 //!   "quick": true,
 //!   "config": {"records": 512, "ops": 96, "seed": 42,
 //!              "crack_threshold": 64,
-//!              "batch_sizes": [1, 8, 64], "workloads": ["A", …]},
+//!              "batch_sizes": [1, 8, 64], "workloads": ["A", …],
+//!              "fleet_workloads": ["G", "H"], "fleet_trees": [1, 4]},
 //!   "results": [
-//!     {"strategy": "TT", "workload": "A", "batch_size": 8,
+//!     {"strategy": "TT", "workload": "A", "batch_size": 8, "trees": 1,
 //!      "ops": 96, "rewrites": 41, "ns_per_op": 1234.5,
 //!      "ns_per_rewrite": 2890.1, "maintain_mean_ns": 310.0,
 //!      "commit_mean_ns": 95.0, "peak_bytes": 8192,
@@ -20,6 +21,11 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `trees` is the multi-tree axis (PR 4): single-tree cells carry
+//! `trees: 1` (and older artifacts omit the field, which readers treat
+//! as 1); the fleet workloads G/H appear at every swept tree count. A
+//! cell is keyed by `(strategy, workload, batch_size, trees)`.
 
 use crate::{BatchRunResult, ExperimentConfig};
 use tt_jitd::StrategyKind;
@@ -40,8 +46,12 @@ pub struct SweepConfig {
     pub experiment: ExperimentConfig,
     /// Ops-per-epoch axis.
     pub batch_sizes: Vec<usize>,
-    /// Workload mnemonics.
+    /// Single-tree workload mnemonics.
     pub workloads: Vec<char>,
+    /// Fleet workload mnemonics (G/H); empty = no multi-tree sweep.
+    pub fleet_workloads: Vec<char>,
+    /// Tree counts the fleet workloads sweep.
+    pub fleet_trees: Vec<usize>,
     /// Runs per cell; the fastest (minimum total ns) run is kept. The
     /// minimum is the standard noise-robust latency estimator: scheduler
     /// preemption and cache pollution only ever add time, so min-of-N
@@ -80,6 +90,26 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     .collect(),
             ),
         ),
+        (
+            "fleet_workloads",
+            Json::Arr(
+                sweep
+                    .fleet_workloads
+                    .iter()
+                    .map(|w| Json::Str(w.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "fleet_trees",
+            Json::Arr(
+                sweep
+                    .fleet_trees
+                    .iter()
+                    .map(|&t| Json::Num(t as f64))
+                    .collect(),
+            ),
+        ),
     ]);
     let results = Json::Arr(
         results
@@ -89,6 +119,7 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     ("strategy", Json::Str(r.strategy.label().to_string())),
                     ("workload", Json::Str(r.workload.to_string())),
                     ("batch_size", Json::Num(r.batch_size as f64)),
+                    ("trees", Json::Num(r.trees as f64)),
                     ("ops", Json::Num(r.ops as f64)),
                     ("rewrites", Json::Num(r.rewrites as f64)),
                     ("ns_per_op", Json::Num(r.ns_per_op())),
@@ -122,6 +153,9 @@ pub struct ReportSummary {
     pub workloads: Vec<String>,
     /// Distinct batch sizes seen.
     pub batch_sizes: Vec<u64>,
+    /// Distinct fleet tree counts seen (ascending; `[1]` for a purely
+    /// single-tree report).
+    pub tree_counts: Vec<u64>,
 }
 
 fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
@@ -168,6 +202,10 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     let mut strategies: Vec<String> = Vec::new();
     let mut workloads: Vec<String> = Vec::new();
     let mut batch_sizes: Vec<u64> = Vec::new();
+    let mut tree_counts: Vec<u64> = Vec::new();
+    // (strategy, batch, trees, ns_per_op) for every workload-G cell,
+    // feeding the fleet-scaling gate below.
+    let mut g_cells: Vec<(String, u64, u64, f64)> = Vec::new();
     for (i, entry) in results.iter().enumerate() {
         let strategy = entry
             .get("strategy")
@@ -180,6 +218,14 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         let batch = require_num(entry, "batch_size", i)?;
         if batch < 1.0 || batch.fract() != 0.0 {
             return Err(format!("results[{i}]: bad batch_size {batch}"));
+        }
+        // `trees` is optional (pre-forest artifacts omit it): absent = 1.
+        let trees = match entry.get("trees") {
+            None => 1.0,
+            Some(_) => require_num(entry, "trees", i)?,
+        };
+        if trees < 1.0 || trees.fract() != 0.0 {
+            return Err(format!("results[{i}]: bad trees {trees}"));
         }
         let ns_per_op = require_num(entry, "ns_per_op", i)?;
         if ns_per_op == 0.0 {
@@ -196,6 +242,12 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         if !batch_sizes.contains(&(batch as u64)) {
             batch_sizes.push(batch as u64);
         }
+        if !tree_counts.contains(&(trees as u64)) {
+            tree_counts.push(trees as u64);
+        }
+        if workload == "G" {
+            g_cells.push((strategy.to_string(), batch as u64, trees as u64, ns_per_op));
+        }
     }
 
     for required in StrategyKind::all() {
@@ -211,20 +263,83 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             return Err(format!("batch size {required} missing from results"));
         }
     }
-    batch_sizes.sort_unstable();
+    tree_counts.sort_unstable();
+    // Multi-tree coverage contract: a report sweeping any fleet (trees
+    // > 1) must carry both fleet workloads and at least two tree counts
+    // on G, so the scaling axis stays regression-gated. Pre-forest
+    // artifacts (all cells trees == 1, no G/H) still validate.
+    if tree_counts.iter().any(|&t| t > 1) {
+        for required in ["G", "H"] {
+            if !workloads.iter().any(|w| w == required) {
+                return Err(format!(
+                    "multi-tree report is missing fleet workload `{required}`"
+                ));
+            }
+        }
+        let mut g_trees: Vec<u64> = g_cells.iter().map(|c| c.2).collect();
+        g_trees.sort_unstable();
+        g_trees.dedup();
+        if g_trees.len() < 2 {
+            return Err(format!(
+                "workload G must sweep at least two tree counts \
+                 (saw {g_trees:?}) — the scaling axis needs a slope"
+            ));
+        }
+        check_fleet_scaling(&g_cells)?;
+    }
     Ok(ReportSummary {
         results: results.len(),
         strategies,
         workloads,
         batch_sizes,
+        tree_counts,
     })
+}
+
+/// The fleet-scaling gate on workload G (burst-of-plans): per
+/// (strategy, batch size), ns/op **per maintained view** must grow
+/// sublinearly in tree count between the smallest and largest swept
+/// counts. Views scale with trees, so the bound is
+/// `ns(T₂)/T₂ < (ns(T₁)/T₁) · (T₂/T₁)` — i.e. `ns(T₂) < ns(T₁)·(T₂/T₁)²`.
+/// Per-shard isolation keeps real runs near-flat in total ns/op (each op
+/// lands on one smaller tree), so the quadratic envelope only trips on
+/// genuine scaling rot, not scheduler noise.
+fn check_fleet_scaling(g_cells: &[(String, u64, u64, f64)]) -> Result<(), String> {
+    for (strategy, batch) in g_cells
+        .iter()
+        .map(|(s, b, _, _)| (s.clone(), *b))
+        .collect::<std::collections::BTreeSet<(String, u64)>>()
+    {
+        let mut series: Vec<(u64, f64)> = g_cells
+            .iter()
+            .filter(|(s, b, _, _)| *s == strategy && *b == batch)
+            .map(|&(_, _, t, ns)| (t, ns))
+            .collect();
+        series.sort_by_key(|&(t, _)| t);
+        let Some((&(t1, ns1), &(t2, ns2))) = series.first().zip(series.last()) else {
+            continue;
+        };
+        if t1 == t2 {
+            continue;
+        }
+        let ratio = t2 as f64 / t1 as f64;
+        if ns2 >= ns1 * ratio * ratio {
+            return Err(format!(
+                "fleet scaling regression on G/{strategy}/K={batch}: \
+                 ns/op {ns1:.0} at {t1} trees → {ns2:.0} at {t2} trees \
+                 (per-view growth is superlinear in tree count)"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Default per-cell ns/op regression tolerance for
 /// [`compare_reports`]: 15% slower than the baseline fails.
 pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 0.15;
 
-/// One (strategy, workload, batch size) cell's before/after latency.
+/// One (strategy, workload, batch size, trees) cell's before/after
+/// latency.
 #[derive(Debug, Clone)]
 pub struct CellDelta {
     /// Strategy label.
@@ -233,6 +348,8 @@ pub struct CellDelta {
     pub workload: String,
     /// Ops per maintenance epoch.
     pub batch_size: u64,
+    /// Fleet tree count (1 for single-tree cells).
+    pub trees: u64,
     /// Baseline ns/op.
     pub old_ns: f64,
     /// Candidate ns/op.
@@ -269,7 +386,10 @@ impl Comparison {
     }
 }
 
-fn collect_cells(text: &str, which: &str) -> Result<Vec<(String, String, u64, f64)>, String> {
+/// One parsed result row: `(strategy, workload, batch, trees, ns_per_op)`.
+type RawCell = (String, String, u64, u64, f64);
+
+fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
     validate_report(text).map_err(|e| format!("{which} report: {e}"))?;
     let doc = Json::parse(text).expect("validated above");
     let results = doc
@@ -294,6 +414,10 @@ fn collect_cells(text: &str, which: &str) -> Result<Vec<(String, String, u64, f6
                     .get("batch_size")
                     .and_then(Json::as_f64)
                     .expect("validated") as u64,
+                // Pre-forest artifacts carry no `trees`: key them as 1
+                // so their cells pair with the candidate's single-tree
+                // cells.
+                entry.get("trees").and_then(Json::as_f64).unwrap_or(1.0) as u64,
                 entry
                     .get("ns_per_op")
                     .and_then(Json::as_f64)
@@ -331,12 +455,12 @@ fn check_configs_comparable(old_text: &str, new_text: &str) -> Result<(), String
 }
 
 /// Per-cell ns/op trend gate: pairs `old` and `new` results by
-/// `(strategy, workload, batch_size)` and reports every shared cell's
-/// latency ratio. Errors on invalid reports, on mismatched experiment
-/// scale (records/ops/seed/crack_threshold must agree — ratios between
-/// different scales measure the scale, not the code), or when a
-/// baseline cell is missing from the candidate (coverage must never
-/// silently shrink); cells only present in the candidate are new
+/// `(strategy, workload, batch_size, trees)` and reports every shared
+/// cell's latency ratio. Errors on invalid reports, on mismatched
+/// experiment scale (records/ops/seed/crack_threshold must agree —
+/// ratios between different scales measure the scale, not the code), or
+/// when a baseline cell is missing from the candidate (coverage must
+/// never silently shrink); cells only present in the candidate are new
 /// coverage and pass. The caller decides pass/fail via
 /// [`Comparison::passed`].
 pub fn compare_reports(
@@ -351,21 +475,24 @@ pub fn compare_reports(
     let new_cells = collect_cells(new_text, "candidate")?;
     check_configs_comparable(old_text, new_text)?;
     let mut cells = Vec::with_capacity(old_cells.len());
-    for (strategy, workload, batch_size, old_ns) in old_cells {
+    for (strategy, workload, batch_size, trees, old_ns) in old_cells {
         let new_ns = new_cells
             .iter()
-            .find(|(s, w, b, _)| *s == strategy && *w == workload && *b == batch_size)
-            .map(|&(_, _, _, ns)| ns)
+            .find(|(s, w, b, t, _)| {
+                *s == strategy && *w == workload && *b == batch_size && *t == trees
+            })
+            .map(|&(_, _, _, _, ns)| ns)
             .ok_or_else(|| {
                 format!(
-                    "cell {strategy}/{workload}/K={batch_size} present in baseline, \
-                     missing from candidate"
+                    "cell {strategy}/{workload}/K={batch_size}/T={trees} present in \
+                     baseline, missing from candidate"
                 )
             })?;
         cells.push(CellDelta {
             strategy,
             workload,
             batch_size,
+            trees,
             old_ns,
             new_ns,
         });
@@ -385,10 +512,35 @@ mod tests {
                 ops: 8,
                 crack_threshold: 16,
                 seed: 1,
+                adaptive_batch: false,
             },
             batch_sizes: vec![1, 8, 64],
             workloads: vec!['A'],
+            fleet_workloads: vec![],
+            fleet_trees: vec![],
             repeat: 1,
+        }
+    }
+
+    fn cell(
+        workload: char,
+        strategy: StrategyKind,
+        batch_size: usize,
+        trees: usize,
+    ) -> BatchRunResult {
+        BatchRunResult {
+            workload,
+            strategy,
+            batch_size,
+            final_batch_size: batch_size,
+            trees,
+            ops: 8,
+            rewrites: 3,
+            total_ns: 12_000,
+            maintain_mean_ns: 100.0,
+            commit_mean_ns: 50.0,
+            peak_strategy_bytes: 2048,
+            final_strategy_bytes: 1024,
         }
     }
 
@@ -396,21 +548,31 @@ mod tests {
         let mut out = Vec::new();
         for strategy in StrategyKind::all() {
             for &batch_size in &[1usize, 8, 64] {
-                out.push(BatchRunResult {
-                    workload: 'A',
-                    strategy,
-                    batch_size,
-                    ops: 8,
-                    rewrites: 3,
-                    total_ns: 12_000,
-                    maintain_mean_ns: 100.0,
-                    commit_mean_ns: 50.0,
-                    peak_strategy_bytes: 2048,
-                    final_strategy_bytes: 1024,
-                });
+                out.push(cell('A', strategy, batch_size, 1));
             }
         }
         out
+    }
+
+    fn fake_fleet_results() -> Vec<BatchRunResult> {
+        let mut out = fake_results();
+        for workload in ['G', 'H'] {
+            for strategy in StrategyKind::all() {
+                for &batch_size in &[1usize, 8, 64] {
+                    for trees in [1usize, 4] {
+                        out.push(cell(workload, strategy, batch_size, trees));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn fleet_sweep() -> SweepConfig {
+        let mut s = sweep();
+        s.fleet_workloads = vec!['G', 'H'];
+        s.fleet_trees = vec![1, 4];
+        s
     }
 
     #[test]
@@ -421,6 +583,70 @@ mod tests {
         assert_eq!(summary.strategies.len(), 5);
         assert_eq!(summary.batch_sizes, vec![1, 8, 64]);
         assert_eq!(summary.workloads, vec!["A".to_string()]);
+        assert_eq!(summary.tree_counts, vec![1]);
+    }
+
+    #[test]
+    fn fleet_report_validates_and_coverage_is_gated() {
+        let text = render_report(&fleet_sweep(), &fake_fleet_results());
+        let summary = validate_report(&text).unwrap();
+        assert_eq!(summary.tree_counts, vec![1, 4]);
+        assert!(summary.workloads.iter().any(|w| w == "G"));
+        // Dropping H from a multi-tree report is a coverage failure…
+        let no_h: Vec<BatchRunResult> = fake_fleet_results()
+            .into_iter()
+            .filter(|r| r.workload != 'H')
+            .collect();
+        let err = validate_report(&render_report(&fleet_sweep(), &no_h)).unwrap_err();
+        assert!(err.contains("`H`"), "{err}");
+        // …and so is sweeping G at only one tree count.
+        let one_count: Vec<BatchRunResult> = fake_fleet_results()
+            .into_iter()
+            .filter(|r| r.workload != 'G' || r.trees == 4)
+            .collect();
+        let err = validate_report(&render_report(&fleet_sweep(), &one_count)).unwrap_err();
+        assert!(err.contains("two tree counts"), "{err}");
+    }
+
+    #[test]
+    fn fleet_scaling_gate_trips_on_superlinear_growth() {
+        // Inflate the 4-tree G cells past the quadratic envelope
+        // (ratio² = 16×) for one strategy.
+        let mut results = fake_fleet_results();
+        for r in &mut results {
+            if r.workload == 'G' && r.trees == 4 && r.strategy.label() == "TT" {
+                r.total_ns *= 20;
+            }
+        }
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("fleet scaling regression"), "{err}");
+        assert!(err.contains("TT"), "{err}");
+        // 8× growth at 4 trees is sublinear per view: passes.
+        let mut results = fake_fleet_results();
+        for r in &mut results {
+            if r.workload == 'G' && r.trees == 4 {
+                r.total_ns *= 8;
+            }
+        }
+        validate_report(&render_report(&fleet_sweep(), &results)).unwrap();
+    }
+
+    #[test]
+    fn compare_pairs_cells_by_tree_count() {
+        // Baseline without fleet cells vs candidate with them: the new
+        // coverage passes; losing it errors and names the T= key.
+        let old = render_report(&sweep(), &fake_results());
+        let new = render_report(&fleet_sweep(), &fake_fleet_results());
+        let cmp = compare_reports(&old, &new, 0.15).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.cells.len(), 15, "only shared single-tree cells pair");
+        let err = compare_reports(&new, &old, 0.15).unwrap_err();
+        assert!(err.contains("missing from candidate"), "{err}");
+        assert!(err.contains("T="), "{err}");
+        // Same fleet on both sides: every cell pairs, including trees=4.
+        let cmp = compare_reports(&new, &new, 0.15).unwrap();
+        assert!(cmp.cells.iter().any(|c| c.trees == 4));
+        assert!(cmp.passed());
     }
 
     #[test]

@@ -368,6 +368,16 @@ impl MatchSource for TreeToasterEngine {
         }
     }
 
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        // The open epoch's buffer if one exists; otherwise the drained
+        // buffer parked in `spare`, whose counters still describe the
+        // last committed epoch (reset happens at the next begin).
+        self.batch
+            .as_ref()
+            .or(self.spare.as_ref())
+            .map(|b| (b.staged(), b.canceled()))
+    }
+
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if self.batch.as_ref().is_some_and(|b| !b.is_empty()) {
             return Err("engine has staged deltas in an open batch".into());

@@ -1,0 +1,373 @@
+//! Forest-level view maintenance: one strategy instance per shard.
+//!
+//! The paper's deployments maintain views over a *fleet* of concurrent
+//! plans (Spark's burst of ~1000-node plans, Orca's stream of
+//! independent optimizations — §2, §7). A [`ForestEngine`] scales any
+//! [`MatchSource`] to that shape: it owns one strategy instance per
+//! [`TreeId`]-tagged shard and dispatches every notification to the
+//! shard it concerns, while the *rule and pattern state* — the compiled
+//! [`RuleSet`], its patterns, and the inlined maintenance plans — is
+//! shared across the whole fleet through one `Arc`.
+//!
+//! Because each shard owns its own strategy instance, each shard also
+//! owns its own epoch state: a `DeltaBuffer`/`DeltaLog` stages only its
+//! shard's deltas, so epochs on different trees open, cancel, and commit
+//! completely independently — committing a burst on tree 3 never
+//! touches, flushes, or blocks the open epoch on tree 7. That isolation
+//! is the invariant the forest equivalence suite pins down: a
+//! `ForestEngine` over N trees behaves exactly like N independent
+//! single-tree engines.
+//!
+//! The engine deliberately takes the shard's [`Ast`] per call instead of
+//! borrowing a whole [`Forest`]: callers that keep their trees inside
+//! other owners (the JITD fleet runtime wraps each shard in a
+//! `JitdIndex`) dispatch through the same API.
+
+use crate::rules::RuleSet;
+use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
+use std::sync::Arc;
+use tt_ast::{Ast, Forest, GlobalNodeId, NodeId, TreeId};
+use tt_pattern::Bindings;
+
+/// A fleet of per-shard strategies over one shared rule set.
+pub struct ForestEngine<S> {
+    rules: Arc<RuleSet>,
+    shards: Vec<S>,
+}
+
+impl<S: MatchSource> ForestEngine<S> {
+    /// An empty engine (no shards yet) over `rules`.
+    pub fn new(rules: Arc<RuleSet>) -> ForestEngine<S> {
+        ForestEngine {
+            rules,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Builds one strategy per shard of `forest` via `factory`, which
+    /// receives the shared rule set (one `Arc` clone per shard — the
+    /// clone *is* the sharing) and the shard's tree.
+    pub fn from_forest(
+        rules: Arc<RuleSet>,
+        forest: &Forest,
+        mut factory: impl FnMut(Arc<RuleSet>, &Ast) -> S,
+    ) -> ForestEngine<S> {
+        let mut engine = ForestEngine::new(rules);
+        for (_, tree) in forest.iter() {
+            engine.add_shard_for(tree, &mut factory);
+        }
+        engine
+    }
+
+    /// Appends a shard for `tree`, returning its id. Ids are assigned in
+    /// order, matching [`Forest::add_tree`] when shards are added in
+    /// lockstep with trees.
+    pub fn add_shard_for(
+        &mut self,
+        tree: &Ast,
+        mut factory: impl FnMut(Arc<RuleSet>, &Ast) -> S,
+    ) -> TreeId {
+        let id = TreeId::from_index(u32::try_from(self.shards.len()).expect("forest exhausted"));
+        self.shards.push(factory(self.rules.clone(), tree));
+        id
+    }
+
+    /// The shared rule set.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The strategy maintaining `tree`'s views.
+    pub fn shard(&self, tree: TreeId) -> &S {
+        &self.shards[tree.index() as usize]
+    }
+
+    /// Mutable access to `tree`'s strategy.
+    pub fn shard_mut(&mut self, tree: TreeId) -> &mut S {
+        &mut self.shards[tree.index() as usize]
+    }
+
+    /// All shard ids.
+    pub fn shard_ids(&self) -> impl Iterator<Item = TreeId> {
+        (0..self.shards.len() as u32).map(TreeId::from_index)
+    }
+
+    /// Rebuilds one shard's state from its current tree.
+    pub fn rebuild_tree(&mut self, tree: TreeId, ast: &Ast) {
+        self.shard_mut(tree).rebuild(ast);
+    }
+
+    /// Rebuilds every shard from `forest`.
+    pub fn rebuild(&mut self, forest: &Forest) {
+        assert_eq!(
+            forest.tree_count(),
+            self.shards.len(),
+            "forest/engine shard arity mismatch"
+        );
+        for (id, ast) in forest.iter() {
+            self.shards[id.index() as usize].rebuild(ast);
+        }
+    }
+
+    /// One eligible node for `rule` in `tree` — the §4 fast path,
+    /// dispatched to the shard that owns it.
+    pub fn find_one(&mut self, tree: TreeId, ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        self.shard_mut(tree).find_one(ast, rule)
+    }
+
+    /// Scans shards in id order for any tree holding a `rule` match —
+    /// the forest-level search a fleet scheduler starts from.
+    pub fn find_anywhere(&mut self, forest: &Forest, rule: RuleId) -> Option<GlobalNodeId> {
+        for (id, ast) in forest.iter() {
+            if let Some(node) = self.shards[id.index() as usize].find_one(ast, rule) {
+                return Some(GlobalNodeId::new(id, node));
+            }
+        }
+        None
+    }
+
+    /// Pre-swap notification for a rewrite in `tree`.
+    pub fn before_replace(
+        &mut self,
+        tree: TreeId,
+        ast: &Ast,
+        old_root: NodeId,
+        rule: Option<(RuleId, &Bindings)>,
+    ) {
+        self.shard_mut(tree).before_replace(ast, old_root, rule);
+    }
+
+    /// Post-swap notification for a rewrite in `tree`.
+    pub fn after_replace(&mut self, tree: TreeId, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        self.shard_mut(tree).after_replace(ast, ctx);
+    }
+
+    /// Graft notification for nodes created above `tree`'s old root.
+    pub fn on_graft(&mut self, tree: TreeId, ast: &Ast, created: &[NodeId]) {
+        self.shard_mut(tree).on_graft(ast, created);
+    }
+
+    /// Opens a maintenance epoch on one shard. Other shards' epochs are
+    /// untouched — per-tree epochs are the point of the forest layout.
+    pub fn begin_batch(&mut self, tree: TreeId) {
+        self.shard_mut(tree).begin_batch();
+    }
+
+    /// Commits one shard's open epoch, leaving every other shard's epoch
+    /// (open or not) alone.
+    pub fn commit_batch(&mut self, tree: TreeId) {
+        self.shard_mut(tree).commit_batch();
+    }
+
+    /// Opens an epoch on every shard.
+    pub fn begin_batch_all(&mut self) {
+        for s in &mut self.shards {
+            s.begin_batch();
+        }
+    }
+
+    /// Commits every shard's epoch.
+    pub fn commit_batch_all(&mut self) {
+        for s in &mut self.shards {
+            s.commit_batch();
+        }
+    }
+
+    /// Per-epoch `(staged, canceled)` counters of one shard.
+    pub fn batch_cancellation(&self, tree: TreeId) -> Option<(u64, u64)> {
+        self.shard(tree).batch_cancellation()
+    }
+
+    /// Test oracle: every shard against a from-scratch rebuild of its
+    /// tree, naming the failing shard.
+    pub fn check_consistent(&self, forest: &Forest) -> Result<(), String> {
+        assert_eq!(
+            forest.tree_count(),
+            self.shards.len(),
+            "forest/engine shard arity mismatch"
+        );
+        for (id, ast) in forest.iter() {
+            self.shards[id.index() as usize]
+                .check_consistent(ast)
+                .map_err(|e| format!("{id:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Supplemental memory across the whole fleet (the Figure 11/13 axis
+    /// summed over shards).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(MatchSource::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TreeToasterEngine;
+    use crate::generator::reuse;
+    use crate::rules::RewriteRule;
+    use crate::strategy::{NaiveStrategy, RuleFired};
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+    use tt_pattern::dsl as p;
+    use tt_pattern::{match_node, Pattern};
+
+    fn rules() -> Arc<RuleSet> {
+        let s = arith_schema();
+        let pattern = Pattern::compile(
+            &s,
+            p::node(
+                "Arith",
+                "A",
+                [
+                    p::node("Const", "B", [], p::eq(p::attr("B", "val"), p::int(0))),
+                    p::node("Var", "C", [], p::tru()),
+                ],
+                p::eq(p::attr("A", "op"), p::str_("+")),
+            ),
+        );
+        Arc::new(RuleSet::from_rules(vec![RewriteRule::new(
+            "AddZero",
+            &s,
+            pattern,
+            reuse("C"),
+        )]))
+    }
+
+    fn forest_of(texts: &[&str]) -> Forest {
+        let mut forest = Forest::new(arith_schema());
+        for text in texts {
+            let id = forest.add_tree();
+            let ast = forest.tree_mut(id);
+            let root = parse_sexpr(ast, text).unwrap();
+            ast.set_root(root);
+        }
+        forest
+    }
+
+    /// Fires `rule` at `site` in `tree` with full engine notification.
+    fn fire(
+        engine: &mut ForestEngine<TreeToasterEngine>,
+        forest: &mut Forest,
+        tree: TreeId,
+        rid: usize,
+        site: NodeId,
+    ) {
+        let rules = engine.rules().clone();
+        let rule = rules.get(rid);
+        let bindings = match_node(forest.tree(tree), site, &rule.pattern).expect("site matches");
+        engine.before_replace(tree, forest.tree(tree), site, Some((rid, &bindings)));
+        let applied = rule.apply(forest.tree_mut(tree), site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: Some(RuleFired {
+                rule: rid,
+                bindings: &bindings,
+                applied: &applied,
+            }),
+        };
+        engine.after_replace(tree, forest.tree(tree), &ctx);
+    }
+
+    #[test]
+    fn per_shard_views_are_independent() {
+        let mut forest = forest_of(&[
+            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
+            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
+            r#"(Var name="quiet")"#,
+        ]);
+        let mut engine: ForestEngine<TreeToasterEngine> =
+            ForestEngine::from_forest(rules(), &forest, |r, _| TreeToasterEngine::new(r));
+        engine.rebuild(&forest);
+        let ids: Vec<TreeId> = engine.shard_ids().collect();
+        assert_eq!(engine.shard(ids[0]).view(0).len(), 1);
+        assert_eq!(engine.shard(ids[1]).view(0).len(), 1);
+        assert_eq!(engine.shard(ids[2]).view(0).len(), 0);
+        // Draining tree 0's match leaves tree 1's view intact.
+        let site = engine
+            .find_one(ids[0], forest.tree(ids[0]), 0)
+            .expect("tree 0 has a site");
+        fire(&mut engine, &mut forest, ids[0], 0, site);
+        assert!(engine.shard(ids[0]).view(0).is_empty());
+        assert_eq!(engine.shard(ids[1]).view(0).len(), 1);
+        engine.check_consistent(&forest).unwrap();
+        // find_anywhere surfaces the remaining shard's match.
+        let found = engine.find_anywhere(&forest, 0).unwrap();
+        assert_eq!(found.tree, ids[1]);
+    }
+
+    #[test]
+    fn epochs_commit_per_tree() {
+        let mut forest = forest_of(&[
+            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
+            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
+        ]);
+        let mut engine: ForestEngine<TreeToasterEngine> =
+            ForestEngine::from_forest(rules(), &forest, |r, _| TreeToasterEngine::new(r));
+        engine.rebuild(&forest);
+        let (t0, t1) = (TreeId::from_index(0), TreeId::from_index(1));
+        engine.begin_batch(t0);
+        engine.begin_batch(t1);
+        for t in [t0, t1] {
+            let site = engine.find_one(t, forest.tree(t), 0).unwrap();
+            fire(&mut engine, &mut forest, t, 0, site);
+        }
+        assert!(engine.shard(t0).pending_deltas() > 0);
+        assert!(engine.shard(t1).pending_deltas() > 0);
+        // Committing tree 0 must not flush tree 1's open epoch.
+        engine.commit_batch(t0);
+        assert_eq!(engine.shard(t0).pending_deltas(), 0);
+        assert!(
+            engine.shard(t1).pending_deltas() > 0,
+            "tree 1's epoch survived tree 0's commit"
+        );
+        engine.commit_batch(t1);
+        engine.check_consistent(&forest).unwrap();
+        assert!(engine.batch_cancellation(t0).is_some());
+    }
+
+    #[test]
+    fn boxed_strategies_fleet() {
+        // The Box blanket impl lets a heterogeneous fleet share the API.
+        let forest = forest_of(&[
+            r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+            r#"(Const val=3)"#,
+        ]);
+        let shared = rules();
+        let mut engine: ForestEngine<Box<dyn MatchSource>> =
+            ForestEngine::from_forest(shared, &forest, |r, ast| {
+                if ast.live_count() > 1 {
+                    Box::new(TreeToasterEngine::new(r)) as Box<dyn MatchSource>
+                } else {
+                    Box::new(NaiveStrategy::new(r))
+                }
+            });
+        engine.rebuild(&forest);
+        let t0 = TreeId::from_index(0);
+        let t1 = TreeId::from_index(1);
+        assert_eq!(engine.shard(t0).name(), "TT");
+        assert_eq!(engine.shard(t1).name(), "Naive");
+        assert!(engine.find_one(t0, forest.tree(t0), 0).is_some());
+        assert!(engine.find_one(t1, forest.tree(t1), 0).is_none());
+        assert!(engine.memory_bytes() > 0);
+        engine.check_consistent(&forest).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn rebuild_checks_arity() {
+        let forest = forest_of(&[r#"(Const val=1)"#]);
+        let mut engine: ForestEngine<TreeToasterEngine> = ForestEngine::new(rules());
+        engine.rebuild(&forest);
+    }
+}

@@ -25,9 +25,14 @@
 //!   accumulates ± view deltas across a rewrite burst and cancels
 //!   opposing entries before they ever touch a `MatchView`
 //!   (single-rewrite maintenance is the degenerate one-delta epoch).
+//! - [`forest`] — the multi-tree deployment: a [`ForestEngine`] owns one
+//!   strategy instance per `tt_ast::forest` shard, shares the compiled
+//!   rule/pattern state across the fleet, and keeps per-tree epochs
+//!   fully independent.
 
 pub mod batch;
 pub mod engine;
+pub mod forest;
 pub mod generator;
 pub mod inline;
 pub mod rules;
@@ -36,6 +41,7 @@ pub mod view;
 
 pub use batch::DeltaBuffer;
 pub use engine::TreeToasterEngine;
+pub use forest::ForestEngine;
 pub use generator::{AttrGen, GenCtx, GenNode, GenPath};
 pub use inline::{CompiledRulePlan, InlineMatrix};
 pub use rules::{AppliedRewrite, RewriteRule, RuleSet};

@@ -101,6 +101,17 @@ pub trait MatchSource: Send {
     /// net delta. A commit with no open epoch is a no-op.
     fn commit_batch(&mut self) {}
 
+    /// `(staged, canceled)` delta counters of the open — or, after a
+    /// commit, the most recently committed — maintenance epoch.
+    /// `canceled` counts staged deltas that annihilated against an
+    /// opposing entry before touching any structure; the ratio is the
+    /// signal adaptive batch sizing tunes K from (a high rate means the
+    /// epoch is absorbing churn the views never see, so larger epochs
+    /// pay off). Default: `None`, for strategies that stage nothing.
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Test oracle: checks the strategy's structures against a
     /// from-scratch rebuild over `ast`. Only meaningful between epochs
     /// (an open batch with staged deltas reports an error rather than a
@@ -113,6 +124,55 @@ pub trait MatchSource: Send {
     /// Live bytes of all supplemental structures this strategy maintains
     /// (views, indexes, shadow copies) — the Figure 11/13 memory axis.
     fn memory_bytes(&self) -> usize;
+}
+
+/// Boxed strategies are strategies: lets heterogeneous deployments (the
+/// runtime's `StrategyKind::build`, the forest engine's per-shard fleet)
+/// pass `Box<dyn MatchSource>` wherever an `S: MatchSource` is expected.
+impl<T: MatchSource + ?Sized> MatchSource for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn rebuild(&mut self, ast: &Ast) {
+        (**self).rebuild(ast)
+    }
+
+    fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        (**self).find_one(ast, rule)
+    }
+
+    fn before_replace(&mut self, ast: &Ast, old_root: NodeId, rule: Option<(RuleId, &Bindings)>) {
+        (**self).before_replace(ast, old_root, rule)
+    }
+
+    fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        (**self).after_replace(ast, ctx)
+    }
+
+    fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        (**self).on_graft(ast, created)
+    }
+
+    fn begin_batch(&mut self) {
+        (**self).begin_batch()
+    }
+
+    fn commit_batch(&mut self) {
+        (**self).commit_batch()
+    }
+
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        (**self).batch_cancellation()
+    }
+
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        (**self).check_consistent(ast)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -171,6 +231,10 @@ pub struct IndexStrategy {
     /// The previous epoch's drained staging map, kept so its dense pages
     /// are reused by the next `begin_batch`.
     spare: Option<NodeLabelMap<i64>>,
+    /// Node events staged in the current/most recent epoch.
+    staged: u64,
+    /// Staged events that annihilated against an opposing entry.
+    canceled: u64,
 }
 
 impl IndexStrategy {
@@ -182,6 +246,8 @@ impl IndexStrategy {
             index: LabelIndex::new(ast.schema()),
             batch: None,
             spare: None,
+            staged: 0,
+            canceled: 0,
         }
     }
 
@@ -190,10 +256,13 @@ impl IndexStrategy {
     fn stage(&mut self, label: Label, id: NodeId, delta: i64) {
         match &mut self.batch {
             Some(pending) => {
+                self.staged += 1;
                 let entry = pending.get_or_insert_with(label, id, || 0);
                 *entry += delta;
                 if *entry == 0 {
                     pending.remove(label, id);
+                    // This event and the one it annihilated.
+                    self.canceled += 2;
                 }
             }
             None if delta > 0 => self.index.insert(label, id),
@@ -264,8 +333,11 @@ impl MatchSource for IndexStrategy {
     fn begin_batch(&mut self) {
         if self.batch.is_none() {
             // Reuse the drained map from the last epoch (empty, pages
-            // allocated) rather than building a fresh one.
+            // allocated) rather than building a fresh one, and restart
+            // the per-epoch cancellation counters.
             self.batch = Some(self.spare.take().unwrap_or_default());
+            self.staged = 0;
+            self.canceled = 0;
         }
     }
 
@@ -286,6 +358,12 @@ impl MatchSource for IndexStrategy {
             self.index.insert(label, id);
         }
         self.spare = Some(pending);
+    }
+
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        // Counters persist after a commit (until the next begin), so
+        // adaptive tuners can read the epoch just closed.
+        (self.batch.is_some() || self.spare.is_some()).then_some((self.staged, self.canceled))
     }
 
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {

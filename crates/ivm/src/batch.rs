@@ -56,6 +56,10 @@ pub struct DeltaLog {
     staged: u64,
     /// Events actually emitted (≤ staged; the gap is coalesced work).
     emitted: u64,
+    /// `(staged, emitted)` snapshot taken when the current epoch opened,
+    /// so per-epoch coalescing rates can be read without resetting the
+    /// lifetime counters.
+    epoch_mark: (u64, u64),
 }
 
 impl DeltaLog {
@@ -64,8 +68,12 @@ impl DeltaLog {
         DeltaLog::default()
     }
 
-    /// Opens an epoch (idempotent).
+    /// Opens an epoch (idempotent: reopening an open epoch does not move
+    /// the epoch mark).
     pub fn begin(&mut self) {
+        if !self.open {
+            self.epoch_mark = (self.staged, self.emitted);
+        }
         self.open = true;
     }
 
@@ -100,9 +108,23 @@ impl DeltaLog {
         self.staged - self.emitted
     }
 
-    /// Discards all staged state (used on `rebuild`, which supersedes it).
+    /// `(staged, coalesced)` counters of the open — or, after `end`, the
+    /// most recently opened — epoch. Coalesced counts are only final
+    /// once the epoch's pending state has been taken; mid-epoch the
+    /// still-staged keys count as coalesced-so-far.
+    pub fn epoch_stats(&self) -> (u64, u64) {
+        let staged = self.staged - self.epoch_mark.0;
+        let emitted = self.emitted - self.epoch_mark.1;
+        (staged, staged - emitted)
+    }
+
+    /// Discards all staged state (used on `rebuild`, which supersedes
+    /// it). Drains rather than stamp-clearing: the staged `Pending`
+    /// images own row heap, and parking them in stale pages would keep
+    /// that heap allocated while `memory_bytes` (which only sees the
+    /// current generation) stops reporting it.
     pub fn clear(&mut self) {
-        self.keys.clear();
+        self.keys.drain().for_each(drop);
         self.order.clear();
     }
 

@@ -418,6 +418,10 @@ impl MatchSource for ClassicIvm {
         self.log.end();
     }
 
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        Some(self.log.epoch_stats())
+    }
+
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if !self.log.is_empty() {
             return Err("classic engine has staged deltas in an open batch".into());

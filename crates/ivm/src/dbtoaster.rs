@@ -607,6 +607,10 @@ impl MatchSource for DbtIvm {
         self.log.end();
     }
 
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        Some(self.log.epoch_stats())
+    }
+
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if !self.log.is_empty() {
             return Err("dbt engine has staged deltas in an open batch".into());

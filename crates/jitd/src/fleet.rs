@@ -1,0 +1,456 @@
+//! The multi-tree JITD runtime: a fleet of plans over one rule set.
+//!
+//! The paper's motivating deployments never optimize a single tree:
+//! Spark hands the optimizer ~1000-node plans in bursts and Orca streams
+//! independent optimizations (§2, §7). [`JitdFleet`] models that shape —
+//! one [`JitdIndex`] per [`TreeId`]-tagged shard, all maintained by a
+//! [`ForestEngine`] that shares the compiled rule/pattern state across
+//! the fleet while keeping every shard's views, indexes, and epoch
+//! buffers private. Operations route to the shard they address;
+//! reorganization, epochs, and consistency checks are all per-tree, so
+//! a burst landing on one plan never touches (or flushes) another
+//! plan's maintenance state.
+//!
+//! Instrumentation mirrors the single-tree [`Jitd`](crate::Jitd)
+//! runtime: search / rewrite / maintenance / commit latencies pool into
+//! one [`JitdStats`] across the fleet, which is exactly what the
+//! multi-tree bench cells (workloads G and H) report.
+
+use crate::index::JitdIndex;
+use crate::rules::{paper_rules, RuleConfig};
+use crate::runtime::{JitdStats, StepOutcome, StrategyKind};
+use crate::schema::jitd_schema;
+use std::sync::Arc;
+use treetoaster_core::{ForestEngine, MatchSource, ReplaceCtx, RuleFired, RuleId, RuleSet};
+use tt_ast::{Record, TreeId};
+use tt_metrics::now_ns;
+use tt_pattern::{matches_with, Bindings};
+use tt_ycsb::Op;
+
+/// A fleet of JITD indexes maintained by per-shard strategies.
+pub struct JitdFleet {
+    indexes: Vec<JitdIndex>,
+    engine: ForestEngine<Box<dyn MatchSource>>,
+    rules: Arc<RuleSet>,
+    kind: StrategyKind,
+    /// Per-tree rewrite ticks, so each shard evolves exactly as an
+    /// independent single-tree runtime would (ticks feed generator
+    /// attribute computation, e.g. the CrackArray pivot choice).
+    ticks: Vec<u64>,
+    /// Reusable binding environment shared across shards (one rewrite is
+    /// in flight at a time).
+    bindings: Bindings,
+    /// Pooled measurements across the fleet.
+    pub stats: JitdStats,
+}
+
+impl JitdFleet {
+    /// Builds a fleet of `trees` shards, each preloaded with
+    /// `records_per_tree(t)` and maintained by a fresh `kind` strategy
+    /// over one shared rule set.
+    pub fn new(
+        kind: StrategyKind,
+        config: RuleConfig,
+        trees: usize,
+        mut records_per_tree: impl FnMut(usize) -> Vec<Record>,
+    ) -> JitdFleet {
+        assert!(trees > 0, "a fleet needs at least one tree");
+        let schema = jitd_schema();
+        let rules = Arc::new(paper_rules(&schema, config));
+        let indexes: Vec<JitdIndex> = (0..trees)
+            .map(|t| JitdIndex::load(records_per_tree(t)))
+            .collect();
+        let mut engine: ForestEngine<Box<dyn MatchSource>> = ForestEngine::new(rules.clone());
+        for index in &indexes {
+            engine.add_shard_for(index.ast(), |r, ast| kind.build(r, ast));
+        }
+        for (t, index) in indexes.iter().enumerate() {
+            engine.rebuild_tree(TreeId::from_index(t as u32), index.ast());
+        }
+        let stats = JitdStats::new(rules.len());
+        JitdFleet {
+            indexes,
+            engine,
+            rules,
+            kind,
+            ticks: vec![0; trees],
+            bindings: Bindings::default(),
+            stats,
+        }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn tree_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// All shard ids.
+    pub fn tree_ids(&self) -> impl Iterator<Item = TreeId> {
+        (0..self.indexes.len() as u32).map(TreeId::from_index)
+    }
+
+    /// The shared rule set.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// Which strategy kind every shard runs.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// One shard's index.
+    pub fn index_of(&self, tree: TreeId) -> &JitdIndex {
+        &self.indexes[tree.index() as usize]
+    }
+
+    /// The engine maintaining the fleet (per-shard strategy access).
+    pub fn engine(&self) -> &ForestEngine<Box<dyn MatchSource>> {
+        &self.engine
+    }
+
+    /// Executes one YCSB operation against `tree`, notifying only that
+    /// shard's strategy (graft maintenance is timed into the pooled
+    /// stats, as in the single-tree runtime).
+    pub fn execute(&mut self, tree: TreeId, op: &Op) {
+        let t0 = now_ns();
+        let ti = tree.index() as usize;
+        match *op {
+            Op::Read { key } => {
+                std::hint::black_box(self.indexes[ti].get(key));
+            }
+            Op::Scan { key, len } => {
+                std::hint::black_box(self.indexes[ti].scan(key, len));
+            }
+            Op::Update { key, value } => {
+                self.graft(tree, |idx| idx.wrap_delete(key));
+                self.graft(tree, |idx| idx.wrap_insert(key, value));
+            }
+            Op::Insert { key, value } => {
+                self.graft(tree, |idx| idx.wrap_insert(key, value));
+            }
+            Op::ReadModifyWrite { key, value } => {
+                let prior = self.indexes[ti].get(key).unwrap_or(0);
+                self.graft(tree, |idx| idx.wrap_delete(key));
+                self.graft(tree, |idx| idx.wrap_insert(key, value ^ prior));
+            }
+        }
+        self.stats.op_ns.push_u64(now_ns() - t0);
+    }
+
+    /// Deletes a key from `tree`.
+    pub fn delete(&mut self, tree: TreeId, key: i64) {
+        let t0 = now_ns();
+        self.graft(tree, |idx| idx.wrap_delete(key));
+        self.stats.op_ns.push_u64(now_ns() - t0);
+    }
+
+    fn graft(&mut self, tree: TreeId, wrap: impl FnOnce(&mut JitdIndex) -> Vec<tt_ast::NodeId>) {
+        let ti = tree.index() as usize;
+        let created = wrap(&mut self.indexes[ti]);
+        let m0 = now_ns();
+        self.engine.on_graft(tree, self.indexes[ti].ast(), &created);
+        self.stats.op_maintain_ns.push_u64(now_ns() - m0);
+    }
+
+    /// One optimizer iteration for `rule` on `tree`: search, apply,
+    /// maintain — the per-shard mirror of
+    /// [`Jitd::reorganize_step`](crate::Jitd::reorganize_step).
+    pub fn reorganize_step(&mut self, tree: TreeId, rule: RuleId) -> StepOutcome {
+        let ti = tree.index() as usize;
+        let s0 = now_ns();
+        let site = self.engine.find_one(tree, self.indexes[ti].ast(), rule);
+        let search_ns = now_ns() - s0;
+        self.stats.search_ns[rule].push_u64(search_ns);
+        let Some(site) = site else {
+            return StepOutcome {
+                fired: false,
+                search_ns,
+                rewrite_ns: 0,
+                maintain_ns: 0,
+            };
+        };
+
+        let rule_def = self.rules.get(rule);
+        let mut bindings = std::mem::take(&mut self.bindings);
+        assert!(
+            matches_with(
+                self.indexes[ti].ast(),
+                site,
+                &rule_def.pattern,
+                &mut bindings
+            ),
+            "strategy returned a stale match — view maintenance bug"
+        );
+
+        let m0 = now_ns();
+        self.engine
+            .before_replace(tree, self.indexes[ti].ast(), site, Some((rule, &bindings)));
+        let pre_maintain = now_ns() - m0;
+
+        let r0 = now_ns();
+        let applied = rule_def.apply(self.indexes[ti].ast_mut(), site, &bindings, self.ticks[ti]);
+        self.ticks[ti] += 1;
+        let rewrite_ns = now_ns() - r0;
+
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: Some(RuleFired {
+                rule,
+                bindings: &bindings,
+                applied: &applied,
+            }),
+        };
+        let m1 = now_ns();
+        self.engine
+            .after_replace(tree, self.indexes[ti].ast(), &ctx);
+        let maintain_ns = pre_maintain + (now_ns() - m1);
+        self.bindings = bindings;
+
+        self.stats.rewrite_ns[rule].push_u64(rewrite_ns);
+        self.stats.maintain_ns[rule].push_u64(maintain_ns);
+        self.stats.steps += 1;
+        StepOutcome {
+            fired: true,
+            search_ns,
+            rewrite_ns,
+            maintain_ns,
+        }
+    }
+
+    /// Tries every rule once on `tree`; returns how many fired.
+    pub fn reorganize_round(&mut self, tree: TreeId) -> usize {
+        (0..self.rules.len())
+            .filter(|&rid| self.reorganize_step(tree, rid).fired)
+            .count()
+    }
+
+    /// Reorganizes `tree` until quiescent or `max_steps` rewrites.
+    pub fn reorganize_until_quiet(&mut self, tree: TreeId, max_steps: u64) -> u64 {
+        let start = self.stats.steps;
+        while self.stats.steps - start < max_steps {
+            if self.reorganize_round(tree) == 0 {
+                break;
+            }
+        }
+        self.stats.steps - start
+    }
+
+    /// Opens a maintenance epoch on one shard (others untouched).
+    pub fn begin_batch(&mut self, tree: TreeId) {
+        self.engine.begin_batch(tree);
+    }
+
+    /// Commits one shard's epoch, timing the flush into the pooled
+    /// commit stream. Other shards' epochs stay open.
+    pub fn commit_batch(&mut self, tree: TreeId) {
+        let t0 = now_ns();
+        self.engine.commit_batch(tree);
+        self.stats.commit_ns.push_u64(now_ns() - t0);
+    }
+
+    /// Per-epoch `(staged, canceled)` counters of one shard's strategy —
+    /// the adaptive batch-sizing signal. Counters describe the shard's
+    /// open or most recently committed epoch, so a fleet-level tuner
+    /// should sum only over the shards the epoch in question touched
+    /// (an untouched shard still reports an older epoch's counters).
+    pub fn batch_cancellation(&self, tree: TreeId) -> Option<(u64, u64)> {
+        self.engine.batch_cancellation(tree)
+    }
+
+    /// Test oracle: every shard's strategy against a from-scratch
+    /// rebuild of its tree.
+    pub fn check_strategy_consistent(&self) -> Result<(), String> {
+        for (t, index) in self.tree_ids().zip(&self.indexes) {
+            self.engine
+                .shard(t)
+                .check_consistent(index.ast())
+                .map_err(|e| format!("{t:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Test oracle: per shard and rule, match existence agrees with a
+    /// fresh naive scan.
+    pub fn agreement_with_naive(&mut self) -> Result<(), String> {
+        for ti in 0..self.indexes.len() {
+            let tree = TreeId::from_index(ti as u32);
+            for (rid, rule) in self.rules.clone().iter() {
+                let ast = self.indexes[ti].ast();
+                let naive = tt_pattern::find_first(ast, ast.root(), &rule.pattern).is_some();
+                let mine = self
+                    .engine
+                    .find_one(tree, self.indexes[ti].ast(), rid)
+                    .is_some();
+                if naive != mine {
+                    return Err(format!(
+                        "{tree:?}: strategy {} disagrees on rule {rid} ({}): \
+                         naive={naive}, strategy={mine}",
+                        self.kind.label(),
+                        rule.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strategy-held supplemental memory across the fleet.
+    pub fn strategy_memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+
+    /// The fleet's own AST memory (baseline shared by all strategies).
+    pub fn ast_memory_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.ast().memory_bytes()).sum()
+    }
+
+    /// Maintained views across the fleet: one per (shard, rule) — the
+    /// denominator of the multi-tree bench's per-view scaling metric.
+    pub fn maintained_views(&self) -> usize {
+        self.indexes.len() * self.rules.len()
+    }
+
+    /// Structural sanity of every shard's index.
+    pub fn check_structure(&self) -> Result<(), String> {
+        for (t, index) in self.tree_ids().zip(&self.indexes) {
+            index.check_structure().map_err(|e| format!("{t:?}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Jitd;
+    use tt_ycsb::{FleetSpec, FleetWorkload};
+
+    fn records(n: i64, salt: i64) -> Vec<Record> {
+        (0..n).map(|k| Record::new(k, k * 3 + salt)).collect()
+    }
+
+    #[test]
+    fn fleet_routes_ops_and_reorganizes_per_tree() {
+        let mut fleet = JitdFleet::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 8 },
+            3,
+            |t| records(64, t as i64),
+        );
+        assert_eq!(fleet.tree_count(), 3);
+        let ids: Vec<TreeId> = fleet.tree_ids().collect();
+        // Preload values differ per shard; reads route to the right one.
+        assert_eq!(fleet.index_of(ids[0]).get(5), Some(15));
+        assert_eq!(fleet.index_of(ids[2]).get(5), Some(17));
+        for &t in &ids {
+            fleet.reorganize_until_quiet(t, u64::MAX);
+        }
+        assert!(fleet.stats.steps > 0);
+        fleet.check_structure().unwrap();
+        fleet.check_strategy_consistent().unwrap();
+        // A write to shard 1 only dirties shard 1.
+        fleet.execute(ids[1], &Op::Insert { key: 999, value: 1 });
+        assert_eq!(fleet.index_of(ids[1]).get(999), Some(1));
+        assert_eq!(fleet.index_of(ids[0]).get(999), None);
+        fleet.agreement_with_naive().unwrap();
+        assert_eq!(fleet.maintained_views(), 3 * fleet.rules().len());
+    }
+
+    #[test]
+    fn per_tree_epochs_commit_independently() {
+        for kind in StrategyKind::all() {
+            let mut fleet = JitdFleet::new(kind, RuleConfig { crack_threshold: 8 }, 2, |t| {
+                records(48, t as i64)
+            });
+            let ids: Vec<TreeId> = fleet.tree_ids().collect();
+            for &t in &ids {
+                fleet.reorganize_until_quiet(t, u64::MAX);
+            }
+            // Open epochs on both shards, dirty both, commit only one.
+            fleet.begin_batch(ids[0]);
+            fleet.begin_batch(ids[1]);
+            for &t in &ids {
+                fleet.execute(t, &Op::Update { key: 3, value: 7 });
+                fleet.reorganize_until_quiet(t, u64::MAX);
+            }
+            fleet.commit_batch(ids[0]);
+            // Shard 0 is clean and checkable; shard 1 may still hold an
+            // open dirty epoch (strategy-dependent), and committing it
+            // must restore full-fleet consistency.
+            fleet
+                .engine()
+                .shard(ids[0])
+                .check_consistent(fleet.index_of(ids[0]).ast())
+                .unwrap_or_else(|e| panic!("{} shard 0: {e}", kind.label()));
+            fleet.commit_batch(ids[1]);
+            fleet
+                .check_strategy_consistent()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            fleet.agreement_with_naive().unwrap();
+            fleet.check_structure().unwrap();
+        }
+    }
+
+    /// The fleet must behave exactly like independent single-tree
+    /// runtimes fed the same per-tree streams (the deterministic spot
+    /// check; the proptest suite broadens this to random interleavings).
+    #[test]
+    fn fleet_equals_independent_runtimes() {
+        let trees = 2usize;
+        let mut fleet = JitdFleet::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 8 },
+            trees,
+            |t| records(64, t as i64),
+        );
+        let mut solos: Vec<Jitd> = (0..trees)
+            .map(|t| {
+                Jitd::new(
+                    StrategyKind::TreeToaster,
+                    RuleConfig { crack_threshold: 8 },
+                    records(64, t as i64),
+                )
+            })
+            .collect();
+        let mut fleet_driver = FleetWorkload::new(FleetSpec::standard('H', trees), 64, 11);
+        // Interleaved fleet stream, recorded per tree for the solo replay.
+        let mut per_tree: Vec<Vec<Op>> = vec![Vec::new(); trees];
+        for _ in 0..60 {
+            let fop = fleet_driver.next_op();
+            let t = TreeId::from_index(fop.tree as u32);
+            fleet.execute(t, &fop.op);
+            fleet.reorganize_round(t);
+            per_tree[fop.tree].push(fop.op);
+        }
+        for (solo, ops) in solos.iter_mut().zip(&per_tree) {
+            for op in ops {
+                solo.execute(op);
+                solo.reorganize_round();
+            }
+        }
+        for (t, solo) in solos.iter().enumerate() {
+            let tree = TreeId::from_index(t as u32);
+            for key in 0..80 {
+                assert_eq!(
+                    fleet.index_of(tree).get(key),
+                    solo.index().get(key),
+                    "tree {t} diverged at key {key}"
+                );
+            }
+            // Same rewrites applied shard-by-shard ⇒ same structure.
+            assert_eq!(
+                tt_ast::sexpr::to_sexpr(
+                    fleet.index_of(tree).ast(),
+                    fleet.index_of(tree).ast().root()
+                ),
+                tt_ast::sexpr::to_sexpr(solo.index().ast(), solo.index().ast().root()),
+                "tree {t} structural divergence"
+            );
+        }
+    }
+}

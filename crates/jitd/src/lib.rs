@@ -29,14 +29,21 @@
 //! - [`runtime`] — the instrumented optimizer loop over any
 //!   [`treetoaster_core::MatchSource`] strategy, recording the search /
 //!   rewrite / maintenance latencies the paper's figures report.
+//! - [`fleet`] — the multi-tree runtime: one index per forest shard, all
+//!   maintained by a shared-rule `ForestEngine` (workloads G/H's bed).
+//! - [`concurrent`] — the asynchronous deployment, sharded: one mutex
+//!   and one background reorganizer per shard, so independent subtrees
+//!   reorganize concurrently.
 
 pub mod concurrent;
+pub mod fleet;
 pub mod index;
 pub mod rules;
 pub mod runtime;
 pub mod schema;
 
 pub use concurrent::AsyncJitd;
+pub use fleet::JitdFleet;
 pub use index::{JitdIndex, JitdLabels};
 pub use rules::{full_rules, paper_rules, pivot_rules, RuleConfig};
 pub use runtime::{Jitd, JitdStats, StepOutcome, StrategyKind};

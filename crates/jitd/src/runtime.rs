@@ -100,7 +100,7 @@ pub struct JitdStats {
 }
 
 impl JitdStats {
-    fn new(rule_count: usize) -> JitdStats {
+    pub(crate) fn new(rule_count: usize) -> JitdStats {
         JitdStats {
             search_ns: (0..rule_count).map(|_| SummaryBuilder::new()).collect(),
             rewrite_ns: (0..rule_count).map(|_| SummaryBuilder::new()).collect(),
@@ -352,6 +352,13 @@ impl Jitd {
         let t0 = now_ns();
         self.strategy.commit_batch();
         self.stats.commit_ns.push_u64(now_ns() - t0);
+    }
+
+    /// Per-epoch `(staged, canceled)` delta counters of the plugged-in
+    /// strategy (the adaptive batch-sizing signal), `None` for
+    /// strategies that stage nothing.
+    pub fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        self.strategy.batch_cancellation()
     }
 
     /// Test oracle: the strategy's structures against a from-scratch

@@ -1,6 +1,6 @@
 //! A single relation `R_ℓ(id, x₁…x_k, child₁…child_c)`.
 
-use tt_ast::{FxHashMap, Label, NodeId};
+use tt_ast::{Label, NodeId, NodeMap};
 
 /// One row: the relational image of one AST node (re-exported from
 /// `tt-ast`, where it doubles as the removed-node snapshot type).
@@ -10,12 +10,24 @@ pub use tt_ast::NodeRow;
 /// column mapping `child id → parent row id`. Because every AST node has
 /// exactly one parent, each reverse-index key maps to at most one row —
 /// the "implicit foreign key" the paper notes in §3.2.
+///
+/// Rows and reverse indexes sit on the dense storage layer
+/// (`tt_ast::dense::NodeMap`): every per-event maintenance touch — the
+/// bolt-on engines replay one insert and one index store per changed
+/// node — is a direct page-indexed store, not a hash probe. This was the
+/// last hashed hot-path structure; the shadow copy now pays the same
+/// per-touch cost as the views and epoch buffers it feeds.
 #[derive(Debug)]
 pub struct Table {
     label: Label,
-    rows: FxHashMap<NodeId, NodeRow>,
+    rows: NodeMap<NodeRow>,
     /// `child_index[k][child_id] = parent_row_id`.
-    child_index: Vec<FxHashMap<NodeId, NodeId>>,
+    child_index: Vec<NodeMap<NodeId>>,
+    /// Running sum of the stored rows' payload heap bytes, maintained on
+    /// insert/remove (rows are immutable while stored). Keeps
+    /// [`Table::memory_bytes`] O(allocated pages) instead of walking
+    /// every row — the memory axis is sampled on the epoch hot path.
+    payload_bytes: usize,
 }
 
 impl Table {
@@ -23,8 +35,9 @@ impl Table {
     pub fn new(label: Label, max_children: usize) -> Table {
         Table {
             label,
-            rows: FxHashMap::default(),
-            child_index: (0..max_children).map(|_| FxHashMap::default()).collect(),
+            rows: NodeMap::new(),
+            child_index: (0..max_children).map(|_| NodeMap::new()).collect(),
+            payload_bytes: 0,
         }
     }
 
@@ -46,13 +59,13 @@ impl Table {
     /// Point lookup by node id.
     #[inline]
     pub fn get(&self, id: NodeId) -> Option<&NodeRow> {
-        self.rows.get(&id)
+        self.rows.get(id)
     }
 
     /// Reverse lookup: the row whose `child_k` column equals `child`.
     #[inline]
     pub fn parent_of(&self, column: usize, child: NodeId) -> Option<&NodeRow> {
-        let parent = self.child_index.get(column)?.get(&child)?;
+        let parent = *self.child_index.get(column)?.get(child)?;
         self.rows.get(parent)
     }
 
@@ -62,34 +75,39 @@ impl Table {
             let prev = self.child_index[k].insert(c, row.id);
             debug_assert!(prev.is_none(), "child {c:?} indexed twice in column {k}");
         }
-        let prev = self.rows.insert(row.id, row);
+        let id = row.id;
+        self.payload_bytes += row.heap_bytes();
+        let prev = self.rows.insert(id, row);
         assert!(prev.is_none(), "duplicate row id");
     }
 
     /// Removes and returns the row for `id`.
     pub fn remove(&mut self, id: NodeId) -> Option<NodeRow> {
-        let row = self.rows.remove(&id)?;
+        let row = self.rows.remove(id)?;
+        self.payload_bytes -= row.heap_bytes();
         for (k, &c) in row.children.iter().enumerate() {
-            self.child_index[k].remove(&c);
+            self.child_index[k].remove(c);
         }
         Some(row)
     }
 
-    /// Iterates all rows (arbitrary order).
+    /// Iterates all rows (ascending id order).
     pub fn iter(&self) -> impl Iterator<Item = &NodeRow> {
-        self.rows.values()
+        self.rows.iter().map(|(_, row)| row)
     }
 
-    /// Approximate heap bytes (rows, payloads, reverse indexes).
+    /// Approximate heap bytes (row pages, payloads, reverse-index pages —
+    /// allocated pages charged in full, as everywhere on the dense
+    /// layer). O(allocated pages): payload bytes come from the running
+    /// counter, not a row walk.
     pub fn memory_bytes(&self) -> usize {
-        let row_slots = self.rows.capacity() * (1 + std::mem::size_of::<(NodeId, NodeRow)>());
-        let payloads: usize = self.rows.values().map(NodeRow::heap_bytes).sum();
-        let indexes: usize = self
-            .child_index
-            .iter()
-            .map(|m| m.capacity() * (1 + std::mem::size_of::<(NodeId, NodeId)>()))
-            .sum();
-        row_slots + payloads + indexes
+        self.rows.memory_bytes()
+            + self.payload_bytes
+            + self
+                .child_index
+                .iter()
+                .map(NodeMap::memory_bytes)
+                .sum::<usize>()
     }
 }
 

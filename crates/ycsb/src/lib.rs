@@ -20,9 +20,16 @@
 //!
 //! All randomness flows from a seeded [`rand::rngs::StdRng`] so runs are
 //! reproducible; benches print their seeds.
+//!
+//! The [`fleet`] module extends the family to multi-tree deployments:
+//! workloads **G** (burst-of-plans, the Spark arrival shape) and **H**
+//! (steady-churn, the Orca stream shape) address a fleet of independent
+//! trees, one seeded single-tree stream per tree.
 
 pub mod dist;
+pub mod fleet;
 pub mod workload;
 
 pub use dist::{Latest, RequestDistribution, ScrambledZipfian, Uniform, Zipfian};
+pub use fleet::{FleetOp, FleetPattern, FleetSpec, FleetWorkload};
 pub use workload::{Op, Workload, WorkloadSpec};
