@@ -74,6 +74,26 @@ impl GlobalNodeId {
 }
 
 /// A fleet of independent AST arenas over one shared schema.
+///
+/// # Example
+///
+/// ```
+/// use tt_ast::{Forest, GlobalNodeId};
+/// use tt_ast::schema::arith_schema;
+/// use tt_ast::sexpr::parse_sexpr;
+///
+/// let mut forest = Forest::new(arith_schema());
+/// let a = forest.add_tree();
+/// let b = forest.add_tree();
+/// let root = parse_sexpr(forest.tree_mut(a), r#"(Const val=7)"#).unwrap();
+/// forest.tree_mut(a).set_root(root);
+/// assert_eq!(forest.tree_count(), 2);
+/// assert_eq!(forest.live_total(), 1);
+/// // Shards own independent, zero-based id spaces: a bare `NodeId` is
+/// // ambiguous across trees, so forest-level addresses carry the pair.
+/// assert_ne!(GlobalNodeId::new(a, root), GlobalNodeId::new(b, root));
+/// forest.validate().unwrap();
+/// ```
 pub struct Forest {
     schema: Arc<Schema>,
     trees: Vec<Ast>,

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! tt-bench-check [FILE]
-//! tt-bench-check --compare OLD NEW [--threshold 0.15]
+//! tt-bench-check --compare OLD NEW [--threshold 0.15] [--sync-only]
 //! ```
 //!
 //! The first parses one file, verifies the schema (version, required
@@ -13,9 +13,14 @@
 //! {1, 8, 64}. The second additionally pairs every baseline cell with
 //! the candidate's and fails if any cell's ns/op regressed beyond the
 //! threshold (default 15%), or if the candidate lost coverage the
-//! baseline had. Exits non-zero with a diagnostic on any violation, so
-//! the CI job fails instead of archiving a malformed (or slower)
-//! artifact.
+//! baseline had. `--sync-only` still requires every baseline cell to
+//! exist in the candidate but applies the ratio threshold only to
+//! `"sync"` cells: the threaded scheduler cells' wall time scales with
+//! core count and thread oversubscription, so cross-machine ratios on
+//! them measure the machine, not the code (each report's *internal*
+//! stealing gate still covers them, same-machine). Exits non-zero with
+//! a diagnostic on any violation, so the CI job fails instead of
+//! archiving a malformed (or slower) artifact.
 
 use std::process::ExitCode;
 use tt_bench::report::{
@@ -25,7 +30,8 @@ use tt_bench::report::{
 fn usage() -> ! {
     eprintln!(
         "usage: tt-bench-check [FILE]\n       \
-         tt-bench-check --compare OLD NEW [--threshold {DEFAULT_REGRESSION_THRESHOLD}]"
+         tt-bench-check --compare OLD NEW [--threshold {DEFAULT_REGRESSION_THRESHOLD}] \
+         [--sync-only]"
     );
     std::process::exit(2);
 }
@@ -46,12 +52,13 @@ fn validate_one(path: &str) -> ExitCode {
         Ok(summary) => {
             println!(
                 "tt-bench-check: {path} OK — {} results, strategies {:?}, \
-                 workloads {:?}, batch sizes {:?}, tree counts {:?}",
+                 workloads {:?}, batch sizes {:?}, tree counts {:?}, schedulers {:?}",
                 summary.results,
                 summary.strategies,
                 summary.workloads,
                 summary.batch_sizes,
-                summary.tree_counts
+                summary.tree_counts,
+                summary.schedulers
             );
             ExitCode::SUCCESS
         }
@@ -62,18 +69,29 @@ fn validate_one(path: &str) -> ExitCode {
     }
 }
 
-fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
+fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> ExitCode {
     let (old_text, new_text) = match (read(old_path), read(new_path)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(code), _) | (_, Err(code)) => return code,
     };
-    let cmp = match compare_reports(&old_text, &new_text, threshold) {
+    let mut cmp = match compare_reports(&old_text, &new_text, threshold) {
         Ok(cmp) => cmp,
         Err(e) => {
             eprintln!("tt-bench-check: compare failed — {e}");
             return ExitCode::FAILURE;
         }
     };
+    if sync_only {
+        // Coverage was already enforced over every cell by
+        // compare_reports; only the ratio gate narrows to sync cells.
+        let before = cmp.cells.len();
+        cmp.cells.retain(|c| c.scheduler == "sync");
+        eprintln!(
+            "tt-bench-check: --sync-only gating {} of {before} cells \
+             (threaded scheduler cells excluded from the ratio gate)",
+            cmp.cells.len()
+        );
+    }
     let mut improved = 0usize;
     let mut worst: f64 = 0.0;
     for cell in &cmp.cells {
@@ -82,11 +100,16 @@ fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
         }
         worst = worst.max(cell.ratio());
         println!(
-            "  {}/{} K={:<4} T={:<3} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
+            "  {}/{} K={:<4} T={:<3} {:>9} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
             cell.workload,
             cell.strategy,
             cell.batch_size,
             cell.trees,
+            if cell.scheduler == "sync" {
+                String::new()
+            } else {
+                format!("{}:{}", cell.scheduler, cell.workers)
+            },
             cell.old_ns,
             cell.new_ns,
             (cell.ratio() - 1.0) * 100.0
@@ -105,12 +128,14 @@ fn compare(old_path: &str, new_path: &str, threshold: f64) -> ExitCode {
     } else {
         for cell in cmp.regressions() {
             eprintln!(
-                "tt-bench-check: REGRESSION {}/{} K={} T={} — {:.0} → {:.0} ns/op \
+                "tt-bench-check: REGRESSION {}/{} K={} T={} {}/W={} — {:.0} → {:.0} ns/op \
                  ({:+.1}%, threshold {:+.1}%)",
                 cell.workload,
                 cell.strategy,
                 cell.batch_size,
                 cell.trees,
+                cell.scheduler,
+                cell.workers,
                 cell.old_ns,
                 cell.new_ns,
                 (cell.ratio() - 1.0) * 100.0,
@@ -130,21 +155,28 @@ fn main() -> ExitCode {
         let (Some(old_path), Some(new_path)) = (args.get(1), args.get(2)) else {
             usage();
         };
-        let threshold = match args.get(3).map(String::as_str) {
-            None => DEFAULT_REGRESSION_THRESHOLD,
-            Some("--threshold") => match args.get(4).and_then(|v| v.parse().ok()) {
-                Some(t) => t,
-                None => usage(),
-            },
-            Some(_) => usage(),
-        };
-        // Reject trailing arguments: a typo'd extra flag must fail loudly
+        let mut threshold = DEFAULT_REGRESSION_THRESHOLD;
+        let mut sync_only = false;
+        // Strict flag parsing: a typo'd extra flag must fail loudly
         // rather than silently degrade the gate.
-        let expected = if args.len() > 3 { 5 } else { 3 };
-        if args.len() > expected {
-            usage();
+        let mut i = 3;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threshold" => {
+                    threshold = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        Some(t) => t,
+                        None => usage(),
+                    };
+                    i += 2;
+                }
+                "--sync-only" => {
+                    sync_only = true;
+                    i += 1;
+                }
+                _ => usage(),
+            }
         }
-        return compare(old_path, new_path, threshold);
+        return compare(old_path, new_path, threshold, sync_only);
     }
     if args.len() > 1 {
         usage();

@@ -2,14 +2,17 @@
 //!
 //! Sweeps the figure-12/13 workloads across all five strategies and a
 //! configurable batch-size axis — plus the multi-tree fleet workloads
-//! G/H across a tree-count axis — writing `BENCH_treetoaster.json` (see
-//! [`tt_bench::report`] for the schema). `--quick` runs the CI scale;
-//! without it the `TT_*` environment knobs (or explicit flags) set the
-//! scale.
+//! G/H/I across a tree-count axis, plus the threaded **scheduler cells**
+//! (dedicated workers vs a work-stealing pool on the skewed workload I,
+//! swept across a worker-count axis) — writing `BENCH_treetoaster.json`
+//! (see [`tt_bench::report`] for the schema). `--quick` runs the CI
+//! scale; without it the `TT_*` environment knobs (or explicit flags)
+//! set the scale.
 //!
 //! ```text
 //! tt-bench --quick [--out PATH] [--batch-sizes 1,8,64]
-//!          [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GH]
+//!          [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GHI]
+//!          [--steal-trees 8] [--steal-workers 1,2,4]
 //!          [--records N] [--ops N] [--seed N] [--repeat N]
 //! ```
 //!
@@ -18,13 +21,19 @@
 //! adds time), which the `tt-bench-check --compare` trend gate needs to
 //! hold per-cell thresholds without flapping. Quick mode defaults to 3.
 //!
-//! `--fleet-trees ""` (empty) skips the fleet sweep entirely.
+//! `--fleet-trees ""` (empty) skips the fleet sweep entirely;
+//! `--steal-trees ""` skips the threaded scheduler cells. For each
+//! `--steal-trees` shard count `T` the runner emits one dedicated cell
+//! (`T` pinned workers — PR 4's deployment) and one stealing cell per
+//! `--steal-workers` size, all on workload I with the TT strategy (the
+//! axis under test is the *scheduler*, not the strategy); validation
+//! gates the best sub-shard-count pool against the dedicated baseline.
 
 use std::process::ExitCode;
 use tt_bench::report::{render_report, validate_report, SweepConfig, BENCH_FILE};
 use tt_bench::{
-    fleet_workloads, paper_workloads, run_fleet_batched, run_jitd_batched, BatchRunResult,
-    ExperimentConfig,
+    fleet_workloads, paper_workloads, run_fleet_batched, run_jitd_batched, run_steal_pool,
+    BatchRunResult, ExperimentConfig,
 };
 use tt_jitd::StrategyKind;
 
@@ -35,6 +44,8 @@ struct Args {
     workloads: Vec<char>,
     fleet_trees: Vec<usize>,
     fleet_workloads: Vec<char>,
+    steal_trees: Vec<usize>,
+    steal_workers: Vec<usize>,
     records: Option<u64>,
     ops: Option<usize>,
     seed: Option<u64>,
@@ -44,7 +55,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tt-bench [--quick] [--out PATH] [--batch-sizes 1,8,64] \
-         [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GH] \
+         [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GHI] \
+         [--steal-trees 8] [--steal-workers 1,2,4] \
          [--records N] [--ops N] [--seed N] [--repeat N]"
     );
     std::process::exit(2);
@@ -58,6 +70,8 @@ fn parse_args() -> Args {
         workloads: paper_workloads(),
         fleet_trees: vec![1, 4],
         fleet_workloads: fleet_workloads(),
+        steal_trees: vec![8],
+        steal_workers: vec![1, 2, 4],
         records: None,
         ops: None,
         seed: None,
@@ -103,6 +117,28 @@ fn parse_args() -> Args {
             "--fleet-workloads" => {
                 args.fleet_workloads = value("--fleet-workloads").chars().collect();
             }
+            "--steal-trees" => {
+                args.steal_trees = value("--steal-trees")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.steal_trees.iter().any(|&t| t < 2) {
+                    // One shard cannot exhibit stealing (the pool would
+                    // just be a dedicated worker).
+                    usage();
+                }
+            }
+            "--steal-workers" => {
+                args.steal_workers = value("--steal-workers")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.steal_workers.is_empty() || args.steal_workers.contains(&0) {
+                    usage();
+                }
+            }
             "--records" => {
                 args.records = Some(value("--records").parse().unwrap_or_else(|_| usage()))
             }
@@ -125,13 +161,16 @@ fn parse_args() -> Args {
 }
 
 /// One cell of the sweep: trees == 1 with a single-tree workload runs
-/// the classic driver, fleet workloads run the forest driver.
+/// the classic driver, fleet workloads run the forest driver, and pool
+/// cells run the threaded deployments (`pool: Some(None)` = dedicated
+/// workers, `Some(Some(w))` = a stealing pool of `w` threads).
 #[derive(Clone, Copy)]
 struct CellSpec {
     workload: char,
     strategy: StrategyKind,
     batch_size: usize,
     trees: Option<usize>,
+    pool: Option<Option<usize>>,
 }
 
 fn main() -> ExitCode {
@@ -163,6 +202,22 @@ fn main() -> ExitCode {
     // doesn't flap on scheduler noise; full runs default to 1.
     let repeat = args.repeat.unwrap_or(if args.quick { 3 } else { 1 });
 
+    // Fail fast on a pool axis that can never pass the stealing gate:
+    // every swept shard count needs at least one pool smaller than it,
+    // or the sweep would run to completion only to be rejected by the
+    // validator.
+    if let Some(&min_trees) = args.steal_trees.iter().min() {
+        if !args.steal_workers.iter().any(|&w| w < min_trees) {
+            eprintln!(
+                "tt-bench: --steal-workers {:?} has no pool smaller than the \
+                 smallest --steal-trees shard count {min_trees}; stealing \
+                 needs workers < shards",
+                args.steal_workers
+            );
+            usage();
+        }
+    }
+
     let fleet_on = !args.fleet_trees.is_empty() && !args.fleet_workloads.is_empty();
     let sweep = SweepConfig {
         quick: args.quick,
@@ -179,6 +234,8 @@ fn main() -> ExitCode {
         } else {
             Vec::new()
         },
+        steal_trees: args.steal_trees.clone(),
+        steal_workers: args.steal_workers.clone(),
         repeat,
     };
 
@@ -191,6 +248,7 @@ fn main() -> ExitCode {
                     strategy,
                     batch_size,
                     trees: None,
+                    pool: None,
                 });
             }
         }
@@ -204,14 +262,31 @@ fn main() -> ExitCode {
                         strategy,
                         batch_size,
                         trees: Some(trees),
+                        pool: None,
                     });
                 }
             }
         }
     }
+    // Threaded scheduler cells: dedicated baseline + each pool size, on
+    // the skewed workload I with the TT strategy (the axis under test
+    // is the scheduler; the strategy axis is covered above).
+    for &trees in &sweep.steal_trees {
+        let mut deployments: Vec<Option<usize>> = vec![None];
+        deployments.extend(sweep.steal_workers.iter().map(|&w| Some(w)));
+        for pool in deployments {
+            specs.push(CellSpec {
+                workload: 'I',
+                strategy: StrategyKind::TreeToaster,
+                batch_size: 1,
+                trees: Some(trees),
+                pool: Some(pool),
+            });
+        }
+    }
     eprintln!(
         "tt-bench: {} runs (records={}, ops={}, seed={}, batch sizes {:?}, workloads {:?}, \
-         fleet {:?} × trees {:?}, min-of-{})",
+         fleet {:?} × trees {:?}, pools {:?} workers over {:?} shards, min-of-{})",
         specs.len(),
         experiment.records,
         experiment.ops,
@@ -220,31 +295,52 @@ fn main() -> ExitCode {
         sweep.workloads,
         sweep.fleet_workloads,
         sweep.fleet_trees,
+        sweep.steal_workers,
+        sweep.steal_trees,
         repeat
     );
 
     // Repeat at the *sweep* level — N full passes, per-cell minimum
     // across passes — so a burst of machine interference degrades one
-    // pass of many cells rather than every repeat of one cell.
+    // pass of many cells rather than every repeat of one cell. The
+    // threaded pool cells are fenced into their own passes *after* all
+    // synchronous passes finish: spawning and joining worker fleets
+    // perturbs scheduler and cache state enough to skew whichever sync
+    // cells run next, and the fence keeps that churn out of the
+    // single-threaded measurements entirely.
     let mut best: Vec<Option<BatchRunResult>> = vec![None; specs.len()];
-    for round in 0..repeat {
-        if repeat > 1 {
-            eprintln!("tt-bench: pass {}/{repeat}", round + 1);
-        }
-        for (cell, spec) in specs.iter().enumerate() {
-            let r = match spec.trees {
-                None => run_jitd_batched(spec.workload, spec.strategy, experiment, spec.batch_size),
-                Some(trees) => run_fleet_batched(
-                    spec.workload,
-                    spec.strategy,
-                    experiment,
-                    spec.batch_size,
-                    trees,
-                ),
-            };
-            let slot = &mut best[cell];
-            if slot.as_ref().is_none_or(|b| r.total_ns < b.total_ns) {
-                *slot = Some(r);
+    for phase in [false, true] {
+        for round in 0..repeat {
+            if repeat > 1 {
+                eprintln!(
+                    "tt-bench: {} pass {}/{repeat}",
+                    if phase { "pool" } else { "sync" },
+                    round + 1
+                );
+            }
+            for (cell, spec) in specs.iter().enumerate() {
+                if spec.pool.is_some() != phase {
+                    continue;
+                }
+                let r = match (spec.trees, spec.pool) {
+                    (None, _) => {
+                        run_jitd_batched(spec.workload, spec.strategy, experiment, spec.batch_size)
+                    }
+                    (Some(trees), None) => run_fleet_batched(
+                        spec.workload,
+                        spec.strategy,
+                        experiment,
+                        spec.batch_size,
+                        trees,
+                    ),
+                    (Some(trees), Some(workers)) => {
+                        run_steal_pool(spec.workload, spec.strategy, experiment, trees, workers)
+                    }
+                };
+                let slot = &mut best[cell];
+                if slot.as_ref().is_none_or(|b| r.total_ns < b.total_ns) {
+                    *slot = Some(r);
+                }
             }
         }
     }
@@ -254,11 +350,16 @@ fn main() -> ExitCode {
         .collect();
     for r in &results {
         eprintln!(
-            "  {}/{} K={:<4} T={:<3} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",
+            "  {}/{} K={:<4} T={:<3} {:>12} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",
             r.workload,
             r.strategy.label(),
             r.batch_size,
             r.trees,
+            if r.scheduler == "sync" {
+                String::new()
+            } else {
+                format!("{}:{}", r.scheduler, r.workers)
+            },
             r.ns_per_op(),
             r.peak_strategy_bytes,
             r.rewrites

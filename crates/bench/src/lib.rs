@@ -220,6 +220,18 @@ pub struct BatchRunResult {
     pub peak_strategy_bytes: usize,
     /// Strategy memory after the final commit.
     pub final_strategy_bytes: usize,
+    /// Which reorganization deployment produced this cell: `"sync"`
+    /// (the measured loop reorganizes inline — every A–F/G/H cell),
+    /// `"dedicated"` (one background worker per shard), or `"steal"`
+    /// (a work-stealing pool draining the shared queue).
+    pub scheduler: &'static str,
+    /// Background worker threads (0 for `"sync"` cells).
+    pub workers: usize,
+    /// Scheduler queue-jumps / non-home drains (see
+    /// [`tt_jitd::JitdStats::steal_count`]).
+    pub steal_count: u64,
+    /// Failed try-lock claims that requeued the work item.
+    pub contended_count: u64,
 }
 
 impl BatchRunResult {
@@ -309,6 +321,10 @@ pub fn run_jitd_batched(
         commit_mean_ns,
         peak_strategy_bytes: peak,
         final_strategy_bytes: jitd.strategy_memory_bytes(),
+        scheduler: "sync",
+        workers: 0,
+        steal_count: 0,
+        contended_count: 0,
     }
 }
 
@@ -372,9 +388,11 @@ pub fn run_fleet_batched(
             }
             fleet.execute(tree, &fop.op);
         }
-        for &tree in &touched {
-            fleet.reorganize_until_quiet(tree, u64::MAX);
-        }
+        // Drain the epoch's backlog hottest-first through the fleet's
+        // heat scheduler (structurally identical to per-tree draining —
+        // the steal-equivalence suite pins that — but it exercises and
+        // counts the priority scheduling the pooled cells measure).
+        fleet.reorganize_pending(u64::MAX);
         peak = peak.max(fleet.strategy_memory_bytes());
         for &tree in &touched {
             fleet.commit_batch(tree);
@@ -418,6 +436,148 @@ pub fn run_fleet_batched(
         commit_mean_ns,
         peak_strategy_bytes: peak,
         final_strategy_bytes: fleet.strategy_memory_bytes(),
+        scheduler: "sync",
+        workers: 0,
+        steal_count: fleet.stats.steal_count,
+        contended_count: fleet.stats.contended_count,
+    }
+}
+
+/// Runs fleet workload `workload` against a **threaded** reorganizer
+/// deployment: one [`tt_jitd::Jitd`] shard per tree behind its own
+/// mutex, background workers racing the op stream. `workers: None` is
+/// the dedicated baseline (one pinned worker per shard, PR 4's model);
+/// `Some(w)` runs a work-stealing pool of `w` threads over the shared
+/// queue. The measured quantity is the wall time of the op loop — the
+/// driver contends with the reorganizers on the per-shard locks, so a
+/// deployment that wastes threads on cold shards (dedicated, under the
+/// skewed workload I) pays for it here. Initial cracking happens before
+/// the clock starts, identically for both deployments.
+pub fn run_steal_pool(
+    workload: char,
+    strategy: StrategyKind,
+    cfg: ExperimentConfig,
+    trees: usize,
+    workers: Option<usize>,
+) -> BatchRunResult {
+    use tt_jitd::{AsyncJitd, StealConfig, WorkerMode};
+    assert!(trees > 0, "pool needs at least one shard");
+    // Floor the per-shard preload at twice the crack threshold: a shard
+    // whose array can never crack generates no reorganization backlog,
+    // and a backlog is the entire point of a scheduler cell.
+    let records_per_tree = (cfg.records / trees as u64)
+        .max(2 * cfg.crack_threshold as u64)
+        .max(32);
+    let parts: Vec<Vec<Record>> = (0..trees)
+        .map(|t| {
+            (0..records_per_tree as i64)
+                .map(|k| Record::new(k, k.wrapping_mul(7) ^ t as i64))
+                .collect()
+        })
+        .collect();
+    let mode = match workers {
+        None => WorkerMode::Dedicated,
+        Some(w) => WorkerMode::Stealing(StealConfig {
+            workers: w,
+            heat_threshold: 1,
+        }),
+    };
+    let pool = AsyncJitd::spawn_parts(
+        strategy,
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
+        parts,
+        mode,
+    );
+    // Load-phase organization outside the measured loop: the driver
+    // cracks every shard synchronously so both deployments start the
+    // clock from the same quiescent fleet.
+    for shard in 0..trees {
+        pool.with_shard(shard, |j| j.reorganize_until_quiet(u64::MAX));
+    }
+    let steps_before: u64 = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.steps))
+        .sum();
+
+    let mut driver = FleetWorkload::new(
+        FleetSpec::standard(workload, trees),
+        records_per_tree,
+        cfg.seed,
+    );
+    let t0 = now_ns();
+    for _ in 0..cfg.ops {
+        let fop = driver.next_op();
+        pool.execute_on(fop.tree, &fop.op);
+    }
+    // The cell is end-to-end burst completion: keep the clock running
+    // until the background has drained every shard's backlog. The two
+    // deployments owe identical rewrite work (same per-shard streams),
+    // so the cell isolates *scheduling* efficiency — a deployment that
+    // parks threads on cold shards while the hot minority's backlog
+    // waits pays for it right here. The probe claims shards with a
+    // try-lock and treats a busy shard as not-quiet, so the observer
+    // never queues behind a worker and never pollutes the pool's
+    // contention ledger; the short sleep between sweeps hands the core
+    // to the workers (essential on small machines) and adds at most one
+    // sweep period to a drain that is orders of magnitude longer.
+    loop {
+        let mut quiet = true;
+        for shard in 0..trees {
+            match pool.try_with_shard(shard, |j| j.has_pending_matches()) {
+                Some(false) => {}
+                // Pending matches, or a worker holds the shard (it is
+                // mid-round, so not provably quiescent).
+                Some(true) | None => quiet = false,
+            }
+        }
+        if quiet {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(20));
+    }
+    let total_ns = now_ns() - t0;
+
+    let steal = pool.steal_stats();
+    let (mut runtimes, _) = pool.stop();
+    let steps_after: u64 = runtimes.iter().map(|j| j.stats.steps).sum();
+    let mut maintenance = SummaryBuilder::new();
+    for jitd in &runtimes {
+        for s in jitd.stats.all_maintenance_samples().samples() {
+            maintenance.push(*s);
+        }
+    }
+    // Post-measurement: drain leftovers so the reported memory describes
+    // a quiescent fleet, comparable across the two *deployments*. It is
+    // NOT comparable to sync cells' peak_bytes — those sample mid-epoch
+    // maxima, while live sampling across worker threads would need
+    // instrumentation the measured loop shouldn't pay for; pool cells
+    // therefore report peak == final (documented in docs/benching.md).
+    for jitd in &mut runtimes {
+        jitd.reorganize_until_quiet(u64::MAX);
+    }
+    let final_bytes: usize = runtimes.iter().map(Jitd::strategy_memory_bytes).sum();
+    BatchRunResult {
+        workload,
+        strategy,
+        batch_size: 1,
+        final_batch_size: 1,
+        trees,
+        ops: cfg.ops,
+        rewrites: steps_after - steps_before,
+        total_ns,
+        maintain_mean_ns: maintenance.finish().map_or(0.0, |s| s.mean),
+        commit_mean_ns: 0.0,
+        peak_strategy_bytes: final_bytes,
+        final_strategy_bytes: final_bytes,
+        scheduler: if workers.is_some() {
+            "steal"
+        } else {
+            "dedicated"
+        },
+        workers: workers.unwrap_or(trees),
+        steal_count: steal.steal_count,
+        contended_count: steal.contended_count,
     }
 }
 
@@ -484,8 +644,31 @@ mod tests {
                 assert_eq!(r.ops, 30);
                 assert!(r.total_ns > 0);
                 assert!(r.rewrites > 0, "fleet applied no rewrites");
+                assert_eq!(r.scheduler, "sync");
+                assert_eq!(r.contended_count, 0, "single-threaded never contends");
             }
         }
+    }
+
+    #[test]
+    fn fleet_workload_list_covers_skew() {
+        assert_eq!(fleet_workloads(), vec!['G', 'H', 'I']);
+    }
+
+    #[test]
+    fn run_steal_pool_covers_both_deployments() {
+        let cfg = tiny();
+        let dedicated = run_steal_pool('I', StrategyKind::TreeToaster, cfg, 4, None);
+        assert_eq!(dedicated.scheduler, "dedicated");
+        assert_eq!(dedicated.workers, 4);
+        assert_eq!(dedicated.steal_count, 0, "pinned workers never steal");
+        assert!(dedicated.total_ns > 0);
+        let stealing = run_steal_pool('I', StrategyKind::TreeToaster, cfg, 4, Some(2));
+        assert_eq!(stealing.scheduler, "steal");
+        assert_eq!(stealing.workers, 2);
+        assert_eq!(stealing.trees, 4);
+        assert_eq!(stealing.ops, 30);
+        assert!(stealing.total_ns > 0);
     }
 
     #[test]

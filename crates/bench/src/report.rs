@@ -24,8 +24,24 @@
 //!
 //! `trees` is the multi-tree axis (PR 4): single-tree cells carry
 //! `trees: 1` (and older artifacts omit the field, which readers treat
-//! as 1); the fleet workloads G/H appear at every swept tree count. A
-//! cell is keyed by `(strategy, workload, batch_size, trees)`.
+//! as 1); the fleet workloads G/H/I appear at every swept tree count.
+//!
+//! `scheduler`/`workers` are the reorganizer-deployment axis (PR 5):
+//! `"sync"` cells (the default when the fields are absent — every
+//! pre-PR 5 artifact) measure the inline-reorganizing drivers, while
+//! `"dedicated"` (one background worker per shard) and `"steal"` (a
+//! work-stealing pool of `workers` threads) measure the threaded
+//! deployments on the skewed fleet workload I. Threaded cells also
+//! carry the scheduling ledger: `steal_count` and `contended_count`.
+//! A cell is keyed by
+//! `(strategy, workload, batch_size, trees, scheduler, workers)`.
+//!
+//! Validation enforces, beyond schema and coverage, the **stealing
+//! gate**: wherever a dedicated-worker baseline and a smaller stealing
+//! pool were both measured, the pool's ns/op must stay within
+//! [`STEAL_GATE_ENVELOPE`] of the baseline — work-stealing with fewer
+//! threads must match or beat one-thread-per-shard under skew, and a
+//! report that says otherwise is a scheduling regression.
 
 use crate::{BatchRunResult, ExperimentConfig};
 use tt_jitd::StrategyKind;
@@ -48,10 +64,15 @@ pub struct SweepConfig {
     pub batch_sizes: Vec<usize>,
     /// Single-tree workload mnemonics.
     pub workloads: Vec<char>,
-    /// Fleet workload mnemonics (G/H); empty = no multi-tree sweep.
+    /// Fleet workload mnemonics (G/H/I); empty = no multi-tree sweep.
     pub fleet_workloads: Vec<char>,
     /// Tree counts the fleet workloads sweep.
     pub fleet_trees: Vec<usize>,
+    /// Shard counts for the threaded workload-I scheduler cells; empty
+    /// disables them.
+    pub steal_trees: Vec<usize>,
+    /// Stealing-pool sizes swept against each dedicated baseline.
+    pub steal_workers: Vec<usize>,
     /// Runs per cell; the fastest (minimum total ns) run is kept. The
     /// minimum is the standard noise-robust latency estimator: scheduler
     /// preemption and cache pollution only ever add time, so min-of-N
@@ -110,6 +131,26 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     .collect(),
             ),
         ),
+        (
+            "steal_trees",
+            Json::Arr(
+                sweep
+                    .steal_trees
+                    .iter()
+                    .map(|&t| Json::Num(t as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "steal_workers",
+            Json::Arr(
+                sweep
+                    .steal_workers
+                    .iter()
+                    .map(|&w| Json::Num(w as f64))
+                    .collect(),
+            ),
+        ),
     ]);
     let results = Json::Arr(
         results
@@ -128,6 +169,10 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     ("commit_mean_ns", Json::Num(r.commit_mean_ns)),
                     ("peak_bytes", Json::Num(r.peak_strategy_bytes as f64)),
                     ("final_bytes", Json::Num(r.final_strategy_bytes as f64)),
+                    ("scheduler", Json::Str(r.scheduler.to_string())),
+                    ("workers", Json::Num(r.workers as f64)),
+                    ("steal_count", Json::Num(r.steal_count as f64)),
+                    ("contended_count", Json::Num(r.contended_count as f64)),
                 ])
             })
             .collect(),
@@ -156,6 +201,9 @@ pub struct ReportSummary {
     /// Distinct fleet tree counts seen (ascending; `[1]` for a purely
     /// single-tree report).
     pub tree_counts: Vec<u64>,
+    /// Distinct reorganizer deployments seen (`["sync"]` for pre-PR 5
+    /// artifacts).
+    pub schedulers: Vec<String>,
 }
 
 fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
@@ -203,9 +251,13 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     let mut workloads: Vec<String> = Vec::new();
     let mut batch_sizes: Vec<u64> = Vec::new();
     let mut tree_counts: Vec<u64> = Vec::new();
+    let mut schedulers: Vec<String> = Vec::new();
     // (strategy, batch, trees, ns_per_op) for every workload-G cell,
     // feeding the fleet-scaling gate below.
     let mut g_cells: Vec<(String, u64, u64, f64)> = Vec::new();
+    // (strategy, workload, batch, trees, scheduler, workers, ns_per_op)
+    // for every threaded cell, feeding the stealing gate below.
+    let mut pool_cells: Vec<(String, String, u64, u64, String, u64, f64)> = Vec::new();
     for (i, entry) in results.iter().enumerate() {
         let strategy = entry
             .get("strategy")
@@ -233,6 +285,48 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         }
         require_num(entry, "peak_bytes", i)?;
         require_num(entry, "rewrites", i)?;
+        // Scheduler axis (PR 5): absent = "sync" (pre-PR 5 artifacts).
+        let scheduler = match entry.get("scheduler") {
+            None => "sync",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("results[{i}]: `scheduler` must be a string"))?,
+        };
+        if !matches!(scheduler, "sync" | "dedicated" | "steal") {
+            return Err(format!("results[{i}]: unknown scheduler `{scheduler}`"));
+        }
+        let workers = match entry.get("workers") {
+            None => 0.0,
+            Some(_) => require_num(entry, "workers", i)?,
+        };
+        if workers.fract() != 0.0 {
+            return Err(format!("results[{i}]: bad workers {workers}"));
+        }
+        if scheduler == "sync" {
+            if workers != 0.0 {
+                return Err(format!("results[{i}]: sync cell claims {workers} workers"));
+            }
+        } else {
+            if workers < 1.0 {
+                return Err(format!(
+                    "results[{i}]: threaded cell without a worker count"
+                ));
+            }
+            require_num(entry, "steal_count", i)?;
+            require_num(entry, "contended_count", i)?;
+            pool_cells.push((
+                strategy.to_string(),
+                workload.to_string(),
+                batch as u64,
+                trees as u64,
+                scheduler.to_string(),
+                workers as u64,
+                ns_per_op,
+            ));
+        }
+        if !schedulers.iter().any(|s| s == scheduler) {
+            schedulers.push(scheduler.to_string());
+        }
         if !strategies.iter().any(|s| s == strategy) {
             strategies.push(strategy.to_string());
         }
@@ -287,13 +381,75 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         }
         check_fleet_scaling(&g_cells)?;
     }
+    check_steal_scheduling(&pool_cells)?;
     Ok(ReportSummary {
         results: results.len(),
         strategies,
         workloads,
         batch_sizes,
         tree_counts,
+        schedulers,
     })
+}
+
+/// How much slower than the dedicated-worker baseline a stealing pool
+/// may measure before the gate trips. Threaded cells are the noisiest
+/// in the report (the op path races the reorganizers), so like the
+/// fleet-scaling envelope this is set to catch genuine inversions —
+/// "stealing lost badly" — rather than scheduler jitter; the committed
+/// artifact itself should show the pool at ≤ 1.0×.
+pub const STEAL_GATE_ENVELOPE: f64 = 1.25;
+
+/// The stealing gate: for every `(strategy, workload, batch, trees)`
+/// combination that measured threaded deployments, a dedicated-worker
+/// baseline must exist alongside at least one stealing pool with
+/// `workers < trees` (otherwise it isn't stealing, just relabeled
+/// dedicated workers), and the best such pool must stay within
+/// [`STEAL_GATE_ENVELOPE`] of the baseline's ns/op.
+#[allow(clippy::type_complexity)]
+fn check_steal_scheduling(
+    pool_cells: &[(String, String, u64, u64, String, u64, f64)],
+) -> Result<(), String> {
+    let groups: std::collections::BTreeSet<(String, String, u64, u64)> = pool_cells
+        .iter()
+        .map(|(s, w, b, t, _, _, _)| (s.clone(), w.clone(), *b, *t))
+        .collect();
+    for (strategy, workload, batch, trees) in groups {
+        let of_kind = |kind: &str| -> Vec<(u64, f64)> {
+            pool_cells
+                .iter()
+                .filter(|(s, w, b, t, sched, _, _)| {
+                    *s == strategy && *w == workload && *b == batch && *t == trees && sched == kind
+                })
+                .map(|&(_, _, _, _, _, workers, ns)| (workers, ns))
+                .collect()
+        };
+        let Some(&(_, dedicated_ns)) = of_kind("dedicated").first() else {
+            return Err(format!(
+                "threaded cells for {workload}/{strategy}/K={batch}/T={trees} \
+                 lack a dedicated-worker baseline"
+            ));
+        };
+        let Some((best_workers, best_ns)) = of_kind("steal")
+            .into_iter()
+            .filter(|&(workers, _)| workers < trees)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            return Err(format!(
+                "threaded cells for {workload}/{strategy}/K={batch}/T={trees} \
+                 have no stealing pool smaller than the shard count"
+            ));
+        };
+        if best_ns > dedicated_ns * STEAL_GATE_ENVELOPE {
+            return Err(format!(
+                "stealing regression on {workload}/{strategy}/K={batch}/T={trees}: \
+                 best pool ({best_workers} workers) ran {best_ns:.0} ns/op vs \
+                 {dedicated_ns:.0} for {trees} dedicated workers \
+                 (>{STEAL_GATE_ENVELOPE}x envelope)"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The fleet-scaling gate on workload G (burst-of-plans): per
@@ -338,8 +494,8 @@ fn check_fleet_scaling(g_cells: &[(String, u64, u64, f64)]) -> Result<(), String
 /// [`compare_reports`]: 15% slower than the baseline fails.
 pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 0.15;
 
-/// One (strategy, workload, batch size, trees) cell's before/after
-/// latency.
+/// One (strategy, workload, batch size, trees, scheduler, workers)
+/// cell's before/after latency.
 #[derive(Debug, Clone)]
 pub struct CellDelta {
     /// Strategy label.
@@ -350,6 +506,10 @@ pub struct CellDelta {
     pub batch_size: u64,
     /// Fleet tree count (1 for single-tree cells).
     pub trees: u64,
+    /// Reorganizer deployment (`"sync"` for inline-reorganizing cells).
+    pub scheduler: String,
+    /// Background workers (0 for sync cells).
+    pub workers: u64,
     /// Baseline ns/op.
     pub old_ns: f64,
     /// Candidate ns/op.
@@ -386,8 +546,9 @@ impl Comparison {
     }
 }
 
-/// One parsed result row: `(strategy, workload, batch, trees, ns_per_op)`.
-type RawCell = (String, String, u64, u64, f64);
+/// One parsed result row:
+/// `(strategy, workload, batch, trees, scheduler, workers, ns_per_op)`.
+type RawCell = (String, String, u64, u64, String, u64, f64);
 
 fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
     validate_report(text).map_err(|e| format!("{which} report: {e}"))?;
@@ -418,6 +579,14 @@ fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
                 // so their cells pair with the candidate's single-tree
                 // cells.
                 entry.get("trees").and_then(Json::as_f64).unwrap_or(1.0) as u64,
+                // Pre-PR 5 artifacts carry no scheduler axis: they are
+                // sync cells with no background workers.
+                entry
+                    .get("scheduler")
+                    .and_then(Json::as_str)
+                    .unwrap_or("sync")
+                    .to_string(),
+                entry.get("workers").and_then(Json::as_f64).unwrap_or(0.0) as u64,
                 entry
                     .get("ns_per_op")
                     .and_then(Json::as_f64)
@@ -475,17 +644,22 @@ pub fn compare_reports(
     let new_cells = collect_cells(new_text, "candidate")?;
     check_configs_comparable(old_text, new_text)?;
     let mut cells = Vec::with_capacity(old_cells.len());
-    for (strategy, workload, batch_size, trees, old_ns) in old_cells {
+    for (strategy, workload, batch_size, trees, scheduler, workers, old_ns) in old_cells {
         let new_ns = new_cells
             .iter()
-            .find(|(s, w, b, t, _)| {
-                *s == strategy && *w == workload && *b == batch_size && *t == trees
+            .find(|(s, w, b, t, sched, wk, _)| {
+                *s == strategy
+                    && *w == workload
+                    && *b == batch_size
+                    && *t == trees
+                    && *sched == scheduler
+                    && *wk == workers
             })
-            .map(|&(_, _, _, _, ns)| ns)
+            .map(|&(_, _, _, _, _, _, ns)| ns)
             .ok_or_else(|| {
                 format!(
-                    "cell {strategy}/{workload}/K={batch_size}/T={trees} present in \
-                     baseline, missing from candidate"
+                    "cell {strategy}/{workload}/K={batch_size}/T={trees}/{scheduler}/W={workers} \
+                     present in baseline, missing from candidate"
                 )
             })?;
         cells.push(CellDelta {
@@ -493,6 +667,8 @@ pub fn compare_reports(
             workload,
             batch_size,
             trees,
+            scheduler,
+            workers,
             old_ns,
             new_ns,
         });
@@ -518,6 +694,8 @@ mod tests {
             workloads: vec!['A'],
             fleet_workloads: vec![],
             fleet_trees: vec![],
+            steal_trees: vec![],
+            steal_workers: vec![],
             repeat: 1,
         }
     }
@@ -541,6 +719,28 @@ mod tests {
             commit_mean_ns: 50.0,
             peak_strategy_bytes: 2048,
             final_strategy_bytes: 1024,
+            scheduler: "sync",
+            workers: 0,
+            steal_count: 0,
+            contended_count: 0,
+        }
+    }
+
+    /// A threaded workload-I cell (`workers: None` = dedicated).
+    fn pool_cell(workers: Option<usize>, total_ns: u64) -> BatchRunResult {
+        BatchRunResult {
+            workload: 'I',
+            trees: 8,
+            total_ns,
+            scheduler: if workers.is_some() {
+                "steal"
+            } else {
+                "dedicated"
+            },
+            workers: workers.unwrap_or(8),
+            steal_count: if workers.is_some() { 5 } else { 0 },
+            contended_count: 1,
+            ..cell('I', StrategyKind::TreeToaster, 1, 8)
         }
     }
 
@@ -584,6 +784,50 @@ mod tests {
         assert_eq!(summary.batch_sizes, vec![1, 8, 64]);
         assert_eq!(summary.workloads, vec!["A".to_string()]);
         assert_eq!(summary.tree_counts, vec![1]);
+        assert_eq!(summary.schedulers, vec!["sync".to_string()]);
+    }
+
+    #[test]
+    fn steal_gate_passes_and_trips() {
+        // Dedicated at 12_000 ns; a 2-worker pool at 10_000 beats it.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(2), 10_000));
+        let summary = validate_report(&render_report(&fleet_sweep(), &results)).unwrap();
+        assert!(summary.schedulers.iter().any(|s| s == "steal"));
+        assert!(summary.schedulers.iter().any(|s| s == "dedicated"));
+        // Pool slower but inside the envelope: still passes.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(2), 14_000));
+        validate_report(&render_report(&fleet_sweep(), &results)).unwrap();
+        // Pool beyond the envelope: the gate names the cell.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(2), 40_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("stealing regression"), "{err}");
+        // Multiple pool sizes: the best one carries the gate.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(4), 40_000));
+        results.push(pool_cell(Some(2), 11_000));
+        validate_report(&render_report(&fleet_sweep(), &results)).unwrap();
+    }
+
+    #[test]
+    fn steal_gate_requires_baseline_and_a_smaller_pool() {
+        // Stealing cells without a dedicated baseline are rejected…
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(Some(2), 10_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("dedicated-worker baseline"), "{err}");
+        // …and a "pool" as large as the shard count is not stealing.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(8), 10_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("smaller than the shard count"), "{err}");
     }
 
     #[test]
@@ -647,6 +891,33 @@ mod tests {
         let cmp = compare_reports(&new, &new, 0.15).unwrap();
         assert!(cmp.cells.iter().any(|c| c.trees == 4));
         assert!(cmp.passed());
+    }
+
+    #[test]
+    fn compare_keys_cells_by_scheduler_and_workers() {
+        // A dedicated cell and a stealing cell share (strategy,
+        // workload, K, trees): the scheduler axis must keep them apart.
+        let mut results = fake_fleet_results();
+        results.push(pool_cell(None, 12_000));
+        results.push(pool_cell(Some(2), 10_000));
+        let text = render_report(&fleet_sweep(), &results);
+        let cmp = compare_reports(&text, &text, 0.15).unwrap();
+        assert!(cmp.passed());
+        let pooled: Vec<&CellDelta> = cmp.cells.iter().filter(|c| c.scheduler != "sync").collect();
+        assert_eq!(pooled.len(), 2, "both threaded cells pair distinctly");
+        assert!(pooled
+            .iter()
+            .any(|c| c.scheduler == "dedicated" && c.workers == 8));
+        assert!(pooled
+            .iter()
+            .any(|c| c.scheduler == "steal" && c.workers == 2));
+        // Losing just the stealing cell is reported with its full key.
+        let mut lost = fake_fleet_results();
+        lost.push(pool_cell(None, 12_000));
+        lost.push(pool_cell(Some(4), 11_000));
+        let err = compare_reports(&text, &render_report(&fleet_sweep(), &lost), 0.15).unwrap_err();
+        assert!(err.contains("steal"), "{err}");
+        assert!(err.contains("W=2"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,27 @@ use tt_ast::{NodeId, NodeMap};
 /// to net zero removes the entry — that removal *is* the cancellation.
 /// Pages are retained across epochs, so a long-lived buffer stages and
 /// drains without allocating.
+///
+/// # Example
+///
+/// ```
+/// use treetoaster_core::{DeltaBuffer, MatchView};
+/// use tt_ast::NodeId;
+///
+/// let mut buffer = DeltaBuffer::new(1);
+/// let node = NodeId::from_index(3);
+/// // A node born and consumed inside the same epoch annihilates in the
+/// // buffer — the view never sees either delta.
+/// buffer.stage(0, node, 1);
+/// buffer.stage(0, node, -1);
+/// assert!(buffer.is_empty());
+/// assert_eq!((buffer.staged(), buffer.canceled()), (2, 2));
+/// // Surviving net deltas land on the views at commit.
+/// buffer.stage(0, node, 1);
+/// let mut views = vec![MatchView::new()];
+/// buffer.drain_into(&mut views);
+/// assert!(views[0].contains(node));
+/// ```
 #[derive(Debug, Default)]
 pub struct DeltaBuffer {
     per_view: Vec<NodeMap<i64>>,

@@ -393,6 +393,13 @@ impl MatchSource for TreeToasterEngine {
             + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
             + self.spare.as_ref().map_or(0, DeltaBuffer::memory_bytes)
     }
+
+    fn match_heat(&self) -> usize {
+        // Exactly the §4 promise, repurposed as a scheduling signal: the
+        // views already know how many rewrite opportunities are live, and
+        // the open epoch's net deltas are matches about to land.
+        self.views.iter().map(MatchView::len).sum::<usize>() + self.pending_deltas()
+    }
 }
 
 #[cfg(test)]

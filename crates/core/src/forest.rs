@@ -30,9 +30,58 @@ use tt_ast::{Ast, Forest, GlobalNodeId, NodeId, TreeId};
 use tt_pattern::Bindings;
 
 /// A fleet of per-shard strategies over one shared rule set.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use treetoaster_core::generator::reuse;
+/// use treetoaster_core::{ForestEngine, RewriteRule, RuleSet, TreeToasterEngine};
+/// use tt_ast::schema::arith_schema;
+/// use tt_ast::sexpr::parse_sexpr;
+/// use tt_ast::{Forest, TreeId};
+/// use tt_pattern::{dsl, Pattern};
+///
+/// // One rule: rewrite `0 + x` to `x`.
+/// let schema = arith_schema();
+/// let pattern = Pattern::compile(&schema, dsl::node(
+///     "Arith", "A",
+///     [dsl::node("Const", "B", [], dsl::eq(dsl::attr("B", "val"), dsl::int(0))),
+///      dsl::node("Var", "C", [], dsl::tru())],
+///     dsl::eq(dsl::attr("A", "op"), dsl::str_("+")),
+/// ));
+/// let rules = Arc::new(RuleSet::from_rules(vec![
+///     RewriteRule::new("AddZero", &schema, pattern, reuse("C")),
+/// ]));
+///
+/// // A two-shard forest; only the second tree holds a match.
+/// let mut forest = Forest::new(arith_schema());
+/// for text in [r#"(Var name="quiet")"#,
+///              r#"(Arith op="+" (Const val=0) (Var name="x"))"#] {
+///     let id = forest.add_tree();
+///     let root = parse_sexpr(forest.tree_mut(id), text).unwrap();
+///     forest.tree_mut(id).set_root(root);
+/// }
+/// let mut engine: ForestEngine<TreeToasterEngine> =
+///     ForestEngine::from_forest(rules, &forest, |r, _| TreeToasterEngine::new(r));
+/// engine.rebuild(&forest);
+/// // The fleet search is a priority scan: the shard with the larger
+/// // views is probed first, and the hit is globally addressed.
+/// let hit = engine.find_anywhere(&forest, 0).unwrap();
+/// assert_eq!(hit.tree, TreeId::from_index(1));
+/// engine.check_consistent(&forest).unwrap();
+/// ```
 pub struct ForestEngine<S> {
     rules: Arc<RuleSet>,
     shards: Vec<S>,
+    /// Per-shard churn since that shard was last probed by a fleet-level
+    /// scan: notifications (grafts, rewrites) it has absorbed. Combined
+    /// with [`MatchSource::match_heat`] this is the priority key hot
+    /// shards are probed first by — see [`ForestEngine::shard_heat`].
+    churn: Vec<u64>,
+    /// Scratch for the priority scan's `(heat, id)` ordering, reused so
+    /// a steady-state `find_anywhere` allocates nothing.
+    scan_order: Vec<(u64, u32)>,
 }
 
 impl<S: MatchSource> ForestEngine<S> {
@@ -41,6 +90,8 @@ impl<S: MatchSource> ForestEngine<S> {
         ForestEngine {
             rules,
             shards: Vec::new(),
+            churn: Vec::new(),
+            scan_order: Vec::new(),
         }
     }
 
@@ -69,6 +120,7 @@ impl<S: MatchSource> ForestEngine<S> {
     ) -> TreeId {
         let id = TreeId::from_index(u32::try_from(self.shards.len()).expect("forest exhausted"));
         self.shards.push(factory(self.rules.clone(), tree));
+        self.churn.push(0);
         id
     }
 
@@ -99,6 +151,9 @@ impl<S: MatchSource> ForestEngine<S> {
 
     /// Rebuilds one shard's state from its current tree.
     pub fn rebuild_tree(&mut self, tree: TreeId, ast: &Ast) {
+        // A from-scratch rebuild folds all outstanding churn into the
+        // strategy's own structures; the backlog signal restarts at zero.
+        self.churn[tree.index() as usize] = 0;
         self.shard_mut(tree).rebuild(ast);
     }
 
@@ -110,6 +165,7 @@ impl<S: MatchSource> ForestEngine<S> {
             "forest/engine shard arity mismatch"
         );
         for (id, ast) in forest.iter() {
+            self.churn[id.index() as usize] = 0;
             self.shards[id.index() as usize].rebuild(ast);
         }
     }
@@ -120,15 +176,64 @@ impl<S: MatchSource> ForestEngine<S> {
         self.shard_mut(tree).find_one(ast, rule)
     }
 
-    /// Scans shards in id order for any tree holding a `rule` match —
-    /// the forest-level search a fleet scheduler starts from.
+    /// The scheduling priority of one shard: its strategy's
+    /// [`match_heat`](MatchSource::match_heat) (live view sizes plus
+    /// staged deltas) plus the churn it absorbed since a fleet-level
+    /// scan last probed it. Hotter shards hold more reorganization work.
+    pub fn shard_heat(&self, tree: TreeId) -> u64 {
+        let i = tree.index() as usize;
+        self.shards[i].match_heat() as u64 + self.churn[i]
+    }
+
+    /// Fills `order` with every shard as `(heat, id)` sorted
+    /// hottest-first, ties broken by id — the one definition of the
+    /// probe order shared by every fleet-level scan.
+    fn fill_hottest_first(&self, order: &mut Vec<(u64, u32)>) {
+        order.clear();
+        order.extend(
+            (0..self.shards.len() as u32).map(|i| (self.shard_heat(TreeId::from_index(i)), i)),
+        );
+        order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+
+    /// Shard ids ordered hottest-first (ties broken by id, so a cold
+    /// fleet degenerates to the old id-order scan).
+    pub fn shards_hottest_first(&self) -> Vec<TreeId> {
+        let mut order = Vec::new();
+        self.fill_hottest_first(&mut order);
+        order
+            .into_iter()
+            .map(|(_, i)| TreeId::from_index(i))
+            .collect()
+    }
+
+    /// Priority scan for any tree holding a `rule` match — the
+    /// forest-level search a fleet scheduler starts from. Shards are
+    /// probed hottest-first ([`shard_heat`](ForestEngine::shard_heat)),
+    /// so under skew the scan usually terminates on the first probe
+    /// instead of walking cold shards in id order. Probing a shard
+    /// resets its churn counter (its backlog signal has been consumed);
+    /// view sizes keep contributing, so a shard full of matches stays
+    /// hot until they are drained.
     pub fn find_anywhere(&mut self, forest: &Forest, rule: RuleId) -> Option<GlobalNodeId> {
-        for (id, ast) in forest.iter() {
-            if let Some(node) = self.shards[id.index() as usize].find_one(ast, rule) {
-                return Some(GlobalNodeId::new(id, node));
+        assert_eq!(
+            forest.tree_count(),
+            self.shards.len(),
+            "forest/engine shard arity mismatch"
+        );
+        let mut order = std::mem::take(&mut self.scan_order);
+        self.fill_hottest_first(&mut order);
+        let mut found = None;
+        for &(_, i) in order.iter() {
+            let id = TreeId::from_index(i);
+            self.churn[i as usize] = 0;
+            if let Some(node) = self.shards[i as usize].find_one(forest.tree(id), rule) {
+                found = Some(GlobalNodeId::new(id, node));
+                break;
             }
         }
-        None
+        self.scan_order = order;
+        found
     }
 
     /// Pre-swap notification for a rewrite in `tree`.
@@ -144,11 +249,13 @@ impl<S: MatchSource> ForestEngine<S> {
 
     /// Post-swap notification for a rewrite in `tree`.
     pub fn after_replace(&mut self, tree: TreeId, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        self.churn[tree.index() as usize] += (ctx.removed.len() + ctx.inserted.len()).max(1) as u64;
         self.shard_mut(tree).after_replace(ast, ctx);
     }
 
     /// Graft notification for nodes created above `tree`'s old root.
     pub fn on_graft(&mut self, tree: TreeId, ast: &Ast, created: &[NodeId]) {
+        self.churn[tree.index() as usize] += created.len() as u64;
         self.shard_mut(tree).on_graft(ast, created);
     }
 
@@ -304,6 +411,75 @@ mod tests {
         // find_anywhere surfaces the remaining shard's match.
         let found = engine.find_anywhere(&forest, 0).unwrap();
         assert_eq!(found.tree, ids[1]);
+    }
+
+    /// The fleet scan is a priority scan: the shard with the larger view
+    /// is probed (and returned from) first, even when a lower-id shard
+    /// also holds a match.
+    #[test]
+    fn find_anywhere_probes_hot_shards_first() {
+        let forest = forest_of(&[
+            // Shard 0: one match.
+            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
+            // Shard 1: two matches — hotter, must be probed first.
+            r#"(Arith op="*"
+                 (Arith op="+" (Const val=0) (Var name="b"))
+                 (Arith op="+" (Const val=0) (Var name="c")))"#,
+        ]);
+        let mut engine: ForestEngine<TreeToasterEngine> =
+            ForestEngine::from_forest(rules(), &forest, |r, _| TreeToasterEngine::new(r));
+        engine.rebuild(&forest);
+        let (t0, t1) = (TreeId::from_index(0), TreeId::from_index(1));
+        assert_eq!(engine.shard_heat(t0), 1);
+        assert_eq!(engine.shard_heat(t1), 2);
+        assert_eq!(engine.shards_hottest_first(), vec![t1, t0]);
+        let found = engine.find_anywhere(&forest, 0).unwrap();
+        assert_eq!(found.tree, t1, "hotter shard wins the probe order");
+        // Firing the rewrite drains one match but *adds* churn (the
+        // shard's neighborhood just changed): shard 1 stays hottest.
+        let mut forest = forest;
+        fire(&mut engine, &mut forest, t1, 0, found.node);
+        assert_eq!(engine.shard_heat(t1), 1 + 2, "one match + rewrite churn");
+        // The next probe consumes shard 1's churn; with one live match
+        // on each side the tie then breaks toward the lower id.
+        assert_eq!(engine.find_anywhere(&forest, 0).unwrap().tree, t1);
+        assert_eq!(engine.shard_heat(t1), 1);
+        assert_eq!(engine.shards_hottest_first(), vec![t0, t1]);
+        assert_eq!(engine.find_anywhere(&forest, 0).unwrap().tree, t0);
+    }
+
+    /// Churn (notifications since the last probe) feeds the same
+    /// priority key, and a probe consumes it.
+    #[test]
+    fn churn_heats_a_shard_and_probing_cools_it() {
+        let mut forest = forest_of(&[r#"(Var name="a")"#, r#"(Var name="b")"#]);
+        let mut engine: ForestEngine<TreeToasterEngine> =
+            ForestEngine::from_forest(rules(), &forest, |r, _| TreeToasterEngine::new(r));
+        engine.rebuild(&forest);
+        let (t0, t1) = (TreeId::from_index(0), TreeId::from_index(1));
+        assert_eq!(engine.shard_heat(t0), 0);
+        // Graft a node onto shard 1: its churn (and only its) rises.
+        let ast = forest.tree_mut(t1);
+        let schema = ast.schema().clone();
+        let c = ast.alloc(
+            schema.expect_label("Const"),
+            vec![tt_ast::Value::Int(5)],
+            vec![],
+        );
+        let old = ast.root();
+        let plus = ast.alloc(
+            schema.expect_label("Arith"),
+            vec![tt_ast::Value::str("+")],
+            vec![old, c],
+        );
+        ast.set_root(plus);
+        engine.on_graft(t1, forest.tree(t1), &[plus, c]);
+        assert_eq!(engine.shard_heat(t1), 2);
+        assert_eq!(engine.shards_hottest_first()[0], t1);
+        // The scan probes shard 1 first (no match there for this rule),
+        // consuming its churn; afterwards the fleet is cold again.
+        assert!(engine.find_anywhere(&forest, 0).is_none());
+        assert_eq!(engine.shard_heat(t1), 0);
     }
 
     #[test]

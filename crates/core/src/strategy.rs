@@ -124,6 +124,18 @@ pub trait MatchSource: Send {
     /// Live bytes of all supplemental structures this strategy maintains
     /// (views, indexes, shadow copies) — the Figure 11/13 memory axis.
     fn memory_bytes(&self) -> usize;
+
+    /// Cheap **heat** estimate: roughly how much reorganization work this
+    /// strategy expects its tree to hold right now — known matches in its
+    /// views plus deltas staged in an open epoch. The forest scheduler
+    /// (`ForestEngine::find_anywhere`, the work-stealing pool) uses it as
+    /// a priority key, so it must be O(views), never O(tree). It is a
+    /// hint: over- or under-estimating only affects probe *order*, never
+    /// correctness. Default 0, for strategies that keep no state and
+    /// therefore cannot estimate without searching (Naive).
+    fn match_heat(&self) -> usize {
+        0
+    }
 }
 
 /// Boxed strategies are strategies: lets heterogeneous deployments (the
@@ -172,6 +184,10 @@ impl<T: MatchSource + ?Sized> MatchSource for Box<T> {
 
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+
+    fn match_heat(&self) -> usize {
+        (**self).match_heat()
     }
 }
 
@@ -392,6 +408,22 @@ impl MatchSource for IndexStrategy {
         self.index.memory_bytes()
             + self.batch.as_ref().map_or(0, NodeLabelMap::memory_bytes)
             + self.spare.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+    }
+
+    fn match_heat(&self) -> usize {
+        // The index holds *candidates*, not matches: posting-list length
+        // under each rule's root label is the work `find_one` may have
+        // to wade through, plus whatever the open epoch staged.
+        let candidates: usize = self
+            .rules
+            .iter()
+            .map(|(_, rule)| {
+                rule.pattern
+                    .root_label()
+                    .map_or(0, |label| self.index.len(label))
+            })
+            .sum();
+        candidates + self.batch.as_ref().map_or(0, |b| b.len())
     }
 }
 

@@ -98,6 +98,11 @@ impl DeltaLog {
         self.keys.is_empty()
     }
 
+    /// Keys currently staged (net pending effects awaiting a flush).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
     /// Events pushed over the log's lifetime.
     pub fn staged(&self) -> u64 {
         self.staged

@@ -441,6 +441,12 @@ impl MatchSource for ClassicIvm {
                 .sum::<usize>()
             + self.log.memory_bytes()
     }
+
+    fn match_heat(&self) -> usize {
+        // Materialized match-view sizes; the unflushed delta log is work
+        // the views haven't absorbed yet, so it counts as heat too.
+        self.queries.iter().map(|q| q.view.len()).sum::<usize>() + self.log.len()
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,19 @@
 //! Instrumentation mirrors the single-tree [`Jitd`](crate::Jitd)
 //! runtime: search / rewrite / maintenance / commit latencies pool into
 //! one [`JitdStats`] across the fleet, which is exactly what the
-//! multi-tree bench cells (workloads G and H) report.
+//! multi-tree bench cells (workloads G, H, and I) report.
+//!
+//! Reorganization is scheduled by **heat**, not round-robin: write
+//! operations bump their shard's heat counter; once a shard crosses the
+//! configured threshold it joins a pending queue, and
+//! [`reorganize_next`](JitdFleet::reorganize_next) serves the *hottest*
+//! pending shard first. Serving a shard out of arrival order is counted
+//! in [`JitdStats::steal_count`] — the single-threaded mirror of the
+//! [`steal`](crate::steal) pool's scheduling (same policy, no atomics).
+//! The explicit per-tree entry points (`reorganize_round`,
+//! `reorganize_until_quiet`) are unchanged, so callers that want
+//! round-robin ticking still get it — and the steal-equivalence suite
+//! pins that both schedules produce structurally identical fleets.
 
 use crate::index::JitdIndex;
 use crate::rules::{paper_rules, RuleConfig};
@@ -28,6 +40,30 @@ use tt_pattern::{matches_with, Bindings};
 use tt_ycsb::Op;
 
 /// A fleet of JITD indexes maintained by per-shard strategies.
+///
+/// # Example
+///
+/// ```
+/// use tt_ast::{Record, TreeId};
+/// use tt_jitd::{JitdFleet, RuleConfig, StrategyKind};
+/// use tt_ycsb::Op;
+///
+/// // Three plans, each preloaded with its own key space.
+/// let mut fleet = JitdFleet::new(
+///     StrategyKind::TreeToaster,
+///     RuleConfig { crack_threshold: 8 },
+///     3,
+///     |t| (0..32).map(|k| Record::new(k, k * 10 + t as i64)).collect(),
+/// );
+/// let t1 = TreeId::from_index(1);
+/// // Writes heat their shard; the scheduler serves the hottest first.
+/// fleet.execute(t1, &Op::Insert { key: 99, value: 7 });
+/// assert_eq!(fleet.heat_of(t1), 1);
+/// let (served, _steps) = fleet.reorganize_next(u64::MAX).unwrap();
+/// assert_eq!(served, t1);
+/// assert_eq!(fleet.index_of(t1).get(99), Some(7));
+/// fleet.check_strategy_consistent().unwrap();
+/// ```
 pub struct JitdFleet {
     indexes: Vec<JitdIndex>,
     engine: ForestEngine<Box<dyn MatchSource>>,
@@ -40,6 +76,14 @@ pub struct JitdFleet {
     /// Reusable binding environment shared across shards (one rewrite is
     /// in flight at a time).
     bindings: Bindings,
+    /// Write ops absorbed per shard since it was last scheduled.
+    heat: Vec<u64>,
+    /// Pending shard indexes, arrival order (each at most once).
+    pending: std::collections::VecDeque<usize>,
+    /// Dedup flag per shard: true while it sits in `pending`.
+    queued: Vec<bool>,
+    /// Writes a shard absorbs before it joins the pending queue.
+    heat_threshold: u64,
     /// Pooled measurements across the fleet.
     pub stats: JitdStats,
 }
@@ -75,6 +119,10 @@ impl JitdFleet {
             kind,
             ticks: vec![0; trees],
             bindings: Bindings::default(),
+            heat: vec![0; trees],
+            pending: std::collections::VecDeque::with_capacity(trees),
+            queued: vec![false; trees],
+            heat_threshold: 1,
             stats,
         }
     }
@@ -125,14 +173,17 @@ impl JitdFleet {
             Op::Update { key, value } => {
                 self.graft(tree, |idx| idx.wrap_delete(key));
                 self.graft(tree, |idx| idx.wrap_insert(key, value));
+                self.note_write(ti);
             }
             Op::Insert { key, value } => {
                 self.graft(tree, |idx| idx.wrap_insert(key, value));
+                self.note_write(ti);
             }
             Op::ReadModifyWrite { key, value } => {
                 let prior = self.indexes[ti].get(key).unwrap_or(0);
                 self.graft(tree, |idx| idx.wrap_delete(key));
                 self.graft(tree, |idx| idx.wrap_insert(key, value ^ prior));
+                self.note_write(ti);
             }
         }
         self.stats.op_ns.push_u64(now_ns() - t0);
@@ -142,7 +193,77 @@ impl JitdFleet {
     pub fn delete(&mut self, tree: TreeId, key: i64) {
         let t0 = now_ns();
         self.graft(tree, |idx| idx.wrap_delete(key));
+        self.note_write(tree.index() as usize);
         self.stats.op_ns.push_u64(now_ns() - t0);
+    }
+
+    /// Records one write against shard `ti`, enqueueing it for the heat
+    /// scheduler once it crosses the threshold.
+    fn note_write(&mut self, ti: usize) {
+        self.heat[ti] += 1;
+        if self.heat[ti] >= self.heat_threshold && !self.queued[ti] {
+            self.queued[ti] = true;
+            self.pending.push_back(ti);
+        }
+    }
+
+    /// Sets how many writes a shard absorbs before the heat scheduler
+    /// queues it (default 1: every write enqueues, matching the
+    /// dedicated-worker model's eagerness).
+    pub fn set_heat_threshold(&mut self, writes: u64) {
+        self.heat_threshold = writes.max(1);
+    }
+
+    /// Writes shard `tree` absorbed since it was last scheduled.
+    pub fn heat_of(&self, tree: TreeId) -> u64 {
+        self.heat[tree.index() as usize]
+    }
+
+    /// Shards currently waiting for the scheduler.
+    pub fn pending_shards(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serves the **hottest** pending shard: pops it from the queue,
+    /// resets its heat, and reorganizes it until quiescent (or
+    /// `max_steps` rewrites — a shard cut off by the cap goes straight
+    /// back on the queue, so a bounded drain never strands backlog).
+    /// Returns the shard served and the rewrites applied, or `None`
+    /// when nothing is pending. A pop that bypasses FIFO arrival order
+    /// to serve a hotter shard counts into [`JitdStats::steal_count`] —
+    /// under skew the hot minority repeatedly jumps the queue, which is
+    /// exactly the scheduling the threaded pool ([`crate::steal`])
+    /// distributes across workers.
+    pub fn reorganize_next(&mut self, max_steps: u64) -> Option<(TreeId, u64)> {
+        let (pos, _) = self
+            .pending
+            .iter()
+            .enumerate()
+            .max_by_key(|&(pos, &ti)| (self.heat[ti], std::cmp::Reverse(pos)))?;
+        let ti = self.pending.remove(pos).expect("position from enumerate");
+        if pos != 0 {
+            self.stats.steal_count += 1;
+        }
+        self.queued[ti] = false;
+        self.heat[ti] = 0;
+        let tree = TreeId::from_index(ti as u32);
+        let steps = self.reorganize_until_quiet(tree, max_steps);
+        if max_steps > 0 && steps >= max_steps {
+            // The cap, not quiescence, ended the drain: the shard may
+            // still hold matches, so it stays scheduled.
+            self.queued[ti] = true;
+            self.pending.push_back(ti);
+        }
+        Some((tree, steps))
+    }
+
+    /// Drains the pending queue hottest-first; returns total rewrites.
+    pub fn reorganize_pending(&mut self, max_steps: u64) -> u64 {
+        let mut applied = 0;
+        while let Some((_, steps)) = self.reorganize_next(max_steps) {
+            applied += steps;
+        }
+        applied
     }
 
     fn graft(&mut self, tree: TreeId, wrap: impl FnOnce(&mut JitdIndex) -> Vec<tt_ast::NodeId>) {
@@ -394,6 +515,104 @@ mod tests {
             fleet.agreement_with_naive().unwrap();
             fleet.check_structure().unwrap();
         }
+    }
+
+    /// The heat scheduler: writes enqueue shards, the hottest pending
+    /// shard is served first, and out-of-arrival-order service is
+    /// counted as a steal.
+    #[test]
+    fn heat_scheduler_serves_hottest_first() {
+        let mut fleet = JitdFleet::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 8 },
+            3,
+            |t| records(48, t as i64),
+        );
+        let ids: Vec<TreeId> = fleet.tree_ids().collect();
+        for &t in &ids {
+            fleet.reorganize_until_quiet(t, u64::MAX);
+        }
+        assert_eq!(fleet.pending_shards(), 0);
+        // One write on tree 0 (arrives first), three on tree 2.
+        fleet.execute(ids[0], &Op::Insert { key: 900, value: 1 });
+        for k in 0..3 {
+            fleet.execute(
+                ids[2],
+                &Op::Insert {
+                    key: 901 + k,
+                    value: 1,
+                },
+            );
+        }
+        assert_eq!(fleet.pending_shards(), 2);
+        assert_eq!(fleet.heat_of(ids[2]), 3);
+        // Tree 2 is hotter: served first despite arriving second.
+        let (served, steps) = fleet.reorganize_next(u64::MAX).unwrap();
+        assert_eq!(served, ids[2]);
+        assert!(steps > 0);
+        assert_eq!(fleet.heat_of(ids[2]), 0);
+        assert_eq!(fleet.stats.steal_count, 1, "bypassed FIFO order");
+        // The rest drains in order; an empty queue yields None.
+        assert_eq!(fleet.reorganize_next(u64::MAX).unwrap().0, ids[0]);
+        assert_eq!(fleet.reorganize_next(u64::MAX), None);
+        assert_eq!(fleet.reorganize_pending(u64::MAX), 0);
+        fleet.check_strategy_consistent().unwrap();
+        fleet.agreement_with_naive().unwrap();
+    }
+
+    /// A step-capped drain must leave the cut-off shard scheduled, not
+    /// strand its backlog.
+    #[test]
+    fn capped_drain_requeues_unfinished_shard() {
+        let mut fleet = JitdFleet::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 8 },
+            2,
+            |t| records(64, t as i64),
+        );
+        let ids: Vec<TreeId> = fleet.tree_ids().collect();
+        // Don't pre-crack: tree 0 holds a deep backlog, then gets dirtied.
+        fleet.execute(ids[0], &Op::Insert { key: 900, value: 1 });
+        assert_eq!(fleet.pending_shards(), 1);
+        let (served, steps) = fleet.reorganize_next(1).unwrap();
+        assert_eq!(served, ids[0]);
+        // One round may fire several rules, so the cap is a floor on
+        // where the drain stops, not an exact count.
+        assert!(steps >= 1, "cap stopped the drain early");
+        assert_eq!(
+            fleet.pending_shards(),
+            1,
+            "cut-off shard must stay scheduled"
+        );
+        // Draining in capped chunks still reaches quiescence.
+        let applied = fleet.reorganize_pending(4);
+        assert!(applied > 0);
+        assert_eq!(fleet.pending_shards(), 0);
+        assert_eq!(fleet.reorganize_until_quiet(ids[0], u64::MAX), 0);
+        fleet.check_strategy_consistent().unwrap();
+    }
+
+    /// A heat threshold above 1 keeps cold shards out of the queue.
+    #[test]
+    fn heat_threshold_gates_scheduling() {
+        let mut fleet = JitdFleet::new(
+            StrategyKind::TreeToaster,
+            RuleConfig { crack_threshold: 8 },
+            2,
+            |t| records(32, t as i64),
+        );
+        fleet.set_heat_threshold(3);
+        let ids: Vec<TreeId> = fleet.tree_ids().collect();
+        fleet.execute(ids[0], &Op::Update { key: 1, value: 9 });
+        fleet.execute(ids[0], &Op::Update { key: 2, value: 9 });
+        assert_eq!(fleet.pending_shards(), 0, "two writes stay below 3");
+        fleet.delete(ids[0], 3);
+        assert_eq!(fleet.pending_shards(), 1, "third write crosses");
+        // Reads never heat a shard.
+        fleet.execute(ids[1], &Op::Read { key: 1 });
+        assert_eq!(fleet.heat_of(ids[1]), 0);
+        fleet.reorganize_pending(u64::MAX);
+        fleet.check_structure().unwrap();
     }
 
     /// The fleet must behave exactly like independent single-tree

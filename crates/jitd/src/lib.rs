@@ -30,10 +30,15 @@
 //!   [`treetoaster_core::MatchSource`] strategy, recording the search /
 //!   rewrite / maintenance latencies the paper's figures report.
 //! - [`fleet`] — the multi-tree runtime: one index per forest shard, all
-//!   maintained by a shared-rule `ForestEngine` (workloads G/H's bed).
-//! - [`concurrent`] — the asynchronous deployment, sharded: one mutex
-//!   and one background reorganizer per shard, so independent subtrees
-//!   reorganize concurrently.
+//!   maintained by a shared-rule `ForestEngine`, reorganized by a
+//!   heat-priority scheduler (workloads G/H/I's bed).
+//! - [`steal`] — the shared work queue behind work-stealing
+//!   reorganization: heat-gated admission, per-shard dedup, and the
+//!   steal/contention ledger.
+//! - [`concurrent`] — the asynchronous deployment, sharded: per-shard
+//!   mutexes with either one dedicated background reorganizer per shard
+//!   or a work-stealing pool of fewer workers draining the shared
+//!   queue via try-lock claims.
 
 pub mod concurrent;
 pub mod fleet;
@@ -41,10 +46,12 @@ pub mod index;
 pub mod rules;
 pub mod runtime;
 pub mod schema;
+pub mod steal;
 
-pub use concurrent::AsyncJitd;
+pub use concurrent::{AsyncJitd, WorkerMode};
 pub use fleet::JitdFleet;
 pub use index::{JitdIndex, JitdLabels};
 pub use rules::{full_rules, paper_rules, pivot_rules, RuleConfig};
 pub use runtime::{Jitd, JitdStats, StepOutcome, StrategyKind};
 pub use schema::jitd_schema;
+pub use steal::{StealConfig, StealStats, WorkQueue};

@@ -97,6 +97,15 @@ pub struct JitdStats {
     pub commit_ns: SummaryBuilder,
     /// Rewrites applied.
     pub steps: u64,
+    /// Scheduler pops that bypassed arrival (FIFO) order to serve a
+    /// hotter shard, or — under a threaded pool — work items drained by
+    /// a non-home worker. 0 for a single-tree runtime and for plain
+    /// round-robin ticking.
+    pub steal_count: u64,
+    /// Failed shard claims (try-lock misses that requeued the item).
+    /// Only a threaded pool can contend; the single-threaded schedulers
+    /// leave this 0.
+    pub contended_count: u64,
 }
 
 impl JitdStats {
@@ -109,6 +118,8 @@ impl JitdStats {
             op_ns: SummaryBuilder::new(),
             commit_ns: SummaryBuilder::new(),
             steps: 0,
+            steal_count: 0,
+            contended_count: 0,
         }
     }
 
@@ -316,6 +327,15 @@ impl Jitd {
             rewrite_ns,
             maintain_ns,
         }
+    }
+
+    /// True while any rule still has a match — the runtime holds
+    /// reorganization backlog. A search-only probe (nothing is applied,
+    /// though bolt-on strategies may flush staged deltas, as on any
+    /// read): pool drivers use it to detect fleet quiescence without
+    /// doing the reorganization work themselves.
+    pub fn has_pending_matches(&mut self) -> bool {
+        (0..self.rules.len()).any(|rid| self.strategy.find_one(self.index.ast(), rid).is_some())
     }
 
     /// Tries every rule once; returns how many fired.

@@ -1,0 +1,328 @@
+//! The shared work queue behind the work-stealing reorganizer pool.
+//!
+//! PR 4 gave every shard a dedicated background worker
+//! ([`AsyncJitd`](crate::AsyncJitd)): simple, but wasteful exactly when
+//! it matters — under skew (fleet workload I: 20% of the trees take 80%
+//! of the churn) the cold shards' workers spin uselessly while the hot
+//! shards' backlogs are each stuck behind a single thread. This module
+//! replaces the one-worker-per-shard model with a **shared queue of
+//! shard-granularity work items** drained by a configurable pool:
+//!
+//! - **Enqueue on heat.** Operations that dirty a shard bump its heat
+//!   counter ([`WorkQueue::note_heat`]); when the counter crosses the
+//!   configured threshold the shard is enqueued — at most once
+//!   (an `in_queue` flag per shard), so the queue length is bounded by
+//!   the shard count no matter how hot a shard runs.
+//! - **Claim by try-lock.** A worker pops a shard and *tries* its
+//!   `parking_lot` mutex. On contention — the operation path or another
+//!   worker holds it — the item is requeued and the worker moves on
+//!   ([`WorkQueue::requeue_contended`]), so a stalled shard can never
+//!   head-of-line-block the pool.
+//! - **Short critical sections.** A claim performs one reorganization
+//!   round and releases; if the round fired, the shard is requeued.
+//!   Operations therefore interleave with reorganization at the same
+//!   granularity as the dedicated-worker model.
+//!
+//! The queue also keeps the pool's ledger: [`StealStats::steal_count`]
+//! (items drained by a worker other than the shard's home worker,
+//! `shard mod workers`) and [`StealStats::contended_count`] (try-lock
+//! misses). Those counters surface through
+//! [`JitdStats`](crate::JitdStats) into the `tt-bench` JSON cells.
+//!
+//! Everything here is shard-*id* bookkeeping — the queue never touches a
+//! runtime. [`AsyncJitd::spawn_stealing`](crate::AsyncJitd::spawn_stealing)
+//! wires it to real workers, and the single-threaded
+//! [`JitdFleet`](crate::JitdFleet) scheduler reuses the same policy
+//! without the atomics.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Tuning knobs of a work-stealing reorganizer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Worker threads draining the shared queue. The interesting regime
+    /// is `workers < shards` — fewer threads than the dedicated model,
+    /// yet hot shards get serviced by *any* free worker.
+    pub workers: usize,
+    /// Dirtying operations a shard absorbs before it is enqueued. 1
+    /// enqueues on every write (the dedicated model's eagerness);
+    /// larger values let cold shards ride along unqueued.
+    pub heat_threshold: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> StealConfig {
+        StealConfig {
+            workers: 2,
+            heat_threshold: 1,
+        }
+    }
+}
+
+/// Counters describing a pool's scheduling behavior (monotonic;
+/// snapshot via [`WorkQueue::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Work items drained by a worker that was not the shard's *home*
+    /// worker (`shard mod workers`) — the steals that give the pool its
+    /// name. Zero under a dedicated-worker deployment by definition.
+    pub steal_count: u64,
+    /// Claims that failed because the shard's mutex was held (by the
+    /// operation path or a peer) and the item was requeued instead of
+    /// waiting.
+    pub contended_count: u64,
+    /// Work items drained (claims that did acquire the shard lock).
+    pub drained_count: u64,
+}
+
+/// A bounded multi-producer/multi-consumer queue of shard indexes with
+/// per-shard dedup, heat accounting, and steal/contention counters.
+///
+/// The queue is deliberately FIFO: heat *admits* a shard (threshold),
+/// arrival order schedules it. Priority ordering lives where it is
+/// cheap — the single-threaded fleet scheduler and the forest engine's
+/// `find_anywhere` probe order — while the threaded pool keeps its
+/// critical section to a push/pop.
+#[derive(Debug)]
+pub struct WorkQueue {
+    queue: Mutex<VecDeque<usize>>,
+    /// One flag per shard: true while the shard sits in `queue`.
+    in_queue: Vec<AtomicBool>,
+    /// Dirtying ops since the shard was last drained.
+    heat: Vec<AtomicU64>,
+    threshold: u64,
+    steals: AtomicU64,
+    contended: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl WorkQueue {
+    /// An empty queue over `shards` shards.
+    pub fn new(shards: usize, threshold: u64) -> WorkQueue {
+        WorkQueue {
+            queue: Mutex::new(VecDeque::with_capacity(shards)),
+            in_queue: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            heat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            threshold: threshold.max(1),
+            steals: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards this queue schedules.
+    pub fn shard_count(&self) -> usize {
+        self.in_queue.len()
+    }
+
+    /// Records one dirtying operation against `shard`; enqueues it once
+    /// its accumulated heat crosses the threshold.
+    pub fn note_heat(&self, shard: usize) {
+        let heat = self.heat[shard].fetch_add(1, Ordering::AcqRel) + 1;
+        if heat >= self.threshold {
+            self.enqueue(shard);
+        }
+    }
+
+    /// Enqueues `shard` unless it is already queued (dedup via the
+    /// per-shard flag, so re-enqueueing a hot shard is idempotent).
+    /// The flag transition happens under the queue lock, so the flag
+    /// always agrees with queue membership — an enqueue racing a
+    /// [`pop`](WorkQueue::pop) either lands before it (and is popped)
+    /// or after the flag cleared (and pushes a fresh item); no wakeup
+    /// is ever lost.
+    pub fn enqueue(&self, shard: usize) {
+        let mut queue = self.queue.lock();
+        if !self.in_queue[shard].swap(true, Ordering::AcqRel) {
+            queue.push_back(shard);
+        }
+    }
+
+    /// Enqueues every shard (the initial backlog: freshly loaded arrays
+    /// all want cracking).
+    pub fn enqueue_all(&self) {
+        for shard in 0..self.in_queue.len() {
+            self.enqueue(shard);
+        }
+    }
+
+    /// Pops the next work item, clearing its queued flag and heat under
+    /// the queue lock *before* handing it out — churn arriving while
+    /// the item is being processed re-enqueues it rather than being
+    /// lost. (Heat increments that race the clear itself may be wiped,
+    /// but their shard is exactly the one the popping worker is about
+    /// to service, so the work is folded into that round; the producer's
+    /// enqueue still lands through the now-consistent flag.)
+    pub fn pop(&self) -> Option<usize> {
+        let mut queue = self.queue.lock();
+        let shard = queue.pop_front()?;
+        self.in_queue[shard].store(false, Ordering::Release);
+        self.heat[shard].store(0, Ordering::Release);
+        Some(shard)
+    }
+
+    /// Records that `worker` successfully claimed `shard`, counting it
+    /// as a steal when the worker is not the shard's home worker.
+    pub fn record_drain(&self, worker: usize, shard: usize, workers: usize) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+        if workers > 0 && shard % workers != worker {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns `shard` to the queue after a failed try-lock claim,
+    /// counting the contention. The pop/requeue pair is what keeps a
+    /// stalled shard from blocking the pool.
+    pub fn requeue_contended(&self, shard: usize) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(shard);
+    }
+
+    /// Pending work items.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True when no work is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Current heat of one shard (dirtying ops since last drain).
+    pub fn heat_of(&self, shard: usize) -> u64 {
+        self.heat[shard].load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the scheduling counters.
+    pub fn stats(&self) -> StealStats {
+        StealStats {
+            steal_count: self.steals.load(Ordering::Relaxed),
+            contended_count: self.contended.load(Ordering::Relaxed),
+            drained_count: self.drained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn enqueue_is_deduplicated() {
+        let q = WorkQueue::new(4, 1);
+        q.enqueue(2);
+        q.enqueue(2);
+        q.enqueue(1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(2));
+        // Popped items can be re-enqueued.
+        q.enqueue(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heat_threshold_gates_admission() {
+        let q = WorkQueue::new(2, 3);
+        q.note_heat(0);
+        q.note_heat(0);
+        assert!(q.is_empty(), "below threshold: not queued");
+        assert_eq!(q.heat_of(0), 2);
+        q.note_heat(0);
+        assert_eq!(q.len(), 1, "third write crosses the threshold");
+        // Draining resets the heat.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.heat_of(0), 0);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let q = WorkQueue::new(1, 0);
+        q.note_heat(0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn steal_and_contention_accounting() {
+        let q = WorkQueue::new(6, 1);
+        // Shard 4's home worker in a 2-worker pool is 0; worker 1
+        // draining it is a steal, worker 0 draining it is not.
+        q.record_drain(1, 4, 2);
+        q.record_drain(0, 4, 2);
+        q.record_drain(1, 5, 2);
+        let s = q.stats();
+        assert_eq!(s.steal_count, 1);
+        assert_eq!(s.drained_count, 3);
+        assert_eq!(s.contended_count, 0);
+        q.requeue_contended(4);
+        assert_eq!(q.stats().contended_count, 1);
+        assert_eq!(q.pop(), Some(4), "contended item went back on queue");
+    }
+
+    #[test]
+    fn enqueue_all_seeds_the_initial_backlog() {
+        let q = WorkQueue::new(3, 1);
+        q.enqueue_all();
+        assert_eq!(q.len(), 3);
+        assert_eq!((q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2)));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_neither_lose_nor_duplicate() {
+        let q = Arc::new(WorkQueue::new(8, 1));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..800 {
+                        q.note_heat(i % 8);
+                    }
+                })
+            })
+            .collect();
+        let drained = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let consumers: Vec<_> = (0..2)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                let drained = Arc::clone(&drained);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    // Consume until the producers finish and the queue
+                    // is observed empty afterwards.
+                    loop {
+                        match q.pop() {
+                            Some(shard) => {
+                                q.record_drain(w, shard, 2);
+                                drained.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert!(q.is_empty());
+        let total = drained.load(Ordering::Relaxed);
+        // Dedup bounds the drains; every shard was drained at least once.
+        assert!(total >= 8, "every shard surfaced at least once: {total}");
+        assert_eq!(q.stats().drained_count, total);
+    }
+}

@@ -11,8 +11,9 @@
 //! |----------|--------------------------------------------------|----------|
 //! | G        | **burst-of-plans**: runs of consecutive ops land on one tree, then the burst moves on (round-robin) — the Spark shape | A (50/50 read/update, zipfian) |
 //! | H        | **steady-churn**: every op picks a tree uniformly at random — the Orca stream shape | A (50/50 read/update, zipfian) |
+//! | I        | **skewed-churn**: a hot minority of trees (20%) absorbs most of the stream (80%) — the shape where work-stealing reorganization beats one dedicated worker per shard | A (50/50 read/update, zipfian) |
 //!
-//! Both are deterministic under a seed, like the single-tree workloads.
+//! All are deterministic under a seed, like the single-tree workloads.
 
 use crate::workload::{Op, Workload, WorkloadSpec};
 use rand::rngs::StdRng;
@@ -38,6 +39,17 @@ pub enum FleetPattern {
     },
     /// Every op independently picks a uniformly random tree.
     SteadyChurn,
+    /// A hot minority of trees absorbs most of the stream: with
+    /// probability `hot_share_pct`% the op lands uniformly on one of the
+    /// first `⌈trees · hot_trees_pct%⌉` trees, otherwise uniformly on
+    /// the cold remainder. (Percentages keep the variant `Eq`-able and
+    /// the spec exactly representable.)
+    Skewed {
+        /// Percentage of trees in the hot set (at least one tree).
+        hot_trees_pct: u32,
+        /// Percentage of operations routed to the hot set.
+        hot_share_pct: u32,
+    },
 }
 
 /// A fleet workload definition: tree count, arrival pattern, per-tree mix.
@@ -73,15 +85,39 @@ impl FleetSpec {
                 base: WorkloadSpec::standard('A'),
                 pattern: FleetPattern::SteadyChurn,
             },
-            _ => panic!("unknown fleet workload {name:?}; expected G or H"),
+            // Skewed churn: 20% of the trees take 80% of the ops — the
+            // scheduling shape where a work-stealing reorganizer pool
+            // beats a dedicated worker per shard (the cold shards'
+            // workers idle while the hot shards' backlogs grow).
+            'I' => FleetSpec {
+                name,
+                trees,
+                base: WorkloadSpec::standard('A'),
+                pattern: FleetPattern::Skewed {
+                    hot_trees_pct: 20,
+                    hot_share_pct: 80,
+                },
+            },
+            _ => panic!("unknown fleet workload {name:?}; expected G, H, or I"),
         }
     }
 
-    /// Both fleet workloads at one tree count.
+    /// All fleet workloads at one tree count.
     pub fn fleet_set(trees: usize) -> Vec<FleetSpec> {
-        "GH".chars()
+        "GHI"
+            .chars()
             .map(|c| FleetSpec::standard(c, trees))
             .collect()
+    }
+
+    /// Size of this spec's hot set (trees for `Skewed`; 0 otherwise).
+    pub fn hot_tree_count(&self) -> usize {
+        match self.pattern {
+            FleetPattern::Skewed { hot_trees_pct, .. } => {
+                (self.trees * hot_trees_pct as usize).div_ceil(100).max(1)
+            }
+            _ => 0,
+        }
     }
 }
 
@@ -138,6 +174,16 @@ impl FleetWorkload {
                 t
             }
             FleetPattern::SteadyChurn => self.rng.gen_range(0..self.per_tree.len()),
+            FleetPattern::Skewed { hot_share_pct, .. } => {
+                let trees = self.per_tree.len();
+                let hot = self.spec.hot_tree_count().min(trees);
+                let roll: u32 = self.rng.gen_range(0..100);
+                if roll < hot_share_pct || hot == trees {
+                    self.rng.gen_range(0..hot)
+                } else {
+                    self.rng.gen_range(hot..trees)
+                }
+            }
         };
         FleetOp {
             tree,
@@ -203,7 +249,43 @@ mod tests {
         let mut w = FleetWorkload::new(FleetSpec::standard('G', 1), 32, 3);
         assert!(w.take_ops(64).iter().all(|f| f.tree == 0));
         assert_eq!(w.trees(), 1);
-        assert_eq!(FleetSpec::fleet_set(4).len(), 2);
+        assert_eq!(FleetSpec::fleet_set(4).len(), 3);
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_on_hot_minority() {
+        let spec = FleetSpec::standard('I', 10);
+        assert_eq!(spec.hot_tree_count(), 2, "20% of 10 trees");
+        let mut w = FleetWorkload::new(spec, 100, 13);
+        let ops = w.take_ops(4000);
+        let hot_hits = ops.iter().filter(|f| f.tree < 2).count();
+        let share = hot_hits as f64 / ops.len() as f64;
+        assert!(
+            (share - 0.8).abs() < 0.05,
+            "hot set got {share:.2} of the stream, expected ~0.80"
+        );
+        // Cold trees still see traffic (the dedicated-worker baseline
+        // must have something to do on every shard).
+        for t in 2..10 {
+            assert!(ops.iter().any(|f| f.tree == t), "cold tree {t} starved");
+        }
+    }
+
+    #[test]
+    fn skewed_single_tree_and_tiny_fleets_degenerate() {
+        // One tree: everything is hot.
+        let mut w = FleetWorkload::new(FleetSpec::standard('I', 1), 32, 5);
+        assert!(w.take_ops(64).iter().all(|f| f.tree == 0));
+        // Two trees: hot set rounds up to one tree, cold set is tree 1.
+        let spec = FleetSpec::standard('I', 2);
+        assert_eq!(spec.hot_tree_count(), 1);
+        let mut w = FleetWorkload::new(spec, 32, 5);
+        let ops = w.take_ops(1000);
+        let hot = ops.iter().filter(|f| f.tree == 0).count();
+        assert!(hot > 700, "tree 0 should dominate, got {hot}/1000");
+        assert!(hot < 1000, "tree 1 must not starve entirely");
+        // Non-skewed specs report an empty hot set.
+        assert_eq!(FleetSpec::standard('G', 8).hot_tree_count(), 0);
     }
 
     #[test]

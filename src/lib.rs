@@ -32,6 +32,10 @@
 //!
 //! ## Quickstart
 //!
+//! An optimizer never holds just one plan, so the front door is the
+//! forest: a fleet of independent trees, one strategy instance per
+//! shard, one shared compiled rule set, and a priority fleet search.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use treetoaster::prelude::*;
@@ -49,15 +53,35 @@
 //! let rule = RewriteRule::new("AddZero", &schema, pattern, generator::reuse("C"));
 //! let rules = Arc::new(RuleSet::from_rules(vec![rule]));
 //!
-//! // Build 0 + x, materialize the view, pop the match.
-//! let mut ast = Ast::new(schema);
-//! let root = treetoaster::ast::sexpr::parse_sexpr(&mut ast,
-//!     r#"(Arith op="+" (Const val=0) (Var name="x"))"#).unwrap();
-//! ast.set_root(root);
-//! let mut engine = TreeToasterEngine::new(rules.clone());
-//! engine.rebuild(&ast);
-//! assert_eq!(engine.find_one(&ast, 0), Some(root));
+//! // A fleet of three plans; only the second contains the pattern.
+//! let mut forest = Forest::new(schema.clone());
+//! for text in [r#"(Var name="a")"#,
+//!              r#"(Arith op="+" (Const val=0) (Var name="x"))"#,
+//!              r#"(Const val=3)"#] {
+//!     let id = forest.add_tree();
+//!     let root = treetoaster::ast::sexpr::parse_sexpr(
+//!         forest.tree_mut(id), text).unwrap();
+//!     forest.tree_mut(id).set_root(root);
+//! }
+//!
+//! // One TreeToaster engine per shard over the shared rule set: every
+//! // shard gets its own views and its own epochs.
+//! let mut engine: ForestEngine<TreeToasterEngine> =
+//!     ForestEngine::from_forest(rules, &forest, |r, _| TreeToasterEngine::new(r));
+//! engine.rebuild(&forest);
+//!
+//! // The fleet search is a priority scan (hot shards probed first) and
+//! // answers with a globally addressed match.
+//! let hit = engine.find_anywhere(&forest, 0).expect("one plan matches");
+//! assert_eq!(hit.tree, TreeId::from_index(1));
+//! assert_eq!(engine.shard(hit.tree).view(0).len(), 1);
 //! ```
+//!
+//! The single-tree engine is the degenerate one-shard case
+//! (`TreeToasterEngine::rebuild` + `find_one` over a plain [`ast::Ast`]);
+//! `jitd::JitdFleet` wraps the forest in the paper's key/value evaluation
+//! bed, and `jitd::AsyncJitd` adds background reorganization — dedicated
+//! workers or a work-stealing pool (`jitd::steal`).
 
 pub use treetoaster_core as core;
 pub use tt_ast as ast;
@@ -73,11 +97,14 @@ pub use tt_ycsb as ycsb;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use treetoaster_core::{
-        MatchSource, MatchView, ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine,
+        ForestEngine, MatchSource, MatchView, ReplaceCtx, RewriteRule, RuleFired, RuleSet,
+        TreeToasterEngine,
     };
-    pub use tt_ast::{Ast, GenMultiset, NodeId, Record, Schema, Value};
+    pub use tt_ast::{
+        Ast, Forest, GenMultiset, GlobalNodeId, NodeId, Record, Schema, TreeId, Value,
+    };
     pub use tt_ivm::{ClassicIvm, DbtIvm};
-    pub use tt_jitd::{Jitd, JitdIndex, RuleConfig, StrategyKind};
+    pub use tt_jitd::{AsyncJitd, Jitd, JitdFleet, JitdIndex, RuleConfig, StrategyKind};
     pub use tt_labelindex::LabelIndex;
     pub use tt_pattern::{match_node, match_set, Bindings, Pattern};
     pub use tt_ycsb::{Op, Workload, WorkloadSpec};
