@@ -15,12 +15,14 @@
 //! threshold (default 15%), or if the candidate lost coverage the
 //! baseline had. `--sync-only` still requires every baseline cell to
 //! exist in the candidate but applies the ratio threshold only to
-//! `"sync"` cells: the threaded scheduler cells' wall time scales with
-//! core count and thread oversubscription, so cross-machine ratios on
-//! them measure the machine, not the code (each report's *internal*
-//! stealing gate still covers them, same-machine). Exits non-zero with
-//! a diagnostic on any violation, so the CI job fails instead of
-//! archiving a malformed (or slower) artifact.
+//! fully synchronous cells (`scheduler` *and* `commit` both `"sync"`):
+//! the threaded scheduler cells' wall time scales with core count and
+//! thread oversubscription, and the async-commit cells' with the
+//! committer thread's scheduling, so cross-machine ratios on them
+//! measure the machine, not the code (each report's *internal*
+//! stealing and commit gates still cover them, same-machine). Exits
+//! non-zero with a diagnostic on any violation, so the CI job fails
+//! instead of archiving a malformed (or slower) artifact.
 
 use std::process::ExitCode;
 use tt_bench::report::{
@@ -52,13 +54,15 @@ fn validate_one(path: &str) -> ExitCode {
         Ok(summary) => {
             println!(
                 "tt-bench-check: {path} OK — {} results, strategies {:?}, \
-                 workloads {:?}, batch sizes {:?}, tree counts {:?}, schedulers {:?}",
+                 workloads {:?}, batch sizes {:?}, tree counts {:?}, schedulers {:?}, \
+                 commit modes {:?}",
                 summary.results,
                 summary.strategies,
                 summary.workloads,
                 summary.batch_sizes,
                 summary.tree_counts,
-                summary.schedulers
+                summary.schedulers,
+                summary.commits
             );
             ExitCode::SUCCESS
         }
@@ -85,10 +89,12 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
         // Coverage was already enforced over every cell by
         // compare_reports; only the ratio gate narrows to sync cells.
         let before = cmp.cells.len();
-        cmp.cells.retain(|c| c.scheduler == "sync");
+        cmp.cells
+            .retain(|c| c.scheduler == "sync" && c.commit == "sync");
         eprintln!(
             "tt-bench-check: --sync-only gating {} of {before} cells \
-             (threaded scheduler cells excluded from the ratio gate)",
+             (threaded scheduler and async-commit cells excluded from \
+             the ratio gate)",
             cmp.cells.len()
         );
     }
@@ -99,17 +105,21 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
             improved += 1;
         }
         worst = worst.max(cell.ratio());
+        let mut deploy = if cell.scheduler == "sync" {
+            String::new()
+        } else {
+            format!("{}:{}", cell.scheduler, cell.workers)
+        };
+        if cell.commit == "async" {
+            deploy.push_str("+async");
+        }
         println!(
             "  {}/{} K={:<4} T={:<3} {:>9} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
             cell.workload,
             cell.strategy,
             cell.batch_size,
             cell.trees,
-            if cell.scheduler == "sync" {
-                String::new()
-            } else {
-                format!("{}:{}", cell.scheduler, cell.workers)
-            },
+            deploy,
             cell.old_ns,
             cell.new_ns,
             (cell.ratio() - 1.0) * 100.0
@@ -128,7 +138,7 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
     } else {
         for cell in cmp.regressions() {
             eprintln!(
-                "tt-bench-check: REGRESSION {}/{} K={} T={} {}/W={} — {:.0} → {:.0} ns/op \
+                "tt-bench-check: REGRESSION {}/{} K={} T={} {}/W={}/{} — {:.0} → {:.0} ns/op \
                  ({:+.1}%, threshold {:+.1}%)",
                 cell.workload,
                 cell.strategy,
@@ -136,6 +146,7 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
                 cell.trees,
                 cell.scheduler,
                 cell.workers,
+                cell.commit,
                 cell.old_ns,
                 cell.new_ns,
                 (cell.ratio() - 1.0) * 100.0,

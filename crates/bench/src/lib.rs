@@ -12,6 +12,8 @@
 //! | `TT_CRACK_THRESHOLD`| 64      | CrackArray eligibility bound        |
 //! | `TT_SEED`           | 42      | master RNG seed                     |
 //! | `TT_ADAPTIVE_BATCH` | 0       | auto-tune K from cancellation rates |
+//! | `TT_ASYNC_COMMIT`   | 0       | pipeline epoch commits (seal now,   |
+//! |                     |         | apply one epoch later)              |
 //! | `TT_ANTIPATTERN_MAX`| 6       | deepest UNION-doubling level (fig14)|
 //! | `TT_ORCA_MAX`       | 5       | deepest level for fig15             |
 //! | `TT_FIG1_REPS`      | 3       | repetitions averaged per query      |
@@ -40,6 +42,13 @@ pub struct ExperimentConfig {
     /// (a high rate widens the epoch, a low rate narrows it). Off by
     /// default — the fixed-K path is byte-for-byte unchanged.
     pub adaptive_batch: bool,
+    /// Pipelined epoch commits: when set, the epoch drivers close each
+    /// epoch with a *seal* (`submit_commit`) instead of an inline
+    /// `commit_batch`, and the sealed epoch is applied one epoch later
+    /// (the strategies' one-epoch-in-flight backpressure keeps ordering;
+    /// a final drain lands the last epoch). Off by default — the
+    /// synchronous commit path is byte-for-byte unchanged.
+    pub async_commit: bool,
 }
 
 impl ExperimentConfig {
@@ -51,6 +60,7 @@ impl ExperimentConfig {
             crack_threshold: env_u64("TT_CRACK_THRESHOLD", 64) as usize,
             seed: env_u64("TT_SEED", 42),
             adaptive_batch: env_u64("TT_ADAPTIVE_BATCH", 0) != 0,
+            async_commit: env_u64("TT_ASYNC_COMMIT", 0) != 0,
         }
     }
 }
@@ -232,6 +242,21 @@ pub struct BatchRunResult {
     pub steal_count: u64,
     /// Failed try-lock claims that requeued the work item.
     pub contended_count: u64,
+    /// Which commit pipeline closed this cell's epochs: `"sync"` (apply
+    /// inline at epoch close — the classic path) or `"async"` (seal at
+    /// epoch close, apply off the op path: one epoch later on the
+    /// single-threaded drivers, on the background committer thread in
+    /// [`run_commit_pipeline`]).
+    pub commit: &'static str,
+    /// Largest single **commit window** observed (ns): the stall from
+    /// epoch close (after the epoch's ops and reorganization, which are
+    /// identical across commit disciplines) until the op thread is free
+    /// to run the next op — the inline apply for `commit: "sync"`, the
+    /// O(1) seal for `"async"`. The tail-latency axis the async commit
+    /// pipeline targets: ns/op averages the apply cost away, the worst
+    /// window shows it. 0 for drivers without an epoch structure
+    /// ([`run_steal_pool`]'s clock has no epochs).
+    pub worst_window_ns: u64,
 }
 
 impl BatchRunResult {
@@ -276,6 +301,7 @@ pub fn run_jitd_batched(
 
     let mut peak = jitd.strategy_memory_bytes();
     let steps_before = jitd.stats.steps;
+    let mut worst_window_ns = 0u64;
     let t0 = now_ns();
     let mut done = 0usize;
     let mut k = batch_size;
@@ -291,14 +317,30 @@ pub fn run_jitd_batched(
         // footprint is exactly what the batch-size axis trades away —
         // and again after the commit drains them into the views.
         peak = peak.max(jitd.strategy_memory_bytes());
-        jitd.commit_batch();
+        // The commit window (see `BatchRunResult::worst_window_ns`):
+        // only the epoch-close stall, not the ops/reorganization above.
+        let w_close = now_ns();
+        if cfg.async_commit {
+            // Seal only; the previous epoch's sealed deltas were applied
+            // by this submit's backpressure, so applies run one epoch
+            // behind the stream.
+            jitd.submit_commit();
+        } else {
+            jitd.commit_batch();
+        }
         done += chunk;
+        worst_window_ns = worst_window_ns.max(now_ns() - w_close);
         peak = peak.max(jitd.strategy_memory_bytes());
         if cfg.adaptive_batch {
             // The counters describe the epoch just committed; tune the
             // next epoch's width from its cancellation rate.
             k = tune_batch_size(k, jitd.batch_cancellation());
         }
+    }
+    if cfg.async_commit {
+        // Land the final sealed epoch inside the measured wall time —
+        // the pipelined run owes the same total work.
+        jitd.apply_submitted();
     }
     let total_ns = now_ns() - t0;
 
@@ -325,6 +367,8 @@ pub fn run_jitd_batched(
         workers: 0,
         steal_count: 0,
         contended_count: 0,
+        commit: if cfg.async_commit { "async" } else { "sync" },
+        worst_window_ns,
     }
 }
 
@@ -369,12 +413,18 @@ pub fn run_fleet_batched(
 
     let mut peak = fleet.strategy_memory_bytes();
     let steps_before = fleet.stats.steps;
+    let mut worst_window_ns = 0u64;
     let t0 = now_ns();
     let mut done = 0usize;
     let mut k = batch_size;
     let mut touched: Vec<TreeId> = Vec::new();
     let mut in_epoch = vec![false; trees];
     while done < cfg.ops {
+        if cfg.async_commit {
+            // One epoch lags in the pipeline: the previous epoch's
+            // sealed deltas land only now, before the next epoch opens.
+            fleet.drain_commits();
+        }
         let chunk = k.min(cfg.ops - done);
         touched.clear();
         in_epoch.iter_mut().for_each(|b| *b = false);
@@ -394,10 +444,18 @@ pub fn run_fleet_batched(
         // counts the priority scheduling the pooled cells measure).
         fleet.reorganize_pending(u64::MAX);
         peak = peak.max(fleet.strategy_memory_bytes());
+        // The commit window (see `BatchRunResult::worst_window_ns`):
+        // only the epoch-close stall, not the ops/reorganization above.
+        let w_close = now_ns();
         for &tree in &touched {
-            fleet.commit_batch(tree);
+            if cfg.async_commit {
+                fleet.submit_commit(tree);
+            } else {
+                fleet.commit_batch(tree);
+            }
         }
         done += chunk;
+        worst_window_ns = worst_window_ns.max(now_ns() - w_close);
         peak = peak.max(fleet.strategy_memory_bytes());
         if cfg.adaptive_batch {
             // Sum only the shards this epoch touched: untouched shards
@@ -414,6 +472,10 @@ pub fn run_fleet_batched(
             }
             k = tune_batch_size(k, any.then_some((staged, canceled)));
         }
+    }
+    if cfg.async_commit {
+        // Land the in-flight epochs inside the measured wall time.
+        fleet.drain_commits();
     }
     let total_ns = now_ns() - t0;
 
@@ -440,6 +502,8 @@ pub fn run_fleet_batched(
         workers: 0,
         steal_count: fleet.stats.steal_count,
         contended_count: fleet.stats.contended_count,
+        commit: if cfg.async_commit { "async" } else { "sync" },
+        worst_window_ns,
     }
 }
 
@@ -531,6 +595,11 @@ pub fn run_steal_pool(
                 Some(true) | None => quiet = false,
             }
         }
+        // A fleet can be out of matches while the committer still holds
+        // sealed-but-unapplied epochs; in-flight commits are backlog too.
+        if pool.commits_pending() {
+            quiet = false;
+        }
         if quiet {
             break;
         }
@@ -578,6 +647,187 @@ pub fn run_steal_pool(
         workers: workers.unwrap_or(trees),
         steal_count: steal.steal_count,
         contended_count: steal.contended_count,
+        commit: "sync",
+        worst_window_ns: 0,
+    }
+}
+
+/// Runs one fleet workload through the **commit pipeline** cell: epochs
+/// close mid-backlog (one reorganization round per touched shard, on the
+/// op thread) and the `async_commit` axis decides who pays the apply —
+/// the op thread inline at epoch close (`commit = "sync"`), or a
+/// background committer thread the seal merely wakes (`commit =
+/// "async"`). Everything else is identical between the twins: same
+/// shards, same op stream, same on-thread reorganization, same one cold
+/// pool worker (its heat threshold is `u64::MAX`, so it parks for the
+/// whole run and the scheduler axis stays honestly `"sync"` — zero
+/// reorganizer threads run). The headline metric is `worst_window_ns`,
+/// the slowest **commit window**: the stall from epoch close until the
+/// op thread is free to run the next op. For the sync twin that window
+/// contains the inline apply (it grows with the epoch's delta payload);
+/// for the async twin it is the O(1) seal-and-wake, which is the entire
+/// point of moving commits off the query path. The ops and
+/// reorganization rounds are deliberately outside the window — they are
+/// identical between the twins and only dilute the tail with
+/// scaffolding noise — but end-to-end ns/op still covers them. The
+/// clock still runs until every in-flight epoch has landed
+/// ([`AsyncJitd::drain_commits`], a help-at-barrier: the op thread
+/// applies whatever the committer has not reached rather than charging
+/// a committer wake latency to its own clock), so ns/op stays an
+/// end-to-end number and the async twin cannot win by leaving work
+/// behind.
+///
+/// Epochs must *not* reorganize to quiescence here: a drained backlog
+/// stages and cancels every view delta, net-empty buffers seal nothing,
+/// and the committer would have nothing to overlap (see
+/// docs/commit-pipeline.md). The leftover backlog drains after the
+/// clock stops, identically for both twins.
+/// Reorganization rounds per touched shard per commit-pipeline epoch.
+/// Deep enough that each seal carries a real delta payload (the apply
+/// the async twin moves off the window), shallow enough that the epoch
+/// stays mid-backlog — quiescence would cancel every delta and seal
+/// nothing.
+pub const COMMIT_EPOCH_ROUNDS: usize = 4;
+
+pub fn run_commit_pipeline(
+    workload: char,
+    strategy: StrategyKind,
+    cfg: ExperimentConfig,
+    batch_size: usize,
+    trees: usize,
+    async_commit: bool,
+) -> BatchRunResult {
+    use tt_jitd::{AsyncJitd, CommitMode, StealConfig, WorkerMode};
+    assert!(batch_size > 0, "batch size must be positive");
+    assert!(trees > 0, "pipeline needs at least one shard");
+    let records_per_tree = (cfg.records / trees as u64)
+        .max(2 * cfg.crack_threshold as u64)
+        .max(32);
+    let parts: Vec<Vec<Record>> = (0..trees)
+        .map(|t| {
+            (0..records_per_tree as i64)
+                .map(|k| Record::new(k, k.wrapping_mul(7) ^ t as i64))
+                .collect()
+        })
+        .collect();
+    let pool = AsyncJitd::spawn_parts_with(
+        strategy,
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
+        parts,
+        WorkerMode::Stealing(StealConfig {
+            workers: 1,
+            heat_threshold: u64::MAX,
+        }),
+        if async_commit {
+            CommitMode::Async
+        } else {
+            CommitMode::Sync
+        },
+    );
+    // Load-phase cracking outside the measured loop, as everywhere.
+    for shard in 0..trees {
+        pool.with_shard(shard, |j| j.reorganize_until_quiet(u64::MAX));
+    }
+    let steps_before: u64 = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.steps))
+        .sum();
+
+    let mut driver = FleetWorkload::new(
+        FleetSpec::standard(workload, trees),
+        records_per_tree,
+        cfg.seed,
+    );
+    let mut touched: Vec<usize> = Vec::new();
+    let mut in_epoch = vec![false; trees];
+    let mut worst_window_ns = 0u64;
+    let t0 = now_ns();
+    let mut done = 0usize;
+    while done < cfg.ops {
+        let chunk = batch_size.min(cfg.ops - done);
+        touched.clear();
+        in_epoch.iter_mut().for_each(|b| *b = false);
+        for _ in 0..chunk {
+            let fop = driver.next_op();
+            if !in_epoch[fop.tree] {
+                in_epoch[fop.tree] = true;
+                touched.push(fop.tree);
+                pool.begin_batch_on(fop.tree);
+            }
+            pool.execute_on(fop.tree, &fop.op);
+        }
+        // A few rounds per touched shard: the epoch closes mid-backlog
+        // with net deltas to seal, and the backlog carries forward.
+        for &shard in &touched {
+            pool.with_shard(shard, |j| {
+                for _ in 0..COMMIT_EPOCH_ROUNDS {
+                    if j.reorganize_round() == 0 {
+                        break;
+                    }
+                }
+            });
+        }
+        // The commit window: from epoch close to the op thread being
+        // free to run the next op. This is the stall the pipeline
+        // exists to shrink — the ops and reorganization rounds above
+        // are identical between the twins (and dominated by cell
+        // scaffolding noise), so they are kept out of the tail metric
+        // and measured only through end-to-end ns/op.
+        let w_close = now_ns();
+        for &shard in &touched {
+            pool.submit_commit_on(shard);
+        }
+        done += chunk;
+        worst_window_ns = worst_window_ns.max(now_ns() - w_close);
+    }
+    // End-to-end completion: every in-flight epoch lands before the
+    // clock stops. Help-at-barrier instead of sleep-polling
+    // `commits_pending`: the op thread applies whatever seals the
+    // committer has not reached (first-toucher-applies is safe), so the
+    // drain costs the leftover applies — not a committer wake latency
+    // plus sleep quantization, which at quick scale dwarfs the run.
+    pool.drain_commits();
+    let total_ns = now_ns() - t0;
+
+    let (mut runtimes, _) = pool.stop();
+    let steps_after: u64 = runtimes.iter().map(|j| j.stats.steps).sum();
+    let mut maintenance = SummaryBuilder::new();
+    let mut commit = SummaryBuilder::new();
+    for jitd in &runtimes {
+        for s in jitd.stats.all_maintenance_samples().samples() {
+            maintenance.push(*s);
+        }
+        for s in jitd.stats.commit_ns.samples() {
+            commit.push(*s);
+        }
+    }
+    // Post-measurement: drain the carried backlog so the reported
+    // memory describes a quiescent fleet (same caveat as the pool
+    // cells: peak == final).
+    for jitd in &mut runtimes {
+        jitd.reorganize_until_quiet(u64::MAX);
+    }
+    let final_bytes: usize = runtimes.iter().map(Jitd::strategy_memory_bytes).sum();
+    BatchRunResult {
+        workload,
+        strategy,
+        batch_size,
+        final_batch_size: batch_size,
+        trees,
+        ops: cfg.ops,
+        rewrites: steps_after - steps_before,
+        total_ns,
+        maintain_mean_ns: maintenance.finish().map_or(0.0, |s| s.mean),
+        commit_mean_ns: commit.finish().map_or(0.0, |s| s.mean),
+        peak_strategy_bytes: final_bytes,
+        final_strategy_bytes: final_bytes,
+        scheduler: "sync",
+        workers: 0,
+        steal_count: 0,
+        contended_count: 0,
+        commit: if async_commit { "async" } else { "sync" },
+        worst_window_ns,
     }
 }
 
@@ -608,6 +858,7 @@ mod tests {
             crack_threshold: 32,
             seed: 7,
             adaptive_batch: false,
+            async_commit: false,
         }
     }
 
@@ -691,6 +942,55 @@ mod tests {
         assert_eq!(adaptive.batch_size, 4, "reported cell key is the start K");
         assert!(adaptive.final_batch_size >= 1);
         assert!(adaptive.ns_per_op() > 0.0);
+    }
+
+    #[test]
+    fn async_commit_knob_pipelines_every_epoch_driver() {
+        // The single-tree and fleet drivers under TT_ASYNC_COMMIT: same
+        // measured outcome shape, commit axis flips, and the runs stay
+        // agreement-clean (the equivalence proptest in
+        // tests/commit_equivalence.rs pins the semantics; this pins the
+        // drivers' plumbing).
+        let mut piped_cfg = tiny();
+        piped_cfg.async_commit = true;
+        for strategy in [StrategyKind::TreeToaster, StrategyKind::Classic] {
+            let sync = run_jitd_batched('A', strategy, tiny(), 8);
+            let piped = run_jitd_batched('A', strategy, piped_cfg, 8);
+            assert_eq!(sync.commit, "sync");
+            assert_eq!(piped.commit, "async");
+            assert_eq!(sync.rewrites, piped.rewrites, "{}", strategy.label());
+            assert!(sync.worst_window_ns > 0);
+            assert!(piped.worst_window_ns > 0);
+            let fleet = run_fleet_batched('G', strategy, piped_cfg, 8, 3);
+            assert_eq!(fleet.commit, "async");
+            assert!(fleet.total_ns > 0);
+        }
+    }
+
+    #[test]
+    fn run_commit_pipeline_covers_both_commit_modes() {
+        let cfg = tiny();
+        for (async_commit, commit) in [(false, "sync"), (true, "async")] {
+            for workload in ['G', 'I'] {
+                let r = run_commit_pipeline(
+                    workload,
+                    StrategyKind::TreeToaster,
+                    cfg,
+                    8,
+                    4,
+                    async_commit,
+                );
+                assert_eq!(r.commit, commit);
+                assert_eq!(r.scheduler, "sync", "cold pool: no reorganizer ran");
+                assert_eq!(r.workers, 0);
+                assert_eq!(r.trees, 4);
+                assert_eq!(r.ops, 30);
+                assert!(r.total_ns > 0);
+                assert!(r.rewrites > 0, "mid-backlog epochs must rewrite");
+                assert!(r.worst_window_ns > 0);
+                assert!(r.worst_window_ns <= r.total_ns);
+            }
+        }
     }
 
     #[test]

@@ -33,15 +33,30 @@
 //! work-stealing pool of `workers` threads) measure the threaded
 //! deployments on the skewed fleet workload I. Threaded cells also
 //! carry the scheduling ledger: `steal_count` and `contended_count`.
-//! A cell is keyed by
-//! `(strategy, workload, batch_size, trees, scheduler, workers)`.
+//!
+//! `commit`/`worst_window_ns` are the commit-pipeline axis (PR 6):
+//! `"sync"` cells (the default when the field is absent — every
+//! pre-PR 6 artifact) pay the epoch apply inline at epoch close, while
+//! `"async"` cells only *seal* at epoch close and a background
+//! committer thread lands the epoch off the op path.
+//! `worst_window_ns` is the slowest **commit window** observed — the
+//! stall from epoch close until the op thread is free again (inline
+//! apply vs O(1) seal), the tail-latency number the pipeline exists to
+//! improve (ns/op averages the apply cost away). A cell is keyed by
+//! `(strategy, workload, batch_size, trees, scheduler, workers,
+//! commit)`.
 //!
 //! Validation enforces, beyond schema and coverage, the **stealing
 //! gate**: wherever a dedicated-worker baseline and a smaller stealing
 //! pool were both measured, the pool's ns/op must stay within
 //! [`STEAL_GATE_ENVELOPE`] of the baseline — work-stealing with fewer
 //! threads must match or beat one-thread-per-shard under skew, and a
-//! report that says otherwise is a scheduling regression.
+//! report that says otherwise is a scheduling regression. The
+//! **commit gate** works the same way: every `commit: "async"` cell
+//! must have a synchronous twin (same key except the commit axis),
+//! stay within [`COMMIT_GATE_ENVELOPE`] of its ns/op, and — on the
+//! skewed workload I, where hot-shard epochs make the apply cost a
+//! real tail — be *ahead* of it on `worst_window_ns`.
 
 use crate::{BatchRunResult, ExperimentConfig};
 use tt_jitd::StrategyKind;
@@ -73,6 +88,11 @@ pub struct SweepConfig {
     pub steal_trees: Vec<usize>,
     /// Stealing-pool sizes swept against each dedicated baseline.
     pub steal_workers: Vec<usize>,
+    /// Fleet workloads measured through the commit-pipeline driver
+    /// (one sync + one async cell each); empty disables them. A
+    /// non-empty list is a coverage promise validation holds the report
+    /// to: every listed workload must carry both commit modes.
+    pub commit_workloads: Vec<char>,
     /// Runs per cell; the fastest (minimum total ns) run is kept. The
     /// minimum is the standard noise-robust latency estimator: scheduler
     /// preemption and cache pollution only ever add time, so min-of-N
@@ -151,6 +171,16 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     .collect(),
             ),
         ),
+        (
+            "commit_workloads",
+            Json::Arr(
+                sweep
+                    .commit_workloads
+                    .iter()
+                    .map(|w| Json::Str(w.to_string()))
+                    .collect(),
+            ),
+        ),
     ]);
     let results = Json::Arr(
         results
@@ -173,6 +203,8 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     ("workers", Json::Num(r.workers as f64)),
                     ("steal_count", Json::Num(r.steal_count as f64)),
                     ("contended_count", Json::Num(r.contended_count as f64)),
+                    ("commit", Json::Str(r.commit.to_string())),
+                    ("worst_window_ns", Json::Num(r.worst_window_ns as f64)),
                 ])
             })
             .collect(),
@@ -204,6 +236,8 @@ pub struct ReportSummary {
     /// Distinct reorganizer deployments seen (`["sync"]` for pre-PR 5
     /// artifacts).
     pub schedulers: Vec<String>,
+    /// Distinct commit modes seen (`["sync"]` for pre-PR 6 artifacts).
+    pub commits: Vec<String>,
 }
 
 fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
@@ -252,12 +286,16 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     let mut batch_sizes: Vec<u64> = Vec::new();
     let mut tree_counts: Vec<u64> = Vec::new();
     let mut schedulers: Vec<String> = Vec::new();
+    let mut commits: Vec<String> = Vec::new();
     // (strategy, batch, trees, ns_per_op) for every workload-G cell,
     // feeding the fleet-scaling gate below.
     let mut g_cells: Vec<(String, u64, u64, f64)> = Vec::new();
     // (strategy, workload, batch, trees, scheduler, workers, ns_per_op)
     // for every threaded cell, feeding the stealing gate below.
     let mut pool_cells: Vec<(String, String, u64, u64, String, u64, f64)> = Vec::new();
+    // Every cell's full key plus (commit, ns_per_op, worst_window_ns),
+    // feeding the commit-pipeline gate below.
+    let mut commit_cells: Vec<CommitCell> = Vec::new();
     for (i, entry) in results.iter().enumerate() {
         let strategy = entry
             .get("strategy")
@@ -324,6 +362,34 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
                 ns_per_op,
             ));
         }
+        // Commit axis (PR 6): absent = "sync" (pre-PR 6 artifacts).
+        let commit = match entry.get("commit") {
+            None => "sync",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("results[{i}]: `commit` must be a string"))?,
+        };
+        if !matches!(commit, "sync" | "async") {
+            return Err(format!("results[{i}]: unknown commit mode `{commit}`"));
+        }
+        let worst_window_ns = match entry.get("worst_window_ns") {
+            None => 0.0,
+            Some(_) => require_num(entry, "worst_window_ns", i)?,
+        };
+        commit_cells.push(CommitCell {
+            strategy: strategy.to_string(),
+            workload: workload.to_string(),
+            batch: batch as u64,
+            trees: trees as u64,
+            scheduler: scheduler.to_string(),
+            workers: workers as u64,
+            commit: commit.to_string(),
+            ns_per_op,
+            worst_window_ns,
+        });
+        if !commits.iter().any(|c| c == commit) {
+            commits.push(commit.to_string());
+        }
         if !schedulers.iter().any(|s| s == scheduler) {
             schedulers.push(scheduler.to_string());
         }
@@ -382,6 +448,35 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         check_fleet_scaling(&g_cells)?;
     }
     check_steal_scheduling(&pool_cells)?;
+    // Commit-pipeline coverage: a config that promises commit cells
+    // (`commit_workloads` non-empty — every post-PR 6 runner) must
+    // deliver both commit modes for each promised workload. Pre-PR 6
+    // artifacts carry no such config key and stay valid.
+    let promised: Vec<String> = doc
+        .get("config")
+        .and_then(|c| c.get("commit_workloads"))
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    for workload in &promised {
+        for mode in ["sync", "async"] {
+            if !commit_cells
+                .iter()
+                .any(|c| c.workload == *workload && c.commit == mode)
+            {
+                return Err(format!(
+                    "config promises commit-pipeline coverage on workload \
+                     `{workload}` but no `commit: \"{mode}\"` cell exists"
+                ));
+            }
+        }
+    }
+    check_commit_pipeline(&commit_cells)?;
     Ok(ReportSummary {
         results: results.len(),
         strategies,
@@ -389,6 +484,7 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         batch_sizes,
         tree_counts,
         schedulers,
+        commits,
     })
 }
 
@@ -446,6 +542,76 @@ fn check_steal_scheduling(
                  best pool ({best_workers} workers) ran {best_ns:.0} ns/op vs \
                  {dedicated_ns:.0} for {trees} dedicated workers \
                  (>{STEAL_GATE_ENVELOPE}x envelope)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// How much slower than its synchronous twin an async-commit cell's
+/// ns/op may measure before the commit gate trips. The async pipeline
+/// moves the apply, it doesn't remove it — the clock still runs until
+/// the committer drains — so on uniform workloads the two twins do the
+/// same total work and the envelope only catches genuine pipeline
+/// overhead (queue churn, lock traffic), not jitter.
+pub const COMMIT_GATE_ENVELOPE: f64 = 1.25;
+
+/// One parsed result row for the commit gate: the full cell key plus
+/// the two latency numbers the gate compares.
+#[derive(Debug, Clone)]
+struct CommitCell {
+    strategy: String,
+    workload: String,
+    batch: u64,
+    trees: u64,
+    scheduler: String,
+    workers: u64,
+    commit: String,
+    ns_per_op: f64,
+    worst_window_ns: f64,
+}
+
+/// The commit gate: every `commit: "async"` cell must have a
+/// synchronous twin (identical key except the commit axis) to be
+/// judged against — ns/op within [`COMMIT_GATE_ENVELOPE`] everywhere,
+/// and on the skewed workload I (where the hot shards' epochs make the
+/// inline apply a real tail contributor) the async cell must be
+/// *ahead* on `worst_window_ns`: a seal-only commit window that is
+/// slower than pay-the-apply means the pipeline's whole premise failed.
+fn check_commit_pipeline(commit_cells: &[CommitCell]) -> Result<(), String> {
+    for cell in commit_cells.iter().filter(|c| c.commit == "async") {
+        let Some(twin) = commit_cells.iter().find(|c| {
+            c.commit == "sync"
+                && c.strategy == cell.strategy
+                && c.workload == cell.workload
+                && c.batch == cell.batch
+                && c.trees == cell.trees
+                && c.scheduler == cell.scheduler
+                && c.workers == cell.workers
+        }) else {
+            return Err(format!(
+                "async commit cell {}/{}/K={}/T={} lacks its synchronous twin",
+                cell.workload, cell.strategy, cell.batch, cell.trees
+            ));
+        };
+        if cell.ns_per_op > twin.ns_per_op * COMMIT_GATE_ENVELOPE {
+            return Err(format!(
+                "commit-pipeline regression on {}/{}/K={}/T={}: async ran \
+                 {:.0} ns/op vs {:.0} sync (>{COMMIT_GATE_ENVELOPE}x envelope)",
+                cell.workload,
+                cell.strategy,
+                cell.batch,
+                cell.trees,
+                cell.ns_per_op,
+                twin.ns_per_op
+            ));
+        }
+        if cell.workload == "I" && cell.worst_window_ns > twin.worst_window_ns {
+            return Err(format!(
+                "commit-pipeline tail regression on I/{}/K={}/T={}: async \
+                 worst commit window {:.0} ns vs {:.0} sync — sealing must \
+                 beat paying the apply inline under skew",
+                cell.strategy, cell.batch, cell.trees, cell.worst_window_ns, twin.worst_window_ns
             ));
         }
     }
@@ -510,6 +676,8 @@ pub struct CellDelta {
     pub scheduler: String,
     /// Background workers (0 for sync cells).
     pub workers: u64,
+    /// Commit pipeline (`"sync"` for inline-apply cells).
+    pub commit: String,
     /// Baseline ns/op.
     pub old_ns: f64,
     /// Candidate ns/op.
@@ -546,9 +714,9 @@ impl Comparison {
     }
 }
 
-/// One parsed result row:
-/// `(strategy, workload, batch, trees, scheduler, workers, ns_per_op)`.
-type RawCell = (String, String, u64, u64, String, u64, f64);
+/// One parsed result row: `(strategy, workload, batch, trees,
+/// scheduler, workers, commit, ns_per_op)`.
+type RawCell = (String, String, u64, u64, String, u64, String, f64);
 
 fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
     validate_report(text).map_err(|e| format!("{which} report: {e}"))?;
@@ -587,6 +755,12 @@ fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
                     .unwrap_or("sync")
                     .to_string(),
                 entry.get("workers").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                // Pre-PR 6 artifacts carry no commit axis: inline apply.
+                entry
+                    .get("commit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("sync")
+                    .to_string(),
                 entry
                     .get("ns_per_op")
                     .and_then(Json::as_f64)
@@ -624,8 +798,8 @@ fn check_configs_comparable(old_text: &str, new_text: &str) -> Result<(), String
 }
 
 /// Per-cell ns/op trend gate: pairs `old` and `new` results by
-/// `(strategy, workload, batch_size, trees)` and reports every shared
-/// cell's latency ratio. Errors on invalid reports, on mismatched
+/// `(strategy, workload, batch_size, trees, scheduler, workers,
+/// commit)` and reports every shared cell's latency ratio. Errors on invalid reports, on mismatched
 /// experiment scale (records/ops/seed/crack_threshold must agree —
 /// ratios between different scales measure the scale, not the code), or
 /// when a baseline cell is missing from the candidate (coverage must
@@ -644,22 +818,23 @@ pub fn compare_reports(
     let new_cells = collect_cells(new_text, "candidate")?;
     check_configs_comparable(old_text, new_text)?;
     let mut cells = Vec::with_capacity(old_cells.len());
-    for (strategy, workload, batch_size, trees, scheduler, workers, old_ns) in old_cells {
+    for (strategy, workload, batch_size, trees, scheduler, workers, commit, old_ns) in old_cells {
         let new_ns = new_cells
             .iter()
-            .find(|(s, w, b, t, sched, wk, _)| {
+            .find(|(s, w, b, t, sched, wk, cm, _)| {
                 *s == strategy
                     && *w == workload
                     && *b == batch_size
                     && *t == trees
                     && *sched == scheduler
                     && *wk == workers
+                    && *cm == commit
             })
-            .map(|&(_, _, _, _, _, _, ns)| ns)
+            .map(|&(_, _, _, _, _, _, _, ns)| ns)
             .ok_or_else(|| {
                 format!(
-                    "cell {strategy}/{workload}/K={batch_size}/T={trees}/{scheduler}/W={workers} \
-                     present in baseline, missing from candidate"
+                    "cell {strategy}/{workload}/K={batch_size}/T={trees}/{scheduler}/W={workers}\
+                     /{commit} present in baseline, missing from candidate"
                 )
             })?;
         cells.push(CellDelta {
@@ -669,6 +844,7 @@ pub fn compare_reports(
             trees,
             scheduler,
             workers,
+            commit,
             old_ns,
             new_ns,
         });
@@ -689,6 +865,7 @@ mod tests {
                 crack_threshold: 16,
                 seed: 1,
                 adaptive_batch: false,
+                async_commit: false,
             },
             batch_sizes: vec![1, 8, 64],
             workloads: vec!['A'],
@@ -696,6 +873,7 @@ mod tests {
             fleet_trees: vec![],
             steal_trees: vec![],
             steal_workers: vec![],
+            commit_workloads: vec![],
             repeat: 1,
         }
     }
@@ -723,6 +901,21 @@ mod tests {
             workers: 0,
             steal_count: 0,
             contended_count: 0,
+            commit: "sync",
+            worst_window_ns: 3_000,
+        }
+    }
+
+    /// A commit-pipeline twin: `("sync" | "async", total_ns,
+    /// worst_window_ns)` on workload I at K=8 over 4 trees.
+    fn commit_cell(commit: &'static str, total_ns: u64, worst_window_ns: u64) -> BatchRunResult {
+        BatchRunResult {
+            batch_size: 8,
+            final_batch_size: 8,
+            total_ns,
+            commit,
+            worst_window_ns,
+            ..cell('I', StrategyKind::TreeToaster, 8, 4)
         }
     }
 
@@ -828,6 +1021,79 @@ mod tests {
         results.push(pool_cell(Some(8), 10_000));
         let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
         assert!(err.contains("smaller than the shard count"), "{err}");
+    }
+
+    #[test]
+    fn commit_gate_passes_and_trips() {
+        // Async at parity on ns/op and ahead on the worst window: passes.
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("sync", 12_000, 5_000));
+        results.push(commit_cell("async", 12_500, 3_000));
+        let summary = validate_report(&render_report(&fleet_sweep(), &results)).unwrap();
+        assert!(summary.commits.iter().any(|c| c == "async"));
+        assert!(summary.commits.iter().any(|c| c == "sync"));
+        // ns/op beyond the envelope: the gate names the cell.
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("sync", 12_000, 5_000));
+        results.push(commit_cell("async", 40_000, 3_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("commit-pipeline regression"), "{err}");
+        // Worst window behind the sync twin on the skewed workload: the
+        // tail claim failed even though ns/op is fine.
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("sync", 12_000, 5_000));
+        results.push(commit_cell("async", 12_000, 6_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("tail regression"), "{err}");
+    }
+
+    #[test]
+    fn commit_gate_requires_a_synchronous_twin() {
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("async", 12_000, 3_000));
+        let err = validate_report(&render_report(&fleet_sweep(), &results)).unwrap_err();
+        assert!(err.contains("synchronous twin"), "{err}");
+    }
+
+    #[test]
+    fn commit_coverage_promise_is_enforced() {
+        // A config promising commit coverage on I must deliver both
+        // modes…
+        let mut promised = fleet_sweep();
+        promised.commit_workloads = vec!['I'];
+        let err = validate_report(&render_report(&promised, &fake_fleet_results())).unwrap_err();
+        assert!(err.contains("commit-pipeline coverage"), "{err}");
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("sync", 12_000, 5_000));
+        let err = validate_report(&render_report(&promised, &results)).unwrap_err();
+        assert!(err.contains("async"), "{err}");
+        // …and does validate once both twins exist.
+        results.push(commit_cell("async", 12_500, 3_000));
+        validate_report(&render_report(&promised, &results)).unwrap();
+        // An empty promise (pre-PR 6 artifacts and sync-only sweeps)
+        // demands nothing.
+        validate_report(&render_report(&fleet_sweep(), &fake_fleet_results())).unwrap();
+    }
+
+    #[test]
+    fn compare_keys_cells_by_commit_mode() {
+        // The two commit twins share every other key coordinate; the
+        // commit axis must keep them apart.
+        let mut results = fake_fleet_results();
+        results.push(commit_cell("sync", 12_000, 5_000));
+        results.push(commit_cell("async", 12_500, 3_000));
+        let text = render_report(&fleet_sweep(), &results);
+        let cmp = compare_reports(&text, &text, 0.15).unwrap();
+        assert!(cmp.passed());
+        let piped: Vec<&CellDelta> = cmp.cells.iter().filter(|c| c.commit == "async").collect();
+        assert_eq!(piped.len(), 1, "the async twin pairs distinctly");
+        assert_eq!(piped[0].workload, "I");
+        // Losing the async twin is reported with its commit key.
+        let mut lost = fake_fleet_results();
+        lost.push(commit_cell("sync", 12_000, 5_000));
+        let err = compare_reports(&text, &render_report(&fleet_sweep(), &lost), 0.15).unwrap_err();
+        assert!(err.contains("async"), "{err}");
+        assert!(err.contains("missing from candidate"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! epoch, `view ⊕ pending` equals the up-to-date view — which is what
 //! lets [`TreeToasterEngine`](crate::engine::TreeToasterEngine) answer
 //! `find_one` mid-epoch through a cheap overlay instead of flushing.
+//! Because the deltas are signed and compose, the invariant survives a
+//! pipelined commit too: an epoch **sealed** for a background committer
+//! (`MatchSource::submit_commit`) and the next epoch's open buffer
+//! overlay as `view ⊕ sealed ⊕ pending`, summing entries per node —
+//! exactly what one merged buffer would hold. Draining the sealed
+//! buffer first (commit order) transfers its entries into the views
+//! without disturbing the open epoch's.
 
 use crate::view::MatchView;
 use tt_ast::{NodeId, NodeMap};

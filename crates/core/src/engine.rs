@@ -58,6 +58,11 @@ pub struct TreeToasterEngine {
     /// Open maintenance epoch: deltas stage here (and cancel) instead of
     /// touching the views. `None` = immediate (K=1) maintenance.
     batch: Option<DeltaBuffer>,
+    /// An epoch sealed by [`MatchSource::submit_commit`], awaiting its
+    /// background committer. Reads overlay it alongside the open batch
+    /// (`view ⊕ sealed ⊕ pending` is the up-to-date view); at most one
+    /// epoch is ever sealed.
+    sealed: Option<DeltaBuffer>,
     /// The previous epoch's drained buffer, kept so its dense pages are
     /// reused by the next [`MatchSource::begin_batch`] instead of being
     /// freed and re-allocated every epoch.
@@ -84,14 +89,18 @@ impl TreeToasterEngine {
             inlineable,
             mode,
             batch: None,
+            sealed: None,
             spare: None,
             scratch: Scratch::default(),
         }
     }
 
-    /// Net deltas currently staged in an open epoch (0 outside one).
+    /// Net deltas currently staged in an open epoch, plus any sealed
+    /// epoch's surviving deltas still awaiting the committer (0 when
+    /// fully applied).
     pub fn pending_deltas(&self) -> usize {
         self.batch.as_ref().map_or(0, DeltaBuffer::len)
+            + self.sealed.as_ref().map_or(0, DeltaBuffer::len)
     }
 
     /// `(staged, canceled)` counters of the open epoch's buffer, if any —
@@ -254,10 +263,16 @@ impl MatchSource for TreeToasterEngine {
         for v in &mut self.views {
             v.clear();
         }
-        // A rebuild supersedes anything staged: restart the epoch empty
-        // (pages retained for the coming deltas).
+        // A rebuild supersedes anything staged or sealed: restart the
+        // epoch empty (pages retained for the coming deltas).
         if let Some(buffer) = &mut self.batch {
             buffer.reset();
+        }
+        if let Some(sealed) = self.sealed.take() {
+            self.spare = Some(sealed);
+        }
+        if let Some(spare) = &mut self.spare {
+            spare.reset();
         }
         let root = ast.root();
         if root.is_null() {
@@ -281,30 +296,64 @@ impl MatchSource for TreeToasterEngine {
     }
 
     fn find_one(&mut self, _ast: &Ast, rule: RuleId) -> Option<NodeId> {
-        // Inside an open epoch the views are stale by exactly the staged
-        // deltas, and `view ⊕ pending` is the up-to-date view — so answer
+        // The views are stale by exactly the deltas staged in the open
+        // epoch plus any sealed epoch awaiting its committer, and
+        // `view ⊕ sealed ⊕ pending` is the up-to-date view — so answer
         // through an overlay instead of forcing a commit. This read-path
         // asymmetry is the point: the bolt-on engines must reconcile
-        // their whole event stream to answer the same question.
-        if let Some(buffer) = self.batch.as_ref().filter(|b| !b.is_empty()) {
-            let pending = buffer.view_deltas(rule);
-            if !pending.is_empty() {
-                // Any member the epoch hasn't touched is still a match…
-                if let Some(n) = self.views[rule].iter().find(|&n| !pending.contains_key(n)) {
+        // their whole event stream to answer the same question. Signed
+        // deltas compose, so summing the two buffers' entries per node
+        // gives the same overlay as one merged buffer would.
+        let sealed = self
+            .sealed
+            .as_ref()
+            .map(|b| b.view_deltas(rule))
+            .filter(|p| !p.is_empty());
+        let open = self
+            .batch
+            .as_ref()
+            .map(|b| b.view_deltas(rule))
+            .filter(|p| !p.is_empty());
+        let (first, second) = match (sealed, open) {
+            (None, None) => return self.views[rule].any(),
+            // Single-buffer overlay — one probe per scanned member. This
+            // is the hot shape (a synchronous commit cycle never holds a
+            // sealed epoch), so it must not pay for the composed case.
+            (Some(p), None) | (None, Some(p)) => {
+                if let Some(n) = self.views[rule].iter().find(|&n| !p.contains_key(n)) {
                     return Some(n);
                 }
-                // …otherwise a touched node with positive net support.
-                return pending
+                return p
                     .iter()
                     .filter(|&(n, &d)| self.views[rule].count(n) + d > 0)
                     .map(|(n, _)| n)
                     .next();
             }
+            (Some(s), Some(o)) => (s, o),
+        };
+        let delta =
+            |n: NodeId| first.get(n).copied().unwrap_or(0) + second.get(n).copied().unwrap_or(0);
+        // Any member neither epoch touched is still a match…
+        if let Some(n) = self.views[rule].iter().find(|&n| delta(n) == 0) {
+            return Some(n);
         }
-        self.views[rule].any()
+        // …otherwise a touched node with positive net support.
+        [first, second]
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|(n, _)| n)
+            .find(|&n| self.views[rule].count(n) + delta(n) > 0)
     }
 
     fn before_replace(&mut self, ast: &Ast, old_root: NodeId, rule: Option<(RuleId, &Bindings)>) {
+        if self.batch.is_none() {
+            // A rewrite outside an epoch maintains the views in place,
+            // so a sealed epoch still awaiting its committer must land
+            // first — the direct ±1s below describe a tree the views
+            // have not caught up to otherwise. The committer's later
+            // pass finds the slot empty and no-ops.
+            self.apply_submitted();
+        }
         match rule {
             Some((fired, bindings)) if self.can_inline(fired) => {
                 self.inlined_pre(ast, old_root, fired, bindings)
@@ -327,6 +376,11 @@ impl MatchSource for TreeToasterEngine {
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        if self.batch.is_none() {
+            // Same ordering rule as `before_replace`: land any sealed
+            // epoch before mutating the views directly.
+            self.apply_submitted();
+        }
         let Self {
             rules,
             views,
@@ -357,6 +411,9 @@ impl MatchSource for TreeToasterEngine {
     }
 
     fn commit_batch(&mut self) {
+        // Epochs apply in submission order: a sealed epoch always lands
+        // before the one committing now.
+        self.apply_submitted();
         if let Some(mut buffer) = self.batch.take() {
             buffer.drain_into(&mut self.views);
             #[cfg(debug_assertions)]
@@ -368,12 +425,47 @@ impl MatchSource for TreeToasterEngine {
         }
     }
 
+    fn submit_commit(&mut self) -> bool {
+        let Some(buffer) = self.batch.take() else {
+            return false;
+        };
+        // Bounded backpressure: at most one epoch in flight. A second
+        // submit before the committer ran applies the old seal inline.
+        self.apply_submitted();
+        if buffer.is_empty() {
+            // Nothing staged: close the epoch without occupying the
+            // sealed slot, so the committer is never fed a no-op.
+            self.spare = Some(buffer);
+            return false;
+        }
+        self.sealed = Some(buffer);
+        true
+    }
+
+    fn apply_submitted(&mut self) -> bool {
+        let Some(mut sealed) = self.sealed.take() else {
+            return false;
+        };
+        sealed.drain_into(&mut self.views);
+        #[cfg(debug_assertions)]
+        for v in &self.views {
+            debug_assert!(v.check_consistent().is_ok(), "view corrupted by commit");
+        }
+        self.spare = Some(sealed);
+        true
+    }
+
+    fn has_submitted(&self) -> bool {
+        self.sealed.is_some()
+    }
+
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         // The open epoch's buffer if one exists; otherwise the drained
         // buffer parked in `spare`, whose counters still describe the
         // last committed epoch (reset happens at the next begin).
         self.batch
             .as_ref()
+            .or(self.sealed.as_ref())
             .or(self.spare.as_ref())
             .map(|b| (b.staged(), b.canceled()))
     }
@@ -381,6 +473,9 @@ impl MatchSource for TreeToasterEngine {
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if self.batch.as_ref().is_some_and(|b| !b.is_empty()) {
             return Err("engine has staged deltas in an open batch".into());
+        }
+        if self.sealed.as_ref().is_some_and(|b| !b.is_empty()) {
+            return Err("engine has a sealed epoch awaiting its committer".into());
         }
         self.check_views_correct(ast)
     }
@@ -391,6 +486,7 @@ impl MatchSource for TreeToasterEngine {
             .map(MatchView::memory_bytes)
             .sum::<usize>()
             + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
+            + self.sealed.as_ref().map_or(0, DeltaBuffer::memory_bytes)
             + self.spare.as_ref().map_or(0, DeltaBuffer::memory_bytes)
     }
 

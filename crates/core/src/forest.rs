@@ -271,6 +271,36 @@ impl<S: MatchSource> ForestEngine<S> {
         self.shard_mut(tree).commit_batch();
     }
 
+    /// Seals one shard's open epoch for a background committer instead
+    /// of applying it inline ([`MatchSource::submit_commit`]). Returns
+    /// `true` if an epoch was actually sealed. Other shards' epochs —
+    /// and their sealed slots — are untouched.
+    pub fn submit_commit(&mut self, tree: TreeId) -> bool {
+        self.shard_mut(tree).submit_commit()
+    }
+
+    /// Applies one shard's sealed epoch, if any (the committer half of
+    /// the pipeline). Returns `true` if an epoch was applied.
+    pub fn apply_submitted(&mut self, tree: TreeId) -> bool {
+        self.shard_mut(tree).apply_submitted()
+    }
+
+    /// True while `tree` has a sealed epoch its committer has not yet
+    /// applied — quiescence probes must treat this as pending work.
+    pub fn has_submitted(&self, tree: TreeId) -> bool {
+        self.shard(tree).has_submitted()
+    }
+
+    /// Applies every shard's sealed epoch (the forest-wide drain a
+    /// shutdown path uses). Returns how many shards had one.
+    pub fn apply_all_submitted(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.apply_submitted())
+            .filter(|&applied| applied)
+            .count()
+    }
+
     /// Opens an epoch on every shard.
     pub fn begin_batch_all(&mut self) {
         for s in &mut self.shards {
@@ -510,6 +540,38 @@ mod tests {
         engine.commit_batch(t1);
         engine.check_consistent(&forest).unwrap();
         assert!(engine.batch_cancellation(t0).is_some());
+    }
+
+    #[test]
+    fn submitted_epochs_commit_per_tree() {
+        let mut forest = forest_of(&[
+            r#"(Arith op="+" (Const val=0) (Var name="a"))"#,
+            r#"(Arith op="+" (Const val=0) (Var name="b"))"#,
+        ]);
+        let mut engine: ForestEngine<TreeToasterEngine> =
+            ForestEngine::from_forest(rules(), &forest, |r, _| TreeToasterEngine::new(r));
+        engine.rebuild(&forest);
+        let (t0, t1) = (TreeId::from_index(0), TreeId::from_index(1));
+        for t in [t0, t1] {
+            engine.begin_batch(t);
+            let site = engine.find_one(t, forest.tree(t), 0).unwrap();
+            fire(&mut engine, &mut forest, t, 0, site);
+        }
+        // Sealing tree 0's epoch leaves tree 1's open epoch untouched,
+        // and the sealed work is still visible as pending.
+        assert!(engine.submit_commit(t0));
+        assert!(engine.has_submitted(t0));
+        assert!(!engine.has_submitted(t1));
+        assert!(engine.shard(t1).pending_deltas() > 0);
+        // The committer half lands tree 0's epoch; the forest-wide drain
+        // then finds nothing left (tree 1's epoch is still open, not
+        // sealed).
+        assert!(engine.apply_submitted(t0));
+        assert!(!engine.has_submitted(t0));
+        assert_eq!(engine.apply_all_submitted(), 0);
+        engine.submit_commit(t1);
+        assert_eq!(engine.apply_all_submitted(), 1);
+        engine.check_consistent(&forest).unwrap();
     }
 
     #[test]

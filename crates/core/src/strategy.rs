@@ -101,6 +101,49 @@ pub trait MatchSource: Send {
     /// net delta. A commit with no open epoch is a no-op.
     fn commit_batch(&mut self) {}
 
+    /// Seals the open epoch for **deferred** application: surviving net
+    /// deltas move into a sealed slot, the epoch closes, and a later
+    /// [`apply_submitted`] — typically on a background committer thread,
+    /// under the same lock as every other access — applies them. Until
+    /// then `find_one` must keep answering correctly with the sealed
+    /// deltas in place: strategies with an overlay extend it to
+    /// `structures ⊕ sealed ⊕ open batch`, while the bolt-on engines
+    /// reconcile on read as always (a read may therefore apply the
+    /// sealed epoch early, which is safe — application is idempotent
+    /// per epoch and ordered per shard).
+    ///
+    /// At most one epoch may be sealed at a time; sealing while a
+    /// previous seal awaits its committer applies the old seal inline
+    /// first (bounded backpressure). Returns `true` when an epoch was
+    /// sealed for deferred application; the default falls back to a
+    /// synchronous [`commit_batch`] and returns `false`, so strategies
+    /// without a deferred path (and stateless ones) stay correct under
+    /// an asynchronous deployment.
+    ///
+    /// [`apply_submitted`]: MatchSource::apply_submitted
+    fn submit_commit(&mut self) -> bool {
+        self.commit_batch();
+        false
+    }
+
+    /// Applies the sealed epoch from [`submit_commit`], if one is
+    /// pending — the committer's half of the pipeline. Returns whether
+    /// anything was applied. Default: nothing is ever sealed.
+    ///
+    /// [`submit_commit`]: MatchSource::submit_commit
+    fn apply_submitted(&mut self) -> bool {
+        false
+    }
+
+    /// True while a sealed epoch awaits [`apply_submitted`]. Quiescence
+    /// probes must treat this as pending work: the strategy's structures
+    /// have not yet reached their post-commit state. Default: never.
+    ///
+    /// [`apply_submitted`]: MatchSource::apply_submitted
+    fn has_submitted(&self) -> bool {
+        false
+    }
+
     /// `(staged, canceled)` delta counters of the open — or, after a
     /// commit, the most recently committed — maintenance epoch.
     /// `canceled` counts staged deltas that annihilated against an
@@ -174,6 +217,18 @@ impl<T: MatchSource + ?Sized> MatchSource for Box<T> {
         (**self).commit_batch()
     }
 
+    fn submit_commit(&mut self) -> bool {
+        (**self).submit_commit()
+    }
+
+    fn apply_submitted(&mut self) -> bool {
+        (**self).apply_submitted()
+    }
+
+    fn has_submitted(&self) -> bool {
+        (**self).has_submitted()
+    }
+
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         (**self).batch_cancellation()
     }
@@ -244,6 +299,10 @@ pub struct IndexStrategy {
     /// node; entries that cancel to zero never touch a posting list.
     /// `None` = immediate.
     batch: Option<NodeLabelMap<i64>>,
+    /// An epoch sealed by `submit_commit`, awaiting its background
+    /// committer (`apply_submitted`). Reads overlay it exactly like the
+    /// open batch; at most one epoch is ever sealed.
+    sealed: Option<NodeLabelMap<i64>>,
     /// The previous epoch's drained staging map, kept so its dense pages
     /// are reused by the next `begin_batch`.
     spare: Option<NodeLabelMap<i64>>,
@@ -261,10 +320,29 @@ impl IndexStrategy {
             rules,
             index: LabelIndex::new(ast.schema()),
             batch: None,
+            sealed: None,
             spare: None,
             staged: 0,
             canceled: 0,
         }
+    }
+
+    /// Drains one epoch's surviving net deltas into the posting lists
+    /// and parks the emptied map for page reuse.
+    fn apply_epoch(&mut self, mut pending: NodeLabelMap<i64>) {
+        // Sorted for deterministic posting-list order; removals first so
+        // a same-id label change never double-occupies a bucket slot.
+        let mut entries: Vec<((Label, NodeId), i64)> = pending.drain().collect();
+        entries.sort_unstable_by_key(|&((label, id), _)| (label.0, id));
+        for &((label, id), d) in entries.iter().filter(|(_, d)| *d < 0) {
+            debug_assert_eq!(d, -1, "net index delta beyond ±1");
+            self.index.remove(label, id);
+        }
+        for &((label, id), d) in entries.iter().filter(|(_, d)| *d > 0) {
+            debug_assert_eq!(d, 1, "net index delta beyond ±1");
+            self.index.insert(label, id);
+        }
+        self.spare = Some(pending);
     }
 
     /// Routes one node event through the open epoch (or straight into
@@ -297,29 +375,62 @@ impl MatchSource for IndexStrategy {
         if let Some(pending) = &mut self.batch {
             pending.clear();
         }
+        self.sealed = None;
     }
 
     fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
         let pattern = &self.rules.get(rule).pattern;
-        let Some(pending) = self.batch.as_ref().filter(|p| !p.is_empty()) else {
-            return self.index.index_lookup(ast, pattern).map(|(n, _)| n);
+        let sealed = self.sealed.as_ref().filter(|p| !p.is_empty());
+        let open = self.batch.as_ref().filter(|p| !p.is_empty());
+        // Overlay over `index ⊕ sealed ⊕ batch`: indexed nodes whose net
+        // pending delta is negative are dead (their arena slots may
+        // already be reused), and a positive net delta marks a node the
+        // index has not absorbed yet — only net-zero nodes read straight
+        // from the posting lists.
+        let (first, second) = match (sealed, open) {
+            (None, None) => return self.index.index_lookup(ast, pattern).map(|(n, _)| n),
+            // Single-buffer overlay — one probe per scanned posting-list
+            // member. This is the hot shape (a synchronous commit cycle
+            // never holds a sealed epoch), so it must not pay for the
+            // composed case.
+            (Some(p), None) | (None, Some(p)) => {
+                if let Some((n, _)) = self
+                    .index
+                    .index_lookup_where(ast, pattern, |label, n| !p.contains(label, n))
+                {
+                    return Some(n);
+                }
+                let PatternNode::Match { label: root, .. } = pattern.root() else {
+                    return None;
+                };
+                return p
+                    .iter()
+                    .filter(|&((label, _), &d)| d > 0 && label == *root)
+                    .map(|((_, n), _)| n)
+                    .find(|&n| matches(ast, n, pattern));
+            }
+            (Some(s), Some(o)) => (s, o),
         };
-        // Overlay: indexed nodes staged for removal are dead (their
-        // arena slots may already be reused), so skip them…
+        let delta = |label: Label, n: NodeId| {
+            first.get(label, n).copied().unwrap_or(0) + second.get(label, n).copied().unwrap_or(0)
+        };
         if let Some((n, _)) = self
             .index
-            .index_lookup_where(ast, pattern, |label, n| !pending.contains(label, n))
+            .index_lookup_where(ast, pattern, |label, n| delta(label, n) == 0)
         {
             return Some(n);
         }
-        // …and nodes born inside the epoch are not yet indexed, so
-        // check the staged insertions carrying the pattern's root label.
+        // Nodes born inside the sealed or open epoch are not yet
+        // indexed, so check the staged insertions carrying the pattern's
+        // root label (net across both maps, so a node sealed as born but
+        // staged as dying stays invisible).
         let PatternNode::Match { label: root, .. } = pattern.root() else {
             return None;
         };
-        pending
-            .iter()
-            .filter(|&((label, _), &d)| d > 0 && label == *root)
+        [first, second]
+            .into_iter()
+            .flat_map(|pending| pending.iter())
+            .filter(|&((label, n), _)| label == *root && delta(label, n) > 0)
             .map(|((_, n), _)| n)
             .find(|&n| matches(ast, n, pattern))
     }
@@ -358,33 +469,57 @@ impl MatchSource for IndexStrategy {
     }
 
     fn commit_batch(&mut self) {
-        let Some(mut pending) = self.batch.take() else {
+        // Epochs apply in submission order: a sealed epoch always
+        // precedes the one being committed now.
+        self.apply_submitted();
+        let Some(pending) = self.batch.take() else {
             return;
         };
-        // Sorted for deterministic posting-list order; removals first so
-        // a same-id label change never double-occupies a bucket slot.
-        let mut entries: Vec<((Label, NodeId), i64)> = pending.drain().collect();
-        entries.sort_unstable_by_key(|&((label, id), _)| (label.0, id));
-        for &((label, id), d) in entries.iter().filter(|(_, d)| *d < 0) {
-            debug_assert_eq!(d, -1, "net index delta beyond ±1");
-            self.index.remove(label, id);
+        self.apply_epoch(pending);
+    }
+
+    fn submit_commit(&mut self) -> bool {
+        let Some(pending) = self.batch.take() else {
+            return false;
+        };
+        // Bounded backpressure: at most one epoch in flight. A second
+        // submit before the committer ran applies the old seal inline.
+        self.apply_submitted();
+        if pending.is_empty() {
+            // Nothing staged: close the epoch without occupying the
+            // sealed slot, so the committer is never fed a no-op.
+            self.spare = Some(pending);
+            return false;
         }
-        for &((label, id), d) in entries.iter().filter(|(_, d)| *d > 0) {
-            debug_assert_eq!(d, 1, "net index delta beyond ±1");
-            self.index.insert(label, id);
-        }
-        self.spare = Some(pending);
+        self.sealed = Some(pending);
+        true
+    }
+
+    fn apply_submitted(&mut self) -> bool {
+        let Some(sealed) = self.sealed.take() else {
+            return false;
+        };
+        self.apply_epoch(sealed);
+        true
+    }
+
+    fn has_submitted(&self) -> bool {
+        self.sealed.is_some()
     }
 
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         // Counters persist after a commit (until the next begin), so
         // adaptive tuners can read the epoch just closed.
-        (self.batch.is_some() || self.spare.is_some()).then_some((self.staged, self.canceled))
+        (self.batch.is_some() || self.sealed.is_some() || self.spare.is_some())
+            .then_some((self.staged, self.canceled))
     }
 
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if self.batch.as_ref().is_some_and(|p| !p.is_empty()) {
             return Err("label index has staged deltas in an open batch".into());
+        }
+        if self.sealed.as_ref().is_some_and(|p| !p.is_empty()) {
+            return Err("label index has a sealed epoch awaiting its committer".into());
         }
         let fresh = LabelIndex::build_from(ast, ast.root());
         for label in ast.schema().labels() {
@@ -407,6 +542,7 @@ impl MatchSource for IndexStrategy {
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes()
             + self.batch.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+            + self.sealed.as_ref().map_or(0, NodeLabelMap::memory_bytes)
             + self.spare.as_ref().map_or(0, NodeLabelMap::memory_bytes)
     }
 
@@ -423,7 +559,9 @@ impl MatchSource for IndexStrategy {
                     .map_or(0, |label| self.index.len(label))
             })
             .sum();
-        candidates + self.batch.as_ref().map_or(0, |b| b.len())
+        candidates
+            + self.batch.as_ref().map_or(0, |b| b.len())
+            + self.sealed.as_ref().map_or(0, |b| b.len())
     }
 }
 

@@ -272,6 +272,12 @@ pub struct ClassicIvm {
     /// open epoch flush the log first (coalescing whatever accumulated
     /// since the last read) — the asymmetry §3.2 predicts.
     log: crate::batch::DeltaLog,
+    /// Net delta stream of an epoch sealed by `submit_commit`, awaiting
+    /// its background committer. Replay order within the vec is the
+    /// order `take_pending` emitted (removals before insertions per
+    /// epoch), and a second sealed epoch appends after the first, so a
+    /// sequential replay is always equivalent to the synchronous path.
+    sealed: Vec<NodeDelta>,
 }
 
 impl ClassicIvm {
@@ -287,6 +293,7 @@ impl ClassicIvm {
             db,
             queries,
             log: crate::batch::DeltaLog::new(),
+            sealed: Vec::new(),
         }
     }
 
@@ -323,7 +330,11 @@ impl ClassicIvm {
 
     /// Replays everything staged in the open epoch through the normal
     /// sequential path — net deltas only, opposing pairs already gone.
+    /// A sealed epoch awaiting its committer replays first (the owning
+    /// session may apply it early; the committer's later `apply_submitted`
+    /// then finds the slot empty), preserving epoch order.
     fn flush_pending(&mut self) {
+        self.apply_submitted();
         for delta in self.log.take_pending() {
             self.apply_delta(&delta);
         }
@@ -372,6 +383,7 @@ impl MatchSource for ClassicIvm {
             q.clear();
         }
         self.log.clear();
+        self.sealed.clear();
         if ast.root().is_null() {
             return;
         }
@@ -393,6 +405,12 @@ impl MatchSource for ClassicIvm {
     }
 
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        if !self.log.is_open() {
+            // Out-of-epoch events apply directly, so a sealed epoch
+            // still awaiting its committer must replay first to keep
+            // the event stream in submission order.
+            self.apply_submitted();
+        }
         for delta in common::deltas_of_ctx(ast, ctx) {
             if let Some(delta) = self.log.absorb(delta) {
                 self.apply_delta(&delta);
@@ -401,6 +419,10 @@ impl MatchSource for ClassicIvm {
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        if !self.log.is_open() {
+            // Same ordering rule as `after_replace`.
+            self.apply_submitted();
+        }
         for &n in created {
             let delta = NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n));
             if let Some(delta) = self.log.absorb(delta) {
@@ -418,6 +440,34 @@ impl MatchSource for ClassicIvm {
         self.log.end();
     }
 
+    fn submit_commit(&mut self) -> bool {
+        // Appending preserves replay order even when the previous sealed
+        // epoch is still in flight: the committer drains the whole vec
+        // sequentially, which is exactly the synchronous apply order.
+        let pending = self.log.take_pending();
+        self.log.end();
+        if pending.is_empty() {
+            return false;
+        }
+        self.sealed.extend(pending);
+        true
+    }
+
+    fn apply_submitted(&mut self) -> bool {
+        if self.sealed.is_empty() {
+            return false;
+        }
+        let sealed = std::mem::take(&mut self.sealed);
+        for delta in &sealed {
+            self.apply_delta(delta);
+        }
+        true
+    }
+
+    fn has_submitted(&self) -> bool {
+        !self.sealed.is_empty()
+    }
+
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         Some(self.log.epoch_stats())
     }
@@ -425,6 +475,9 @@ impl MatchSource for ClassicIvm {
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if !self.log.is_empty() {
             return Err("classic engine has staged deltas in an open batch".into());
+        }
+        if !self.sealed.is_empty() {
+            return Err("classic engine has a sealed epoch awaiting its committer".into());
         }
         common::check_shadow_db(&self.db, ast)?;
         self.check_views_correct()
@@ -440,12 +493,21 @@ impl MatchSource for ClassicIvm {
                 .map(ClassicQuery::memory_bytes)
                 .sum::<usize>()
             + self.log.memory_bytes()
+            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
+            + self
+                .sealed
+                .iter()
+                .map(|d| d.row().heap_bytes())
+                .sum::<usize>()
     }
 
     fn match_heat(&self) -> usize {
-        // Materialized match-view sizes; the unflushed delta log is work
-        // the views haven't absorbed yet, so it counts as heat too.
-        self.queries.iter().map(|q| q.view.len()).sum::<usize>() + self.log.len()
+        // Materialized match-view sizes; the unflushed delta log and any
+        // sealed-but-unapplied epoch are work the views haven't absorbed
+        // yet, so they count as heat too.
+        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
+            + self.log.len()
+            + self.sealed.len()
     }
 }
 

@@ -462,6 +462,10 @@ pub struct DbtIvm {
     /// Epoch-scoped coalescing of the node event stream (see
     /// [`crate::batch::DeltaLog`]); reads inside an open epoch flush it.
     log: crate::batch::DeltaLog,
+    /// Net delta stream of an epoch sealed by `submit_commit`, awaiting
+    /// its background committer (see [`crate::classic::ClassicIvm`] for
+    /// the replay-order contract).
+    sealed: Vec<NodeDelta>,
 }
 
 impl DbtIvm {
@@ -477,6 +481,7 @@ impl DbtIvm {
             db,
             queries,
             log: crate::batch::DeltaLog::new(),
+            sealed: Vec::new(),
         }
     }
 
@@ -510,7 +515,10 @@ impl DbtIvm {
 
     /// Replays everything staged in the open epoch through the normal
     /// sequential path — net deltas only, opposing pairs already gone.
+    /// A sealed epoch awaiting its committer replays first, preserving
+    /// epoch order.
     fn flush_pending(&mut self) {
+        self.apply_submitted();
         for delta in self.log.take_pending() {
             self.apply_delta(&delta);
         }
@@ -564,6 +572,7 @@ impl MatchSource for DbtIvm {
             q.clear();
         }
         self.log.clear();
+        self.sealed.clear();
         if ast.root().is_null() {
             return;
         }
@@ -582,6 +591,12 @@ impl MatchSource for DbtIvm {
     fn before_replace(&mut self, _: &Ast, _: NodeId, _: Option<(RuleId, &Bindings)>) {}
 
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
+        if !self.log.is_open() {
+            // Out-of-epoch events apply directly, so a sealed epoch
+            // still awaiting its committer must replay first to keep
+            // the event stream in submission order.
+            self.apply_submitted();
+        }
         for delta in common::deltas_of_ctx(ast, ctx) {
             if let Some(delta) = self.log.absorb(delta) {
                 self.apply_delta(&delta);
@@ -590,6 +605,10 @@ impl MatchSource for DbtIvm {
     }
 
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
+        if !self.log.is_open() {
+            // Same ordering rule as `after_replace`.
+            self.apply_submitted();
+        }
         for &n in created {
             let delta = NodeDelta::Insert(ast.label(n), NodeRow::of(ast, n));
             if let Some(delta) = self.log.absorb(delta) {
@@ -607,6 +626,31 @@ impl MatchSource for DbtIvm {
         self.log.end();
     }
 
+    fn submit_commit(&mut self) -> bool {
+        let pending = self.log.take_pending();
+        self.log.end();
+        if pending.is_empty() {
+            return false;
+        }
+        self.sealed.extend(pending);
+        true
+    }
+
+    fn apply_submitted(&mut self) -> bool {
+        if self.sealed.is_empty() {
+            return false;
+        }
+        let sealed = std::mem::take(&mut self.sealed);
+        for delta in &sealed {
+            self.apply_delta(delta);
+        }
+        true
+    }
+
+    fn has_submitted(&self) -> bool {
+        !self.sealed.is_empty()
+    }
+
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         Some(self.log.epoch_stats())
     }
@@ -614,6 +658,9 @@ impl MatchSource for DbtIvm {
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         if !self.log.is_empty() {
             return Err("dbt engine has staged deltas in an open batch".into());
+        }
+        if !self.sealed.is_empty() {
+            return Err("dbt engine has a sealed epoch awaiting its committer".into());
         }
         common::check_shadow_db(&self.db, ast)?;
         self.check_views_correct()
@@ -627,12 +674,21 @@ impl MatchSource for DbtIvm {
                 .map(DbtQuery::memory_bytes)
                 .sum::<usize>()
             + self.log.memory_bytes()
+            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
+            + self
+                .sealed
+                .iter()
+                .map(|d| d.row().heap_bytes())
+                .sum::<usize>()
     }
 
     fn match_heat(&self) -> usize {
-        // Materialized match-view sizes; the unflushed delta log is work
-        // the views haven't absorbed yet, so it counts as heat too.
-        self.queries.iter().map(|q| q.view.len()).sum::<usize>() + self.log.len()
+        // Materialized match-view sizes; the unflushed delta log and any
+        // sealed-but-unapplied epoch are work the views haven't absorbed
+        // yet, so they count as heat too.
+        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
+            + self.log.len()
+            + self.sealed.len()
     }
 }
 

@@ -84,6 +84,16 @@ pub struct JitdFleet {
     queued: Vec<bool>,
     /// Writes a shard absorbs before it joins the pending queue.
     heat_threshold: u64,
+    /// Tree indexes with a sealed epoch awaiting
+    /// [`apply_next_commit`](JitdFleet::apply_next_commit), arrival
+    /// order (each at most once) — the single-threaded mirror of the
+    /// threaded committer's queue ([`crate::concurrent`]).
+    pending_commits: std::collections::VecDeque<usize>,
+    /// Dedup flag per shard: true while it sits in `pending_commits`.
+    queued_commit: Vec<bool>,
+    /// Epochs landed per shard by the committer half of the pipeline —
+    /// the mirror of the threaded fleet's published generations.
+    generations: Vec<u64>,
     /// Pooled measurements across the fleet.
     pub stats: JitdStats,
 }
@@ -123,6 +133,9 @@ impl JitdFleet {
             pending: std::collections::VecDeque::with_capacity(trees),
             queued: vec![false; trees],
             heat_threshold: 1,
+            pending_commits: std::collections::VecDeque::with_capacity(trees),
+            queued_commit: vec![false; trees],
+            generations: vec![0; trees],
             stats,
         }
     }
@@ -374,6 +387,69 @@ impl JitdFleet {
         self.stats.commit_ns.push_u64(now_ns() - t0);
     }
 
+    /// Seals one shard's open epoch for a deferred apply instead of
+    /// committing it inline: only the seal is timed into the pooled
+    /// commit stream, and the shard joins the pending-commit queue
+    /// (dedup — a re-submit before the apply folds into one, matching
+    /// the strategy's own one-epoch-in-flight backpressure). Returns
+    /// `true` if an epoch was actually sealed; an empty epoch seals
+    /// nothing and queues nothing. The single-threaded mirror of
+    /// [`AsyncJitd::submit_commit_on`](crate::AsyncJitd::submit_commit_on)
+    /// under [`CommitMode::Async`](crate::CommitMode::Async).
+    pub fn submit_commit(&mut self, tree: TreeId) -> bool {
+        let t0 = now_ns();
+        let sealed = self.engine.submit_commit(tree);
+        self.stats.commit_ns.push_u64(now_ns() - t0);
+        let ti = tree.index() as usize;
+        if sealed && !self.queued_commit[ti] {
+            self.queued_commit[ti] = true;
+            self.pending_commits.push_back(ti);
+        }
+        sealed
+    }
+
+    /// The committer half of the pipelined commit: pops the oldest
+    /// pending shard, applies its sealed epoch, and advances its
+    /// committed generation. Returns the shard served, or `None` when
+    /// no commit is pending. (A shard whose sealed epoch was already
+    /// absorbed by its own backpressure still pops, but bumps no
+    /// generation.)
+    pub fn apply_next_commit(&mut self) -> Option<TreeId> {
+        let ti = self.pending_commits.pop_front()?;
+        self.queued_commit[ti] = false;
+        let tree = TreeId::from_index(ti as u32);
+        if self.engine.apply_submitted(tree) {
+            self.generations[ti] += 1;
+        }
+        Some(tree)
+    }
+
+    /// Drains the pending-commit queue in arrival order; returns how
+    /// many shards were served.
+    pub fn drain_commits(&mut self) -> usize {
+        let mut served = 0;
+        while self.apply_next_commit().is_some() {
+            served += 1;
+        }
+        served
+    }
+
+    /// Shards with a sealed epoch awaiting the committer.
+    pub fn commits_pending(&self) -> usize {
+        self.pending_commits.len()
+    }
+
+    /// True while `tree` holds a sealed epoch its committer has not
+    /// applied yet.
+    pub fn has_submitted(&self, tree: TreeId) -> bool {
+        self.engine.has_submitted(tree)
+    }
+
+    /// Epochs the committer half has landed on `tree`.
+    pub fn committed_generation(&self, tree: TreeId) -> u64 {
+        self.generations[tree.index() as usize]
+    }
+
     /// Per-epoch `(staged, canceled)` counters of one shard's strategy —
     /// the adaptive batch-sizing signal. Counters describe the shard's
     /// open or most recently committed epoch, so a fleet-level tuner
@@ -514,6 +590,78 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
             fleet.agreement_with_naive().unwrap();
             fleet.check_structure().unwrap();
+        }
+    }
+
+    /// Sealing an epoch and applying it from the pending-commit queue
+    /// must land the fleet in the same state as an inline commit, for
+    /// every strategy (the deterministic spot check; the
+    /// commit-equivalence proptest broadens it to random interleavings).
+    #[test]
+    fn submitted_commits_equal_inline_commits() {
+        for kind in StrategyKind::all() {
+            let build = || {
+                JitdFleet::new(kind, RuleConfig { crack_threshold: 8 }, 2, |t| {
+                    records(48, t as i64)
+                })
+            };
+            let mut piped = build();
+            let mut inline = build();
+            let ids: Vec<TreeId> = piped.tree_ids().collect();
+            for round in 0..4 {
+                for &t in &ids {
+                    piped.begin_batch(t);
+                    inline.begin_batch(t);
+                }
+                for &t in &ids {
+                    let key = 100 + round;
+                    piped.execute(t, &Op::Insert { key, value: round });
+                    inline.execute(t, &Op::Insert { key, value: round });
+                    piped.reorganize_until_quiet(t, u64::MAX);
+                    inline.reorganize_until_quiet(t, u64::MAX);
+                }
+                for &t in &ids {
+                    piped.submit_commit(t);
+                    inline.commit_batch(t);
+                }
+                // Sealed epochs stay visible to the owning session: the
+                // two fleets must agree even before the deferred apply.
+                for &t in &ids {
+                    for key in 0..110 {
+                        assert_eq!(
+                            piped.index_of(t).get(key),
+                            inline.index_of(t).get(key),
+                            "{} {t:?} diverged at key {key} pre-apply",
+                            kind.label()
+                        );
+                    }
+                }
+                let pending = piped.commits_pending();
+                assert_eq!(piped.drain_commits(), pending);
+            }
+            assert_eq!(piped.commits_pending(), 0);
+            for &t in &ids {
+                assert!(!piped.has_submitted(t));
+            }
+            piped
+                .check_strategy_consistent()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+            piped.agreement_with_naive().unwrap();
+            // Deferred and inline paths produce identical structures.
+            for &t in &ids {
+                assert_eq!(
+                    tt_ast::sexpr::to_sexpr(
+                        piped.index_of(t).ast(),
+                        piped.index_of(t).ast().root()
+                    ),
+                    tt_ast::sexpr::to_sexpr(
+                        inline.index_of(t).ast(),
+                        inline.index_of(t).ast().root()
+                    ),
+                    "{} {t:?} structural divergence",
+                    kind.label()
+                );
+            }
         }
     }
 

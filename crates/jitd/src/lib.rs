@@ -48,7 +48,7 @@ pub mod runtime;
 pub mod schema;
 pub mod steal;
 
-pub use concurrent::{AsyncJitd, WorkerMode};
+pub use concurrent::{AsyncJitd, CommitMode, WorkerMode};
 pub use fleet::JitdFleet;
 pub use index::{JitdIndex, JitdLabels};
 pub use rules::{full_rules, paper_rules, pivot_rules, RuleConfig};

@@ -106,6 +106,16 @@ pub struct JitdStats {
     /// Only a threaded pool can contend; the single-threaded schedulers
     /// leave this 0.
     pub contended_count: u64,
+    /// Times a pool worker parked on the work-queue condvar instead of
+    /// spinning. 0 outside a threaded pool.
+    pub parked_count: u64,
+    /// Times a parked worker was woken by a notification (as opposed to
+    /// its heartbeat timeout). 0 outside a threaded pool.
+    pub woken_count: u64,
+    /// `yield_now` calls workers made while idle or contended. With
+    /// condvar parking this stays 0 at steady idle — the counter exists
+    /// to prove the spin-yield path is gone.
+    pub spin_yield_count: u64,
 }
 
 impl JitdStats {
@@ -120,6 +130,9 @@ impl JitdStats {
             steps: 0,
             steal_count: 0,
             contended_count: 0,
+            parked_count: 0,
+            woken_count: 0,
+            spin_yield_count: 0,
         }
     }
 
@@ -333,9 +346,13 @@ impl Jitd {
     /// reorganization backlog. A search-only probe (nothing is applied,
     /// though bolt-on strategies may flush staged deltas, as on any
     /// read): pool drivers use it to detect fleet quiescence without
-    /// doing the reorganization work themselves.
+    /// doing the reorganization work themselves. A sealed epoch awaiting
+    /// its committer counts as backlog too — quiescence must not be
+    /// reported before the last generation publishes.
     pub fn has_pending_matches(&mut self) -> bool {
-        (0..self.rules.len()).any(|rid| self.strategy.find_one(self.index.ast(), rid).is_some())
+        self.strategy.has_submitted()
+            || (0..self.rules.len())
+                .any(|rid| self.strategy.find_one(self.index.ast(), rid).is_some())
     }
 
     /// Tries every rule once; returns how many fired.
@@ -372,6 +389,30 @@ impl Jitd {
         let t0 = now_ns();
         self.strategy.commit_batch();
         self.stats.commit_ns.push_u64(now_ns() - t0);
+    }
+
+    /// Seals the open maintenance epoch for a background committer
+    /// instead of applying it inline ([`MatchSource::submit_commit`]):
+    /// only the seal itself is timed into `stats.commit_ns`, which is
+    /// the point — the apply cost moves to whoever later calls
+    /// [`apply_submitted`](Jitd::apply_submitted). Returns `true` if an
+    /// epoch was actually sealed.
+    pub fn submit_commit(&mut self) -> bool {
+        let t0 = now_ns();
+        let sealed = self.strategy.submit_commit();
+        self.stats.commit_ns.push_u64(now_ns() - t0);
+        sealed
+    }
+
+    /// Applies a sealed epoch, if any — the committer half of the
+    /// pipelined commit. Returns `true` if an epoch was applied.
+    pub fn apply_submitted(&mut self) -> bool {
+        self.strategy.apply_submitted()
+    }
+
+    /// True while a sealed epoch awaits its committer.
+    pub fn has_submitted(&self) -> bool {
+        self.strategy.has_submitted()
     }
 
     /// Per-epoch `(staged, canceled)` delta counters of the plugged-in

@@ -35,9 +35,10 @@
 //! [`JitdFleet`](crate::JitdFleet) scheduler reuses the same policy
 //! without the atomics.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Tuning knobs of a work-stealing reorganizer pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,17 @@ pub struct StealStats {
     pub contended_count: u64,
     /// Work items drained (claims that did acquire the shard lock).
     pub drained_count: u64,
+    /// Times a consumer parked on the queue's condvar
+    /// ([`WorkQueue::pop_blocking`] with nothing to pop).
+    pub parked_count: u64,
+    /// Times a parked consumer was woken by a notification rather than
+    /// its heartbeat timeout.
+    pub woken_count: u64,
+    /// `yield_now` calls consumers reported via
+    /// [`WorkQueue::note_spin_yield`]. With condvar parking this stays 0
+    /// at steady idle — the counter exists to prove the spin path is
+    /// gone.
+    pub spin_yield_count: u64,
 }
 
 /// A bounded multi-producer/multi-consumer queue of shard indexes with
@@ -88,6 +100,10 @@ pub struct StealStats {
 #[derive(Debug)]
 pub struct WorkQueue {
     queue: Mutex<VecDeque<usize>>,
+    /// Parks idle consumers; notified (under the queue lock) whenever an
+    /// item is pushed, so no enqueue can slip between a consumer's empty
+    /// check and its park.
+    available: Condvar,
     /// One flag per shard: true while the shard sits in `queue`.
     in_queue: Vec<AtomicBool>,
     /// Dirtying ops since the shard was last drained.
@@ -96,6 +112,9 @@ pub struct WorkQueue {
     steals: AtomicU64,
     contended: AtomicU64,
     drained: AtomicU64,
+    parked: AtomicU64,
+    woken: AtomicU64,
+    spin_yields: AtomicU64,
 }
 
 impl WorkQueue {
@@ -103,12 +122,16 @@ impl WorkQueue {
     pub fn new(shards: usize, threshold: u64) -> WorkQueue {
         WorkQueue {
             queue: Mutex::new(VecDeque::with_capacity(shards)),
+            available: Condvar::new(),
             in_queue: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             heat: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             threshold: threshold.max(1),
             steals: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             drained: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            woken: AtomicU64::new(0),
+            spin_yields: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +160,10 @@ impl WorkQueue {
         let mut queue = self.queue.lock();
         if !self.in_queue[shard].swap(true, Ordering::AcqRel) {
             queue.push_back(shard);
+            // Notified while the lock is held: a consumer is either
+            // already inside `pop_blocking` holding the lock (it will
+            // see the item on its recheck) or parked (it receives this).
+            self.available.notify_one();
         }
     }
 
@@ -161,6 +188,66 @@ impl WorkQueue {
         self.in_queue[shard].store(false, Ordering::Release);
         self.heat[shard].store(0, Ordering::Release);
         Some(shard)
+    }
+
+    /// [`pop`](WorkQueue::pop) that **parks** on the queue's condvar when
+    /// nothing is available, instead of returning `None` for the caller
+    /// to spin on. Returns `None` only once `stopping` reads true with
+    /// the queue empty (callers set their stop flag and then call
+    /// [`wake_all`](WorkQueue::wake_all)). The `timeout` is a heartbeat,
+    /// not a correctness mechanism — the enqueue/park handshake loses no
+    /// wakeups — but it bounds the damage of any future protocol bug and
+    /// lets workers re-read `stopping` on a slow clock.
+    pub fn pop_blocking(&self, stopping: impl Fn() -> bool, timeout: Duration) -> Option<usize> {
+        // Bounded spin before the first park of an idle episode: a
+        // consumer that drained the queue moments before the next burst
+        // lands picks the new item up at yield latency instead of
+        // charging a condvar wake to the producer's critical path.
+        // Genuinely idle consumers exhaust the budget once and park;
+        // spurious or heartbeat wakes re-park without a fresh spin.
+        const SPIN_ROUNDS: usize = 128;
+        let mut spins = 0usize;
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(shard) = queue.pop_front() {
+                self.in_queue[shard].store(false, Ordering::Release);
+                self.heat[shard].store(0, Ordering::Release);
+                return Some(shard);
+            }
+            if stopping() {
+                return None;
+            }
+            if spins < SPIN_ROUNDS {
+                spins += 1;
+                drop(queue);
+                std::thread::yield_now();
+                queue = self.queue.lock();
+                continue;
+            }
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            let (reacquired, timed_out) = self.available.wait_timeout(queue, timeout);
+            queue = reacquired;
+            if !timed_out {
+                self.woken.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Wakes every parked consumer (the shutdown broadcast — call after
+    /// publishing the stop flag `pop_blocking`'s callers check).
+    pub fn wake_all(&self) {
+        // Taking the queue lock orders the broadcast after any in-flight
+        // park: a consumer between its empty-check and its wait still
+        // holds the lock, so the notification cannot land in that gap.
+        let _queue = self.queue.lock();
+        self.available.notify_all();
+    }
+
+    /// Records one idle/contended `yield_now` a consumer performed (the
+    /// spin path parking is meant to eliminate; see
+    /// [`StealStats::spin_yield_count`]).
+    pub fn note_spin_yield(&self) {
+        self.spin_yields.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that `worker` successfully claimed `shard`, counting it
@@ -201,6 +288,9 @@ impl WorkQueue {
             steal_count: self.steals.load(Ordering::Relaxed),
             contended_count: self.contended.load(Ordering::Relaxed),
             drained_count: self.drained.load(Ordering::Relaxed),
+            parked_count: self.parked.load(Ordering::Relaxed),
+            woken_count: self.woken.load(Ordering::Relaxed),
+            spin_yield_count: self.spin_yields.load(Ordering::Relaxed),
         }
     }
 }
@@ -270,6 +360,67 @@ mod tests {
         q.enqueue_all();
         assert_eq!(q.len(), 3);
         assert_eq!((q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2)));
+    }
+
+    #[test]
+    fn pop_blocking_parks_until_enqueue() {
+        let q = Arc::new(WorkQueue::new(2, 1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_blocking(|| false, std::time::Duration::from_secs(30)))
+        };
+        // Give the consumer a moment to reach the park (not required for
+        // correctness — an enqueue before the park is seen on the first
+        // empty-check — just to usually exercise the parked path).
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.enqueue(1);
+        assert_eq!(consumer.join().unwrap(), Some(1));
+        let s = q.stats();
+        assert_eq!(s.spin_yield_count, 0, "parking replaced spinning");
+    }
+
+    #[test]
+    fn pop_blocking_returns_none_on_stop() {
+        let q = Arc::new(WorkQueue::new(2, 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                q.pop_blocking(
+                    || stop.load(Ordering::Acquire),
+                    std::time::Duration::from_secs(30),
+                )
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // Publish the stop flag first, then broadcast — the shutdown
+        // protocol every pool uses.
+        stop.store(true, Ordering::Release);
+        q.wake_all();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_blocking_heartbeat_rechecks_stop_without_notification() {
+        // No wake_all at all: the heartbeat timeout alone must let a
+        // parked consumer observe a stop flag raised behind its back.
+        let q = Arc::new(WorkQueue::new(1, 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                q.pop_blocking(
+                    || stop.load(Ordering::Acquire),
+                    std::time::Duration::from_millis(5),
+                )
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        stop.store(true, Ordering::Release);
+        assert_eq!(consumer.join().unwrap(), None);
+        assert!(q.stats().parked_count > 0, "the consumer actually parked");
     }
 
     #[test]

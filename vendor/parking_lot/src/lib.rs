@@ -1,10 +1,18 @@
 //! Offline stand-in for the subset of `parking_lot` this workspace uses:
 //! a `Mutex` whose `lock()` returns the guard directly (no poison
-//! `Result`). Backed by `std::sync::Mutex`; poisoning is swallowed, which
-//! matches parking_lot's no-poisoning semantics. Swap this path
-//! dependency for crates.io `parking_lot` when a registry is reachable.
+//! `Result`) and a `Condvar` for parking idle worker threads. Backed by
+//! `std::sync::Mutex`/`Condvar`; poisoning is swallowed, which matches
+//! parking_lot's no-poisoning semantics. Swap this path dependency for
+//! crates.io `parking_lot` when a registry is reachable.
+//!
+//! One deliberate API deviation: because [`MutexGuard`] is a type alias
+//! for the std guard, [`Condvar::wait`] consumes and returns the guard
+//! (std's shape) instead of taking `&mut MutexGuard` (parking_lot's
+//! shape). Callers written against this stub re-bind the guard at each
+//! wait, which ports to the real crate with a one-line change per site.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Guard type returned by [`Mutex::lock`].
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
@@ -62,10 +70,70 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's no-poisoning semantics,
+/// paired with [`Mutex`] guards. See the module docs for the one API
+/// deviation: `wait` consumes and returns the guard.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// reacquires the lock and returns the guard. Spurious wakeups are
+    /// possible; callers must re-check their predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// [`wait`](Condvar::wait) with a timeout: returns the reacquired
+    /// guard and `true` if the wait timed out (rather than being
+    /// notified). The timeout makes parked workers robust to a missed
+    /// wakeup — they recheck their predicate on a slow heartbeat even
+    /// if no notification ever arrives.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        (guard, result.timed_out())
+    }
+
+    /// Wakes one parked waiter, if any.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter (the shutdown broadcast).
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_returns_guard_directly() {
@@ -91,5 +159,122 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn wait_returns_after_notify_one() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cvar.wait(ready);
+                }
+            })
+        };
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let pair = Arc::clone(&pair);
+                std::thread::spawn(move || {
+                    let (lock, cvar) = &*pair;
+                    let mut ready = lock.lock();
+                    while !*ready {
+                        ready = cvar.wait(ready);
+                    }
+                })
+            })
+            .collect();
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry_and_notification() {
+        let m = Mutex::new(());
+        let cvar = Condvar::new();
+        // Nobody notifies: the wait must come back with timed_out=true.
+        let (guard, timed_out) = cvar.wait_timeout(m.lock(), Duration::from_millis(10));
+        assert!(timed_out);
+        drop(guard);
+        // A notification beats a generous timeout: timed_out=false.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut ready = lock.lock();
+                let mut saw_timeout = false;
+                while !*ready {
+                    let (g, timed_out) = cvar.wait_timeout(ready, Duration::from_secs(30));
+                    ready = g;
+                    saw_timeout |= timed_out;
+                }
+                saw_timeout
+            })
+        };
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        assert!(!waiter.join().unwrap(), "wait was notified, not timed out");
+    }
+
+    /// The no-lost-wakeup contract under the enqueue/park pattern the
+    /// work queue relies on: two threads ping-pong a token through a
+    /// mutex+condvar pair. If a notification issued while the peer held
+    /// the lock (but had not yet parked) could be lost, this would hang;
+    /// the predicate-recheck-under-the-lock discipline makes it sound.
+    #[test]
+    fn two_thread_ping_pong_loses_no_wakeups() {
+        const ROUNDS: u64 = 1000;
+        let pair = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let pong = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut turn = lock.lock();
+                while *turn < ROUNDS {
+                    if *turn % 2 == 1 {
+                        *turn += 1;
+                        cvar.notify_one();
+                    } else {
+                        turn = cvar.wait(turn);
+                    }
+                }
+            })
+        };
+        let (lock, cvar) = &*pair;
+        let mut turn = lock.lock();
+        while *turn < ROUNDS {
+            if *turn % 2 == 0 {
+                *turn += 1;
+                cvar.notify_one();
+            } else {
+                turn = cvar.wait(turn);
+            }
+        }
+        drop(turn);
+        pong.join().unwrap();
+        assert_eq!(*lock.lock(), ROUNDS);
     }
 }
