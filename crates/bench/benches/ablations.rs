@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 use treetoaster_core::engine::MaintenanceMode;
-use treetoaster_core::{MatchSource, ReplaceCtx, RuleFired, TreeToasterEngine};
+use treetoaster_core::{MatchCore, ReplaceCtx, RuleFired, TreeToasterEngine};
 use tt_ast::Record;
 use tt_bench::{env_u64, ExperimentConfig};
 use tt_jitd::{jitd_schema, paper_rules, JitdIndex, RuleConfig};

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::Arc;
-use treetoaster_core::{MatchSource, TreeToasterEngine};
+use treetoaster_core::{MatchCore, TreeToasterEngine};
 use tt_ast::{GenMultiset, NodeId, Record};
 use tt_jitd::{jitd_schema, paper_rules, Jitd, JitdIndex, RuleConfig, StrategyKind};
 use tt_pattern::matches;

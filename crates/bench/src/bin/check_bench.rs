@@ -55,14 +55,15 @@ fn validate_one(path: &str) -> ExitCode {
             println!(
                 "tt-bench-check: {path} OK — {} results, strategies {:?}, \
                  workloads {:?}, batch sizes {:?}, tree counts {:?}, schedulers {:?}, \
-                 commit modes {:?}",
+                 commit modes {:?}, service sessions {:?}",
                 summary.results,
                 summary.strategies,
                 summary.workloads,
                 summary.batch_sizes,
                 summary.tree_counts,
                 summary.schedulers,
-                summary.commits
+                summary.commits,
+                summary.session_counts
             );
             ExitCode::SUCCESS
         }
@@ -113,6 +114,9 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
         if cell.commit == "async" {
             deploy.push_str("+async");
         }
+        if cell.mode == "service" {
+            deploy = format!("svc:{}", cell.sessions);
+        }
         println!(
             "  {}/{} K={:<4} T={:<3} {:>9} {:>10.0} → {:>10.0} ns/op  ({:+.1}%)",
             cell.workload,
@@ -138,8 +142,8 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
     } else {
         for cell in cmp.regressions() {
             eprintln!(
-                "tt-bench-check: REGRESSION {}/{} K={} T={} {}/W={}/{} — {:.0} → {:.0} ns/op \
-                 ({:+.1}%, threshold {:+.1}%)",
+                "tt-bench-check: REGRESSION {}/{} K={} T={} {}/W={}/{}/{}/S={} — {:.0} → {:.0} \
+                 ns/op ({:+.1}%, threshold {:+.1}%)",
                 cell.workload,
                 cell.strategy,
                 cell.batch_size,
@@ -147,6 +151,8 @@ fn compare(old_path: &str, new_path: &str, threshold: f64, sync_only: bool) -> E
                 cell.scheduler,
                 cell.workers,
                 cell.commit,
+                cell.mode,
+                cell.sessions,
                 cell.old_ns,
                 cell.new_ns,
                 (cell.ratio() - 1.0) * 100.0,

@@ -41,7 +41,7 @@ use std::process::ExitCode;
 use tt_bench::report::{render_report, validate_report, SweepConfig, BENCH_FILE};
 use tt_bench::{
     fleet_workloads, paper_workloads, run_commit_pipeline, run_fleet_batched, run_jitd_batched,
-    run_steal_pool, BatchRunResult, ExperimentConfig,
+    run_service, run_steal_pool, BatchRunResult, ExperimentConfig,
 };
 use tt_jitd::StrategyKind;
 
@@ -63,6 +63,8 @@ struct Args {
     steal_trees: Vec<usize>,
     steal_workers: Vec<usize>,
     commit_workloads: Vec<char>,
+    service_sessions: Vec<usize>,
+    service_threads: usize,
     records: Option<u64>,
     ops: Option<usize>,
     seed: Option<u64>,
@@ -74,6 +76,7 @@ fn usage() -> ! {
         "usage: tt-bench [--quick] [--out PATH] [--batch-sizes 1,8,64] \
          [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GHI] \
          [--steal-trees 8] [--steal-workers 1,2,4] [--commit-workloads GI] \
+         [--service-sessions 64,1000] [--service-threads 8] \
          [--records N] [--ops N] [--seed N] [--repeat N]"
     );
     std::process::exit(2);
@@ -90,6 +93,8 @@ fn parse_args() -> Args {
         steal_trees: vec![8],
         steal_workers: vec![1, 2, 4],
         commit_workloads: vec!['G', 'I'],
+        service_sessions: vec![64, 1000],
+        service_threads: 8,
         records: None,
         ops: None,
         seed: None,
@@ -163,6 +168,24 @@ fn parse_args() -> Args {
                     .filter(|c| !c.is_whitespace())
                     .collect();
             }
+            "--service-sessions" => {
+                args.service_sessions = value("--service-sessions")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.service_sessions.contains(&0) {
+                    usage();
+                }
+            }
+            "--service-threads" => {
+                args.service_threads = value("--service-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if args.service_threads == 0 {
+                    usage();
+                }
+            }
             "--records" => {
                 args.records = Some(value("--records").parse().unwrap_or_else(|_| usage()))
             }
@@ -198,6 +221,7 @@ struct CellSpec {
     trees: Option<usize>,
     pool: Option<Option<usize>>,
     commit: Option<bool>,
+    service: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -265,6 +289,8 @@ fn main() -> ExitCode {
         steal_trees: args.steal_trees.clone(),
         steal_workers: args.steal_workers.clone(),
         commit_workloads: args.commit_workloads.clone(),
+        service_sessions: args.service_sessions.clone(),
+        service_threads: args.service_threads,
         repeat,
     };
 
@@ -279,6 +305,7 @@ fn main() -> ExitCode {
                     trees: None,
                     pool: None,
                     commit: None,
+                    service: None,
                 });
             }
         }
@@ -294,6 +321,7 @@ fn main() -> ExitCode {
                         trees: Some(trees),
                         pool: None,
                         commit: None,
+                        service: None,
                     });
                 }
             }
@@ -313,6 +341,7 @@ fn main() -> ExitCode {
                 trees: Some(trees),
                 pool: Some(pool),
                 commit: None,
+                service: None,
             });
         }
     }
@@ -328,13 +357,28 @@ fn main() -> ExitCode {
                 trees: Some(COMMIT_TREES),
                 pool: None,
                 commit: Some(async_commit),
+                service: None,
             });
         }
+    }
+    // Service cells: the tt-serve daemon under N concurrent sessions,
+    // driven by the shared op-thread pool (workload S, TT strategy —
+    // the axis under test is the serving stack, not the strategy).
+    for &sessions in &sweep.service_sessions {
+        specs.push(CellSpec {
+            workload: 'S',
+            strategy: StrategyKind::TreeToaster,
+            batch_size: 0, // filled by the harness (the daemon's epoch bound)
+            trees: Some(1),
+            pool: None,
+            commit: None,
+            service: Some(sessions),
+        });
     }
     eprintln!(
         "tt-bench: {} runs (records={}, ops={}, seed={}, batch sizes {:?}, workloads {:?}, \
          fleet {:?} × trees {:?}, pools {:?} workers over {:?} shards, \
-         commit twins {:?}, min-of-{})",
+         commit twins {:?}, service sessions {:?} × {} threads, min-of-{})",
         specs.len(),
         experiment.records,
         experiment.ops,
@@ -346,6 +390,8 @@ fn main() -> ExitCode {
         sweep.steal_workers,
         sweep.steal_trees,
         sweep.commit_workloads,
+        sweep.service_sessions,
+        sweep.service_threads,
         repeat
     );
 
@@ -356,44 +402,64 @@ fn main() -> ExitCode {
     // synchronous passes finish: spawning and joining worker fleets
     // perturbs scheduler and cache state enough to skew whichever sync
     // cells run next, and the fence keeps that churn out of the
-    // single-threaded measurements entirely.
+    // single-threaded measurements entirely. Service cells get a third
+    // fence after the pool passes for the same reason, one layer up: a
+    // thousand-session daemon leaves the allocator holding megabytes of
+    // session state, and interleaving that with the pool cells skews
+    // their minima on small machines.
+    let phase_of = |spec: &CellSpec| -> usize {
+        if spec.service.is_some() {
+            2
+        } else if spec.pool.is_some() || spec.commit.is_some() {
+            1
+        } else {
+            0
+        }
+    };
     let mut best: Vec<Option<BatchRunResult>> = vec![None; specs.len()];
-    for phase in [false, true] {
+    for phase in 0..3usize {
         for round in 0..repeat {
             if repeat > 1 {
                 eprintln!(
                     "tt-bench: {} pass {}/{repeat}",
-                    if phase { "pool" } else { "sync" },
+                    ["sync", "pool", "service"][phase],
                     round + 1
                 );
             }
             for (cell, spec) in specs.iter().enumerate() {
                 // Commit twins spawn threads too: they run in the pool
                 // phase, fenced away from the single-threaded cells.
-                if (spec.pool.is_some() || spec.commit.is_some()) != phase {
+                if phase_of(spec) != phase {
                     continue;
                 }
-                let r = match (spec.trees, spec.pool, spec.commit) {
-                    (Some(trees), None, Some(async_commit)) => run_commit_pipeline(
-                        spec.workload,
-                        spec.strategy,
-                        experiment,
-                        spec.batch_size,
-                        trees,
-                        async_commit,
-                    ),
-                    (None, _, _) => {
-                        run_jitd_batched(spec.workload, spec.strategy, experiment, spec.batch_size)
-                    }
-                    (Some(trees), None, None) => run_fleet_batched(
-                        spec.workload,
-                        spec.strategy,
-                        experiment,
-                        spec.batch_size,
-                        trees,
-                    ),
-                    (Some(trees), Some(workers), _) => {
-                        run_steal_pool(spec.workload, spec.strategy, experiment, trees, workers)
+                let r = if let Some(sessions) = spec.service {
+                    run_service(experiment, sessions, args.service_threads)
+                } else {
+                    match (spec.trees, spec.pool, spec.commit) {
+                        (Some(trees), None, Some(async_commit)) => run_commit_pipeline(
+                            spec.workload,
+                            spec.strategy,
+                            experiment,
+                            spec.batch_size,
+                            trees,
+                            async_commit,
+                        ),
+                        (None, _, _) => run_jitd_batched(
+                            spec.workload,
+                            spec.strategy,
+                            experiment,
+                            spec.batch_size,
+                        ),
+                        (Some(trees), None, None) => run_fleet_batched(
+                            spec.workload,
+                            spec.strategy,
+                            experiment,
+                            spec.batch_size,
+                            trees,
+                        ),
+                        (Some(trees), Some(workers), _) => {
+                            run_steal_pool(spec.workload, spec.strategy, experiment, trees, workers)
+                        }
                     }
                 };
                 // Min-of-N applies per metric: total_ns picks the kept
@@ -404,13 +470,16 @@ fn main() -> ExitCode {
                 match slot {
                     Some(b) => {
                         let worst_window_ns = b.worst_window_ns.min(r.worst_window_ns);
+                        let p99_ns = b.p99_ns.min(r.p99_ns);
                         if r.total_ns < b.total_ns {
                             *slot = Some(BatchRunResult {
                                 worst_window_ns,
+                                p99_ns,
                                 ..r
                             });
                         } else {
                             b.worst_window_ns = worst_window_ns;
+                            b.p99_ns = p99_ns;
                         }
                     }
                     None => *slot = Some(r),
@@ -430,6 +499,9 @@ fn main() -> ExitCode {
         };
         if r.commit == "async" {
             deploy.push_str("+async");
+        }
+        if r.mode == "service" {
+            deploy = format!("svc:{}x{}", r.sessions, args.service_threads);
         }
         eprintln!(
             "  {}/{} K={:<4} T={:<3} {:>12} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",

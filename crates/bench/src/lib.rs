@@ -26,44 +26,14 @@ use tt_jitd::{Jitd, JitdFleet, JitdStats, RuleConfig, StrategyKind};
 use tt_metrics::{bytes_to_pages, now_ns, statm_resident_pages, Summary, SummaryBuilder};
 use tt_ycsb::{FleetSpec, FleetWorkload, Workload, WorkloadSpec};
 
-/// Scale configuration, environment-overridable.
-#[derive(Debug, Clone, Copy)]
-pub struct ExperimentConfig {
-    /// Preloaded record count.
-    pub records: u64,
-    /// YCSB operations per run.
-    pub ops: usize,
-    /// CrackArray threshold.
-    pub crack_threshold: usize,
-    /// Master seed.
-    pub seed: u64,
-    /// Adaptive batch sizing: when set, the epoch drivers auto-tune the
-    /// ops-per-epoch K from the strategies' observed cancellation rates
-    /// (a high rate widens the epoch, a low rate narrows it). Off by
-    /// default — the fixed-K path is byte-for-byte unchanged.
-    pub adaptive_batch: bool,
-    /// Pipelined epoch commits: when set, the epoch drivers close each
-    /// epoch with a *seal* (`submit_commit`) instead of an inline
-    /// `commit_batch`, and the sealed epoch is applied one epoch later
-    /// (the strategies' one-epoch-in-flight backpressure keeps ordering;
-    /// a final drain lands the last epoch). Off by default — the
-    /// synchronous commit path is byte-for-byte unchanged.
-    pub async_commit: bool,
-}
-
-impl ExperimentConfig {
-    /// Reads the configuration from the environment.
-    pub fn from_env() -> ExperimentConfig {
-        ExperimentConfig {
-            records: env_u64("TT_RECORDS", 20_000),
-            ops: env_u64("TT_OPS", 1_000) as usize,
-            crack_threshold: env_u64("TT_CRACK_THRESHOLD", 64) as usize,
-            seed: env_u64("TT_SEED", 42),
-            adaptive_batch: env_u64("TT_ADAPTIVE_BATCH", 0) != 0,
-            async_commit: env_u64("TT_ASYNC_COMMIT", 0) != 0,
-        }
-    }
-}
+/// The knob parsing lives in `tt_core`'s [`config`] module
+/// ([`EngineConfig::from_env`] is the one place `TT_*` variables are
+/// read); the historical `ExperimentConfig` name stays as an alias.
+///
+/// [`config`]: treetoaster_core::config
+/// [`EngineConfig::from_env`]: treetoaster_core::EngineConfig::from_env
+pub use treetoaster_core::EngineConfig as ExperimentConfig;
+pub use treetoaster_core::{env_u64, EngineConfig, FleetConfig};
 
 /// Adaptive-K policy shared by the epoch drivers: widen the epoch while
 /// cancellation keeps absorbing churn, narrow it when staging is pure
@@ -85,14 +55,6 @@ fn tune_batch_size(k: usize, cancellation: Option<(u64, u64)>) -> usize {
     } else {
         k
     }
-}
-
-/// Reads an integer environment knob.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// The result of one (workload, strategy) run.
@@ -255,14 +217,34 @@ pub struct BatchRunResult {
     /// O(1) seal for `"async"`. The tail-latency axis the async commit
     /// pipeline targets: ns/op averages the apply cost away, the worst
     /// window shows it. 0 for drivers without an epoch structure
-    /// ([`run_steal_pool`]'s clock has no epochs).
+    /// ([`run_steal_pool`]'s clock has no epochs). [`run_service`]
+    /// repurposes it as the slowest single daemon op observed (its
+    /// worst-window tail).
     pub worst_window_ns: u64,
+    /// Which harness produced this cell: `"library"` (the in-process
+    /// drivers above) or `"service"` (the `tt-serve` daemon driven
+    /// through [`run_service`]). Pre-service artifacts omit the field,
+    /// which readers treat as `"library"`.
+    pub mode: &'static str,
+    /// Concurrent daemon sessions (0 for library cells).
+    pub sessions: usize,
+    /// 99th-percentile per-op daemon latency (0 for library cells,
+    /// whose single-threaded loops have no per-op distribution worth
+    /// publishing).
+    pub p99_ns: u64,
 }
 
 impl BatchRunResult {
     /// Nanoseconds per YCSB operation (reorganization included).
     pub fn ns_per_op(&self) -> f64 {
         self.total_ns as f64 / self.ops.max(1) as f64
+    }
+
+    /// Sustained operations per second over the measured wall time —
+    /// the service harness's headline number (for the single-threaded
+    /// library drivers it is just `1e9 / ns_per_op`).
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.total_ns.max(1) as f64
     }
 
     /// Nanoseconds per applied rewrite.
@@ -369,6 +351,9 @@ pub fn run_jitd_batched(
         contended_count: 0,
         commit: if cfg.async_commit { "async" } else { "sync" },
         worst_window_ns,
+        mode: "library",
+        sessions: 0,
+        p99_ns: 0,
     }
 }
 
@@ -504,6 +489,9 @@ pub fn run_fleet_batched(
         contended_count: fleet.stats.contended_count,
         commit: if cfg.async_commit { "async" } else { "sync" },
         worst_window_ns,
+        mode: "library",
+        sessions: 0,
+        p99_ns: 0,
     }
 }
 
@@ -649,6 +637,9 @@ pub fn run_steal_pool(
         contended_count: steal.contended_count,
         commit: "sync",
         worst_window_ns: 0,
+        mode: "library",
+        sessions: 0,
+        p99_ns: 0,
     }
 }
 
@@ -671,7 +662,7 @@ pub fn run_steal_pool(
 /// identical between the twins and only dilute the tail with
 /// scaffolding noise — but end-to-end ns/op still covers them. The
 /// clock still runs until every in-flight epoch has landed
-/// ([`AsyncJitd::drain_commits`], a help-at-barrier: the op thread
+/// ([`tt_jitd::AsyncJitd::drain_commits`], a help-at-barrier: the op thread
 /// applies whatever the committer has not reached rather than charging
 /// a committer wake latency to its own clock), so ns/op stays an
 /// end-to-end number and the async twin cannot win by leaving work
@@ -828,6 +819,125 @@ pub fn run_commit_pipeline(
         contended_count: 0,
         commit: if async_commit { "async" } else { "sync" },
         worst_window_ns,
+        mode: "library",
+        sessions: 0,
+        p99_ns: 0,
+    }
+}
+
+/// Runs the **service** cell: a [`tt_service::Daemon`] (the same object
+/// `tt-serve` wraps in TCP) under sustained multi-tenant load —
+/// `sessions` concurrent sessions, driven by `threads` op threads, each
+/// session receiving `cfg.ops` operations (seven replaces to one find)
+/// against a `cfg.records`-record tree. The pool runs *hot* (stealing
+/// workers live, async committer live): this is the deployment shape the
+/// daemon ships with, so the numbers include admission bookkeeping,
+/// shard-lock traffic, heat noting, and committer interference.
+///
+/// The headline metrics are [`BatchRunResult::ops_per_sec`] over the
+/// measured wall time and the per-op latency tail: `p99_ns` (99th
+/// percentile across every op issued) and `worst_window_ns` (the single
+/// slowest op — for the daemon that is a seal that had to apply a stale
+/// epoch inline, i.e. the backpressure path). The preload/open phase is
+/// not measured; the final drain is not measured.
+pub fn run_service(cfg: ExperimentConfig, sessions: usize, threads: usize) -> BatchRunResult {
+    use tt_service::{Daemon, Request, Response};
+    assert!(sessions > 0 && threads > 0);
+    let fleet = FleetConfig::default()
+        .engine(cfg)
+        .sessions(sessions)
+        .workers(2)
+        .heat_threshold(1);
+    let daemon = Daemon::new(StrategyKind::TreeToaster, fleet);
+    for _ in 0..sessions {
+        match daemon.handle(&Request::Open {
+            records: cfg.records,
+            seed: cfg.seed,
+        }) {
+            Response::Opened { .. } => {}
+            other => panic!("service bench open refused: {other:?}"),
+        }
+    }
+
+    // Measured phase: `threads` op threads share the session space by
+    // round-robin striping; each thread records every op's latency.
+    let ops_per_session = cfg.ops.max(1);
+    let t0 = now_ns();
+    let mut lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let daemon = &daemon;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(sessions * ops_per_session / threads + 1);
+                    for s in (t..sessions).step_by(threads) {
+                        let session = s as u32;
+                        for j in 0..ops_per_session as i64 {
+                            let key = (j.wrapping_mul(2654435761) ^ s as i64)
+                                .rem_euclid(cfg.records.max(1) as i64);
+                            let req = if j % 8 == 7 {
+                                Request::Find { session, key }
+                            } else {
+                                Request::Replace {
+                                    session,
+                                    key,
+                                    value: j,
+                                }
+                            };
+                            let o0 = now_ns();
+                            match daemon.handle(&req) {
+                                Response::Replaced | Response::Found { .. } => {}
+                                other => panic!("service bench op refused: {other:?}"),
+                            }
+                            lat.push(now_ns() - o0);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total_ns = (now_ns() - t0).max(1);
+
+    let mut all: Vec<u64> = lat.drain(..).flatten().collect();
+    all.sort_unstable();
+    let ops = all.len();
+    let p99_ns = all[(ops * 99) / 100 - 1].max(1);
+    let worst_window_ns = *all.last().expect("at least one op ran");
+
+    // Post-measurement accounting sweep, then the clean drain.
+    let mut rewrites = 0u64;
+    let mut final_bytes = 0usize;
+    for s in 0..sessions as u32 {
+        if let Response::Snapshotted(snap) = daemon.handle(&Request::Snapshot { session: s }) {
+            rewrites += snap.rewrites;
+            final_bytes += snap.memory_bytes as usize;
+        }
+    }
+    daemon.drain();
+
+    BatchRunResult {
+        workload: 'S',
+        strategy: StrategyKind::TreeToaster,
+        batch_size: Daemon::MAX_EPOCH_OPS as usize,
+        final_batch_size: Daemon::MAX_EPOCH_OPS as usize,
+        trees: 1,
+        ops,
+        rewrites,
+        total_ns,
+        maintain_mean_ns: 0.0,
+        commit_mean_ns: 0.0,
+        peak_strategy_bytes: final_bytes,
+        final_strategy_bytes: final_bytes,
+        scheduler: "steal",
+        workers: 2,
+        steal_count: 0,
+        contended_count: 0,
+        commit: "async",
+        worst_window_ns,
+        mode: "service",
+        sessions,
+        p99_ns,
     }
 }
 
@@ -1003,5 +1113,21 @@ mod tests {
     #[test]
     fn paper_workload_list() {
         assert_eq!(paper_workloads(), vec!['A', 'B', 'C', 'D', 'F']);
+    }
+
+    #[test]
+    fn run_service_measures_a_multi_tenant_daemon() {
+        let r = run_service(tiny(), 16, 4);
+        assert_eq!(r.workload, 'S');
+        assert_eq!(r.mode, "service");
+        assert_eq!(r.sessions, 16);
+        assert_eq!(r.ops, 16 * tiny().ops, "every session got its ops");
+        assert!(r.ops_per_sec() > 0.0);
+        assert!(r.p99_ns > 0, "a latency distribution was recorded");
+        assert!(
+            r.p99_ns <= r.worst_window_ns,
+            "p99 cannot exceed the slowest op"
+        );
+        assert!(r.final_strategy_bytes > 0, "tenants held view state");
     }
 }

@@ -42,9 +42,17 @@
 //! `worst_window_ns` is the slowest **commit window** observed — the
 //! stall from epoch close until the op thread is free again (inline
 //! apply vs O(1) seal), the tail-latency number the pipeline exists to
-//! improve (ns/op averages the apply cost away). A cell is keyed by
+//! improve (ns/op averages the apply cost away).
+//!
+//! `mode`/`sessions`/`p99_ns`/`ops_per_sec` are the service axis
+//! (PR 7): `"library"` cells (the default when `mode` is absent —
+//! every pre-service artifact) come from the in-process drivers above,
+//! while `"service"` cells measure the `tt-serve` daemon under
+//! `sessions` concurrent tenants (workload S) — sustained `ops_per_sec`
+//! plus the per-op latency tail (`p99_ns`, and `worst_window_ns`
+//! repurposed as the single slowest op). A cell is keyed by
 //! `(strategy, workload, batch_size, trees, scheduler, workers,
-//! commit)`.
+//! commit, mode, sessions)`.
 //!
 //! Validation enforces, beyond schema and coverage, the **stealing
 //! gate**: wherever a dedicated-worker baseline and a smaller stealing
@@ -56,7 +64,12 @@
 //! must have a synchronous twin (same key except the commit axis),
 //! stay within [`COMMIT_GATE_ENVELOPE`] of its ns/op, and — on the
 //! skewed workload I, where hot-shard epochs make the apply cost a
-//! real tail — be *ahead* of it on `worst_window_ns`.
+//! real tail — be *ahead* of it on `worst_window_ns`. Service cells are
+//! exempt from both (the daemon is a steal/async deployment with no
+//! library twin); instead the **service promise** applies: a config
+//! listing `service_sessions` must deliver a `mode: "service"` cell at
+//! each promised session count, with a positive throughput and an
+//! internally consistent latency tail (`p99_ns` ≤ the worst op).
 
 use crate::{BatchRunResult, ExperimentConfig};
 use tt_jitd::StrategyKind;
@@ -93,6 +106,13 @@ pub struct SweepConfig {
     /// non-empty list is a coverage promise validation holds the report
     /// to: every listed workload must carry both commit modes.
     pub commit_workloads: Vec<char>,
+    /// Session counts the service harness sweeps (workload S through
+    /// the `tt-serve` daemon); empty disables the service cells. A
+    /// non-empty list is a coverage promise like `commit_workloads`:
+    /// every listed count must appear as a `mode: "service"` cell.
+    pub service_sessions: Vec<usize>,
+    /// Op threads driving the service harness.
+    pub service_threads: usize,
     /// Runs per cell; the fastest (minimum total ns) run is kept. The
     /// minimum is the standard noise-robust latency estimator: scheduler
     /// preemption and cache pollution only ever add time, so min-of-N
@@ -181,6 +201,17 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     .collect(),
             ),
         ),
+        (
+            "service_sessions",
+            Json::Arr(
+                sweep
+                    .service_sessions
+                    .iter()
+                    .map(|&s| Json::Num(s as f64))
+                    .collect(),
+            ),
+        ),
+        ("service_threads", Json::Num(sweep.service_threads as f64)),
     ]);
     let results = Json::Arr(
         results
@@ -205,6 +236,10 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     ("contended_count", Json::Num(r.contended_count as f64)),
                     ("commit", Json::Str(r.commit.to_string())),
                     ("worst_window_ns", Json::Num(r.worst_window_ns as f64)),
+                    ("mode", Json::Str(r.mode.to_string())),
+                    ("sessions", Json::Num(r.sessions as f64)),
+                    ("p99_ns", Json::Num(r.p99_ns as f64)),
+                    ("ops_per_sec", Json::Num(r.ops_per_sec())),
                 ])
             })
             .collect(),
@@ -238,6 +273,9 @@ pub struct ReportSummary {
     pub schedulers: Vec<String>,
     /// Distinct commit modes seen (`["sync"]` for pre-PR 6 artifacts).
     pub commits: Vec<String>,
+    /// Distinct service session counts seen (ascending; empty for
+    /// artifacts without daemon cells).
+    pub session_counts: Vec<u64>,
 }
 
 fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
@@ -296,6 +334,9 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     // Every cell's full key plus (commit, ns_per_op, worst_window_ns),
     // feeding the commit-pipeline gate below.
     let mut commit_cells: Vec<CommitCell> = Vec::new();
+    // (sessions, ops_per_sec, p99_ns) for every service cell, feeding
+    // the service coverage promise below.
+    let mut service_cells: Vec<(u64, f64, f64)> = Vec::new();
     for (i, entry) in results.iter().enumerate() {
         let strategy = entry
             .get("strategy")
@@ -305,6 +346,16 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             .get("workload")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("results[{i}]: missing `workload`"))?;
+        // Harness axis (PR 7): absent = "library" (pre-service artifacts).
+        let mode = match entry.get("mode") {
+            None => "library",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("results[{i}]: `mode` must be a string"))?,
+        };
+        if !matches!(mode, "library" | "service") {
+            return Err(format!("results[{i}]: unknown mode `{mode}`"));
+        }
         let batch = require_num(entry, "batch_size", i)?;
         if batch < 1.0 || batch.fract() != 0.0 {
             return Err(format!("results[{i}]: bad batch_size {batch}"));
@@ -352,15 +403,20 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             }
             require_num(entry, "steal_count", i)?;
             require_num(entry, "contended_count", i)?;
-            pool_cells.push((
-                strategy.to_string(),
-                workload.to_string(),
-                batch as u64,
-                trees as u64,
-                scheduler.to_string(),
-                workers as u64,
-                ns_per_op,
-            ));
+            // Service cells run a stealing pool too, but the stealing
+            // gate compares reorganizer deployments on workload I —
+            // the daemon cells are judged by their own gate below.
+            if mode != "service" {
+                pool_cells.push((
+                    strategy.to_string(),
+                    workload.to_string(),
+                    batch as u64,
+                    trees as u64,
+                    scheduler.to_string(),
+                    workers as u64,
+                    ns_per_op,
+                ));
+            }
         }
         // Commit axis (PR 6): absent = "sync" (pre-PR 6 artifacts).
         let commit = match entry.get("commit") {
@@ -376,17 +432,44 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             None => 0.0,
             Some(_) => require_num(entry, "worst_window_ns", i)?,
         };
-        commit_cells.push(CommitCell {
-            strategy: strategy.to_string(),
-            workload: workload.to_string(),
-            batch: batch as u64,
-            trees: trees as u64,
-            scheduler: scheduler.to_string(),
-            workers: workers as u64,
-            commit: commit.to_string(),
-            ns_per_op,
-            worst_window_ns,
-        });
+        if mode == "service" {
+            // The daemon runs async commits by design; it has no sync
+            // twin (the commit gate's library twins cover that axis).
+            // Instead the service cell must carry a credible latency
+            // distribution: sessions, a positive throughput, and a p99
+            // that cannot exceed the worst single op.
+            let sessions = require_num(entry, "sessions", i)?;
+            if sessions < 1.0 || sessions.fract() != 0.0 {
+                return Err(format!("results[{i}]: bad service sessions {sessions}"));
+            }
+            let p99 = require_num(entry, "p99_ns", i)?;
+            if p99 == 0.0 {
+                return Err(format!("results[{i}]: service cell without a p99"));
+            }
+            if worst_window_ns > 0.0 && p99 > worst_window_ns {
+                return Err(format!(
+                    "results[{i}]: p99 {p99:.0} ns exceeds the worst op \
+                     {worst_window_ns:.0} ns — the tail is inconsistent"
+                ));
+            }
+            let ops_per_sec = require_num(entry, "ops_per_sec", i)?;
+            if ops_per_sec == 0.0 {
+                return Err(format!("results[{i}]: service cell without throughput"));
+            }
+            service_cells.push((sessions as u64, ops_per_sec, p99));
+        } else {
+            commit_cells.push(CommitCell {
+                strategy: strategy.to_string(),
+                workload: workload.to_string(),
+                batch: batch as u64,
+                trees: trees as u64,
+                scheduler: scheduler.to_string(),
+                workers: workers as u64,
+                commit: commit.to_string(),
+                ns_per_op,
+                worst_window_ns,
+            });
+        }
         if !commits.iter().any(|c| c == commit) {
             commits.push(commit.to_string());
         }
@@ -477,6 +560,31 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         }
     }
     check_commit_pipeline(&commit_cells)?;
+    // Service coverage: a config that promises daemon cells
+    // (`service_sessions` non-empty — every post-service runner) must
+    // deliver a `mode: "service"` cell at each promised session count.
+    // Pre-service artifacts carry no such config key and stay valid.
+    let promised_sessions: Vec<u64> = doc
+        .get("config")
+        .and_then(|c| c.get("service_sessions"))
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_f64)
+                .map(|s| s as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    for &n in &promised_sessions {
+        if !service_cells.iter().any(|&(s, _, _)| s == n) {
+            return Err(format!(
+                "config promises a service cell at {n} sessions but none exists"
+            ));
+        }
+    }
+    let mut session_counts: Vec<u64> = service_cells.iter().map(|&(s, _, _)| s).collect();
+    session_counts.sort_unstable();
+    session_counts.dedup();
     Ok(ReportSummary {
         results: results.len(),
         strategies,
@@ -485,6 +593,7 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         tree_counts,
         schedulers,
         commits,
+        session_counts,
     })
 }
 
@@ -678,6 +787,11 @@ pub struct CellDelta {
     pub workers: u64,
     /// Commit pipeline (`"sync"` for inline-apply cells).
     pub commit: String,
+    /// Harness (`"library"` for in-process cells, `"service"` for
+    /// daemon cells; pre-service artifacts key as `"library"`).
+    pub mode: String,
+    /// Concurrent daemon sessions (0 for library cells).
+    pub sessions: u64,
     /// Baseline ns/op.
     pub old_ns: f64,
     /// Candidate ns/op.
@@ -715,8 +829,19 @@ impl Comparison {
 }
 
 /// One parsed result row: `(strategy, workload, batch, trees,
-/// scheduler, workers, commit, ns_per_op)`.
-type RawCell = (String, String, u64, u64, String, u64, String, f64);
+/// scheduler, workers, commit, mode, sessions, ns_per_op)`.
+type RawCell = (
+    String,
+    String,
+    u64,
+    u64,
+    String,
+    u64,
+    String,
+    String,
+    u64,
+    f64,
+);
 
 fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
     validate_report(text).map_err(|e| format!("{which} report: {e}"))?;
@@ -761,6 +886,13 @@ fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
                     .and_then(Json::as_str)
                     .unwrap_or("sync")
                     .to_string(),
+                // Pre-service artifacts carry no harness axis: library.
+                entry
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .unwrap_or("library")
+                    .to_string(),
+                entry.get("sessions").and_then(Json::as_f64).unwrap_or(0.0) as u64,
                 entry
                     .get("ns_per_op")
                     .and_then(Json::as_f64)
@@ -818,10 +950,23 @@ pub fn compare_reports(
     let new_cells = collect_cells(new_text, "candidate")?;
     check_configs_comparable(old_text, new_text)?;
     let mut cells = Vec::with_capacity(old_cells.len());
-    for (strategy, workload, batch_size, trees, scheduler, workers, commit, old_ns) in old_cells {
+    #[allow(clippy::type_complexity)]
+    for (
+        strategy,
+        workload,
+        batch_size,
+        trees,
+        scheduler,
+        workers,
+        commit,
+        mode,
+        sessions,
+        old_ns,
+    ) in old_cells
+    {
         let new_ns = new_cells
             .iter()
-            .find(|(s, w, b, t, sched, wk, cm, _)| {
+            .find(|(s, w, b, t, sched, wk, cm, md, sn, _)| {
                 *s == strategy
                     && *w == workload
                     && *b == batch_size
@@ -829,12 +974,14 @@ pub fn compare_reports(
                     && *sched == scheduler
                     && *wk == workers
                     && *cm == commit
+                    && *md == mode
+                    && *sn == sessions
             })
-            .map(|&(_, _, _, _, _, _, _, ns)| ns)
+            .map(|&(_, _, _, _, _, _, _, _, _, ns)| ns)
             .ok_or_else(|| {
                 format!(
                     "cell {strategy}/{workload}/K={batch_size}/T={trees}/{scheduler}/W={workers}\
-                     /{commit} present in baseline, missing from candidate"
+                     /{commit}/{mode}/S={sessions} present in baseline, missing from candidate"
                 )
             })?;
         cells.push(CellDelta {
@@ -845,6 +992,8 @@ pub fn compare_reports(
             scheduler,
             workers,
             commit,
+            mode,
+            sessions,
             old_ns,
             new_ns,
         });
@@ -874,6 +1023,8 @@ mod tests {
             steal_trees: vec![],
             steal_workers: vec![],
             commit_workloads: vec![],
+            service_sessions: vec![],
+            service_threads: 0,
             repeat: 1,
         }
     }
@@ -903,6 +1054,26 @@ mod tests {
             contended_count: 0,
             commit: "sync",
             worst_window_ns: 3_000,
+            mode: "library",
+            sessions: 0,
+            p99_ns: 0,
+        }
+    }
+
+    /// A daemon cell: `sessions` concurrent sessions on workload S.
+    fn service_cell(sessions: usize) -> BatchRunResult {
+        BatchRunResult {
+            workload: 'S',
+            trees: 1,
+            total_ns: 50_000,
+            scheduler: "steal",
+            workers: 2,
+            commit: "async",
+            worst_window_ns: 9_000,
+            mode: "service",
+            sessions,
+            p99_ns: 6_000,
+            ..cell('S', StrategyKind::TreeToaster, 64, 1)
         }
     }
 
@@ -1094,6 +1265,55 @@ mod tests {
         let err = compare_reports(&text, &render_report(&fleet_sweep(), &lost), 0.15).unwrap_err();
         assert!(err.contains("async"), "{err}");
         assert!(err.contains("missing from candidate"), "{err}");
+    }
+
+    #[test]
+    fn service_cells_validate_and_promise_is_enforced() {
+        // A service cell validates without tripping the stealing or
+        // commit gates (it is a steal/async cell with no library twin).
+        let mut results = fake_fleet_results();
+        results.push(service_cell(1000));
+        let mut promised = fleet_sweep();
+        promised.service_sessions = vec![1000];
+        promised.service_threads = 8;
+        let summary = validate_report(&render_report(&promised, &results)).unwrap();
+        assert_eq!(summary.session_counts, vec![1000]);
+        assert!(summary.workloads.iter().any(|w| w == "S"));
+        // A config that promises 1000 sessions but delivers none fails…
+        let err = validate_report(&render_report(&promised, &fake_fleet_results())).unwrap_err();
+        assert!(err.contains("1000 sessions"), "{err}");
+        // …and a service cell with an inconsistent tail is rejected.
+        let mut bad = fake_fleet_results();
+        bad.push(BatchRunResult {
+            p99_ns: 99_000, // above the worst op
+            ..service_cell(1000)
+        });
+        let err = validate_report(&render_report(&promised, &bad)).unwrap_err();
+        assert!(err.contains("tail is inconsistent"), "{err}");
+        // An empty promise (pre-service artifacts) demands nothing.
+        validate_report(&render_report(&fleet_sweep(), &fake_fleet_results())).unwrap();
+    }
+
+    #[test]
+    fn compare_keys_cells_by_mode_and_sessions() {
+        let mut results = fake_fleet_results();
+        results.push(service_cell(256));
+        results.push(service_cell(1000));
+        let mut sweep = fleet_sweep();
+        sweep.service_sessions = vec![256, 1000];
+        let text = render_report(&sweep, &results);
+        let cmp = compare_reports(&text, &text, 0.15).unwrap();
+        assert!(cmp.passed());
+        let svc: Vec<&CellDelta> = cmp.cells.iter().filter(|c| c.mode == "service").collect();
+        assert_eq!(svc.len(), 2, "both session counts pair distinctly");
+        // Losing the 1000-session cell is reported with its mode key.
+        let mut lost = fake_fleet_results();
+        lost.push(service_cell(256));
+        let mut lost_sweep = fleet_sweep();
+        lost_sweep.service_sessions = vec![256];
+        let err = compare_reports(&text, &render_report(&lost_sweep, &lost), 0.15).unwrap_err();
+        assert!(err.contains("service"), "{err}");
+        assert!(err.contains("S=1000"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::batch::DeltaBuffer;
 use crate::inline::InlineMatrix;
 use crate::rules::RuleSet;
-use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
+use crate::strategy::{EpochOps, MatchCore, ReplaceCtx, RuleId};
 use crate::view::MatchView;
 use std::sync::Arc;
 use tt_ast::{Ast, NodeId};
@@ -58,13 +58,13 @@ pub struct TreeToasterEngine {
     /// Open maintenance epoch: deltas stage here (and cancel) instead of
     /// touching the views. `None` = immediate (K=1) maintenance.
     batch: Option<DeltaBuffer>,
-    /// An epoch sealed by [`MatchSource::submit_commit`], awaiting its
+    /// An epoch sealed by [`EpochOps::submit_commit`], awaiting its
     /// background committer. Reads overlay it alongside the open batch
     /// (`view ⊕ sealed ⊕ pending` is the up-to-date view); at most one
     /// epoch is ever sealed.
     sealed: Option<DeltaBuffer>,
     /// The previous epoch's drained buffer, kept so its dense pages are
-    /// reused by the next [`MatchSource::begin_batch`] instead of being
+    /// reused by the next [`EpochOps::begin_batch`] instead of being
     /// freed and re-allocated every epoch.
     spare: Option<DeltaBuffer>,
     /// Reusable maintenance work buffers (see [`Scratch`]).
@@ -72,7 +72,7 @@ pub struct TreeToasterEngine {
 }
 
 impl TreeToasterEngine {
-    /// Builds an engine (views empty until [`MatchSource::rebuild`]).
+    /// Builds an engine (views empty until [`MatchCore::rebuild`]).
     pub fn new(rules: Arc<RuleSet>) -> Self {
         Self::with_mode(rules, MaintenanceMode::Inlined)
     }
@@ -254,7 +254,7 @@ impl TreeToasterEngine {
     }
 }
 
-impl MatchSource for TreeToasterEngine {
+impl MatchCore for TreeToasterEngine {
     fn name(&self) -> &'static str {
         "TT"
     }
@@ -397,6 +397,35 @@ impl MatchSource for TreeToasterEngine {
         }
     }
 
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if self.batch.as_ref().is_some_and(|b| !b.is_empty()) {
+            return Err("engine has staged deltas in an open batch".into());
+        }
+        if self.sealed.as_ref().is_some_and(|b| !b.is_empty()) {
+            return Err("engine has a sealed epoch awaiting its committer".into());
+        }
+        self.check_views_correct(ast)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.views
+            .iter()
+            .map(MatchView::memory_bytes)
+            .sum::<usize>()
+            + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
+            + self.sealed.as_ref().map_or(0, DeltaBuffer::memory_bytes)
+            + self.spare.as_ref().map_or(0, DeltaBuffer::memory_bytes)
+    }
+
+    fn match_heat(&self) -> usize {
+        // Exactly the §4 promise, repurposed as a scheduling signal: the
+        // views already know how many rewrite opportunities are live, and
+        // the open epoch's net deltas are matches about to land.
+        self.views.iter().map(MatchView::len).sum::<usize>() + self.pending_deltas()
+    }
+}
+
+impl EpochOps for TreeToasterEngine {
     fn begin_batch(&mut self) {
         if self.batch.is_none() {
             let buffer = match self.spare.take() {
@@ -468,33 +497,6 @@ impl MatchSource for TreeToasterEngine {
             .or(self.sealed.as_ref())
             .or(self.spare.as_ref())
             .map(|b| (b.staged(), b.canceled()))
-    }
-
-    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
-        if self.batch.as_ref().is_some_and(|b| !b.is_empty()) {
-            return Err("engine has staged deltas in an open batch".into());
-        }
-        if self.sealed.as_ref().is_some_and(|b| !b.is_empty()) {
-            return Err("engine has a sealed epoch awaiting its committer".into());
-        }
-        self.check_views_correct(ast)
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.views
-            .iter()
-            .map(MatchView::memory_bytes)
-            .sum::<usize>()
-            + self.batch.as_ref().map_or(0, DeltaBuffer::memory_bytes)
-            + self.sealed.as_ref().map_or(0, DeltaBuffer::memory_bytes)
-            + self.spare.as_ref().map_or(0, DeltaBuffer::memory_bytes)
-    }
-
-    fn match_heat(&self) -> usize {
-        // Exactly the §4 promise, repurposed as a scheduling signal: the
-        // views already know how many rewrite opportunities are live, and
-        // the open epoch's net deltas are matches about to land.
-        self.views.iter().map(MatchView::len).sum::<usize>() + self.pending_deltas()
     }
 }
 

@@ -24,7 +24,7 @@
 //! `JitdIndex`) dispatch through the same API.
 
 use crate::rules::RuleSet;
-use crate::strategy::{MatchSource, ReplaceCtx, RuleId};
+use crate::strategy::{MatchCore, MatchSource, ReplaceCtx, RuleId};
 use std::sync::Arc;
 use tt_ast::{Ast, Forest, GlobalNodeId, NodeId, TreeId};
 use tt_pattern::Bindings;
@@ -76,7 +76,7 @@ pub struct ForestEngine<S> {
     shards: Vec<S>,
     /// Per-shard churn since that shard was last probed by a fleet-level
     /// scan: notifications (grafts, rewrites) it has absorbed. Combined
-    /// with [`MatchSource::match_heat`] this is the priority key hot
+    /// with [`MatchCore::match_heat`] this is the priority key hot
     /// shards are probed first by — see [`ForestEngine::shard_heat`].
     churn: Vec<u64>,
     /// Scratch for the priority scan's `(heat, id)` ordering, reused so
@@ -177,7 +177,7 @@ impl<S: MatchSource> ForestEngine<S> {
     }
 
     /// The scheduling priority of one shard: its strategy's
-    /// [`match_heat`](MatchSource::match_heat) (live view sizes plus
+    /// [`match_heat`](MatchCore::match_heat) (live view sizes plus
     /// staged deltas) plus the churn it absorbed since a fleet-level
     /// scan last probed it. Hotter shards hold more reorganization work.
     pub fn shard_heat(&self, tree: TreeId) -> u64 {
@@ -272,7 +272,7 @@ impl<S: MatchSource> ForestEngine<S> {
     }
 
     /// Seals one shard's open epoch for a background committer instead
-    /// of applying it inline ([`MatchSource::submit_commit`]). Returns
+    /// of applying it inline ([`crate::EpochOps::submit_commit`]). Returns
     /// `true` if an epoch was actually sealed. Other shards' epochs —
     /// and their sealed slots — are untouched.
     pub fn submit_commit(&mut self, tree: TreeId) -> bool {
@@ -339,7 +339,7 @@ impl<S: MatchSource> ForestEngine<S> {
     /// Supplemental memory across the whole fleet (the Figure 11/13 axis
     /// summed over shards).
     pub fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(MatchSource::memory_bytes).sum()
+        self.shards.iter().map(MatchCore::memory_bytes).sum()
     }
 }
 

@@ -29,8 +29,11 @@
 //!   strategy instance per `tt_ast::forest` shard, shares the compiled
 //!   rule/pattern state across the fleet, and keeps per-tree epochs
 //!   fully independent.
+//! - [`config`] — the typed [`EngineConfig`]/[`FleetConfig`] builders;
+//!   the one place `TT_*` environment knobs are parsed.
 
 pub mod batch;
+pub mod config;
 pub mod engine;
 pub mod forest;
 pub mod generator;
@@ -40,10 +43,13 @@ pub mod strategy;
 pub mod view;
 
 pub use batch::DeltaBuffer;
+pub use config::{env_u64, EngineConfig, FleetConfig};
 pub use engine::TreeToasterEngine;
 pub use forest::ForestEngine;
 pub use generator::{AttrGen, GenCtx, GenNode, GenPath};
 pub use inline::{CompiledRulePlan, InlineMatrix};
 pub use rules::{AppliedRewrite, RewriteRule, RuleSet};
-pub use strategy::{IndexStrategy, MatchSource, NaiveStrategy, ReplaceCtx, RuleFired, RuleId};
+pub use strategy::{
+    EpochOps, IndexStrategy, MatchCore, MatchSource, NaiveStrategy, ReplaceCtx, RuleFired, RuleId,
+};
 pub use view::{MatchView, OrderedMatchView};

@@ -51,11 +51,18 @@ pub struct RuleFired<'a> {
     pub applied: &'a AppliedRewrite,
 }
 
-/// A source of pattern matches over an evolving AST.
+/// The lean search/notification surface of a strategy — everything a
+/// host compiler needs to *find and maintain matches*, with no epoch
+/// machinery attached.
 ///
 /// `Send` so a runtime can hand its strategy to a background
 /// reorganization thread (the paper's asynchronous deployment).
-pub trait MatchSource: Send {
+///
+/// This is one half of the [`MatchSource`] split (the other is
+/// [`EpochOps`]): consumers that only search and notify — the service
+/// layer's session router, the naive driver — can bound on `MatchCore`
+/// alone and never see the epoch protocol.
+pub trait MatchCore: Send {
     /// Strategy name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
@@ -81,79 +88,6 @@ pub trait MatchSource: Send {
     /// delete). No node was removed and no pre-existing node's subtree
     /// changed, so only the created nodes can change match status.
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]);
-
-    /// Opens a maintenance epoch: until [`commit_batch`], notifications
-    /// (`before_replace`/`after_replace`/`on_graft`) may be *staged*
-    /// instead of applied, so opposing deltas from overlapping rewrites
-    /// cancel before ever touching the strategy's structures.
-    ///
-    /// Default: no-op, so single-rewrite maintenance is the degenerate
-    /// K=1 case and stateless strategies need no change. Inside an open
-    /// epoch, `find_one` must still answer correctly — either through an
-    /// overlay over pending deltas (TreeToaster) or by reconciling on
-    /// read (the bolt-on engines, which can only consume their flat
-    /// node-event stream). Opening an already-open epoch is a no-op.
-    ///
-    /// [`commit_batch`]: MatchSource::commit_batch
-    fn begin_batch(&mut self) {}
-
-    /// Closes the current maintenance epoch, applying every surviving
-    /// net delta. A commit with no open epoch is a no-op.
-    fn commit_batch(&mut self) {}
-
-    /// Seals the open epoch for **deferred** application: surviving net
-    /// deltas move into a sealed slot, the epoch closes, and a later
-    /// [`apply_submitted`] — typically on a background committer thread,
-    /// under the same lock as every other access — applies them. Until
-    /// then `find_one` must keep answering correctly with the sealed
-    /// deltas in place: strategies with an overlay extend it to
-    /// `structures ⊕ sealed ⊕ open batch`, while the bolt-on engines
-    /// reconcile on read as always (a read may therefore apply the
-    /// sealed epoch early, which is safe — application is idempotent
-    /// per epoch and ordered per shard).
-    ///
-    /// At most one epoch may be sealed at a time; sealing while a
-    /// previous seal awaits its committer applies the old seal inline
-    /// first (bounded backpressure). Returns `true` when an epoch was
-    /// sealed for deferred application; the default falls back to a
-    /// synchronous [`commit_batch`] and returns `false`, so strategies
-    /// without a deferred path (and stateless ones) stay correct under
-    /// an asynchronous deployment.
-    ///
-    /// [`apply_submitted`]: MatchSource::apply_submitted
-    fn submit_commit(&mut self) -> bool {
-        self.commit_batch();
-        false
-    }
-
-    /// Applies the sealed epoch from [`submit_commit`], if one is
-    /// pending — the committer's half of the pipeline. Returns whether
-    /// anything was applied. Default: nothing is ever sealed.
-    ///
-    /// [`submit_commit`]: MatchSource::submit_commit
-    fn apply_submitted(&mut self) -> bool {
-        false
-    }
-
-    /// True while a sealed epoch awaits [`apply_submitted`]. Quiescence
-    /// probes must treat this as pending work: the strategy's structures
-    /// have not yet reached their post-commit state. Default: never.
-    ///
-    /// [`apply_submitted`]: MatchSource::apply_submitted
-    fn has_submitted(&self) -> bool {
-        false
-    }
-
-    /// `(staged, canceled)` delta counters of the open — or, after a
-    /// commit, the most recently committed — maintenance epoch.
-    /// `canceled` counts staged deltas that annihilated against an
-    /// opposing entry before touching any structure; the ratio is the
-    /// signal adaptive batch sizing tunes K from (a high rate means the
-    /// epoch is absorbing churn the views never see, so larger epochs
-    /// pay off). Default: `None`, for strategies that stage nothing.
-    fn batch_cancellation(&self) -> Option<(u64, u64)> {
-        None
-    }
 
     /// Test oracle: checks the strategy's structures against a
     /// from-scratch rebuild over `ast`. Only meaningful between epochs
@@ -181,68 +115,185 @@ pub trait MatchSource: Send {
     }
 }
 
+/// The epoch (transactional maintenance) protocol — the other half of
+/// the [`MatchSource`] split. Every method has a correct default for
+/// strategies that stage nothing, so a stateless [`MatchCore`] impl
+/// plus an empty `impl EpochOps for …` block is a complete strategy.
+///
+/// Consumers that *drive* epochs (the batched bench drivers, the commit
+/// pipeline, the service daemon's tick path) bound on `EpochOps`;
+/// consumers that only search bound on [`MatchCore`].
+pub trait EpochOps {
+    /// Opens a maintenance epoch: until [`commit_batch`], notifications
+    /// (`before_replace`/`after_replace`/`on_graft`) may be *staged*
+    /// instead of applied, so opposing deltas from overlapping rewrites
+    /// cancel before ever touching the strategy's structures.
+    ///
+    /// Default: no-op, so single-rewrite maintenance is the degenerate
+    /// K=1 case and stateless strategies need no change. Inside an open
+    /// epoch, `find_one` must still answer correctly — either through an
+    /// overlay over pending deltas (TreeToaster) or by reconciling on
+    /// read (the bolt-on engines, which can only consume their flat
+    /// node-event stream). Opening an already-open epoch is a no-op.
+    ///
+    /// [`commit_batch`]: EpochOps::commit_batch
+    fn begin_batch(&mut self) {}
+
+    /// Closes the current maintenance epoch, applying every surviving
+    /// net delta. A commit with no open epoch is a no-op.
+    fn commit_batch(&mut self) {}
+
+    /// Seals the open epoch for **deferred** application: surviving net
+    /// deltas move into a sealed slot, the epoch closes, and a later
+    /// [`apply_submitted`] — typically on a background committer thread,
+    /// under the same lock as every other access — applies them. Until
+    /// then `find_one` must keep answering correctly with the sealed
+    /// deltas in place: strategies with an overlay extend it to
+    /// `structures ⊕ sealed ⊕ open batch`, while the bolt-on engines
+    /// reconcile on read as always (a read may therefore apply the
+    /// sealed epoch early, which is safe — application is idempotent
+    /// per epoch and ordered per shard).
+    ///
+    /// At most one epoch may be sealed at a time; sealing while a
+    /// previous seal awaits its committer applies the old seal inline
+    /// first (bounded backpressure). Returns `true` when an epoch was
+    /// sealed for deferred application; the default falls back to a
+    /// synchronous [`commit_batch`] and returns `false`, so strategies
+    /// without a deferred path (and stateless ones) stay correct under
+    /// an asynchronous deployment.
+    ///
+    /// [`apply_submitted`]: EpochOps::apply_submitted
+    /// [`commit_batch`]: EpochOps::commit_batch
+    fn submit_commit(&mut self) -> bool {
+        self.commit_batch();
+        false
+    }
+
+    /// Applies the sealed epoch from [`submit_commit`], if one is
+    /// pending — the committer's half of the pipeline. Returns whether
+    /// anything was applied. Default: nothing is ever sealed.
+    ///
+    /// [`submit_commit`]: EpochOps::submit_commit
+    fn apply_submitted(&mut self) -> bool {
+        false
+    }
+
+    /// True while a sealed epoch awaits [`apply_submitted`]. Quiescence
+    /// probes must treat this as pending work: the strategy's structures
+    /// have not yet reached their post-commit state. Default: never.
+    ///
+    /// [`apply_submitted`]: EpochOps::apply_submitted
+    fn has_submitted(&self) -> bool {
+        false
+    }
+
+    /// `(staged, canceled)` delta counters of the open — or, after a
+    /// commit, the most recently committed — maintenance epoch.
+    /// `canceled` counts staged deltas that annihilated against an
+    /// opposing entry before touching any structure; the ratio is the
+    /// signal adaptive batch sizing tunes K from (a high rate means the
+    /// epoch is absorbing churn the views never see, so larger epochs
+    /// pay off). Default: `None`, for strategies that stage nothing.
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+/// A source of pattern matches over an evolving AST — the full
+/// five-strategy surface, as one name.
+///
+/// `MatchSource` is a pure facade over its two halves: [`MatchCore`]
+/// (search + notification) and [`EpochOps`] (the epoch protocol). The
+/// blanket impl below makes every `MatchCore + EpochOps` type a
+/// `MatchSource` automatically, so strategies implement the two halves
+/// and existing `S: MatchSource` bounds (and `Box<dyn MatchSource>`
+/// fleets) keep working unchanged.
+pub trait MatchSource: MatchCore + EpochOps {}
+
+/// Implementing both halves *is* implementing the facade.
+impl<T: MatchCore + EpochOps + ?Sized> MatchSource for T {}
+
 /// Boxed strategies are strategies: lets heterogeneous deployments (the
 /// runtime's `StrategyKind::build`, the forest engine's per-shard fleet)
 /// pass `Box<dyn MatchSource>` wherever an `S: MatchSource` is expected.
-impl<T: MatchSource + ?Sized> MatchSource for Box<T> {
+/// (Forwarding the two halves is enough — the blanket impl closes the
+/// facade over the box.)
+impl<T: MatchCore + ?Sized> MatchCore for Box<T> {
+    #[inline]
     fn name(&self) -> &'static str {
         (**self).name()
     }
 
+    #[inline]
     fn rebuild(&mut self, ast: &Ast) {
         (**self).rebuild(ast)
     }
 
+    #[inline]
     fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
         (**self).find_one(ast, rule)
     }
 
+    #[inline]
     fn before_replace(&mut self, ast: &Ast, old_root: NodeId, rule: Option<(RuleId, &Bindings)>) {
         (**self).before_replace(ast, old_root, rule)
     }
 
+    #[inline]
     fn after_replace(&mut self, ast: &Ast, ctx: &ReplaceCtx<'_>) {
         (**self).after_replace(ast, ctx)
     }
 
+    #[inline]
     fn on_graft(&mut self, ast: &Ast, created: &[NodeId]) {
         (**self).on_graft(ast, created)
     }
 
-    fn begin_batch(&mut self) {
-        (**self).begin_batch()
-    }
-
-    fn commit_batch(&mut self) {
-        (**self).commit_batch()
-    }
-
-    fn submit_commit(&mut self) -> bool {
-        (**self).submit_commit()
-    }
-
-    fn apply_submitted(&mut self) -> bool {
-        (**self).apply_submitted()
-    }
-
-    fn has_submitted(&self) -> bool {
-        (**self).has_submitted()
-    }
-
-    fn batch_cancellation(&self) -> Option<(u64, u64)> {
-        (**self).batch_cancellation()
-    }
-
+    #[inline]
     fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
         (**self).check_consistent(ast)
     }
 
+    #[inline]
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
     }
 
+    #[inline]
     fn match_heat(&self) -> usize {
         (**self).match_heat()
+    }
+}
+
+impl<T: EpochOps + ?Sized> EpochOps for Box<T> {
+    #[inline]
+    fn begin_batch(&mut self) {
+        (**self).begin_batch()
+    }
+
+    #[inline]
+    fn commit_batch(&mut self) {
+        (**self).commit_batch()
+    }
+
+    #[inline]
+    fn submit_commit(&mut self) -> bool {
+        (**self).submit_commit()
+    }
+
+    #[inline]
+    fn apply_submitted(&mut self) -> bool {
+        (**self).apply_submitted()
+    }
+
+    #[inline]
+    fn has_submitted(&self) -> bool {
+        (**self).has_submitted()
+    }
+
+    #[inline]
+    fn batch_cancellation(&self) -> Option<(u64, u64)> {
+        (**self).batch_cancellation()
     }
 }
 
@@ -263,7 +314,7 @@ impl NaiveStrategy {
     }
 }
 
-impl MatchSource for NaiveStrategy {
+impl MatchCore for NaiveStrategy {
     fn name(&self) -> &'static str {
         "Naive"
     }
@@ -284,6 +335,10 @@ impl MatchSource for NaiveStrategy {
         0
     }
 }
+
+/// Stateless: every epoch method's default (no-op staging, synchronous
+/// fallback commit) is already correct.
+impl EpochOps for NaiveStrategy {}
 
 // ---------------------------------------------------------------------------
 // Label index
@@ -314,7 +369,7 @@ pub struct IndexStrategy {
 
 impl IndexStrategy {
     /// Creates the strategy over a rule set (index initially empty; call
-    /// [`MatchSource::rebuild`] after loading the tree).
+    /// [`MatchCore::rebuild`] after loading the tree).
     pub fn new(rules: Arc<RuleSet>, ast: &Ast) -> Self {
         Self {
             rules,
@@ -365,7 +420,7 @@ impl IndexStrategy {
     }
 }
 
-impl MatchSource for IndexStrategy {
+impl MatchCore for IndexStrategy {
     fn name(&self) -> &'static str {
         "Index"
     }
@@ -457,6 +512,58 @@ impl MatchSource for IndexStrategy {
         }
     }
 
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if self.batch.as_ref().is_some_and(|p| !p.is_empty()) {
+            return Err("label index has staged deltas in an open batch".into());
+        }
+        if self.sealed.as_ref().is_some_and(|p| !p.is_empty()) {
+            return Err("label index has a sealed epoch awaiting its committer".into());
+        }
+        let fresh = LabelIndex::build_from(ast, ast.root());
+        for label in ast.schema().labels() {
+            let mut mine: Vec<NodeId> = self.index.nodes(label).to_vec();
+            let mut want: Vec<NodeId> = fresh.nodes(label).to_vec();
+            mine.sort_unstable();
+            want.sort_unstable();
+            if mine != want {
+                return Err(format!(
+                    "label {}: index holds {} nodes, rebuild {}",
+                    ast.schema().label_name(label),
+                    mine.len(),
+                    want.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+            + self.batch.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+            + self.sealed.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+            + self.spare.as_ref().map_or(0, NodeLabelMap::memory_bytes)
+    }
+
+    fn match_heat(&self) -> usize {
+        // The index holds *candidates*, not matches: posting-list length
+        // under each rule's root label is the work `find_one` may have
+        // to wade through, plus whatever the open epoch staged.
+        let candidates: usize = self
+            .rules
+            .iter()
+            .map(|(_, rule)| {
+                rule.pattern
+                    .root_label()
+                    .map_or(0, |label| self.index.len(label))
+            })
+            .sum();
+        candidates
+            + self.batch.as_ref().map_or(0, |b| b.len())
+            + self.sealed.as_ref().map_or(0, |b| b.len())
+    }
+}
+
+impl EpochOps for IndexStrategy {
     fn begin_batch(&mut self) {
         if self.batch.is_none() {
             // Reuse the drained map from the last epoch (empty, pages
@@ -512,56 +619,6 @@ impl MatchSource for IndexStrategy {
         // adaptive tuners can read the epoch just closed.
         (self.batch.is_some() || self.sealed.is_some() || self.spare.is_some())
             .then_some((self.staged, self.canceled))
-    }
-
-    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
-        if self.batch.as_ref().is_some_and(|p| !p.is_empty()) {
-            return Err("label index has staged deltas in an open batch".into());
-        }
-        if self.sealed.as_ref().is_some_and(|p| !p.is_empty()) {
-            return Err("label index has a sealed epoch awaiting its committer".into());
-        }
-        let fresh = LabelIndex::build_from(ast, ast.root());
-        for label in ast.schema().labels() {
-            let mut mine: Vec<NodeId> = self.index.nodes(label).to_vec();
-            let mut want: Vec<NodeId> = fresh.nodes(label).to_vec();
-            mine.sort_unstable();
-            want.sort_unstable();
-            if mine != want {
-                return Err(format!(
-                    "label {}: index holds {} nodes, rebuild {}",
-                    ast.schema().label_name(label),
-                    mine.len(),
-                    want.len()
-                ));
-            }
-        }
-        Ok(())
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.index.memory_bytes()
-            + self.batch.as_ref().map_or(0, NodeLabelMap::memory_bytes)
-            + self.sealed.as_ref().map_or(0, NodeLabelMap::memory_bytes)
-            + self.spare.as_ref().map_or(0, NodeLabelMap::memory_bytes)
-    }
-
-    fn match_heat(&self) -> usize {
-        // The index holds *candidates*, not matches: posting-list length
-        // under each rule's root label is the work `find_one` may have
-        // to wade through, plus whatever the open epoch staged.
-        let candidates: usize = self
-            .rules
-            .iter()
-            .map(|(_, rule)| {
-                rule.pattern
-                    .root_label()
-                    .map_or(0, |label| self.index.len(label))
-            })
-            .sum();
-        candidates
-            + self.batch.as_ref().map_or(0, |b| b.len())
-            + self.sealed.as_ref().map_or(0, |b| b.len())
     }
 }
 

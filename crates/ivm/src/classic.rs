@@ -18,7 +18,7 @@
 
 use crate::common::{self, ViewCore};
 use std::sync::Arc;
-use treetoaster_core::{MatchSource, ReplaceCtx, RuleId, RuleSet};
+use treetoaster_core::{EpochOps, MatchCore, ReplaceCtx, RuleId, RuleSet};
 use tt_ast::{Ast, FxHashMap, NodeId, NodeRow};
 use tt_pattern::{Bindings, SqlQuery, VarId};
 use tt_relational::{Database, NodeDelta};
@@ -281,7 +281,7 @@ pub struct ClassicIvm {
 }
 
 impl ClassicIvm {
-    /// Builds the strategy; call [`MatchSource::rebuild`] after loading.
+    /// Builds the strategy; call [`MatchCore::rebuild`] after loading.
     pub fn new(rules: Arc<RuleSet>, ast: &Ast) -> ClassicIvm {
         let queries: Vec<ClassicQuery> = rules
             .iter()
@@ -372,7 +372,7 @@ impl ClassicIvm {
     }
 }
 
-impl MatchSource for ClassicIvm {
+impl MatchCore for ClassicIvm {
     fn name(&self) -> &'static str {
         "Classic"
     }
@@ -431,6 +431,46 @@ impl MatchSource for ClassicIvm {
         }
     }
 
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if !self.log.is_empty() {
+            return Err("classic engine has staged deltas in an open batch".into());
+        }
+        if !self.sealed.is_empty() {
+            return Err("classic engine has a sealed epoch awaiting its committer".into());
+        }
+        common::check_shadow_db(&self.db, ast)?;
+        self.check_views_correct()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Shadow copy + prefixes + views + staged deltas: the §3.2
+        // overhead story.
+        self.db.memory_bytes()
+            + self
+                .queries
+                .iter()
+                .map(ClassicQuery::memory_bytes)
+                .sum::<usize>()
+            + self.log.memory_bytes()
+            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
+            + self
+                .sealed
+                .iter()
+                .map(|d| d.row().heap_bytes())
+                .sum::<usize>()
+    }
+
+    fn match_heat(&self) -> usize {
+        // Materialized match-view sizes; the unflushed delta log and any
+        // sealed-but-unapplied epoch are work the views haven't absorbed
+        // yet, so they count as heat too.
+        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
+            + self.log.len()
+            + self.sealed.len()
+    }
+}
+
+impl EpochOps for ClassicIvm {
     fn begin_batch(&mut self) {
         self.log.begin();
     }
@@ -470,44 +510,6 @@ impl MatchSource for ClassicIvm {
 
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         Some(self.log.epoch_stats())
-    }
-
-    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
-        if !self.log.is_empty() {
-            return Err("classic engine has staged deltas in an open batch".into());
-        }
-        if !self.sealed.is_empty() {
-            return Err("classic engine has a sealed epoch awaiting its committer".into());
-        }
-        common::check_shadow_db(&self.db, ast)?;
-        self.check_views_correct()
-    }
-
-    fn memory_bytes(&self) -> usize {
-        // Shadow copy + prefixes + views + staged deltas: the §3.2
-        // overhead story.
-        self.db.memory_bytes()
-            + self
-                .queries
-                .iter()
-                .map(ClassicQuery::memory_bytes)
-                .sum::<usize>()
-            + self.log.memory_bytes()
-            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
-            + self
-                .sealed
-                .iter()
-                .map(|d| d.row().heap_bytes())
-                .sum::<usize>()
-    }
-
-    fn match_heat(&self) -> usize {
-        // Materialized match-view sizes; the unflushed delta log and any
-        // sealed-but-unapplied epoch are work the views haven't absorbed
-        // yet, so they count as heat too.
-        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
-            + self.log.len()
-            + self.sealed.len()
     }
 }
 

@@ -17,7 +17,7 @@
 
 use crate::common::{self, ViewCore};
 use std::sync::Arc;
-use treetoaster_core::{MatchSource, ReplaceCtx, RuleId, RuleSet};
+use treetoaster_core::{EpochOps, MatchCore, ReplaceCtx, RuleId, RuleSet};
 use tt_ast::{Ast, FxHashMap, Label, NodeId, NodeRow};
 use tt_pattern::{Bindings, SqlQuery, VarId};
 use tt_relational::{Database, NodeDelta};
@@ -469,7 +469,7 @@ pub struct DbtIvm {
 }
 
 impl DbtIvm {
-    /// Builds the strategy; call [`MatchSource::rebuild`] after loading.
+    /// Builds the strategy; call [`MatchCore::rebuild`] after loading.
     pub fn new(rules: Arc<RuleSet>, ast: &Ast) -> DbtIvm {
         let queries: Vec<DbtQuery> = rules
             .iter()
@@ -561,7 +561,7 @@ impl DbtIvm {
     }
 }
 
-impl MatchSource for DbtIvm {
+impl MatchCore for DbtIvm {
     fn name(&self) -> &'static str {
         "DBT"
     }
@@ -617,6 +617,44 @@ impl MatchSource for DbtIvm {
         }
     }
 
+    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
+        if !self.log.is_empty() {
+            return Err("dbt engine has staged deltas in an open batch".into());
+        }
+        if !self.sealed.is_empty() {
+            return Err("dbt engine has a sealed epoch awaiting its committer".into());
+        }
+        common::check_shadow_db(&self.db, ast)?;
+        self.check_views_correct()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.db.memory_bytes()
+            + self
+                .queries
+                .iter()
+                .map(DbtQuery::memory_bytes)
+                .sum::<usize>()
+            + self.log.memory_bytes()
+            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
+            + self
+                .sealed
+                .iter()
+                .map(|d| d.row().heap_bytes())
+                .sum::<usize>()
+    }
+
+    fn match_heat(&self) -> usize {
+        // Materialized match-view sizes; the unflushed delta log and any
+        // sealed-but-unapplied epoch are work the views haven't absorbed
+        // yet, so they count as heat too.
+        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
+            + self.log.len()
+            + self.sealed.len()
+    }
+}
+
+impl EpochOps for DbtIvm {
     fn begin_batch(&mut self) {
         self.log.begin();
     }
@@ -653,42 +691,6 @@ impl MatchSource for DbtIvm {
 
     fn batch_cancellation(&self) -> Option<(u64, u64)> {
         Some(self.log.epoch_stats())
-    }
-
-    fn check_consistent(&self, ast: &Ast) -> Result<(), String> {
-        if !self.log.is_empty() {
-            return Err("dbt engine has staged deltas in an open batch".into());
-        }
-        if !self.sealed.is_empty() {
-            return Err("dbt engine has a sealed epoch awaiting its committer".into());
-        }
-        common::check_shadow_db(&self.db, ast)?;
-        self.check_views_correct()
-    }
-
-    fn memory_bytes(&self) -> usize {
-        self.db.memory_bytes()
-            + self
-                .queries
-                .iter()
-                .map(DbtQuery::memory_bytes)
-                .sum::<usize>()
-            + self.log.memory_bytes()
-            + self.sealed.capacity() * std::mem::size_of::<NodeDelta>()
-            + self
-                .sealed
-                .iter()
-                .map(|d| d.row().heap_bytes())
-                .sum::<usize>()
-    }
-
-    fn match_heat(&self) -> usize {
-        // Materialized match-view sizes; the unflushed delta log and any
-        // sealed-but-unapplied epoch are work the views haven't absorbed
-        // yet, so they count as heat too.
-        self.queries.iter().map(|q| q.view.len()).sum::<usize>()
-            + self.log.len()
-            + self.sealed.len()
     }
 }
 

@@ -731,7 +731,7 @@ mod tests {
     use super::*;
     use crate::index::JitdIndex;
     use crate::schema::jitd_schema;
-    use treetoaster_core::{MatchSource, NaiveStrategy};
+    use treetoaster_core::{MatchCore, NaiveStrategy};
     use tt_pattern::match_node;
 
     fn small_config() -> RuleConfig {

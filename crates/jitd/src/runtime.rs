@@ -392,7 +392,7 @@ impl Jitd {
     }
 
     /// Seals the open maintenance epoch for a background committer
-    /// instead of applying it inline ([`MatchSource::submit_commit`]):
+    /// instead of applying it inline ([`treetoaster_core::EpochOps::submit_commit`]):
     /// only the seal itself is timed into `stats.commit_ns`, which is
     /// the point — the apply cost moves to whoever later calls
     /// [`apply_submitted`](Jitd::apply_submitted). Returns `true` if an

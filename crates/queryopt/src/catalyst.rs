@@ -14,7 +14,7 @@
 //!   emptiness checks.
 
 use crate::rules::{catalyst_rules, catalyst_ruleset, OptRule};
-use treetoaster_core::{MatchSource, ReplaceCtx, RuleFired, TreeToasterEngine};
+use treetoaster_core::{MatchCore, ReplaceCtx, RuleFired, TreeToasterEngine};
 use tt_ast::Ast;
 use tt_metrics::now_ns;
 use tt_pattern::{match_node, TreeAttrs};

@@ -201,7 +201,7 @@ pub fn orca_xforms(schema: &Arc<Schema>) -> RuleSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use treetoaster_core::{MatchSource, NaiveStrategy, TreeToasterEngine};
+    use treetoaster_core::{MatchCore, NaiveStrategy, TreeToasterEngine};
     use tt_ast::{Ast, NodeId, Value};
     use tt_pattern::match_node;
 

@@ -518,7 +518,7 @@ fn specs() -> Vec<RuleSpec> {
 mod tests {
     use super::*;
     use crate::schema::{plan_schema, PlanBuilder};
-    use treetoaster_core::{MatchSource, NaiveStrategy};
+    use treetoaster_core::{MatchCore, NaiveStrategy};
     use tt_ast::Ast;
     use tt_pattern::{match_node, TreeAttrs};
 

@@ -1,0 +1,60 @@
+//! `tt-serve` — the plan-serving daemon.
+//!
+//! ```text
+//! TT_SERVE_ADDR=127.0.0.1:7543 TT_SESSIONS=64 TT_WORKERS=2 tt-serve
+//! ```
+//!
+//! Configuration comes from the typed [`FleetConfig::from_env`] knobs
+//! (`TT_SESSIONS`, `TT_WORKERS`, `TT_HEAT_THRESHOLD`,
+//! `TT_CRACK_THRESHOLD`, …) plus `TT_SERVE_ADDR` for the bind address.
+//! SIGTERM/SIGINT (or a client's `stop` request) trigger a clean
+//! drain: every open session is quiesced and every in-flight commit
+//! lands before the process exits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use treetoaster_core::FleetConfig;
+use tt_jitd::StrategyKind;
+use tt_service::{Daemon, Server};
+
+/// The stop flag the signal handler flips; the server polls it.
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+// Raw signal hookup: std already links libc, so declaring `signal`
+// directly avoids a dependency the vendored tree does not carry.
+// Storing to an atomic is async-signal-safe.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    if let Some(stop) = STOP.get() {
+        stop.store(true, Ordering::Release);
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::var("TT_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7543".to_string());
+    let config = FleetConfig::from_env();
+    let daemon = Arc::new(Daemon::new(StrategyKind::TreeToaster, config));
+    let server = Server::bind(&addr, daemon)?;
+    let local = server.local_addr()?;
+    STOP.set(server.stop_flag()).expect("stop flag set once");
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+    println!(
+        "tt-serve: listening on {local} ({} session slots, {} workers)",
+        config.sessions, config.workers
+    );
+    let report = server.run()?;
+    println!(
+        "tt-serve: drained clean ({} sessions closed, {} commits landed)",
+        report.sessions_closed, report.commits_landed
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! `tt-serve`: the plan-serving daemon over the JITD fleet.
+//!
+//! TreeToaster's pitch is optimizer maintenance cheap enough to run
+//! *inside* a live session; this crate is the serving shape of that
+//! claim. A long-running daemon owns a sharded [`tt_jitd::AsyncJitd`]
+//! fleet; each tenant session owns one shard (its own tree, strategy,
+//! and epochs) while every tenant shares one work-stealing reorganizer
+//! pool and one background committer, so a tenant's writes stage and
+//! seal in O(1) and the applies run off every op path.
+//!
+//! - [`protocol`] — the length-prefixed binary frame codec (plus the
+//!   s-expression debug syntax).
+//! - [`daemon`] — sessions, admission control, per-tenant backpressure,
+//!   and quiescent close over the shared fleet.
+//! - [`server`] — the TCP accept loop with stop-flag shutdown and a
+//!   clean final drain.
+//! - [`client`] — the typed client library (`examples/serve_demo.rs`
+//!   drives it).
+//!
+//! See `docs/service.md` for the protocol and lifecycle reference.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ServiceError};
+pub use daemon::{Daemon, DrainReport};
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, SessionSnapshot, MAX_FRAME,
+};
+pub use server::Server;

@@ -1,0 +1,217 @@
+//! Wire-codec contract: every frame round-trips exactly; every
+//! truncated, oversized, mistagged, or padded frame is rejected.
+
+use proptest::prelude::*;
+use tt_service::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, SessionSnapshot, MAX_FRAME,
+};
+
+/// All request shapes from one draw of raw field values.
+fn requests(session: u32, key: i64, value: i64, a: u64, b: u64, rounds: u32) -> Vec<Request> {
+    vec![
+        Request::Open {
+            records: a,
+            seed: b,
+        },
+        Request::Replace {
+            session,
+            key,
+            value,
+        },
+        Request::Find { session, key },
+        Request::Tick { session, rounds },
+        Request::Snapshot { session },
+        Request::Close { session },
+        Request::Stop,
+    ]
+}
+
+/// All response shapes from one draw of raw field values.
+fn responses(session: u32, value: i64, n: u64, m: u64, flag: bool, msg_seed: u64) -> Vec<Response> {
+    let message: String = (0..(msg_seed % 64))
+        .map(|i| char::from(b'a' + ((msg_seed.wrapping_add(i)) % 26) as u8))
+        .collect();
+    vec![
+        Response::Opened { session },
+        Response::Replaced,
+        Response::Found { value: Some(value) },
+        Response::Found { value: None },
+        Response::Ticked { rewrites: n },
+        Response::Snapshotted(SessionSnapshot {
+            rewrites: n,
+            memory_bytes: m,
+            staged: n ^ m,
+            canceled: n.wrapping_add(m),
+            pending_matches: flag,
+        }),
+        Response::Closed { rewrites: m },
+        Response::Stopping,
+        Response::Error {
+            code: ErrorCode::Busy,
+            message: message.clone(),
+        },
+        Response::Error {
+            code: ErrorCode::UnknownSession,
+            message,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn requests_roundtrip(
+        session in any::<u32>(),
+        key in any::<i64>(),
+        value in any::<i64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        rounds in any::<u32>(),
+    ) {
+        for req in requests(session, key, value, a, b, rounds) {
+            let bytes = req.encode();
+            prop_assert_eq!(Request::decode(&bytes), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        session in any::<u32>(),
+        value in any::<i64>(),
+        n in any::<u64>(),
+        m in any::<u64>(),
+        flag in any::<bool>(),
+        msg_seed in any::<u64>(),
+    ) {
+        for resp in responses(session, value, n, m, flag, msg_seed) {
+            let bytes = resp.encode();
+            prop_assert_eq!(Response::decode(&bytes), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn sexpr_debug_mode_roundtrips(
+        session in any::<u32>(),
+        key in any::<i64>(),
+        value in any::<i64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        rounds in any::<u32>(),
+    ) {
+        for req in requests(session, key, value, a, b, rounds) {
+            let text = req.to_sexpr();
+            prop_assert_eq!(Request::parse_sexpr(&text), Ok(req));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected(
+        session in any::<u32>(),
+        key in any::<i64>(),
+        value in any::<i64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        rounds in any::<u32>(),
+    ) {
+        // Every strict prefix of a valid frame must fail — as Truncated
+        // once the tag is known, or (empty) as Truncated on the tag read.
+        for req in requests(session, key, value, a, b, rounds) {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                prop_assert_eq!(
+                    Request::decode(&bytes[..cut]),
+                    Err(FrameError::Truncated),
+                    "prefix of {:?} must not parse", req
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_frames_rejected(
+        session in any::<u32>(),
+        key in any::<i64>(),
+        value in any::<i64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        rounds in any::<u32>(),
+        pad in any::<u8>(),
+    ) {
+        for req in requests(session, key, value, a, b, rounds) {
+            let mut bytes = req.encode();
+            bytes.push(pad);
+            prop_assert_eq!(Request::decode(&bytes), Err(FrameError::TrailingBytes));
+        }
+    }
+}
+
+#[test]
+fn bad_tags_rejected() {
+    // 0x00 and anything past the response range is no request…
+    for tag in [0x00u8, 0x08, 0x40, 0x80, 0xFE] {
+        assert_eq!(Request::decode(&[tag]), Err(FrameError::BadTag(tag)));
+    }
+    // …and request tags are not responses.
+    for tag in [0x00u8, 0x01, 0x07, 0x88] {
+        assert_eq!(Response::decode(&[tag]), Err(FrameError::BadTag(tag)));
+    }
+}
+
+#[test]
+fn oversized_payloads_rejected_by_codec_and_framing() {
+    let huge = vec![0u8; MAX_FRAME + 1];
+    assert_eq!(Request::decode(&huge), Err(FrameError::Oversized));
+    assert_eq!(Response::decode(&huge), Err(FrameError::Oversized));
+
+    let mut sink = Vec::new();
+    assert!(write_frame(&mut sink, &huge).is_err());
+
+    // A hostile length prefix is refused before any allocation.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let err = read_frame(&mut wire.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn frame_layer_roundtrips_and_detects_mid_frame_eof() {
+    let req = Request::Replace {
+        session: 3,
+        key: -9,
+        value: 81,
+    };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &req.encode()).unwrap();
+    let mut reader = wire.as_slice();
+    let payload = read_frame(&mut reader).unwrap().expect("one frame");
+    assert_eq!(Request::decode(&payload), Ok(req));
+    assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+
+    // EOF inside the length prefix or payload is an error, not None.
+    for cut in 1..wire.len() {
+        assert!(
+            read_frame(&mut &wire[..cut]).is_err(),
+            "cut at {cut} must not read cleanly"
+        );
+    }
+}
+
+#[test]
+fn sexpr_rejects_malformed_text() {
+    for bad in [
+        "open records=1 seed=2",           // missing parens
+        "(fly session=1)",                 // unknown verb
+        "(open records=1)",                // missing field
+        "(open records=1 seed=x)",         // non-integer
+        "(open records=1 seed=2 extra=3)", // unknown field
+        "(find session=1 key)",            // not key=value
+        "()",                              // empty
+    ] {
+        assert!(
+            Request::parse_sexpr(bad).is_err(),
+            "`{bad}` must be rejected"
+        );
+    }
+}

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use treetoaster::ast::sexpr::{parse_sexpr, to_sexpr};
 use treetoaster::core::generator::reuse;
-use treetoaster::core::{MatchSource, ReplaceCtx, RuleFired};
+use treetoaster::core::{MatchCore, ReplaceCtx, RuleFired};
 use treetoaster::pattern::dsl::*;
 use treetoaster::prelude::*;
 

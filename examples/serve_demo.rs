@@ -1,0 +1,104 @@
+//! Serve demo: drive a plan-serving daemon from concurrent clients.
+//!
+//! Two modes, selected by `TT_SERVE_ADDR`:
+//!
+//! - **External** (`TT_SERVE_ADDR=host:port`): connect to a `tt-serve`
+//!   daemon already running there — this is what the CI smoke job does
+//!   after booting one — and leave it running afterwards.
+//! - **In-process** (variable unset): boot a [`Server`] on a loopback
+//!   port in a background thread, drive it the same way, then ask it to
+//!   stop and report its drain.
+//!
+//! Either way the demo is the service pitch in miniature: three client
+//! threads each open their own session (their own tree, strategy, and
+//! epochs inside the shared fleet), stream writes that stage into
+//! epochs, tick the reorganizer, and read back exactly what they wrote
+//! while the other tenants churn.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use std::sync::Arc;
+use treetoaster::prelude::*;
+use treetoaster::service::protocol::SessionSnapshot;
+use tt_jitd::StrategyKind;
+
+const CLIENTS: usize = 3;
+const RECORDS: u64 = 96;
+const WRITES: i64 = 160;
+
+fn drive(addr: std::net::SocketAddr, tenant: usize) -> (u64, SessionSnapshot) {
+    let mut client = Client::connect(addr).expect("connect");
+    let session = client.open(RECORDS, tenant as u64).expect("open");
+
+    // Stream writes: more than one epoch's worth, so the daemon seals
+    // and hands epochs to the background committer mid-stream.
+    for j in 0..WRITES {
+        let key = j % RECORDS as i64;
+        client
+            .replace(session, key, j * 10 + tenant as i64)
+            .expect("replace");
+    }
+    let rewrites = client.tick(session, 8).expect("tick");
+
+    // Read-your-writes: the last value written to each key, regardless
+    // of which epoch it staged in.
+    for key in 0..RECORDS as i64 {
+        let last_j = (WRITES - 1) - (WRITES - 1 - key).rem_euclid(RECORDS as i64);
+        let expect = last_j * 10 + tenant as i64;
+        let got = client.find(session, key).expect("find");
+        assert_eq!(got, Some(expect), "tenant {tenant} key {key}");
+    }
+
+    let snap = client.snapshot(session).expect("snapshot");
+    let closed = client.close(session).expect("close");
+    (rewrites.max(closed), snap)
+}
+
+fn main() {
+    // External daemon if TT_SERVE_ADDR names one, else boot our own.
+    let external = std::env::var("TT_SERVE_ADDR").ok();
+    let (addr, local) = match &external {
+        Some(spec) => {
+            let addr = spec.parse().expect("TT_SERVE_ADDR must be host:port");
+            println!("serve_demo: driving external daemon at {addr}");
+            (addr, None)
+        }
+        None => {
+            let config = FleetConfig::default()
+                .engine(EngineConfig::default().crack_threshold(16))
+                .sessions(CLIENTS)
+                .workers(2);
+            let daemon = Arc::new(Daemon::new(StrategyKind::TreeToaster, config));
+            let server = Server::bind("127.0.0.1:0", daemon).expect("bind");
+            let addr = server.local_addr().expect("local addr");
+            println!("serve_demo: booted in-process daemon on {addr}");
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    let results: Vec<(u64, SessionSnapshot)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|tenant| scope.spawn(move || drive(addr, tenant)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (tenant, (rewrites, snap)) in results.iter().enumerate() {
+        println!(
+            "serve_demo: tenant {tenant} verified {RECORDS} keys — {rewrites} rewrites, \
+             {} view bytes, {} staged / {} canceled deltas",
+            snap.memory_bytes, snap.staged, snap.canceled
+        );
+    }
+
+    if let Some(handle) = local {
+        let mut closer = Client::connect(addr).expect("connect for stop");
+        closer.stop().expect("stop");
+        let report = handle.join().unwrap().expect("server run");
+        println!(
+            "serve_demo: in-process daemon drained ({} sessions closed, {} commits landed)",
+            report.sessions_closed, report.commits_landed
+        );
+    }
+    println!("serve_demo: OK ({CLIENTS} tenants, {WRITES} writes each)");
+}

@@ -29,6 +29,9 @@
 //! - [`queryopt`] — Catalyst/Orca-style optimizer simulators for the
 //!   motivation and appendix experiments.
 //! - [`metrics`] — timing/memory/statistics plumbing.
+//! - [`service`] — the `tt-serve` plan-serving daemon: multi-tenant
+//!   sessions over one shared fleet, a length-prefixed wire protocol,
+//!   and the typed client (`examples/serve_demo.rs` drives it).
 //!
 //! ## Quickstart
 //!
@@ -92,13 +95,14 @@ pub use tt_metrics as metrics;
 pub use tt_pattern as pattern;
 pub use tt_queryopt as queryopt;
 pub use tt_relational as relational;
+pub use tt_service as service;
 pub use tt_ycsb as ycsb;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use treetoaster_core::{
-        ForestEngine, MatchSource, MatchView, ReplaceCtx, RewriteRule, RuleFired, RuleSet,
-        TreeToasterEngine,
+        EngineConfig, EpochOps, FleetConfig, ForestEngine, MatchCore, MatchSource, MatchView,
+        ReplaceCtx, RewriteRule, RuleFired, RuleSet, TreeToasterEngine,
     };
     pub use tt_ast::{
         Ast, Forest, GenMultiset, GlobalNodeId, NodeId, Record, Schema, TreeId, Value,
@@ -107,5 +111,6 @@ pub mod prelude {
     pub use tt_jitd::{AsyncJitd, Jitd, JitdFleet, JitdIndex, RuleConfig, StrategyKind};
     pub use tt_labelindex::LabelIndex;
     pub use tt_pattern::{match_node, match_set, Bindings, Pattern};
+    pub use tt_service::{Client, Daemon, Server, ServiceError};
     pub use tt_ycsb::{Op, Workload, WorkloadSpec};
 }

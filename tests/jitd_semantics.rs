@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use treetoaster::ast::Record;
-use treetoaster::core::{MatchSource, NaiveStrategy};
+use treetoaster::core::{MatchCore, NaiveStrategy};
 use treetoaster::jitd::{full_rules, jitd_schema, Jitd, JitdIndex, RuleConfig, StrategyKind};
 use treetoaster::pattern::match_node;
 use treetoaster::prelude::{Op, RuleSet};
