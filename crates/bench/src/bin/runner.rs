@@ -41,7 +41,7 @@ use std::process::ExitCode;
 use tt_bench::report::{render_report, validate_report, SweepConfig, BENCH_FILE};
 use tt_bench::{
     fleet_workloads, paper_workloads, run_commit_pipeline, run_fleet_batched, run_jitd_batched,
-    run_service, run_steal_pool, BatchRunResult, ExperimentConfig,
+    run_rule_scale, run_service, run_steal_pool, BatchRunResult, ExperimentConfig,
 };
 use tt_jitd::StrategyKind;
 
@@ -52,6 +52,16 @@ const COMMIT_BATCH: usize = 16;
 
 /// Fleet size for the commit-pipeline twins.
 const COMMIT_TREES: usize = 4;
+
+/// Ops per epoch for the rule-scale cells. Matches a swept batch size
+/// deliberately — rule-scale cells carry `rule_count > 0`, which keys
+/// them apart from every stock-rule cell, so no collision is possible
+/// and the mid-size epoch keeps the cells representative.
+const RULE_SCALE_BATCH: usize = 8;
+
+/// Workloads the rule-scale axis sweeps: the single-tree YCSB mix (A)
+/// and the fleet mix pinned to one tree (G).
+const RULE_SCALE_WORKLOADS: [char; 2] = ['A', 'G'];
 
 struct Args {
     quick: bool,
@@ -65,6 +75,7 @@ struct Args {
     commit_workloads: Vec<char>,
     service_sessions: Vec<usize>,
     service_threads: usize,
+    rule_scale: Vec<usize>,
     records: Option<u64>,
     ops: Option<usize>,
     seed: Option<u64>,
@@ -77,6 +88,7 @@ fn usage() -> ! {
          [--workloads ABCDF] [--fleet-trees 1,4] [--fleet-workloads GHI] \
          [--steal-trees 8] [--steal-workers 1,2,4] [--commit-workloads GI] \
          [--service-sessions 64,1000] [--service-threads 8] \
+         [--rule-scale 4,16,64] \
          [--records N] [--ops N] [--seed N] [--repeat N]"
     );
     std::process::exit(2);
@@ -95,6 +107,7 @@ fn parse_args() -> Args {
         commit_workloads: vec!['G', 'I'],
         service_sessions: vec![64, 1000],
         service_threads: 8,
+        rule_scale: vec![4, 16, 64],
         records: None,
         ops: None,
         seed: None,
@@ -178,6 +191,18 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--rule-scale" => {
+                args.rule_scale = value("--rule-scale")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.rule_scale.contains(&0) {
+                    // R = 0 is the stock rule set; it is every *other*
+                    // cell's regime, not a rule-scale point.
+                    usage();
+                }
+            }
             "--service-threads" => {
                 args.service_threads = value("--service-threads")
                     .parse()
@@ -210,9 +235,10 @@ fn parse_args() -> Args {
 /// One cell of the sweep: trees == 1 with a single-tree workload runs
 /// the classic driver, fleet workloads run the forest driver, pool
 /// cells run the threaded deployments (`pool: Some(None)` = dedicated
-/// workers, `Some(Some(w))` = a stealing pool of `w` threads), and
-/// commit cells run the mid-backlog pipeline driver (`commit:
-/// Some(async?)`).
+/// workers, `Some(Some(w))` = a stealing pool of `w` threads), commit
+/// cells run the mid-backlog pipeline driver (`commit: Some(async?)`),
+/// and rule-scale cells run the generic-mode matcher comparison
+/// (`rule_scale: Some((R, compiled?))`).
 #[derive(Clone, Copy)]
 struct CellSpec {
     workload: char,
@@ -222,6 +248,7 @@ struct CellSpec {
     pool: Option<Option<usize>>,
     commit: Option<bool>,
     service: Option<usize>,
+    rule_scale: Option<(usize, bool)>,
 }
 
 fn main() -> ExitCode {
@@ -236,6 +263,7 @@ fn main() -> ExitCode {
             seed: 42,
             adaptive_batch: false,
             async_commit: false,
+            compiled_match: true,
         }
     } else {
         ExperimentConfig::from_env()
@@ -291,6 +319,7 @@ fn main() -> ExitCode {
         commit_workloads: args.commit_workloads.clone(),
         service_sessions: args.service_sessions.clone(),
         service_threads: args.service_threads,
+        rule_scale: args.rule_scale.clone(),
         repeat,
     };
 
@@ -306,6 +335,7 @@ fn main() -> ExitCode {
                     pool: None,
                     commit: None,
                     service: None,
+                    rule_scale: None,
                 });
             }
         }
@@ -322,6 +352,7 @@ fn main() -> ExitCode {
                         pool: None,
                         commit: None,
                         service: None,
+                        rule_scale: None,
                     });
                 }
             }
@@ -342,6 +373,7 @@ fn main() -> ExitCode {
                 pool: Some(pool),
                 commit: None,
                 service: None,
+                rule_scale: None,
             });
         }
     }
@@ -358,6 +390,7 @@ fn main() -> ExitCode {
                 pool: None,
                 commit: Some(async_commit),
                 service: None,
+                rule_scale: None,
             });
         }
     }
@@ -373,12 +406,33 @@ fn main() -> ExitCode {
             pool: None,
             commit: None,
             service: Some(sessions),
+            rule_scale: None,
         });
+    }
+    // Rule-scale cells: the paper rules padded with R never-firing
+    // probes, through the generic-mode TT driver, once per matcher —
+    // the compiled automaton against the per-rule baseline. Keyed by
+    // `rule_count`/`matcher`, so they never collide with stock cells.
+    for &rule_count in &sweep.rule_scale {
+        for workload in RULE_SCALE_WORKLOADS {
+            for compiled in [true, false] {
+                specs.push(CellSpec {
+                    workload,
+                    strategy: StrategyKind::TreeToaster,
+                    batch_size: RULE_SCALE_BATCH,
+                    trees: None,
+                    pool: None,
+                    commit: None,
+                    service: None,
+                    rule_scale: Some((rule_count, compiled)),
+                });
+            }
+        }
     }
     eprintln!(
         "tt-bench: {} runs (records={}, ops={}, seed={}, batch sizes {:?}, workloads {:?}, \
          fleet {:?} × trees {:?}, pools {:?} workers over {:?} shards, \
-         commit twins {:?}, service sessions {:?} × {} threads, min-of-{})",
+         commit twins {:?}, service sessions {:?} × {} threads, rule scale {:?}, min-of-{})",
         specs.len(),
         experiment.records,
         experiment.ops,
@@ -392,6 +446,7 @@ fn main() -> ExitCode {
         sweep.commit_workloads,
         sweep.service_sessions,
         sweep.service_threads,
+        sweep.rule_scale,
         repeat
     );
 
@@ -432,7 +487,15 @@ fn main() -> ExitCode {
                 if phase_of(spec) != phase {
                     continue;
                 }
-                let r = if let Some(sessions) = spec.service {
+                let r = if let Some((rule_count, compiled)) = spec.rule_scale {
+                    run_rule_scale(
+                        spec.workload,
+                        experiment,
+                        spec.batch_size,
+                        rule_count,
+                        compiled,
+                    )
+                } else if let Some(sessions) = spec.service {
                     run_service(experiment, sessions, args.service_threads)
                 } else {
                     match (spec.trees, spec.pool, spec.commit) {
@@ -502,6 +565,9 @@ fn main() -> ExitCode {
         }
         if r.mode == "service" {
             deploy = format!("svc:{}x{}", r.sessions, args.service_threads);
+        }
+        if r.rule_count > 0 {
+            deploy = format!("{}@R{}", r.matcher, r.rule_count);
         }
         eprintln!(
             "  {}/{} K={:<4} T={:<3} {:>12} {:>10.0} ns/op  {:>8} peak bytes  {} rewrites",

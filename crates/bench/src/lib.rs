@@ -14,6 +14,8 @@
 //! | `TT_ADAPTIVE_BATCH` | 0       | auto-tune K from cancellation rates |
 //! | `TT_ASYNC_COMMIT`   | 0       | pipeline epoch commits (seal now,   |
 //! |                     |         | apply one epoch later)              |
+//! | `TT_COMPILED_MATCH` | 1       | match via the rule-set automaton    |
+//! |                     |         | (0 = per-rule baseline matcher)     |
 //! | `TT_ANTIPATTERN_MAX`| 6       | deepest UNION-doubling level (fig14)|
 //! | `TT_ORCA_MAX`       | 5       | deepest level for fig15             |
 //! | `TT_FIG1_REPS`      | 3       | repetitions averaged per query      |
@@ -21,8 +23,14 @@
 
 pub mod report;
 
+use std::sync::Arc;
+
+use treetoaster_core::engine::MaintenanceMode;
+use treetoaster_core::TreeToasterEngine;
 use tt_ast::{Record, TreeId};
-use tt_jitd::{Jitd, JitdFleet, JitdStats, RuleConfig, StrategyKind};
+use tt_jitd::{
+    jitd_schema, scaled_rules, Jitd, JitdFleet, JitdIndex, JitdStats, RuleConfig, StrategyKind,
+};
 use tt_metrics::{bytes_to_pages, now_ns, statm_resident_pages, Summary, SummaryBuilder};
 use tt_ycsb::{FleetSpec, FleetWorkload, Workload, WorkloadSpec};
 
@@ -163,6 +171,22 @@ pub fn run_jitd(workload: char, strategy: StrategyKind, cfg: ExperimentConfig) -
     }
 }
 
+/// The reported matcher-axis label for a compiled-match flag.
+pub fn matcher_label(compiled: bool) -> &'static str {
+    if compiled {
+        "compiled"
+    } else {
+        "per-rule"
+    }
+}
+
+/// Element-wise `after - before` for the per-rule hit counters, so a
+/// cell reports only the measured loop's attribution (the load-phase
+/// organization runs before the clock starts).
+fn counter_delta(after: &[u64], before: &[u64]) -> Vec<u64> {
+    after.iter().zip(before).map(|(a, b)| a - b).collect()
+}
+
 /// The result of one batched (workload, strategy, batch-size) run.
 #[derive(Debug, Clone)]
 pub struct BatchRunResult {
@@ -232,6 +256,21 @@ pub struct BatchRunResult {
     /// whose single-threaded loops have no per-op distribution worth
     /// publishing).
     pub p99_ns: u64,
+    /// Which matcher searched for rewrite sites: `"compiled"` (the rule
+    /// set's label-discriminated match automaton — the default) or
+    /// `"per-rule"` (one pattern evaluation per rule, the
+    /// differential-testing baseline). Pre-automaton artifacts omit the
+    /// field, which readers treat as `"compiled"`.
+    pub matcher: &'static str,
+    /// Synthetic probe rules added by the rule-scale sweep (0 for every
+    /// cell running the paper's stock rule set — including all
+    /// pre-automaton artifacts, which omit the field).
+    pub rule_count: usize,
+    /// Matches found per rule id over the measured loop (empty when the
+    /// driver cannot attribute per-rule counts, e.g. the daemon cells).
+    pub rule_matches: Vec<u64>,
+    /// Rewrites applied per rule id over the measured loop.
+    pub rule_rewrites: Vec<u64>,
 }
 
 impl BatchRunResult {
@@ -269,12 +308,13 @@ pub fn run_jitd_batched(
     let records: Vec<Record> = (0..cfg.records as i64)
         .map(|k| Record::new(k, k.wrapping_mul(7)))
         .collect();
-    let mut jitd = Jitd::new(
+    let mut jitd = Jitd::with_matcher(
         strategy,
         RuleConfig {
             crack_threshold: cfg.crack_threshold,
         },
         records,
+        cfg.compiled_match,
     );
     let mut driver = Workload::new(WorkloadSpec::standard(workload), cfg.records, cfg.seed);
     // Load-phase organization happens outside the measured loop (all
@@ -283,6 +323,8 @@ pub fn run_jitd_batched(
 
     let mut peak = jitd.strategy_memory_bytes();
     let steps_before = jitd.stats.steps;
+    let matches_before = jitd.stats.rule_matches.clone();
+    let rewrites_before = jitd.stats.rule_rewrites.clone();
     let mut worst_window_ns = 0u64;
     let t0 = now_ns();
     let mut done = 0usize;
@@ -354,6 +396,134 @@ pub fn run_jitd_batched(
         mode: "library",
         sessions: 0,
         p99_ns: 0,
+        matcher: matcher_label(cfg.compiled_match),
+        rule_count: 0,
+        rule_matches: counter_delta(&jitd.stats.rule_matches, &matches_before),
+        rule_rewrites: counter_delta(&jitd.stats.rule_rewrites, &rewrites_before),
+    }
+}
+
+/// Runs the **rule-scale** experiment: the paper's rule set padded with
+/// `rule_count` synthetic probe rules ([`scaled_rules`] — structurally
+/// uniform `BinTree(Array, Array)` probes whose negative-sentinel
+/// constraints never fire, so the tree evolves identically at every
+/// scale), measured through the TreeToaster strategy's **generic**
+/// maintenance mode. Generic mode re-derives the maximal search set by
+/// walking rewritten subtrees against the *whole* rule set — the one
+/// maintenance path whose cost scales with R — so the cell isolates
+/// what the compiled automaton buys: one discrimination-tree walk per
+/// node versus one pattern evaluation per rule per node. Workload `'A'`
+/// runs the single-tree YCSB stream; `'G'` runs the fleet stream pinned
+/// to one tree so the op mix matches the fleet cells.
+pub fn run_rule_scale(
+    workload: char,
+    cfg: ExperimentConfig,
+    batch_size: usize,
+    rule_count: usize,
+    compiled: bool,
+) -> BatchRunResult {
+    assert!(batch_size > 0, "batch size must be positive");
+    let schema = jitd_schema();
+    let rules = Arc::new(scaled_rules(
+        &schema,
+        RuleConfig {
+            crack_threshold: cfg.crack_threshold,
+        },
+        rule_count,
+    ));
+    let records: Vec<Record> = (0..cfg.records as i64)
+        .map(|k| Record::new(k, k.wrapping_mul(7)))
+        .collect();
+    let strategy = Box::new(
+        TreeToasterEngine::with_mode(rules.clone(), MaintenanceMode::Generic)
+            .compiled_match(compiled),
+    );
+    let mut jitd = Jitd::from_strategy(
+        StrategyKind::TreeToaster,
+        rules,
+        JitdIndex::load(records),
+        compiled,
+        strategy,
+    );
+    enum Driver {
+        Single(Workload),
+        Fleet(FleetWorkload),
+    }
+    let mut driver = match workload {
+        'G' | 'H' | 'I' => Driver::Fleet(FleetWorkload::new(
+            FleetSpec::standard(workload, 1),
+            cfg.records,
+            cfg.seed,
+        )),
+        _ => Driver::Single(Workload::new(
+            WorkloadSpec::standard(workload),
+            cfg.records,
+            cfg.seed,
+        )),
+    };
+    // Load-phase organization outside the measured loop, as in
+    // [`run_jitd_batched`].
+    jitd.reorganize_until_quiet(u64::MAX);
+
+    let mut peak = jitd.strategy_memory_bytes();
+    let steps_before = jitd.stats.steps;
+    let matches_before = jitd.stats.rule_matches.clone();
+    let rewrites_before = jitd.stats.rule_rewrites.clone();
+    let mut worst_window_ns = 0u64;
+    let t0 = now_ns();
+    let mut done = 0usize;
+    while done < cfg.ops {
+        let chunk = batch_size.min(cfg.ops - done);
+        jitd.begin_batch();
+        for _ in 0..chunk {
+            let op = match &mut driver {
+                Driver::Single(w) => w.next_op(),
+                Driver::Fleet(w) => w.next_op().op,
+            };
+            jitd.execute(&op);
+        }
+        jitd.reorganize_until_quiet(u64::MAX);
+        peak = peak.max(jitd.strategy_memory_bytes());
+        let w_close = now_ns();
+        jitd.commit_batch();
+        done += chunk;
+        worst_window_ns = worst_window_ns.max(now_ns() - w_close);
+        peak = peak.max(jitd.strategy_memory_bytes());
+    }
+    let total_ns = now_ns() - t0;
+
+    let maintain_mean_ns = jitd
+        .stats
+        .all_maintenance_samples()
+        .finish()
+        .map_or(0.0, |s| s.mean);
+    let commit_mean_ns = jitd.stats.commit_ns.finish().map_or(0.0, |s| s.mean);
+    BatchRunResult {
+        workload,
+        strategy: StrategyKind::TreeToaster,
+        batch_size,
+        final_batch_size: batch_size,
+        trees: 1,
+        ops: cfg.ops,
+        rewrites: jitd.stats.steps - steps_before,
+        total_ns,
+        maintain_mean_ns,
+        commit_mean_ns,
+        peak_strategy_bytes: peak,
+        final_strategy_bytes: jitd.strategy_memory_bytes(),
+        scheduler: "sync",
+        workers: 0,
+        steal_count: 0,
+        contended_count: 0,
+        commit: "sync",
+        worst_window_ns,
+        mode: "library",
+        sessions: 0,
+        p99_ns: 0,
+        matcher: matcher_label(compiled),
+        rule_count,
+        rule_matches: counter_delta(&jitd.stats.rule_matches, &matches_before),
+        rule_rewrites: counter_delta(&jitd.stats.rule_rewrites, &rewrites_before),
     }
 }
 
@@ -374,7 +544,7 @@ pub fn run_fleet_batched(
     assert!(batch_size > 0, "batch size must be positive");
     assert!(trees > 0, "fleet needs at least one tree");
     let records_per_tree = (cfg.records / trees as u64).max(32);
-    let mut fleet = JitdFleet::new(
+    let mut fleet = JitdFleet::with_matcher(
         strategy,
         RuleConfig {
             crack_threshold: cfg.crack_threshold,
@@ -385,6 +555,7 @@ pub fn run_fleet_batched(
                 .map(|k| Record::new(k, k.wrapping_mul(7) ^ t as i64))
                 .collect()
         },
+        cfg.compiled_match,
     );
     let mut driver = FleetWorkload::new(
         FleetSpec::standard(workload, trees),
@@ -398,6 +569,8 @@ pub fn run_fleet_batched(
 
     let mut peak = fleet.strategy_memory_bytes();
     let steps_before = fleet.stats.steps;
+    let matches_before = fleet.stats.rule_matches.clone();
+    let rewrites_before = fleet.stats.rule_rewrites.clone();
     let mut worst_window_ns = 0u64;
     let t0 = now_ns();
     let mut done = 0usize;
@@ -492,6 +665,10 @@ pub fn run_fleet_batched(
         mode: "library",
         sessions: 0,
         p99_ns: 0,
+        matcher: matcher_label(cfg.compiled_match),
+        rule_count: 0,
+        rule_matches: counter_delta(&fleet.stats.rule_matches, &matches_before),
+        rule_rewrites: counter_delta(&fleet.stats.rule_rewrites, &rewrites_before),
     }
 }
 
@@ -551,6 +728,12 @@ pub fn run_steal_pool(
     let steps_before: u64 = (0..trees)
         .map(|s| pool.with_shard(s, |j| j.stats.steps))
         .sum();
+    let rewrites_before: Vec<Vec<u64>> = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.rule_rewrites.clone()))
+        .collect();
+    let matches_before: Vec<Vec<u64>> = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.rule_matches.clone()))
+        .collect();
 
     let mut driver = FleetWorkload::new(
         FleetSpec::standard(workload, trees),
@@ -598,6 +781,8 @@ pub fn run_steal_pool(
     let steal = pool.steal_stats();
     let (mut runtimes, _) = pool.stop();
     let steps_after: u64 = runtimes.iter().map(|j| j.stats.steps).sum();
+    let (rule_matches, rule_rewrites) =
+        sum_rule_counters(&runtimes, &matches_before, &rewrites_before);
     let mut maintenance = SummaryBuilder::new();
     for jitd in &runtimes {
         for s in jitd.stats.all_maintenance_samples().samples() {
@@ -640,7 +825,38 @@ pub fn run_steal_pool(
         mode: "library",
         sessions: 0,
         p99_ns: 0,
+        matcher: "compiled",
+        rule_count: 0,
+        rule_matches,
+        rule_rewrites,
     }
+}
+
+/// Per-rule counters for the threaded drivers: the measured window's
+/// `after - before` delta, summed across shards.
+fn sum_rule_counters(
+    runtimes: &[Jitd],
+    matches_before: &[Vec<u64>],
+    rewrites_before: &[Vec<u64>],
+) -> (Vec<u64>, Vec<u64>) {
+    let rules = runtimes.first().map_or(0, |j| j.rules().len());
+    let mut matches = vec![0u64; rules];
+    let mut rewrites = vec![0u64; rules];
+    for (s, jitd) in runtimes.iter().enumerate() {
+        for (acc, d) in matches
+            .iter_mut()
+            .zip(counter_delta(&jitd.stats.rule_matches, &matches_before[s]))
+        {
+            *acc += d;
+        }
+        for (acc, d) in rewrites.iter_mut().zip(counter_delta(
+            &jitd.stats.rule_rewrites,
+            &rewrites_before[s],
+        )) {
+            *acc += d;
+        }
+    }
+    (matches, rewrites)
 }
 
 /// Runs one fleet workload through the **commit pipeline** cell: epochs
@@ -724,6 +940,12 @@ pub fn run_commit_pipeline(
     let steps_before: u64 = (0..trees)
         .map(|s| pool.with_shard(s, |j| j.stats.steps))
         .sum();
+    let rewrites_before: Vec<Vec<u64>> = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.rule_rewrites.clone()))
+        .collect();
+    let matches_before: Vec<Vec<u64>> = (0..trees)
+        .map(|s| pool.with_shard(s, |j| j.stats.rule_matches.clone()))
+        .collect();
 
     let mut driver = FleetWorkload::new(
         FleetSpec::standard(workload, trees),
@@ -783,6 +1005,8 @@ pub fn run_commit_pipeline(
 
     let (mut runtimes, _) = pool.stop();
     let steps_after: u64 = runtimes.iter().map(|j| j.stats.steps).sum();
+    let (rule_matches, rule_rewrites) =
+        sum_rule_counters(&runtimes, &matches_before, &rewrites_before);
     let mut maintenance = SummaryBuilder::new();
     let mut commit = SummaryBuilder::new();
     for jitd in &runtimes {
@@ -822,6 +1046,10 @@ pub fn run_commit_pipeline(
         mode: "library",
         sessions: 0,
         p99_ns: 0,
+        matcher: "compiled",
+        rule_count: 0,
+        rule_matches,
+        rule_rewrites,
     }
 }
 
@@ -938,6 +1166,12 @@ pub fn run_service(cfg: ExperimentConfig, sessions: usize, threads: usize) -> Ba
         mode: "service",
         sessions,
         p99_ns,
+        matcher: "compiled",
+        rule_count: 0,
+        // The daemon owns its runtimes; per-rule attribution isn't
+        // surfaced through the snapshot protocol.
+        rule_matches: Vec::new(),
+        rule_rewrites: Vec::new(),
     }
 }
 
@@ -969,6 +1203,7 @@ mod tests {
             seed: 7,
             adaptive_batch: false,
             async_commit: false,
+            compiled_match: true,
         }
     }
 
@@ -992,6 +1227,53 @@ mod tests {
             assert!(r.total_ns > 0);
             assert!(r.ns_per_op() > 0.0);
             assert!(r.peak_strategy_bytes >= r.final_strategy_bytes);
+        }
+    }
+
+    #[test]
+    fn run_jitd_batched_surfaces_rule_attribution_for_both_matchers() {
+        let compiled = run_jitd_batched('A', StrategyKind::TreeToaster, tiny(), 8);
+        let per_rule = run_jitd_batched(
+            'A',
+            StrategyKind::TreeToaster,
+            ExperimentConfig {
+                compiled_match: false,
+                ..tiny()
+            },
+            8,
+        );
+        assert_eq!(compiled.matcher, "compiled");
+        assert_eq!(per_rule.matcher, "per-rule");
+        assert_eq!(compiled.rule_count, 0);
+        // Five paper rules, attribution summing to the applied rewrites.
+        assert_eq!(compiled.rule_rewrites.len(), 5);
+        assert_eq!(
+            compiled.rule_rewrites.iter().sum::<u64>(),
+            compiled.rewrites
+        );
+        // Both matchers drive the identical deterministic run.
+        assert_eq!(compiled.rewrites, per_rule.rewrites);
+        assert_eq!(compiled.rule_rewrites, per_rule.rule_rewrites);
+        assert_eq!(compiled.rule_matches, per_rule.rule_matches);
+    }
+
+    #[test]
+    fn run_rule_scale_pads_probes_that_never_fire() {
+        for workload in ['A', 'G'] {
+            let compiled = run_rule_scale(workload, tiny(), 8, 4, true);
+            let per_rule = run_rule_scale(workload, tiny(), 8, 4, false);
+            assert_eq!(compiled.workload, workload);
+            assert_eq!(compiled.rule_count, 4);
+            assert_eq!(compiled.matcher, "compiled");
+            assert_eq!(per_rule.matcher, "per-rule");
+            assert_eq!(compiled.rule_rewrites.len(), 9, "5 paper rules + 4 probes");
+            // The probes' sentinel constraints can never hold, so all
+            // rewrites attribute to the paper rules — at every scale,
+            // under either matcher, over the same tree evolution.
+            assert!(compiled.rule_rewrites[5..].iter().all(|&n| n == 0));
+            assert!(compiled.rewrites > 0);
+            assert_eq!(compiled.rewrites, per_rule.rewrites);
+            assert_eq!(compiled.rule_rewrites, per_rule.rule_rewrites);
         }
     }
 

@@ -50,9 +50,22 @@
 //! while `"service"` cells measure the `tt-serve` daemon under
 //! `sessions` concurrent tenants (workload S) — sustained `ops_per_sec`
 //! plus the per-op latency tail (`p99_ns`, and `worst_window_ns`
-//! repurposed as the single slowest op). A cell is keyed by
-//! `(strategy, workload, batch_size, trees, scheduler, workers,
-//! commit, mode, sessions)`.
+//! repurposed as the single slowest op).
+//!
+//! `matcher`/`rule_count` are the rule-scale axis (PR 8): `"compiled"`
+//! cells (the default when `matcher` is absent — every pre-automaton
+//! artifact) search for rewrite sites through the rule set's
+//! label-discriminated match automaton, `"per-rule"` cells run the
+//! one-pattern-evaluation-per-rule baseline. `rule_count` is the number
+//! of synthetic probe rules padded onto the paper's rule set (0 — and
+//! absent in older artifacts — for every stock-rule cell); cells with
+//! `rule_count > 0` come from the generic-mode rule-scale driver and
+//! are excluded from the fleet-scaling and commit gates, which compare
+//! stock-rule regimes. Cells also carry per-rule attribution
+//! (`rule_matches`/`rule_rewrites`, measured-loop deltas) when the
+//! driver can attribute them. A cell is keyed by `(strategy, workload,
+//! batch_size, trees, scheduler, workers, commit, mode, sessions,
+//! matcher, rule_count)`.
 //!
 //! Validation enforces, beyond schema and coverage, the **stealing
 //! gate**: wherever a dedicated-worker baseline and a smaller stealing
@@ -70,6 +83,15 @@
 //! listing `service_sessions` must deliver a `mode: "service"` cell at
 //! each promised session count, with a positive throughput and an
 //! internally consistent latency tail (`p99_ns` ≤ the worst op).
+//! The **rule-scale gate** judges the automaton itself: at the smallest
+//! swept rule count the compiled matcher must stay within
+//! [`RULE_SCALE_PARITY_ENVELOPE`] of the per-rule baseline on workload
+//! A (the automaton must not lose when there is nothing to share), and
+//! at the largest swept count — once it reaches
+//! [`RULE_SCALE_SPEEDUP_MIN_RULES`] — the per-rule baseline must
+//! measure at least [`RULE_SCALE_SPEEDUP`]× the compiled ns/op: one
+//! discrimination-tree walk has to beat R pattern evaluations once R is
+//! large, or the compilation buys nothing.
 
 use crate::{BatchRunResult, ExperimentConfig};
 use tt_jitd::StrategyKind;
@@ -113,6 +135,12 @@ pub struct SweepConfig {
     pub service_sessions: Vec<usize>,
     /// Op threads driving the service harness.
     pub service_threads: usize,
+    /// Synthetic probe-rule counts the rule-scale driver sweeps (each
+    /// at both matchers on workloads A and G); empty disables the
+    /// cells. A non-empty list is a coverage promise like
+    /// `commit_workloads`: every listed count must appear with both
+    /// matchers on both workloads.
+    pub rule_scale: Vec<usize>,
     /// Runs per cell; the fastest (minimum total ns) run is kept. The
     /// minimum is the standard noise-robust latency estimator: scheduler
     /// preemption and cache pollution only ever add time, so min-of-N
@@ -212,6 +240,16 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
             ),
         ),
         ("service_threads", Json::Num(sweep.service_threads as f64)),
+        (
+            "rule_scale",
+            Json::Arr(
+                sweep
+                    .rule_scale
+                    .iter()
+                    .map(|&r| Json::Num(r as f64))
+                    .collect(),
+            ),
+        ),
     ]);
     let results = Json::Arr(
         results
@@ -240,6 +278,26 @@ pub fn render_report(sweep: &SweepConfig, results: &[BatchRunResult]) -> String 
                     ("sessions", Json::Num(r.sessions as f64)),
                     ("p99_ns", Json::Num(r.p99_ns as f64)),
                     ("ops_per_sec", Json::Num(r.ops_per_sec())),
+                    ("matcher", Json::Str(r.matcher.to_string())),
+                    ("rule_count", Json::Num(r.rule_count as f64)),
+                    (
+                        "rule_matches",
+                        Json::Arr(
+                            r.rule_matches
+                                .iter()
+                                .map(|&n| Json::Num(n as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rule_rewrites",
+                        Json::Arr(
+                            r.rule_rewrites
+                                .iter()
+                                .map(|&n| Json::Num(n as f64))
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect(),
@@ -276,6 +334,9 @@ pub struct ReportSummary {
     /// Distinct service session counts seen (ascending; empty for
     /// artifacts without daemon cells).
     pub session_counts: Vec<u64>,
+    /// Distinct matchers seen (`["compiled"]` for pre-automaton
+    /// artifacts).
+    pub matchers: Vec<String>,
 }
 
 fn require_num(entry: &Json, field: &str, index: usize) -> Result<f64, String> {
@@ -337,6 +398,10 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
     // (sessions, ops_per_sec, p99_ns) for every service cell, feeding
     // the service coverage promise below.
     let mut service_cells: Vec<(u64, f64, f64)> = Vec::new();
+    let mut matchers: Vec<String> = Vec::new();
+    // (workload, rule_count, matcher, ns_per_op) for every rule-scale
+    // cell (rule_count > 0), feeding the rule-scale gate below.
+    let mut rule_cells: Vec<(String, u64, String, f64)> = Vec::new();
     for (i, entry) in results.iter().enumerate() {
         let strategy = entry
             .get("strategy")
@@ -428,6 +493,45 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         if !matches!(commit, "sync" | "async") {
             return Err(format!("results[{i}]: unknown commit mode `{commit}`"));
         }
+        // Matcher axis (PR 8): absent = "compiled" (pre-automaton
+        // artifacts), rule_count absent = the stock paper rule set.
+        let matcher = match entry.get("matcher") {
+            None => "compiled",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("results[{i}]: `matcher` must be a string"))?,
+        };
+        if !matches!(matcher, "compiled" | "per-rule") {
+            return Err(format!("results[{i}]: unknown matcher `{matcher}`"));
+        }
+        let rule_count = match entry.get("rule_count") {
+            None => 0.0,
+            Some(_) => require_num(entry, "rule_count", i)?,
+        };
+        if rule_count.fract() != 0.0 {
+            return Err(format!("results[{i}]: bad rule_count {rule_count}"));
+        }
+        for field in ["rule_matches", "rule_rewrites"] {
+            if let Some(v) = entry.get(field) {
+                let arr = v
+                    .as_arr()
+                    .ok_or_else(|| format!("results[{i}]: `{field}` must be an array"))?;
+                if arr.iter().any(|e| e.as_f64().is_none()) {
+                    return Err(format!("results[{i}]: `{field}` must contain numbers"));
+                }
+            }
+        }
+        if rule_count > 0.0 {
+            rule_cells.push((
+                workload.to_string(),
+                rule_count as u64,
+                matcher.to_string(),
+                ns_per_op,
+            ));
+        }
+        if !matchers.iter().any(|m| m == matcher) {
+            matchers.push(matcher.to_string());
+        }
         let worst_window_ns = match entry.get("worst_window_ns") {
             None => 0.0,
             Some(_) => require_num(entry, "worst_window_ns", i)?,
@@ -457,7 +561,9 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
                 return Err(format!("results[{i}]: service cell without throughput"));
             }
             service_cells.push((sessions as u64, ops_per_sec, p99));
-        } else {
+        } else if rule_count == 0.0 {
+            // Rule-scale cells never enter the commit gate: they are a
+            // generic-mode matcher comparison, not a commit regime.
             commit_cells.push(CommitCell {
                 strategy: strategy.to_string(),
                 workload: workload.to_string(),
@@ -488,7 +594,10 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         if !tree_counts.contains(&(trees as u64)) {
             tree_counts.push(trees as u64);
         }
-        if workload == "G" {
+        if workload == "G" && rule_count == 0.0 {
+            // Rule-scale G cells run the generic-mode driver on one
+            // tree; mixing them into the fleet-scaling series would
+            // compare different maintenance regimes.
             g_cells.push((strategy.to_string(), batch as u64, trees as u64, ns_per_op));
         }
     }
@@ -582,6 +691,37 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             ));
         }
     }
+    // Rule-scale coverage: a config that promises rule-scale cells
+    // (`rule_scale` non-empty — every post-automaton runner) must
+    // deliver both matchers on workloads A and G at each promised probe
+    // count. Pre-automaton artifacts carry no such key and stay valid.
+    let promised_rules: Vec<u64> = doc
+        .get("config")
+        .and_then(|c| c.get("rule_scale"))
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_f64)
+                .map(|r| r as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    for &r in &promised_rules {
+        for workload in ["A", "G"] {
+            for matcher in ["compiled", "per-rule"] {
+                if !rule_cells
+                    .iter()
+                    .any(|c| c.0 == workload && c.1 == r && c.2 == matcher)
+                {
+                    return Err(format!(
+                        "config promises a rule-scale cell at R={r} on workload \
+                         `{workload}` with the {matcher} matcher but none exists"
+                    ));
+                }
+            }
+        }
+    }
+    check_rule_scale(&rule_cells)?;
     let mut session_counts: Vec<u64> = service_cells.iter().map(|&(s, _, _)| s).collect();
     session_counts.sort_unstable();
     session_counts.dedup();
@@ -594,6 +734,7 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         schedulers,
         commits,
         session_counts,
+        matchers,
     })
 }
 
@@ -727,6 +868,73 @@ fn check_commit_pipeline(commit_cells: &[CommitCell]) -> Result<(), String> {
     Ok(())
 }
 
+/// How much slower than the per-rule baseline the compiled matcher may
+/// measure at the *smallest* swept rule count before the rule-scale
+/// parity gate trips. With only a handful of rules there is little
+/// prefix to share, so the automaton walk and the per-rule loop do
+/// near-identical work — like the other envelopes this catches genuine
+/// inversions ("compilation made small rule sets slower"), not runner
+/// jitter; the committed artifact itself should show ≈1.0×.
+pub const RULE_SCALE_PARITY_ENVELOPE: f64 = 1.25;
+
+/// Minimum compiled-matcher speedup over the per-rule baseline demanded
+/// at the *largest* swept rule count, once that count reaches
+/// [`RULE_SCALE_SPEEDUP_MIN_RULES`]: the per-rule cell's ns/op must be
+/// at least this multiple of the compiled cell's. One shared
+/// discrimination-tree walk per node versus R pattern evaluations is
+/// the automaton's entire reason to exist; if it cannot clear 2× at 64+
+/// rules the compilation regressed.
+pub const RULE_SCALE_SPEEDUP: f64 = 2.0;
+
+/// Rule count from which the speedup gate applies. Below it the probe
+/// overhead is too small for a robust ratio on noisy CI runners.
+pub const RULE_SCALE_SPEEDUP_MIN_RULES: u64 = 64;
+
+/// The rule-scale gate, judged on workload A (the single-tree YCSB mix;
+/// the G twin is coverage for the fleet op mix, not a second gate):
+/// parity at the smallest swept count, [`RULE_SCALE_SPEEDUP`]× at the
+/// largest once it reaches [`RULE_SCALE_SPEEDUP_MIN_RULES`]. Cells are
+/// `(workload, rule_count, matcher, ns_per_op)`.
+fn check_rule_scale(rule_cells: &[(String, u64, String, f64)]) -> Result<(), String> {
+    let a_cells: Vec<_> = rule_cells.iter().filter(|c| c.0 == "A").collect();
+    let mut counts: Vec<u64> = a_cells.iter().map(|c| c.1).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let (Some(&rmin), Some(&rmax)) = (counts.first(), counts.last()) else {
+        return Ok(());
+    };
+    let ns_of = |r: u64, matcher: &str| -> Option<f64> {
+        a_cells
+            .iter()
+            .find(|c| c.1 == r && c.2 == matcher)
+            .map(|c| c.3)
+    };
+    if let (Some(compiled), Some(per_rule)) = (ns_of(rmin, "compiled"), ns_of(rmin, "per-rule")) {
+        if compiled > per_rule * RULE_SCALE_PARITY_ENVELOPE {
+            return Err(format!(
+                "rule-scale parity regression on A at R={rmin}: compiled ran \
+                 {compiled:.0} ns/op vs {per_rule:.0} per-rule \
+                 (>{RULE_SCALE_PARITY_ENVELOPE}x envelope) — the automaton \
+                 must not lose at small rule counts"
+            ));
+        }
+    }
+    if rmax >= RULE_SCALE_SPEEDUP_MIN_RULES {
+        if let (Some(compiled), Some(per_rule)) = (ns_of(rmax, "compiled"), ns_of(rmax, "per-rule"))
+        {
+            if per_rule < compiled * RULE_SCALE_SPEEDUP {
+                return Err(format!(
+                    "rule-scale speedup missing on A at R={rmax}: compiled ran \
+                     {compiled:.0} ns/op vs {per_rule:.0} per-rule — the \
+                     automaton must be ≥{RULE_SCALE_SPEEDUP}x faster once the \
+                     rule set is this large"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The fleet-scaling gate on workload G (burst-of-plans): per
 /// (strategy, batch size), ns/op **per maintained view** must grow
 /// sublinearly in tree count between the smallest and largest swept
@@ -792,6 +1000,11 @@ pub struct CellDelta {
     pub mode: String,
     /// Concurrent daemon sessions (0 for library cells).
     pub sessions: u64,
+    /// Match-site search implementation (`"compiled"` for pre-automaton
+    /// artifacts).
+    pub matcher: String,
+    /// Synthetic probe rules (0 for stock-rule cells).
+    pub rule_count: u64,
     /// Baseline ns/op.
     pub old_ns: f64,
     /// Candidate ns/op.
@@ -829,7 +1042,8 @@ impl Comparison {
 }
 
 /// One parsed result row: `(strategy, workload, batch, trees,
-/// scheduler, workers, commit, mode, sessions, ns_per_op)`.
+/// scheduler, workers, commit, mode, sessions, matcher, rule_count,
+/// ns_per_op)`.
 type RawCell = (
     String,
     String,
@@ -838,6 +1052,8 @@ type RawCell = (
     String,
     u64,
     String,
+    String,
+    u64,
     String,
     u64,
     f64,
@@ -893,6 +1109,17 @@ fn collect_cells(text: &str, which: &str) -> Result<Vec<RawCell>, String> {
                     .unwrap_or("library")
                     .to_string(),
                 entry.get("sessions").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                // Pre-automaton artifacts carry no matcher axis: every
+                // cell keys as the compiled matcher on the stock rules.
+                entry
+                    .get("matcher")
+                    .and_then(Json::as_str)
+                    .unwrap_or("compiled")
+                    .to_string(),
+                entry
+                    .get("rule_count")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
                 entry
                     .get("ns_per_op")
                     .and_then(Json::as_f64)
@@ -931,7 +1158,8 @@ fn check_configs_comparable(old_text: &str, new_text: &str) -> Result<(), String
 
 /// Per-cell ns/op trend gate: pairs `old` and `new` results by
 /// `(strategy, workload, batch_size, trees, scheduler, workers,
-/// commit)` and reports every shared cell's latency ratio. Errors on invalid reports, on mismatched
+/// commit, mode, sessions, matcher, rule_count)` and reports every
+/// shared cell's latency ratio. Errors on invalid reports, on mismatched
 /// experiment scale (records/ops/seed/crack_threshold must agree —
 /// ratios between different scales measure the scale, not the code), or
 /// when a baseline cell is missing from the candidate (coverage must
@@ -961,12 +1189,14 @@ pub fn compare_reports(
         commit,
         mode,
         sessions,
+        matcher,
+        rule_count,
         old_ns,
     ) in old_cells
     {
         let new_ns = new_cells
             .iter()
-            .find(|(s, w, b, t, sched, wk, cm, md, sn, _)| {
+            .find(|(s, w, b, t, sched, wk, cm, md, sn, mt, rc, _)| {
                 *s == strategy
                     && *w == workload
                     && *b == batch_size
@@ -976,12 +1206,15 @@ pub fn compare_reports(
                     && *cm == commit
                     && *md == mode
                     && *sn == sessions
+                    && *mt == matcher
+                    && *rc == rule_count
             })
-            .map(|&(_, _, _, _, _, _, _, _, _, ns)| ns)
+            .map(|&(_, _, _, _, _, _, _, _, _, _, _, ns)| ns)
             .ok_or_else(|| {
                 format!(
                     "cell {strategy}/{workload}/K={batch_size}/T={trees}/{scheduler}/W={workers}\
-                     /{commit}/{mode}/S={sessions} present in baseline, missing from candidate"
+                     /{commit}/{mode}/S={sessions}/{matcher}/R={rule_count} present in baseline, \
+                     missing from candidate"
                 )
             })?;
         cells.push(CellDelta {
@@ -994,6 +1227,8 @@ pub fn compare_reports(
             commit,
             mode,
             sessions,
+            matcher,
+            rule_count,
             old_ns,
             new_ns,
         });
@@ -1015,6 +1250,7 @@ mod tests {
                 seed: 1,
                 adaptive_batch: false,
                 async_commit: false,
+                compiled_match: true,
             },
             batch_sizes: vec![1, 8, 64],
             workloads: vec!['A'],
@@ -1025,6 +1261,7 @@ mod tests {
             commit_workloads: vec![],
             service_sessions: vec![],
             service_threads: 0,
+            rule_scale: vec![],
             repeat: 1,
         }
     }
@@ -1057,7 +1294,48 @@ mod tests {
             mode: "library",
             sessions: 0,
             p99_ns: 0,
+            matcher: "compiled",
+            rule_count: 0,
+            rule_matches: vec![3, 0, 0, 0, 0],
+            rule_rewrites: vec![3, 0, 0, 0, 0],
         }
+    }
+
+    /// A rule-scale cell: `rule_count` probes through the generic-mode
+    /// driver at K=8 on one tree, with the given matcher.
+    fn rule_cell(
+        workload: char,
+        rule_count: usize,
+        compiled: bool,
+        total_ns: u64,
+    ) -> BatchRunResult {
+        BatchRunResult {
+            total_ns,
+            matcher: if compiled { "compiled" } else { "per-rule" },
+            rule_count,
+            rule_matches: vec![1; 5 + rule_count],
+            rule_rewrites: vec![1; 5 + rule_count],
+            ..cell(workload, StrategyKind::TreeToaster, 8, 1)
+        }
+    }
+
+    /// Full rule-scale coverage at the given probe counts: both
+    /// workloads × both matchers, with the per-rule baseline 3× slower
+    /// once R reaches the speedup bar (so both gates pass by default).
+    fn full_rule_cells(counts: &[usize]) -> Vec<BatchRunResult> {
+        let mut out = Vec::new();
+        for &r in counts {
+            let per_rule_ns = if r as u64 >= RULE_SCALE_SPEEDUP_MIN_RULES {
+                30_000
+            } else {
+                10_000
+            };
+            for workload in ['A', 'G'] {
+                out.push(rule_cell(workload, r, true, 10_000));
+                out.push(rule_cell(workload, r, false, per_rule_ns));
+            }
+        }
+        out
     }
 
     /// A daemon cell: `sessions` concurrent sessions on workload S.
@@ -1149,6 +1427,7 @@ mod tests {
         assert_eq!(summary.workloads, vec!["A".to_string()]);
         assert_eq!(summary.tree_counts, vec![1]);
         assert_eq!(summary.schedulers, vec!["sync".to_string()]);
+        assert_eq!(summary.matchers, vec!["compiled".to_string()]);
     }
 
     #[test]
@@ -1314,6 +1593,95 @@ mod tests {
         let err = compare_reports(&text, &render_report(&lost_sweep, &lost), 0.15).unwrap_err();
         assert!(err.contains("service"), "{err}");
         assert!(err.contains("S=1000"), "{err}");
+    }
+
+    #[test]
+    fn rule_scale_cells_validate_and_promise_is_enforced() {
+        let mut promised = sweep();
+        promised.rule_scale = vec![4, 64];
+        let mut results = fake_results();
+        results.extend(full_rule_cells(&[4, 64]));
+        let summary = validate_report(&render_report(&promised, &results)).unwrap();
+        assert!(summary.matchers.iter().any(|m| m == "per-rule"));
+        assert!(summary.matchers.iter().any(|m| m == "compiled"));
+        // A config promising R = {4, 64} but delivering no rule-scale
+        // cells fails…
+        let err = validate_report(&render_report(&promised, &fake_results())).unwrap_err();
+        assert!(err.contains("rule-scale"), "{err}");
+        // …and losing one matcher at one count names the hole.
+        let mut partial = fake_results();
+        partial.extend(
+            full_rule_cells(&[4, 64])
+                .into_iter()
+                .filter(|c| !(c.rule_count == 64 && c.matcher == "per-rule")),
+        );
+        let err = validate_report(&render_report(&promised, &partial)).unwrap_err();
+        assert!(err.contains("per-rule"), "{err}");
+        assert!(err.contains("R=64"), "{err}");
+        // An empty promise (pre-automaton artifacts) demands nothing.
+        validate_report(&render_report(&sweep(), &fake_results())).unwrap();
+    }
+
+    #[test]
+    fn rule_scale_gates_trip_on_parity_and_speedup() {
+        let mut promised = sweep();
+        promised.rule_scale = vec![4, 64];
+        // Compiled beyond the envelope at the smallest count: the
+        // parity gate names the cell.
+        let mut results = fake_results();
+        results.extend(full_rule_cells(&[4, 64]));
+        for r in &mut results {
+            if r.rule_count == 4 && r.matcher == "compiled" {
+                r.total_ns *= 5;
+            }
+        }
+        let err = validate_report(&render_report(&promised, &results)).unwrap_err();
+        assert!(err.contains("parity regression"), "{err}");
+        // Per-rule only 1.5× the compiled ns/op at R=64: the automaton
+        // failed to deliver its speedup.
+        let mut results = fake_results();
+        results.extend(full_rule_cells(&[4, 64]));
+        for r in &mut results {
+            if r.rule_count == 64 && r.matcher == "per-rule" {
+                r.total_ns = 15_000;
+            }
+        }
+        let err = validate_report(&render_report(&promised, &results)).unwrap_err();
+        assert!(err.contains("speedup missing"), "{err}");
+        // At R below the speedup bar only parity applies: a modest gap
+        // still validates.
+        let mut promised_small = sweep();
+        promised_small.rule_scale = vec![4, 16];
+        let mut results = fake_results();
+        results.extend(full_rule_cells(&[4, 16]));
+        validate_report(&render_report(&promised_small, &results)).unwrap();
+    }
+
+    #[test]
+    fn compare_keys_cells_by_matcher_and_rule_count() {
+        // The compiled and per-rule twins share every other key
+        // coordinate; the matcher axis must keep them apart.
+        let mut promised = sweep();
+        promised.rule_scale = vec![4];
+        let mut results = fake_results();
+        results.extend(full_rule_cells(&[4]));
+        let text = render_report(&promised, &results);
+        let cmp = compare_reports(&text, &text, 0.15).unwrap();
+        assert!(cmp.passed());
+        let scaled: Vec<&CellDelta> = cmp.cells.iter().filter(|c| c.rule_count > 0).collect();
+        assert_eq!(scaled.len(), 4, "two workloads × two matchers pair");
+        assert!(scaled.iter().any(|c| c.matcher == "per-rule"));
+        // Losing the per-rule twins is reported with the matcher key
+        // (the lost report promises nothing, so it validates alone).
+        let mut lost = fake_results();
+        lost.extend(
+            full_rule_cells(&[4])
+                .into_iter()
+                .filter(|c| c.matcher != "per-rule"),
+        );
+        let err = compare_reports(&text, &render_report(&sweep(), &lost), 0.15).unwrap_err();
+        assert!(err.contains("per-rule"), "{err}");
+        assert!(err.contains("missing from candidate"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `TT_SEED`            | 42      | [`EngineConfig::seed`]             |
 //! | `TT_ADAPTIVE_BATCH`  | 0       | [`EngineConfig::adaptive_batch`]   |
 //! | `TT_ASYNC_COMMIT`    | 0       | [`EngineConfig::async_commit`]     |
+//! | `TT_COMPILED_MATCH`  | 1       | [`EngineConfig::compiled_match`]   |
 //! | `TT_SESSIONS`        | 64      | [`FleetConfig::sessions`]          |
 //! | `TT_WORKERS`         | 2       | [`FleetConfig::workers`]           |
 //! | `TT_HEAT_THRESHOLD`  | 1       | [`FleetConfig::heat_threshold`]    |
@@ -51,6 +52,12 @@ pub struct EngineConfig {
     /// a final drain lands the last epoch). Off by default — the
     /// synchronous commit path is byte-for-byte unchanged.
     pub async_commit: bool,
+    /// Compiled matching: when set (the default), candidate enumeration
+    /// runs the rule set's label-discriminated match automaton — one
+    /// shared-prefix walk per node instead of R independent pattern
+    /// evaluations. Turning it off falls back to the one-pattern-at-a-time
+    /// evaluator, kept alive as the differential-testing baseline.
+    pub compiled_match: bool,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +69,7 @@ impl Default for EngineConfig {
             seed: 42,
             adaptive_batch: false,
             async_commit: false,
+            compiled_match: true,
         }
     }
 }
@@ -77,6 +85,7 @@ impl EngineConfig {
             seed: env_u64("TT_SEED", 42),
             adaptive_batch: env_u64("TT_ADAPTIVE_BATCH", 0) != 0,
             async_commit: env_u64("TT_ASYNC_COMMIT", 0) != 0,
+            compiled_match: env_u64("TT_COMPILED_MATCH", 1) != 0,
         }
     }
 
@@ -114,6 +123,13 @@ impl EngineConfig {
     /// commit discipline.
     pub fn async_commit(mut self, on: bool) -> EngineConfig {
         self.async_commit = on;
+        self
+    }
+
+    /// Enables or disables the compiled match automaton (off = the
+    /// per-rule baseline evaluator).
+    pub fn compiled_match(mut self, on: bool) -> EngineConfig {
+        self.compiled_match = on;
         self
     }
 }
@@ -201,6 +217,7 @@ mod tests {
         assert_eq!(d.seed, 42);
         assert!(!d.adaptive_batch);
         assert!(!d.async_commit);
+        assert!(d.compiled_match);
     }
 
     #[test]
@@ -211,13 +228,15 @@ mod tests {
             .crack_threshold(32)
             .seed(7)
             .adaptive_batch(true)
-            .async_commit(true);
+            .async_commit(true)
+            .compiled_match(false);
         assert_eq!(cfg.records, 256);
         assert_eq!(cfg.ops, 30);
         assert_eq!(cfg.crack_threshold, 32);
         assert_eq!(cfg.seed, 7);
         assert!(cfg.adaptive_batch);
         assert!(cfg.async_commit);
+        assert!(!cfg.compiled_match);
 
         let fleet = FleetConfig::default()
             .engine(cfg)

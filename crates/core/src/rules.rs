@@ -9,8 +9,8 @@
 
 use crate::generator::{compile_generator, GenNode, GenSpec};
 use std::sync::Arc;
-use tt_ast::{Ast, Label, NodeId, NodeRow, Schema};
-use tt_pattern::{Bindings, Pattern, PatternNode, VarId};
+use tt_ast::{Ast, FxHashMap, Label, NodeId, NodeRow, Schema};
+use tt_pattern::{Bindings, MatchAutomaton, Pattern, PatternNode, VarId};
 
 /// A declarative rewrite rule.
 #[derive(Debug, Clone)]
@@ -204,9 +204,33 @@ impl AppliedRewrite {
 }
 
 /// A named collection of rewrite rules; rule ids are indices.
-#[derive(Debug, Default)]
+///
+/// Construction eagerly derives everything the matchers and engines used
+/// to recompute per consumer: the compiled [`MatchAutomaton`] over all
+/// patterns, the name → id index, per-root-label rule buckets for the
+/// one-rule-at-a-time fallback path, and the Definition-7
+/// [`RewriteRule::safe_for_inline`] bits. Rule sets are tiny and shared
+/// via `Arc` by whole fleets of engines, so paying once here is the
+/// right trade.
+#[derive(Debug)]
 pub struct RuleSet {
     rules: Vec<RewriteRule>,
+    /// The compiled multi-rule matcher (rule ids = indices).
+    automaton: Arc<MatchAutomaton>,
+    /// Name → id (first occurrence wins, like the old linear scan).
+    name_index: FxHashMap<String, usize>,
+    /// Rules bucketed by their root `Match` label.
+    by_root_label: FxHashMap<Label, Vec<usize>>,
+    /// Rules whose root is a wildcard (match any node).
+    wildcard_rooted: Vec<usize>,
+    /// Cached [`RewriteRule::safe_for_inline`] per rule, dense by id.
+    inlineable: Vec<bool>,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::from_rules(Vec::new())
+    }
 }
 
 impl RuleSet {
@@ -217,12 +241,35 @@ impl RuleSet {
 
     /// Builds from rules.
     pub fn from_rules(rules: Vec<RewriteRule>) -> Self {
-        Self { rules }
+        let automaton = Arc::new(MatchAutomaton::compile(rules.iter().map(|r| &r.pattern)));
+        let mut name_index = FxHashMap::default();
+        let mut by_root_label: FxHashMap<Label, Vec<usize>> = FxHashMap::default();
+        let mut wildcard_rooted = Vec::new();
+        let mut inlineable = Vec::with_capacity(rules.len());
+        for (id, rule) in rules.iter().enumerate() {
+            name_index.entry(rule.name.clone()).or_insert(id);
+            match rule.pattern.root_label() {
+                Some(label) => by_root_label.entry(label).or_default().push(id),
+                None => wildcard_rooted.push(id),
+            }
+            inlineable.push(rule.safe_for_inline());
+        }
+        Self {
+            rules,
+            automaton,
+            name_index,
+            by_root_label,
+            wildcard_rooted,
+            inlineable,
+        }
     }
 
-    /// Adds a rule, returning its id.
+    /// Adds a rule, returning its id. Rebuilds the derived indexes (rule
+    /// sets are authored once and tiny; mutation is not a hot path).
     pub fn push(&mut self, rule: RewriteRule) -> usize {
-        self.rules.push(rule);
+        let mut rules = std::mem::take(&mut self.rules);
+        rules.push(rule);
+        *self = Self::from_rules(rules);
         self.rules.len() - 1
     }
 
@@ -241,14 +288,40 @@ impl RuleSet {
         &self.rules[id]
     }
 
-    /// Looks a rule up by name.
+    /// Looks a rule up by name (hashed; duplicates resolve to the first
+    /// occurrence, matching the historical linear scan).
     pub fn by_name(&self, name: &str) -> Option<(usize, &RewriteRule)> {
-        self.rules.iter().enumerate().find(|(_, r)| r.name == name)
+        self.name_index.get(name).map(|&id| (id, &self.rules[id]))
     }
 
     /// Iterates `(id, rule)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &RewriteRule)> {
         self.rules.iter().enumerate()
+    }
+
+    /// The compiled match automaton over every rule's pattern.
+    pub fn automaton(&self) -> &Arc<MatchAutomaton> {
+        &self.automaton
+    }
+
+    /// Ids of rules whose root `Match` carries `label` — the per-rule
+    /// fallback path iterates this bucket (plus
+    /// [`Self::wildcard_rooted`]) for a candidate node instead of
+    /// scanning all R rules.
+    pub fn rules_by_root_label(&self, label: Label) -> &[usize] {
+        self.by_root_label.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of rules whose root is a wildcard (candidates at every node).
+    pub fn wildcard_rooted(&self) -> &[usize] {
+        &self.wildcard_rooted
+    }
+
+    /// Cached [`RewriteRule::safe_for_inline`] bits, dense by rule id —
+    /// engines sharing one `Arc<RuleSet>` across thousands of shards
+    /// read this instead of re-deriving the classification per shard.
+    pub fn inlineable(&self) -> &[bool] {
+        &self.inlineable
     }
 }
 
@@ -538,5 +611,53 @@ mod tests {
         assert_eq!(rs.get(id).name, "AddZero");
         assert_eq!(rs.by_name("AddZero").unwrap().0, id);
         assert!(rs.by_name("Missing").is_none());
+    }
+
+    #[test]
+    fn ruleset_derived_indexes_cover_every_rule() {
+        let s = schema();
+        let wildcard = RewriteRule::new(
+            "AnyRoot",
+            &s,
+            Pattern::compile(
+                &s,
+                p::node("Arith", "A", [p::any_as("q"), p::any()], p::tru()),
+            ),
+            reuse("q"),
+        );
+        let anywhere = RewriteRule::new(
+            "Anywhere",
+            &s,
+            Pattern::compile(&s, p::any_as("n")),
+            // A root `Any` cannot be reused, so generate a fresh leaf.
+            gen(
+                "Const",
+                [("val", crate::generator::aconst(tt_ast::Value::Int(0)))],
+                [],
+            ),
+        );
+        let rs = RuleSet::from_rules(vec![add_zero_rule(), wildcard, anywhere]);
+
+        // Root-label buckets: both Arith-rooted rules, in id order.
+        let arith = s.expect_label("Arith");
+        assert_eq!(rs.rules_by_root_label(arith), &[0, 1]);
+        assert!(rs.rules_by_root_label(s.expect_label("Const")).is_empty());
+        // The Any-rooted rule matches every label, so it lives in the
+        // wildcard bucket consulted for all roots.
+        assert_eq!(rs.wildcard_rooted(), &[2]);
+
+        // Cached safety bits agree with the per-rule recomputation.
+        let bits: Vec<bool> = rs.iter().map(|(_, r)| r.safe_for_inline()).collect();
+        assert_eq!(rs.inlineable(), &bits[..]);
+
+        // The compiled automaton covers the whole set, and `push`
+        // rebuilds every derived index.
+        assert_eq!(rs.automaton().rule_count(), 3);
+        let mut rs = rs;
+        let id = rs.push(add_zero_rule());
+        assert_eq!(rs.rules_by_root_label(arith), &[0, 1, id]);
+        assert_eq!(rs.automaton().rule_count(), 4);
+        // First pushed name wins duplicate lookups.
+        assert_eq!(rs.by_name("AddZero").unwrap().0, 0);
     }
 }

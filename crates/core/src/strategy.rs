@@ -17,7 +17,7 @@ use crate::rules::{AppliedRewrite, RuleSet};
 use std::sync::Arc;
 use tt_ast::{Ast, Label, NodeId, NodeLabelMap, NodeRow};
 use tt_labelindex::LabelIndex;
-use tt_pattern::{find_first, matches, Bindings, PatternNode};
+use tt_pattern::{find_first, matches, AutomatonScratch, Bindings, PatternNode};
 
 /// Index of a rewrite rule within the shared [`RuleSet`].
 pub type RuleId = usize;
@@ -305,12 +305,28 @@ impl<T: EpochOps + ?Sized> EpochOps for Box<T> {
 /// per search, no state, no maintenance cost, no memory.
 pub struct NaiveStrategy {
     rules: Arc<RuleSet>,
+    /// Reusable DFS scratch for the compiled per-rule token program.
+    scratch: AutomatonScratch,
+    /// Compiled matching (default): the scan runs the searched rule's
+    /// straight-line automaton program per node instead of the recursive
+    /// pattern evaluator. Off = the differential-testing baseline.
+    compiled: bool,
 }
 
 impl NaiveStrategy {
     /// Creates the strategy over a rule set.
     pub fn new(rules: Arc<RuleSet>) -> Self {
-        Self { rules }
+        Self {
+            rules,
+            scratch: AutomatonScratch::default(),
+            compiled: true,
+        }
+    }
+
+    /// Enables or disables the compiled match path.
+    pub fn compiled(mut self, on: bool) -> Self {
+        self.compiled = on;
+        self
     }
 }
 
@@ -322,6 +338,17 @@ impl MatchCore for NaiveStrategy {
     fn rebuild(&mut self, _ast: &Ast) {}
 
     fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
+        if self.compiled {
+            let root = ast.root();
+            if root.is_null() {
+                return None;
+            }
+            let auto = self.rules.automaton();
+            let scratch = &mut self.scratch;
+            return ast
+                .descendants(root)
+                .find(|&n| auto.run_rule(ast, n, rule, scratch));
+        }
         find_first(ast, ast.root(), &self.rules.get(rule).pattern).map(|(n, _)| n)
     }
 
@@ -332,6 +359,8 @@ impl MatchCore for NaiveStrategy {
     fn on_graft(&mut self, _: &Ast, _: &[NodeId]) {}
 
     fn memory_bytes(&self) -> usize {
+        // The automaton scratch is transient search state, not a
+        // maintained structure — Naive stays the zero-memory baseline.
         0
     }
 }
@@ -365,6 +394,12 @@ pub struct IndexStrategy {
     staged: u64,
     /// Staged events that annihilated against an opposing entry.
     canceled: u64,
+    /// Reusable DFS scratch for the compiled candidate re-checks.
+    scratch: AutomatonScratch,
+    /// Compiled matching (default): posting-list candidates are
+    /// re-checked with the searched rule's straight-line automaton
+    /// program. Off = the per-candidate recursive evaluator.
+    compiled: bool,
 }
 
 impl IndexStrategy {
@@ -379,6 +414,65 @@ impl IndexStrategy {
             spare: None,
             staged: 0,
             canceled: 0,
+            scratch: AutomatonScratch::default(),
+            compiled: true,
+        }
+    }
+
+    /// Enables or disables the compiled match path.
+    pub fn compiled(mut self, on: bool) -> Self {
+        self.compiled = on;
+        self
+    }
+
+    /// One candidate found through the posting lists: scan the searched
+    /// rule's root-label bucket (restricted to `live` entries) and
+    /// re-check each candidate — via the compiled program or the
+    /// recursive evaluator, per `compiled`. Mirrors
+    /// [`LabelIndex::index_lookup_where`], including its `AnyNode`-root
+    /// shortcut (the AST root answers, Algorithm 1 line 2).
+    fn lookup_where(
+        compiled: bool,
+        rules: &RuleSet,
+        index: &LabelIndex,
+        scratch: &mut AutomatonScratch,
+        ast: &Ast,
+        rule: RuleId,
+        live: impl Fn(Label, NodeId) -> bool,
+    ) -> Option<NodeId> {
+        if !compiled {
+            return index
+                .index_lookup_where(ast, &rules.get(rule).pattern, live)
+                .map(|(n, _)| n);
+        }
+        let auto = rules.automaton();
+        match rules.get(rule).pattern.root_label() {
+            None => {
+                let root = ast.root();
+                (!root.is_null() && auto.run_rule(ast, root, rule, scratch)).then_some(root)
+            }
+            Some(label) => index
+                .nodes(label)
+                .iter()
+                .copied()
+                .filter(|&n| live(label, n))
+                .find(|&n| auto.run_rule(ast, n, rule, scratch)),
+        }
+    }
+
+    /// Re-checks one staged (not-yet-indexed) candidate.
+    fn check_candidate(
+        compiled: bool,
+        rules: &RuleSet,
+        scratch: &mut AutomatonScratch,
+        ast: &Ast,
+        n: NodeId,
+        rule: RuleId,
+    ) -> bool {
+        if compiled {
+            rules.automaton().run_rule(ast, n, rule, scratch)
+        } else {
+            matches(ast, n, &rules.get(rule).pattern)
         }
     }
 
@@ -434,44 +528,57 @@ impl MatchCore for IndexStrategy {
     }
 
     fn find_one(&mut self, ast: &Ast, rule: RuleId) -> Option<NodeId> {
-        let pattern = &self.rules.get(rule).pattern;
-        let sealed = self.sealed.as_ref().filter(|p| !p.is_empty());
-        let open = self.batch.as_ref().filter(|p| !p.is_empty());
+        let Self {
+            rules,
+            index,
+            batch,
+            sealed,
+            scratch,
+            compiled,
+            ..
+        } = self;
+        let (rules, index, compiled) = (&**rules, &*index, *compiled);
+        let sealed = sealed.as_ref().filter(|p| !p.is_empty());
+        let open = batch.as_ref().filter(|p| !p.is_empty());
         // Overlay over `index ⊕ sealed ⊕ batch`: indexed nodes whose net
         // pending delta is negative are dead (their arena slots may
         // already be reused), and a positive net delta marks a node the
         // index has not absorbed yet — only net-zero nodes read straight
         // from the posting lists.
         let (first, second) = match (sealed, open) {
-            (None, None) => return self.index.index_lookup(ast, pattern).map(|(n, _)| n),
+            (None, None) => {
+                return Self::lookup_where(compiled, rules, index, scratch, ast, rule, |_, _| true)
+            }
             // Single-buffer overlay — one probe per scanned posting-list
             // member. This is the hot shape (a synchronous commit cycle
             // never holds a sealed epoch), so it must not pay for the
             // composed case.
             (Some(p), None) | (None, Some(p)) => {
-                if let Some((n, _)) = self
-                    .index
-                    .index_lookup_where(ast, pattern, |label, n| !p.contains(label, n))
+                if let Some(n) =
+                    Self::lookup_where(compiled, rules, index, scratch, ast, rule, |label, n| {
+                        !p.contains(label, n)
+                    })
                 {
                     return Some(n);
                 }
-                let PatternNode::Match { label: root, .. } = pattern.root() else {
+                let PatternNode::Match { label: root, .. } = rules.get(rule).pattern.root() else {
                     return None;
                 };
                 return p
                     .iter()
                     .filter(|&((label, _), &d)| d > 0 && label == *root)
                     .map(|((_, n), _)| n)
-                    .find(|&n| matches(ast, n, pattern));
+                    .find(|&n| Self::check_candidate(compiled, rules, scratch, ast, n, rule));
             }
             (Some(s), Some(o)) => (s, o),
         };
         let delta = |label: Label, n: NodeId| {
             first.get(label, n).copied().unwrap_or(0) + second.get(label, n).copied().unwrap_or(0)
         };
-        if let Some((n, _)) = self
-            .index
-            .index_lookup_where(ast, pattern, |label, n| delta(label, n) == 0)
+        if let Some(n) =
+            Self::lookup_where(compiled, rules, index, scratch, ast, rule, |label, n| {
+                delta(label, n) == 0
+            })
         {
             return Some(n);
         }
@@ -479,7 +586,7 @@ impl MatchCore for IndexStrategy {
         // indexed, so check the staged insertions carrying the pattern's
         // root label (net across both maps, so a node sealed as born but
         // staged as dying stays invisible).
-        let PatternNode::Match { label: root, .. } = pattern.root() else {
+        let PatternNode::Match { label: root, .. } = rules.get(rule).pattern.root() else {
             return None;
         };
         [first, second]
@@ -487,7 +594,7 @@ impl MatchCore for IndexStrategy {
             .flat_map(|pending| pending.iter())
             .filter(|&((label, n), _)| label == *root && delta(label, n) > 0)
             .map(|((_, n), _)| n)
-            .find(|&n| matches(ast, n, pattern))
+            .find(|&n| Self::check_candidate(compiled, rules, scratch, ast, n, rule))
     }
 
     fn before_replace(&mut self, _: &Ast, _: NodeId, _: Option<(RuleId, &Bindings)>) {
@@ -747,6 +854,54 @@ mod tests {
         s.commit_batch();
         s.check_consistent(&ast).unwrap();
         assert_eq!(s.find_one(&ast, 0), Some(ast.children(root)[1]));
+    }
+
+    #[test]
+    fn baseline_matcher_paths_stay_live() {
+        // `compiled(false)` keeps the one-pattern-at-a-time evaluator as
+        // the differential-testing baseline for both strategies.
+        let mut n = NaiveStrategy::new(add_zero_rules()).compiled(false);
+        assert!(drive_one(&mut n).is_none());
+        let rules = add_zero_rules();
+        let (ast, _) = tree(r#"(Const val=1)"#);
+        let mut i = IndexStrategy::new(rules, &ast).compiled(false);
+        assert!(drive_one(&mut i).is_none());
+    }
+
+    #[test]
+    fn compiled_overlay_agrees_with_baseline_mid_epoch() {
+        let rules = add_zero_rules();
+        let (mut ast, _) = tree(
+            r#"(Arith op="*" (Arith op="+" (Const val=0) (Var name="b")) (Arith op="+" (Const val=0) (Var name="c")))"#,
+        );
+        let mut compiled = IndexStrategy::new(rules.clone(), &ast);
+        let mut baseline = IndexStrategy::new(rules.clone(), &ast).compiled(false);
+        compiled.rebuild(&ast);
+        baseline.rebuild(&ast);
+        compiled.begin_batch();
+        baseline.begin_batch();
+        let site = compiled.find_one(&ast, 0).unwrap();
+        assert_eq!(baseline.find_one(&ast, 0), Some(site));
+        let rule = rules.get(0);
+        let bindings = match_node(&ast, site, &rule.pattern).unwrap();
+        let applied = rule.apply(&mut ast, site, &bindings, 0);
+        let ctx = ReplaceCtx {
+            old_root: applied.old_root,
+            new_root: applied.new_root,
+            removed: &applied.removed,
+            inserted: applied.inserted(),
+            parent_update: applied.parent_update.as_ref(),
+            rule: None,
+        };
+        compiled.after_replace(&ast, &ctx);
+        baseline.after_replace(&ast, &ctx);
+        // Mid-epoch overlay reads must agree, both before and after the
+        // commit lands the surviving deltas.
+        assert_eq!(compiled.find_one(&ast, 0), baseline.find_one(&ast, 0));
+        compiled.commit_batch();
+        baseline.commit_batch();
+        assert_eq!(compiled.find_one(&ast, 0), baseline.find_one(&ast, 0));
+        compiled.check_consistent(&ast).unwrap();
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use treetoaster_core::{ForestEngine, MatchSource, ReplaceCtx, RuleFired, RuleId, RuleSet};
 use tt_ast::{Record, TreeId};
 use tt_metrics::now_ns;
-use tt_pattern::{matches_with, Bindings};
+use tt_pattern::{matches_with, AutomatonScratch, Bindings};
 use tt_ycsb::Op;
 
 /// A fleet of JITD indexes maintained by per-shard strategies.
@@ -76,6 +76,10 @@ pub struct JitdFleet {
     /// Reusable binding environment shared across shards (one rewrite is
     /// in flight at a time).
     bindings: Bindings,
+    /// Scratch for the compiled re-derivation's straight-line program.
+    scratch: AutomatonScratch,
+    /// Matcher selection, mirrored into every shard's strategy.
+    compiled: bool,
     /// Write ops absorbed per shard since it was last scheduled.
     heat: Vec<u64>,
     /// Pending shard indexes, arrival order (each at most once).
@@ -106,7 +110,20 @@ impl JitdFleet {
         kind: StrategyKind,
         config: RuleConfig,
         trees: usize,
+        records_per_tree: impl FnMut(usize) -> Vec<Record>,
+    ) -> JitdFleet {
+        Self::with_matcher(kind, config, trees, records_per_tree, true)
+    }
+
+    /// [`new`](JitdFleet::new) with an explicit matcher choice —
+    /// `compiled = false` runs the one-pattern-at-a-time baseline on
+    /// every shard (strategy search *and* binding re-derivation).
+    pub fn with_matcher(
+        kind: StrategyKind,
+        config: RuleConfig,
+        trees: usize,
         mut records_per_tree: impl FnMut(usize) -> Vec<Record>,
+        compiled: bool,
     ) -> JitdFleet {
         assert!(trees > 0, "a fleet needs at least one tree");
         let schema = jitd_schema();
@@ -116,7 +133,7 @@ impl JitdFleet {
             .collect();
         let mut engine: ForestEngine<Box<dyn MatchSource>> = ForestEngine::new(rules.clone());
         for index in &indexes {
-            engine.add_shard_for(index.ast(), |r, ast| kind.build(r, ast));
+            engine.add_shard_for(index.ast(), |r, ast| kind.build_with(r, ast, compiled));
         }
         for (t, index) in indexes.iter().enumerate() {
             engine.rebuild_tree(TreeId::from_index(t as u32), index.ast());
@@ -129,6 +146,8 @@ impl JitdFleet {
             kind,
             ticks: vec![0; trees],
             bindings: Bindings::default(),
+            scratch: AutomatonScratch::default(),
+            compiled,
             heat: vec![0; trees],
             pending: std::collections::VecDeque::with_capacity(trees),
             queued: vec![false; trees],
@@ -305,15 +324,30 @@ impl JitdFleet {
             };
         };
 
+        self.stats.rule_matches[rule] += 1;
         let rule_def = self.rules.get(rule);
         let mut bindings = std::mem::take(&mut self.bindings);
-        assert!(
+        let live = if self.compiled {
+            let hit = self.rules.automaton().run_rule(
+                self.indexes[ti].ast(),
+                site,
+                rule,
+                &mut self.scratch,
+            );
+            if hit {
+                bindings.clone_from(self.scratch.bindings());
+            }
+            hit
+        } else {
             matches_with(
                 self.indexes[ti].ast(),
                 site,
                 &rule_def.pattern,
-                &mut bindings
-            ),
+                &mut bindings,
+            )
+        };
+        assert!(
+            live,
             "strategy returned a stale match — view maintenance bug"
         );
 
@@ -347,6 +381,7 @@ impl JitdFleet {
 
         self.stats.rewrite_ns[rule].push_u64(rewrite_ns);
         self.stats.maintain_ns[rule].push_u64(maintain_ns);
+        self.stats.rule_rewrites[rule] += 1;
         self.stats.steps += 1;
         StepOutcome {
             fired: true,

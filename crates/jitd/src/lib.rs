@@ -51,7 +51,7 @@ pub mod steal;
 pub use concurrent::{AsyncJitd, CommitMode, WorkerMode};
 pub use fleet::JitdFleet;
 pub use index::{JitdIndex, JitdLabels};
-pub use rules::{full_rules, paper_rules, pivot_rules, RuleConfig};
+pub use rules::{full_rules, paper_rules, pivot_rules, scaled_rules, RuleConfig};
 pub use runtime::{Jitd, JitdStats, StepOutcome, StrategyKind};
 pub use schema::jitd_schema;
 pub use steal::{StealConfig, StealStats, WorkQueue};

@@ -653,6 +653,46 @@ pub fn full_rules(schema: &Arc<Schema>, config: RuleConfig) -> RuleSet {
     rules
 }
 
+/// [`paper_rules`] plus `extra` never-firing **probe rules** — the
+/// synthetic rule-count axis of the `tt-bench --rule-scale` sweep.
+///
+/// Every probe matches the structural shape `BinTree(Array, Array)` —
+/// the hottest interior shape of a cracked tree — and differs only in
+/// its separator constraint, which compares against a distinct
+/// *negative* sentinel. Workload keys are never negative, so no probe
+/// can ever fire and the tree evolves identically at every probe
+/// count; what scales with `extra` is pure *match effort*. The shared
+/// structure is the point: the compiled automaton collapses all probes
+/// (and their shared prefix) into one trie path walked once per
+/// candidate node, while the per-rule baseline pays one full pattern
+/// evaluation per probe per `BinTree` it visits.
+pub fn scaled_rules(schema: &Arc<Schema>, config: RuleConfig, extra: usize) -> RuleSet {
+    let mut rules = paper_rules(schema, config);
+    for i in 0..extra {
+        let pattern = Pattern::compile(
+            schema,
+            p::node(
+                "BinTree",
+                "B",
+                [
+                    p::node("Array", "L", [], p::tru()),
+                    p::node("Array", "R", [], p::tru()),
+                ],
+                p::eq(p::attr("B", "sep"), p::int(-1 - i as i64)),
+            ),
+        );
+        // The generator is never invoked (the sentinel never matches);
+        // reusing the left run keeps the rule well-formed.
+        rules.push(RewriteRule::new(
+            &format!("ScaleProbe{i}"),
+            schema,
+            pattern,
+            reuse("L"),
+        ));
+    }
+    rules
+}
+
 /// PivotLeft/PivotRight tree rotations (appendix; used by ablations
 /// only — they have no decreasing measure, so do not drive them to a
 /// fixpoint).
@@ -893,6 +933,48 @@ mod tests {
         assert_eq!(idx.get(6), Some(666));
         assert_eq!(idx.get(100), Some(1));
         assert_eq!(idx.get(31), Some(131));
+    }
+
+    #[test]
+    fn scale_probes_share_structure_and_never_fire() {
+        let schema = jitd_schema();
+        let rules = Arc::new(scaled_rules(&schema, small_config(), 8));
+        assert_eq!(rules.len(), 5 + 8);
+        // All probes bucket under BinTree and share one automaton path:
+        // adding 8 structurally identical probes must not add 8 paths.
+        let bintree = schema.expect_label("BinTree");
+        assert_eq!(rules.rules_by_root_label(bintree).len(), 8);
+        let base = scaled_rules(&schema, small_config(), 1);
+        assert_eq!(
+            rules.automaton().state_count(),
+            base.automaton().state_count(),
+            "probes differ only in constraints, so they merge into one trie path"
+        );
+        // Crack a tree and push an insert through: probes never fire.
+        let records: Vec<Record> = (0..32).map(|i| Record::new(i, i)).collect();
+        let mut idx = JitdIndex::load(records);
+        let mut tick = 0;
+        loop {
+            let mut fired = false;
+            for rid in 0..rules.len() {
+                while fire_once(&mut idx, &rules, rid, tick) {
+                    tick += 1;
+                    fired = true;
+                    assert!(
+                        rid < 5,
+                        "probe rule {rid} fired — sentinel separators must never match"
+                    );
+                    assert!(tick < 1000, "must converge");
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+        idx.check_structure().unwrap();
+        for i in 0..32 {
+            assert_eq!(idx.get(i), Some(i));
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use treetoaster_core::{
 use tt_ast::Record;
 use tt_ivm::{ClassicIvm, DbtIvm};
 use tt_metrics::{now_ns, SummaryBuilder};
-use tt_pattern::{matches_with, Bindings};
+use tt_pattern::{matches_with, AutomatonScratch, Bindings};
 use tt_ycsb::Op;
 
 /// The five search strategies of the evaluation.
@@ -68,14 +68,32 @@ impl StrategyKind {
         }
     }
 
-    /// Instantiates the strategy for a rule set over `ast`.
+    /// Instantiates the strategy for a rule set over `ast` (compiled
+    /// matching on, the default everywhere).
     pub fn build(self, rules: Arc<RuleSet>, ast: &tt_ast::Ast) -> Box<dyn MatchSource> {
+        self.build_with(rules, ast, true)
+    }
+
+    /// [`build`](StrategyKind::build) with an explicit matcher choice:
+    /// `compiled = false` keeps the one-pattern-at-a-time evaluator as
+    /// the differential-testing baseline. Classic and DBT evaluate
+    /// matches relationally (the bolt-on IVM engines have no tree
+    /// pattern matcher to swap), so the flag only affects Naive, Index,
+    /// and TreeToaster.
+    pub fn build_with(
+        self,
+        rules: Arc<RuleSet>,
+        ast: &tt_ast::Ast,
+        compiled: bool,
+    ) -> Box<dyn MatchSource> {
         match self {
-            StrategyKind::Naive => Box::new(NaiveStrategy::new(rules)),
-            StrategyKind::Index => Box::new(IndexStrategy::new(rules, ast)),
+            StrategyKind::Naive => Box::new(NaiveStrategy::new(rules).compiled(compiled)),
+            StrategyKind::Index => Box::new(IndexStrategy::new(rules, ast).compiled(compiled)),
             StrategyKind::Classic => Box::new(ClassicIvm::new(rules, ast)),
             StrategyKind::Dbt => Box::new(DbtIvm::new(rules, ast)),
-            StrategyKind::TreeToaster => Box::new(TreeToasterEngine::new(rules)),
+            StrategyKind::TreeToaster => {
+                Box::new(TreeToasterEngine::new(rules).compiled_match(compiled))
+            }
         }
     }
 }
@@ -95,6 +113,10 @@ pub struct JitdStats {
     pub op_ns: SummaryBuilder,
     /// Batch-commit latencies (`commit_batch` calls).
     pub commit_ns: SummaryBuilder,
+    /// Per rule: how many `find_one` probes surfaced a match.
+    pub rule_matches: Vec<u64>,
+    /// Per rule: how many rewrites were actually applied.
+    pub rule_rewrites: Vec<u64>,
     /// Rewrites applied.
     pub steps: u64,
     /// Scheduler pops that bypassed arrival (FIFO) order to serve a
@@ -127,6 +149,8 @@ impl JitdStats {
             op_maintain_ns: SummaryBuilder::new(),
             op_ns: SummaryBuilder::new(),
             commit_ns: SummaryBuilder::new(),
+            rule_matches: vec![0; rule_count],
+            rule_rewrites: vec![0; rule_count],
             steps: 0,
             steal_count: 0,
             contended_count: 0,
@@ -176,23 +200,66 @@ pub struct Jitd {
     /// re-derivation, so a steady-state reorganization step allocates
     /// nothing outside the rewrite itself.
     bindings: Bindings,
+    /// Scratch for the compiled re-derivation's straight-line program.
+    scratch: AutomatonScratch,
+    /// Matcher selection, mirrored into the strategy at construction.
+    compiled: bool,
     /// Collected measurements.
     pub stats: JitdStats,
 }
 
 impl Jitd {
     /// Builds a runtime with the paper's five rules, loads `records`,
-    /// and initializes the strategy.
+    /// and initializes the strategy (compiled matching on).
     pub fn new(kind: StrategyKind, config: RuleConfig, records: Vec<Record>) -> Jitd {
-        let schema = jitd_schema();
-        let rules = Arc::new(paper_rules(&schema, config));
-        Self::with_rules(kind, rules, records)
+        Self::with_matcher(kind, config, records, true)
     }
 
-    /// Builds a runtime over an explicit rule set.
+    /// [`new`](Jitd::new) with an explicit matcher choice —
+    /// `compiled = false` runs the one-pattern-at-a-time baseline
+    /// end to end (strategy search *and* binding re-derivation).
+    pub fn with_matcher(
+        kind: StrategyKind,
+        config: RuleConfig,
+        records: Vec<Record>,
+        compiled: bool,
+    ) -> Jitd {
+        let schema = jitd_schema();
+        let rules = Arc::new(paper_rules(&schema, config));
+        Self::with_rules_matcher(kind, rules, records, compiled)
+    }
+
+    /// Builds a runtime over an explicit rule set (compiled matching on).
     pub fn with_rules(kind: StrategyKind, rules: Arc<RuleSet>, records: Vec<Record>) -> Jitd {
+        Self::with_rules_matcher(kind, rules, records, true)
+    }
+
+    /// Builds a runtime over an explicit rule set and matcher choice.
+    pub fn with_rules_matcher(
+        kind: StrategyKind,
+        rules: Arc<RuleSet>,
+        records: Vec<Record>,
+        compiled: bool,
+    ) -> Jitd {
         let index = JitdIndex::load(records);
-        let mut strategy = kind.build(rules.clone(), index.ast());
+        let strategy = kind.build_with(rules.clone(), index.ast(), compiled);
+        Self::from_strategy(kind, rules, index, compiled, strategy)
+    }
+
+    /// Builds a runtime around a caller-constructed strategy (e.g. a
+    /// generic-mode [`treetoaster_core::TreeToasterEngine`], which
+    /// [`StrategyKind::build_with`] never produces) — the bench
+    /// rule-scale driver measures the subtree-walk maintenance path
+    /// through this. `kind` is only the reporting label; `compiled`
+    /// must match how `strategy` was configured so the runtime's
+    /// binding re-derivation takes the same matcher path.
+    pub fn from_strategy(
+        kind: StrategyKind,
+        rules: Arc<RuleSet>,
+        index: JitdIndex,
+        compiled: bool,
+        mut strategy: Box<dyn MatchSource>,
+    ) -> Jitd {
         strategy.rebuild(index.ast());
         let stats = JitdStats::new(rules.len());
         Jitd {
@@ -202,6 +269,8 @@ impl Jitd {
             kind,
             tick: 0,
             bindings: Bindings::default(),
+            scratch: AutomatonScratch::default(),
+            compiled,
             stats,
         }
     }
@@ -294,13 +363,28 @@ impl Jitd {
             };
         };
 
+        self.stats.rule_matches[rule] += 1;
         let rule_def = self.rules.get(rule);
         // Re-derive bindings into the runtime's reusable environment
         // (strategies are charged equally for this step; see
-        // `MatchSource::find_one`).
+        // `MatchSource::find_one`). Compiled runs the rule's
+        // straight-line automaton program; baseline, the recursive
+        // evaluator.
         let mut bindings = std::mem::take(&mut self.bindings);
+        let live = if self.compiled {
+            let hit =
+                self.rules
+                    .automaton()
+                    .run_rule(self.index.ast(), site, rule, &mut self.scratch);
+            if hit {
+                bindings.clone_from(self.scratch.bindings());
+            }
+            hit
+        } else {
+            matches_with(self.index.ast(), site, &rule_def.pattern, &mut bindings)
+        };
         assert!(
-            matches_with(self.index.ast(), site, &rule_def.pattern, &mut bindings),
+            live,
             "strategy returned a stale match — view maintenance bug"
         );
 
@@ -333,6 +417,7 @@ impl Jitd {
 
         self.stats.rewrite_ns[rule].push_u64(rewrite_ns);
         self.stats.maintain_ns[rule].push_u64(maintain_ns);
+        self.stats.rule_rewrites[rule] += 1;
         self.stats.steps += 1;
         StepOutcome {
             fired: true,
@@ -573,6 +658,44 @@ mod tests {
             }
             assert!(!jitd.stats.commit_ns.is_empty());
             jitd.index.check_structure().unwrap();
+        }
+    }
+
+    #[test]
+    fn baseline_matcher_runtime_agrees_with_compiled() {
+        // Same op stream, same seed, matcher flipped: the two runtimes
+        // must fire the same rewrites and answer identical point reads.
+        // (Classic/DBT ignore the flag — their matching is relational.)
+        let ops: Vec<Op> = {
+            let mut workload = Workload::new(WorkloadSpec::standard('A'), 96, 5);
+            (0..40).map(|_| workload.next_op()).collect()
+        };
+        for kind in [
+            StrategyKind::Naive,
+            StrategyKind::Index,
+            StrategyKind::TreeToaster,
+        ] {
+            let cfg = RuleConfig { crack_threshold: 8 };
+            let mut compiled = Jitd::with_matcher(kind, cfg, records(96), true);
+            let mut baseline = Jitd::with_matcher(kind, cfg, records(96), false);
+            for op in &ops {
+                compiled.execute(op);
+                baseline.execute(op);
+                compiled.reorganize_round();
+                baseline.reorganize_round();
+            }
+            assert_eq!(
+                compiled.stats.rule_rewrites,
+                baseline.stats.rule_rewrites,
+                "{} fired different rewrites across matchers",
+                kind.label()
+            );
+            assert!(compiled.stats.rule_matches.iter().sum::<u64>() > 0);
+            compiled.agreement_with_naive().unwrap();
+            baseline.agreement_with_naive().unwrap();
+            for key in 0..96 {
+                assert_eq!(compiled.index().get(key), baseline.index().get(key));
+            }
         }
     }
 

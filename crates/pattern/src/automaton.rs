@@ -1,0 +1,600 @@
+//! A label-discriminated **match automaton** compiled from a rule set's
+//! patterns.
+//!
+//! The naive consumers of this crate discover candidates by trying every
+//! rule independently: R patterns × one [`matches_with`] walk each, per
+//! touched node. This module compiles all R patterns **once** into a
+//! single discriminating trie so one walk per node emits every candidate
+//! `(RuleId, Bindings)` — O(matching work), not O(rules), per node.
+//!
+//! ## Construction
+//!
+//! Each pattern is linearized in preorder into tokens:
+//!
+//! - `Sym(label, arity)` for a `Match` node — the subject node must carry
+//!   `label` and exactly `arity` children, which are then consumed by the
+//!   following tokens (Figure 5 aligns children pairwise);
+//! - `Star` for an `AnyNode` — consumes one whole subtree, bound or not.
+//!
+//! The token sequences are inserted into a trie whose states merge shared
+//! prefixes: two rules that open with the same `Concat(BinTree(·,·),·)`
+//! shape walk the same states until their structure (or nothing — two
+//! rules can share the whole path and differ only in constraints)
+//! diverges. Because a complete pattern's tokens consume the pending
+//! frontier exactly, no complete sequence is a proper prefix of another;
+//! accepting rules therefore sit on trie leaves, possibly several per
+//! leaf.
+//!
+//! Binding slots and constraints are *not* part of the trie. Each
+//! consumed token appends its subject node to a **trail**; per rule, a
+//! precomputed `VarId → trail index` map reconstructs the [`Bindings`]
+//! at the accept state, and the rule's collected constraints (including
+//! cross-binding equality via attribute comparisons) are evaluated
+//! against the reconstructed environment — identical semantics to the
+//! two-phase [`matches_with`] evaluation.
+//!
+//! ## Matching
+//!
+//! [`MatchAutomaton::run_at`] anchors the automaton at one node and runs
+//! a small backtracking DFS: at each state a `Sym` edge (selected by the
+//! subject's label + arity — the discrimination) and a `Star` edge may
+//! both apply. Work is bounded by the patterns' combined shape, not the
+//! tree. All scratch space ([`AutomatonScratch`]) is caller-owned and
+//! reused, so steady-state matching allocates nothing.
+//!
+//! [`MatchAutomaton::run_rule`] is the single-rule fast path: one rule's
+//! linearization is a straight-line token program (no trie, no
+//! branching), a drop-in replacement for [`matches_with`] at call sites
+//! that re-check one known rule against one candidate node.
+//!
+//! [`matches_with`]: crate::eval::matches_with
+
+use crate::constraint::Constraint;
+use crate::eval::{Bindings, TreeAttrs};
+use crate::query::{Pattern, PatternNode, VarId};
+use tt_ast::{Ast, Label, NodeId};
+
+/// One linearized pattern token (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    /// Structural step: the subject must carry this label and exactly
+    /// this many children; the children become the next subjects.
+    Sym(Label, u32),
+    /// Wildcard step: consumes one whole subtree.
+    Star,
+}
+
+/// One trie state. Outgoing `Sym` edges are kept sorted by
+/// `(label, arity)` so the subject node's shape selects its edge by
+/// binary search — the label discrimination that replaces the per-rule
+/// loop.
+#[derive(Debug, Default)]
+struct State {
+    /// `Sym` edges, sorted by `(label, arity)`; unique per token.
+    syms: Vec<(Label, u32, u32)>,
+    /// The merged wildcard edge, if any pattern has an `AnyNode` here.
+    star: Option<u32>,
+    /// Rules whose token sequence ends at this state.
+    accepts: Vec<u32>,
+}
+
+/// Per-rule data the trie deliberately excludes: the straight-line token
+/// program, binding reconstruction, and deferred constraints.
+#[derive(Debug)]
+struct RuleProgram {
+    /// The rule's own linearization (the deterministic single-rule path).
+    tokens: Vec<Tok>,
+    /// `(variable, trail index)` pairs, in variable order.
+    bind_map: Vec<(VarId, u32)>,
+    /// Non-trivial constraints of the pattern's `Match` nodes, evaluated
+    /// once every variable is bound (Figure 5's second phase).
+    constraints: Vec<Constraint>,
+    /// Slots the reconstructed [`Bindings`] needs.
+    var_count: usize,
+    /// `D(q)` — kept so consumers can size ancestor sweeps without
+    /// holding the source pattern.
+    depth: usize,
+}
+
+/// Reusable scratch for automaton runs. One instance serves any number
+/// of [`MatchAutomaton::run_at`] / [`MatchAutomaton::run_rule`] /
+/// [`MatchAutomaton::for_each_match`] calls, allocation-free once warm.
+#[derive(Debug, Default)]
+pub struct AutomatonScratch {
+    /// Pending subjects (preorder frontier).
+    stack: Vec<NodeId>,
+    /// Nodes consumed so far, in token order.
+    trail: Vec<NodeId>,
+    /// Binding reconstruction target; holds the last accepted rule's
+    /// environment after a successful [`MatchAutomaton::run_rule`].
+    bindings: Bindings,
+    /// Subtree-walk stack for [`MatchAutomaton::for_each_match`].
+    walk: Vec<NodeId>,
+}
+
+impl AutomatonScratch {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bindings left by the last successful
+    /// [`MatchAutomaton::run_rule`] (mirrors the [`matches_with`]
+    /// contract: valid only after a `true` return).
+    ///
+    /// [`matches_with`]: crate::eval::matches_with
+    pub fn bindings(&self) -> &Bindings {
+        &self.bindings
+    }
+}
+
+/// The compiled automaton over one rule set's patterns. Rule ids are the
+/// indices of the patterns passed to [`MatchAutomaton::compile`].
+#[derive(Debug)]
+pub struct MatchAutomaton {
+    states: Vec<State>,
+    programs: Vec<RuleProgram>,
+    max_depth: usize,
+}
+
+impl MatchAutomaton {
+    /// Compiles the automaton from the rule patterns, in rule-id order.
+    /// All patterns must agree on one label interning (i.e. be compiled
+    /// against the same schema, or structurally identical copies of it).
+    pub fn compile<'a>(patterns: impl IntoIterator<Item = &'a Pattern>) -> MatchAutomaton {
+        let mut states = vec![State::default()];
+        let mut programs = Vec::new();
+        for pattern in patterns {
+            let rid = programs.len() as u32;
+            let prog = linearize(pattern);
+            // Thread the token sequence through the trie, reusing any
+            // shared prefix and materializing states past the fork.
+            let mut state = 0usize;
+            for &tok in &prog.tokens {
+                state = match tok {
+                    Tok::Sym(label, arity) => {
+                        let syms = &mut states[state].syms;
+                        match syms.binary_search_by_key(&(label, arity), |&(l, a, _)| (l, a)) {
+                            Ok(i) => syms[i].2 as usize,
+                            Err(i) => {
+                                let next = states.len() as u32;
+                                states[state].syms.insert(i, (label, arity, next));
+                                states.push(State::default());
+                                next as usize
+                            }
+                        }
+                    }
+                    Tok::Star => match states[state].star {
+                        Some(next) => next as usize,
+                        None => {
+                            let next = states.len() as u32;
+                            states[state].star = Some(next);
+                            states.push(State::default());
+                            next as usize
+                        }
+                    },
+                };
+            }
+            states[state].accepts.push(rid);
+            programs.push(prog);
+        }
+        let max_depth = programs.iter().map(|p| p.depth).max().unwrap_or(0);
+        MatchAutomaton {
+            states,
+            programs,
+            max_depth,
+        }
+    }
+
+    /// Number of compiled rules.
+    pub fn rule_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of trie states (the prefix-merge observable: structurally
+    /// overlapping patterns share states, so this is strictly less than
+    /// the sum of per-pattern token counts plus one whenever prefixes
+    /// merge).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `D(q)` of rule `rule`'s pattern.
+    pub fn depth(&self, rule: usize) -> usize {
+        self.programs[rule].depth
+    }
+
+    /// The deepest pattern's `D(q)` (0 for an empty rule set).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Runs the automaton anchored at `node`, emitting every rule whose
+    /// pattern matches there together with its reconstructed bindings.
+    /// The `&Bindings` argument is scratch-owned and only valid for the
+    /// duration of the callback. Emission order follows the trie's DFS,
+    /// not rule-id order; order-sensitive callers buffer and sort.
+    pub fn run_at(
+        &self,
+        ast: &Ast,
+        node: NodeId,
+        scratch: &mut AutomatonScratch,
+        out: &mut impl FnMut(usize, &Bindings),
+    ) {
+        if self.states[0].syms.is_empty() && self.states[0].star.is_none() {
+            return;
+        }
+        scratch.stack.clear();
+        scratch.trail.clear();
+        scratch.stack.push(node);
+        self.dfs(
+            ast,
+            0,
+            &mut scratch.stack,
+            &mut scratch.trail,
+            &mut scratch.bindings,
+            out,
+        );
+    }
+
+    /// One DFS walk over the whole subtree under `root`: [`Self::run_at`]
+    /// anchored at every descendant, in preorder. This is the "all
+    /// candidates in one pass" entry the maintenance engines drive over a
+    /// rebuilt tree or a delta's touched region.
+    pub fn for_each_match(
+        &self,
+        ast: &Ast,
+        root: NodeId,
+        scratch: &mut AutomatonScratch,
+        out: &mut impl FnMut(NodeId, usize, &Bindings),
+    ) {
+        if root.is_null() {
+            return;
+        }
+        let AutomatonScratch {
+            stack,
+            trail,
+            bindings,
+            walk,
+        } = scratch;
+        walk.clear();
+        walk.push(root);
+        while let Some(n) = walk.pop() {
+            for &c in ast.node(n).children().iter().rev() {
+                walk.push(c);
+            }
+            stack.clear();
+            trail.clear();
+            stack.push(n);
+            self.dfs(ast, 0, stack, trail, bindings, &mut |rid, b| out(n, rid, b));
+        }
+    }
+
+    /// Single-rule straight-line matcher: does rule `rule` match at
+    /// `node`? On `true`, `scratch.bindings()` holds the environment —
+    /// the same contract as [`matches_with`].
+    ///
+    /// [`matches_with`]: crate::eval::matches_with
+    pub fn run_rule(
+        &self,
+        ast: &Ast,
+        node: NodeId,
+        rule: usize,
+        scratch: &mut AutomatonScratch,
+    ) -> bool {
+        let prog = &self.programs[rule];
+        scratch.stack.clear();
+        scratch.trail.clear();
+        scratch.stack.push(node);
+        for &tok in &prog.tokens {
+            let n = scratch.stack.pop().expect("token stream outran frontier");
+            match tok {
+                Tok::Sym(label, arity) => {
+                    let nd = ast.node(n);
+                    if nd.label() != label || nd.children().len() != arity as usize {
+                        return false;
+                    }
+                    scratch.trail.push(n);
+                    for &c in nd.children().iter().rev() {
+                        scratch.stack.push(c);
+                    }
+                }
+                Tok::Star => scratch.trail.push(n),
+            }
+        }
+        debug_assert!(scratch.stack.is_empty(), "pattern left frontier unconsumed");
+        self.finish(ast, prog, &scratch.trail, &mut scratch.bindings)
+    }
+
+    /// The backtracking core: consume the top of `stack` along every
+    /// applicable edge. Recursion depth is bounded by the longest token
+    /// sequence (pattern size), not the subject tree.
+    fn dfs(
+        &self,
+        ast: &Ast,
+        state: u32,
+        stack: &mut Vec<NodeId>,
+        trail: &mut Vec<NodeId>,
+        bindings: &mut Bindings,
+        out: &mut impl FnMut(usize, &Bindings),
+    ) {
+        let st = &self.states[state as usize];
+        let Some(&n) = stack.last() else {
+            // Frontier consumed: every rule accepted here matched
+            // structurally; its constraints decide.
+            for &rid in &st.accepts {
+                let prog = &self.programs[rid as usize];
+                if self.finish(ast, prog, trail, bindings) {
+                    out(rid as usize, bindings);
+                }
+            }
+            return;
+        };
+        if !st.syms.is_empty() {
+            let nd = ast.node(n);
+            let key = (nd.label(), nd.children().len() as u32);
+            if let Ok(i) = st.syms.binary_search_by_key(&key, |&(l, a, _)| (l, a)) {
+                let next = st.syms[i].2;
+                let arity = key.1 as usize;
+                stack.pop();
+                trail.push(n);
+                for &c in nd.children().iter().rev() {
+                    stack.push(c);
+                }
+                self.dfs(ast, next, stack, trail, bindings, out);
+                stack.truncate(stack.len() - arity);
+                trail.pop();
+                stack.push(n);
+            }
+        }
+        if let Some(next) = st.star {
+            stack.pop();
+            trail.push(n);
+            self.dfs(ast, next, stack, trail, bindings, out);
+            trail.pop();
+            stack.push(n);
+        }
+    }
+
+    /// Second phase: reconstruct the bindings from the trail and evaluate
+    /// the rule's deferred constraints.
+    fn finish(
+        &self,
+        ast: &Ast,
+        prog: &RuleProgram,
+        trail: &[NodeId],
+        bindings: &mut Bindings,
+    ) -> bool {
+        bindings.reset_to(prog.var_count);
+        for &(v, ti) in &prog.bind_map {
+            bindings.bind(v, trail[ti as usize]);
+        }
+        let src = TreeAttrs { ast, bindings };
+        prog.constraints.iter().all(|c| c.eval(&src))
+    }
+}
+
+/// Preorder token linearization of one pattern, with its binding map and
+/// deferred constraints.
+fn linearize(pattern: &Pattern) -> RuleProgram {
+    fn go(
+        node: &PatternNode,
+        tokens: &mut Vec<Tok>,
+        bind_map: &mut Vec<(VarId, u32)>,
+        constraints: &mut Vec<Constraint>,
+    ) {
+        let idx = tokens.len() as u32;
+        match node {
+            PatternNode::Any { var } => {
+                tokens.push(Tok::Star);
+                if let Some(v) = var {
+                    bind_map.push((*v, idx));
+                }
+            }
+            PatternNode::Match {
+                label,
+                var,
+                children,
+                constraint,
+            } => {
+                tokens.push(Tok::Sym(*label, children.len() as u32));
+                bind_map.push((*var, idx));
+                if !matches!(constraint, Constraint::True) {
+                    constraints.push(constraint.clone());
+                }
+                for c in children {
+                    go(c, tokens, bind_map, constraints);
+                }
+            }
+        }
+    }
+    let mut tokens = Vec::new();
+    let mut bind_map = Vec::new();
+    let mut constraints = Vec::new();
+    go(pattern.root(), &mut tokens, &mut bind_map, &mut constraints);
+    RuleProgram {
+        tokens,
+        bind_map,
+        constraints,
+        var_count: pattern.var_count(),
+        depth: pattern.depth(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::eval::{match_node, matches_with};
+    use tt_ast::schema::arith_schema;
+    use tt_ast::sexpr::parse_sexpr;
+
+    fn tree(text: &str) -> (Ast, NodeId) {
+        let mut ast = Ast::new(arith_schema());
+        let id = parse_sexpr(&mut ast, text).unwrap();
+        ast.set_root(id);
+        (ast, id)
+    }
+
+    /// The eval-module running example plus overlapping friends.
+    fn rules() -> Vec<Pattern> {
+        let schema = arith_schema();
+        vec![
+            // 0: Arith(+) over Const(0), Var — constraints on two levels.
+            Pattern::compile(
+                &schema,
+                node(
+                    "Arith",
+                    "A",
+                    [
+                        node("Const", "B", [], eq(attr("B", "val"), int(0))),
+                        node("Var", "C", [], tru()),
+                    ],
+                    eq(attr("A", "op"), str_("+")),
+                ),
+            ),
+            // 1: same structure, different constraint — shares the whole
+            // trie path with rule 0.
+            Pattern::compile(
+                &schema,
+                node(
+                    "Arith",
+                    "A",
+                    [node("Const", "B", [], tru()), node("Var", "C", [], tru())],
+                    eq(attr("A", "op"), str_("*")),
+                ),
+            ),
+            // 2: shares the Arith root edge, then diverges to wildcards.
+            Pattern::compile(&schema, node("Arith", "A", [any_as("l"), any()], tru())),
+            // 3: different root label entirely.
+            Pattern::compile(&schema, node("Const", "K", [], tru())),
+        ]
+    }
+
+    fn candidates(auto: &MatchAutomaton, ast: &Ast, node: NodeId) -> Vec<usize> {
+        let mut scratch = AutomatonScratch::new();
+        let mut hits = Vec::new();
+        auto.run_at(ast, node, &mut scratch, &mut |rid, _| hits.push(rid));
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn multi_rule_run_agrees_with_per_rule_matching() {
+        let patterns = rules();
+        let auto = MatchAutomaton::compile(&patterns);
+        let (ast, root) = tree(
+            r#"(Arith op="+" (Arith op="*" (Const val=0) (Var name="a")) (Arith op="+" (Const val=0) (Var name="b")))"#,
+        );
+        for n in ast.descendants(root) {
+            let expected: Vec<usize> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| match_node(&ast, n, p).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(candidates(&auto, &ast, n), expected, "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn emitted_bindings_match_the_naive_evaluator() {
+        let patterns = rules();
+        let auto = MatchAutomaton::compile(&patterns);
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
+        let mut scratch = AutomatonScratch::new();
+        let mut seen = Vec::new();
+        auto.run_at(&ast, root, &mut scratch, &mut |rid, b| {
+            seen.push((rid, b.clone()));
+        });
+        seen.sort_by_key(|(rid, _)| *rid);
+        let expected: Vec<(usize, Bindings)> = patterns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match_node(&ast, root, p).map(|b| (i, b)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn run_rule_mirrors_matches_with() {
+        let patterns = rules();
+        let auto = MatchAutomaton::compile(&patterns);
+        let (ast, root) =
+            tree(r#"(Arith op="*" (Const val=0) (Arith op="+" (Const val=0) (Var name="x")))"#);
+        let mut scratch = AutomatonScratch::new();
+        let mut naive = Bindings::default();
+        for n in ast.descendants(root) {
+            for (rid, p) in patterns.iter().enumerate() {
+                let compiled = auto.run_rule(&ast, n, rid, &mut scratch);
+                let reference = matches_with(&ast, n, p, &mut naive);
+                assert_eq!(compiled, reference, "rule {rid} at {n:?}");
+                if compiled {
+                    assert_eq!(*scratch.bindings(), naive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_merge_states() {
+        let patterns = rules();
+        let auto = MatchAutomaton::compile(&patterns);
+        // Rules 0 and 1 share their full 3-token path; rule 2 shares the
+        // root edge and adds its 2 wildcard states; rule 3 is disjoint.
+        // Unmerged, 3+3+3+1 tokens would need 11 states; merged:
+        // root + 3 + 2 + 1 = 7.
+        assert_eq!(auto.rule_count(), 4);
+        assert_eq!(auto.state_count(), 7);
+        assert_eq!(auto.max_depth(), 1);
+        assert_eq!(auto.depth(3), 0);
+    }
+
+    #[test]
+    fn for_each_match_covers_the_subtree_in_one_walk() {
+        let patterns = rules();
+        let auto = MatchAutomaton::compile(&patterns);
+        let (ast, root) =
+            tree(r#"(Arith op="+" (Arith op="*" (Const val=1) (Var name="a")) (Var name="b"))"#);
+        let mut scratch = AutomatonScratch::new();
+        let mut hits = Vec::new();
+        auto.for_each_match(&ast, root, &mut scratch, &mut |n, rid, _| {
+            hits.push((n, rid));
+        });
+        hits.sort();
+        let mut expected = Vec::new();
+        for n in ast.descendants(root) {
+            for (rid, p) in patterns.iter().enumerate() {
+                if match_node(&ast, n, p).is_some() {
+                    expected.push((n, rid));
+                }
+            }
+        }
+        expected.sort();
+        assert_eq!(hits, expected);
+        // Null roots are a quiet no-op, like the naive scanners.
+        auto.for_each_match(&ast, NodeId::NULL, &mut scratch, &mut |_, _, _| {
+            panic!("matched under a null root")
+        });
+    }
+
+    #[test]
+    fn empty_rule_set_matches_nothing() {
+        let auto = MatchAutomaton::compile(std::iter::empty());
+        let (ast, root) = tree(r#"(Const val=0)"#);
+        assert!(candidates(&auto, &ast, root).is_empty());
+        assert_eq!(auto.rule_count(), 0);
+        assert_eq!(auto.max_depth(), 0);
+    }
+
+    #[test]
+    fn wildcard_root_pattern_matches_everywhere() {
+        let schema = arith_schema();
+        let patterns = vec![Pattern::compile(&schema, any_as("q"))];
+        let auto = MatchAutomaton::compile(&patterns);
+        let (ast, root) = tree(r#"(Arith op="+" (Const val=0) (Var name="b"))"#);
+        for n in ast.descendants(root) {
+            assert_eq!(candidates(&auto, &ast, n), vec![0]);
+        }
+    }
+}

@@ -33,8 +33,14 @@ impl Bindings {
     /// nodes per rewrite; pairing this with [`matches_with`] keeps those
     /// evaluations allocation-free.
     pub fn reset_for(&mut self, pattern: &Pattern) {
+        self.reset_to(pattern.var_count());
+    }
+
+    /// [`Self::reset_for`] by raw slot count — the compiled automaton
+    /// reconstructs environments without holding the source [`Pattern`].
+    pub fn reset_to(&mut self, var_count: usize) {
         self.slots.clear();
-        self.slots.resize(pattern.var_count(), NodeId::NULL);
+        self.slots.resize(var_count, NodeId::NULL);
     }
 
     /// The node bound to `var`; panics if unbound (an evaluation bug).

@@ -14,13 +14,19 @@
 //!   full-tree scan that is the paper's **Naive** baseline.
 //! - [`sql`] — the Figure 6 reduction of a pattern to an SPJ query over
 //!   the relational encoding, consumed by the bolt-on IVM engines.
+//! - [`automaton`] — the whole rule set compiled into one
+//!   label-discriminated match automaton: one walk per node emits every
+//!   candidate `(RuleId, Bindings)` instead of R independent pattern
+//!   evaluations.
 
+pub mod automaton;
 pub mod constraint;
 pub mod dsl;
 pub mod eval;
 pub mod query;
 pub mod sql;
 
+pub use automaton::{AutomatonScratch, MatchAutomaton};
 pub use constraint::{ArithOp, Atom, AttrSource, CmpOp, Constraint, HostPred};
 pub use eval::{
     find_all, find_first, match_node, match_set, matches, matches_with, Bindings, TreeAttrs,
